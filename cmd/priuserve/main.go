@@ -1,0 +1,31 @@
+// Command priuserve runs the PrIU deletion service over HTTP.
+//
+// Usage:
+//
+//	priuserve -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/train     register data + hyperparameters, train with capture
+//	POST /v1/delete    incrementally remove training samples from a session
+//	GET  /v1/model/ID  fetch a session's current parameters
+//	GET  /v1/sessions  list sessions
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := service.NewServer()
+	log.Printf("priuserve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

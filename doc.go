@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "PrIU: A
+// Provenance-Based Approach for Incrementally Updating Regression Models"
+// (Wu, Tannen, Davidson; SIGMOD 2020).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmark harness in bench_test.go
+// regenerates every table and figure of the paper's evaluation section;
+// cmd/priubench runs the same experiments as a CLI.
+package repro

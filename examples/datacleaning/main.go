@@ -1,0 +1,80 @@
+// Data cleaning scenario (the paper's first experiment set): a training set
+// is corrupted with dirty samples before training; once the dirty rows are
+// detected, PrIU removes their influence from the already-trained logistic
+// model incrementally — no retraining — and validation accuracy recovers.
+//
+// Run with: go run ./examples/datacleaning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// A HIGGS-shaped binary classification task.
+	clean, err := dataset.GenerateBinary("higgs-like", 8000, 28, 0.9, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, valid, err := clean.Split(0.9, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Corrupt 2% of the training rows by rescaling their features 25x —
+	// the paper's dirty-sample construction. The analyst trains on T_dirty
+	// unaware of the corruption.
+	dirtyCount := train.N() / 50
+	dirty, dirtyIDs, err := train.InjectDirty(dirtyCount, 25, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := gbm.Config{Eta: 5e-3, Lambda: 0.01, BatchSize: 500, Iterations: 400, Seed: 3}
+	sched, err := gbm.NewSchedule(dirty.N(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("training on corrupted data (%d dirty of %d samples)...\n", dirtyCount, dirty.N())
+	prov, err := core.CaptureLogistic(dirty, cfg, sched, nil, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accDirty, _ := metrics.Accuracy(prov.Model(), valid)
+	fmt.Printf("model trained on dirty data: validation accuracy %.4f\n", accDirty)
+
+	// The cleaning pipeline identifies the dirty rows (here we know them);
+	// PrIU propagates their deletion through the captured provenance.
+	t0 := time.Now()
+	cleaned, err := prov.Update(dirtyIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	updTime := time.Since(t0)
+	accClean, _ := metrics.Accuracy(cleaned, valid)
+	fmt.Printf("after removing dirty samples via PrIU (%.1fms): accuracy %.4f\n",
+		updTime.Seconds()*1000, accClean)
+
+	// Reference: full retraining without the dirty rows.
+	rm, _ := gbm.RemovalSet(dirty.N(), dirtyIDs)
+	t0 = time.Now()
+	retrained, err := gbm.TrainLogistic(dirty, cfg, sched, rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	retrainTime := time.Since(t0)
+	accRetrain, _ := metrics.Accuracy(retrained, valid)
+	cmp, _ := metrics.Compare(cleaned, retrained)
+	fmt.Printf("reference retraining (%.1fms): accuracy %.4f\n",
+		retrainTime.Seconds()*1000, accRetrain)
+	fmt.Printf("speed-up %.1fx; model agreement: %s\n",
+		retrainTime.Seconds()/updTime.Seconds(), cmp)
+}

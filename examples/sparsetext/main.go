@@ -1,0 +1,74 @@
+// Sparse-text scenario (the paper's RCV1 path, Sec 5.3): binary logistic
+// regression over a high-dimensional sparse CSR feature matrix. The dense
+// optimizations (cached Σ-matrices, SVD) don't apply here; PrIU instead
+// caches only the per-sample linearization coefficients and replays the
+// linearized rule without the removed samples — a modest but real win over
+// retraining, matching the paper's ~10% observation.
+//
+// Run with: go run ./examples/sparsetext
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// RCV1-shaped: 47,236 features, ~0.1% density.
+	d, err := dataset.GenerateSparseBinary("rcv1-like", 3000, 47_236, 60, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, cols := d.X.Dims()
+	fmt.Printf("sparse dataset: %d×%d, %d non-zeros (density %.4f%%)\n",
+		rows, cols, d.X.NNZ(), 100*d.X.Density())
+
+	cfg := gbm.Config{Eta: 0.05, Lambda: 0.5, BatchSize: 300, Iterations: 300, Seed: 17}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prov, err := core.CaptureLogisticSparse(d, cfg, sched, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, _ := metrics.AccuracySparse(prov.Model(), d)
+	fmt.Printf("initial model training accuracy: %.4f\n", acc)
+	fmt.Printf("provenance cache: %.2f MB (coefficients only — no dense factors)\n",
+		float64(prov.FootprintBytes())/(1<<20))
+
+	// Remove 0.5% of the samples.
+	removed := make([]int, 15)
+	for i := range removed {
+		removed[i] = i * 199
+	}
+	t0 := time.Now()
+	upd, err := prov.Update(removed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	priuDt := time.Since(t0)
+
+	rm, _ := gbm.RemovalSet(d.N(), removed)
+	t0 = time.Now()
+	retrained, err := gbm.TrainLogisticSparse(d, cfg, sched, rm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	retrainDt := time.Since(t0)
+
+	cmp, _ := metrics.Compare(upd, retrained)
+	fmt.Printf("update after deleting %d samples:\n", len(removed))
+	fmt.Printf("  PrIU (sparse path): %7.1fms\n", priuDt.Seconds()*1000)
+	fmt.Printf("  retraining:         %7.1fms\n", retrainDt.Seconds()*1000)
+	fmt.Printf("  speed-up %.2fx (modest, as the paper reports for sparse data)\n",
+		retrainDt.Seconds()/priuDt.Seconds())
+	fmt.Printf("  model agreement: %s\n", cmp)
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gbm"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+)
+
+// permPrefix returns the first k entries of a seeded permutation of [0,n).
+func permPrefix(n, k int, seed int64) []int {
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Ablation experiments probe the design choices of Sec 5 that DESIGN.md
+// calls out: the SVD coverage threshold ε (Theorems 6/8), PrIU-opt's early
+// termination point ts (Theorem 9), and the interpolation grid Δx (Theorem 4).
+
+// runAblationSVDRank sweeps ε for the SVD-cached linear workload and reports
+// the realized rank, update time and closeness to BaseL.
+func runAblationSVDRank(w io.Writer, scale float64) error {
+	wl, err := WorkloadByID("sgemm-extended")
+	if err != nil {
+		return err
+	}
+	wl = wl.Scale(scale)
+	dense, _, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	train, _, err := dense.Split(0.9, wl.Seed+7)
+	if err != nil {
+		return err
+	}
+	cfg := wl.Cfg
+	sched, err := gbm.NewSchedule(train.N(), cfg)
+	if err != nil {
+		return err
+	}
+	removed := removalOf(train.N(), 0.01, wl.Seed+51)
+	rm, err := gbm.RemovalSet(train.N(), removed)
+	if err != nil {
+		return err
+	}
+	base, err := gbm.TrainLinear(train, cfg, sched, rm)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %8s %12s %12s\n", "epsilon", "maxRank", "distance", "cosine")
+	for _, eps := range []float64{0.2, 0.1, 0.05, 0.01, 0.001} {
+		lp, err := core.CaptureLinear(train, cfg, sched, core.Options{Mode: core.ModeSVD, Epsilon: eps})
+		if err != nil {
+			return err
+		}
+		upd, err := lp.Update(removed)
+		if err != nil {
+			return err
+		}
+		cmp, err := metrics.Compare(upd, base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10.3g %8d %12.4g %12.6f\n", eps, lp.MaxRank(), cmp.L2Distance, cmp.Cosine)
+	}
+	return nil
+}
+
+// runAblationTs sweeps PrIU-opt's early-termination fraction for the HIGGS
+// logistic workload (Theorem 9: deviation grows with τ−ts).
+func runAblationTs(w io.Writer, scale float64) error {
+	wl, err := WorkloadByID("higgs")
+	if err != nil {
+		return err
+	}
+	wl = wl.Scale(scale)
+	dense, _, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	train, _, err := dense.Split(0.9, wl.Seed+7)
+	if err != nil {
+		return err
+	}
+	cfg := wl.Cfg
+	sched, err := gbm.NewSchedule(train.N(), cfg)
+	if err != nil {
+		return err
+	}
+	removed := removalOf(train.N(), 0.01, wl.Seed+52)
+	rm, err := gbm.RemovalSet(train.N(), removed)
+	if err != nil {
+		return err
+	}
+	base, err := gbm.TrainLogistic(train, cfg, sched, rm)
+	if err != nil {
+		return err
+	}
+	lin := getLinearizer()
+	fmt.Fprintf(w, "%-10s %8s %12s %12s\n", "ts/tau", "ts", "distance", "cosine")
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9, 1.0} {
+		lo, err := core.CaptureLogisticOpt(train, cfg, sched, lin,
+			core.Options{Mode: core.ModeAuto, EarlyTerminationFraction: frac})
+		if err != nil {
+			return err
+		}
+		upd, err := lo.Update(removed)
+		if err != nil {
+			return err
+		}
+		cmp, err := metrics.Compare(upd, base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10.2f %8d %12.4g %12.6f\n", frac, lo.Ts(), cmp.L2Distance, cmp.Cosine)
+	}
+	return nil
+}
+
+// runAblationDx sweeps the interpolation grid resolution and reports the
+// Lemma 9 bound plus the realized distance between the linearized and exact
+// models (Theorem 4's O((Δx)²)).
+func runAblationDx(w io.Writer, scale float64) error {
+	wl, err := WorkloadByID("higgs")
+	if err != nil {
+		return err
+	}
+	wl = wl.Scale(scale * 0.5)
+	dense, _, err := wl.Generate()
+	if err != nil {
+		return err
+	}
+	train, _, err := dense.Split(0.9, wl.Seed+7)
+	if err != nil {
+		return err
+	}
+	cfg := wl.Cfg
+	sched, err := gbm.NewSchedule(train.N(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %14s %14s\n", "cells", "lemma9.bound", "‖w−w_L‖")
+	for _, cells := range []int{100, 1000, 10_000, 100_000} {
+		lin, err := interp.NewLinearizer(interp.F, interp.DefaultBound, cells)
+		if err != nil {
+			return err
+		}
+		lp, err := core.CaptureLogistic(train, cfg, sched, lin, core.Options{Mode: core.ModeAuto})
+		if err != nil {
+			return err
+		}
+		cmp, err := metrics.Compare(lp.LinearizedModel(), lp.Model())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %14.4g %14.4g\n", cells, lin.MaxAbsError(), cmp.L2Distance)
+	}
+	return nil
+}
+
+// removalOf picks ⌈rate·n⌉ indices deterministically (shared helper for
+// ablations that bypass Prepared).
+func removalOf(n int, rate float64, seed int64) []int {
+	k := int(rate * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return permPrefix(n, k, seed)
+}

@@ -1,0 +1,365 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/closedform"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/influence"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+)
+
+// Method names the update strategies compared in the experiments.
+type Method string
+
+// The methods of Sec 6.2.
+const (
+	MethodBaseL      Method = "BaseL"
+	MethodPrIU       Method = "PrIU"
+	MethodPrIUOpt    Method = "PrIU-opt"
+	MethodINFL       Method = "INFL"
+	MethodClosedForm Method = "Closed-form"
+)
+
+// Result is one timed update run.
+type Result struct {
+	Workload     string
+	Method       Method
+	DeletionRate float64
+	Removed      int
+	UpdateTime   time.Duration
+	// Metric is validation MSE (linear) or validation accuracy
+	// (classification) of the updated model.
+	Metric float64
+	// Comparison relates the updated model to the BaseL reference (zero
+	// value for the BaseL rows themselves).
+	Comparison metrics.Comparison
+}
+
+// Prepared holds a workload with its data generated, initial model trained
+// and all offline provenance captured, ready for timed update runs.
+type Prepared struct {
+	W     Workload
+	Dense *dataset.Dataset
+	Valid *dataset.Dataset
+	Sp    *dataset.SparseDataset
+	Sched *gbm.Schedule
+	Minit *gbm.Model
+
+	LinProv   *core.LinearProvenance
+	LinOpt    *core.LinearOpt
+	View      *closedform.View
+	LogProv   *core.LogisticProvenance
+	LogOpt    *core.LogisticOpt
+	MultProv  *core.MultinomialProvenance
+	MultOpt   *core.MultinomialOpt
+	SpProv    *core.SparseLogisticProvenance
+	Infl      *influence.Cached
+	lin       *interp.Linearizer
+	captureDt time.Duration
+}
+
+// sharedLinearizer uses a 100k-cell grid (error bound ~4·10⁻⁷, well inside
+// every tolerance used here) to keep workload preparation fast; the paper's
+// 10⁶-cell default is exercised by interp's own tests.
+var sharedLinearizer *interp.Linearizer
+
+func getLinearizer() *interp.Linearizer {
+	if sharedLinearizer == nil {
+		l, err := interp.NewLinearizer(interp.F, interp.DefaultBound, 100_000)
+		if err != nil {
+			panic(err)
+		}
+		sharedLinearizer = l
+	}
+	return sharedLinearizer
+}
+
+// Prepare generates the data, trains the initial model and runs every
+// offline capture the workload's methods need.
+func Prepare(w Workload) (*Prepared, error) {
+	start := time.Now()
+	dense, sp, err := w.Generate()
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{W: w, Sp: sp, lin: getLinearizer()}
+	if dense != nil {
+		train, valid, err := dense.Split(0.9, w.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		p.Dense, p.Valid = train, valid
+	}
+	n := w.N
+	if p.Dense != nil {
+		n = p.Dense.N()
+	} else if sp != nil {
+		n = sp.N()
+	}
+	cfg := w.Cfg
+	if cfg.BatchSize > n {
+		cfg.BatchSize = n
+	}
+	p.W.Cfg = cfg
+	sched, err := gbm.NewSchedule(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Sched = sched
+	opts := core.Options{Mode: w.Mode, Epsilon: w.Epsilon}
+	switch w.Kind {
+	case KindLinear:
+		lp, err := core.CaptureLinear(p.Dense, cfg, sched, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.LinProv = lp
+		p.Minit = lp.Model()
+		lo, err := core.NewLinearOpt(p.Dense, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.LinOpt = lo
+		view, err := closedform.NewView(p.Dense, cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		p.View = view
+	case KindBinary:
+		lp, err := core.CaptureLogistic(p.Dense, cfg, sched, p.lin, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.LogProv = lp
+		p.Minit = lp.Model()
+		lo, err := core.CaptureLogisticOpt(p.Dense, cfg, sched, p.lin, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.LogOpt = lo
+	case KindMulti:
+		mp, err := core.CaptureMultinomial(p.Dense, cfg, sched, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.MultProv = mp
+		p.Minit = mp.Model()
+		mo, err := core.CaptureMultinomialOpt(p.Dense, cfg, sched, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.MultOpt = mo
+	case KindSparse:
+		spr, err := core.CaptureLogisticSparse(p.Sp, cfg, sched, p.lin)
+		if err != nil {
+			return nil, err
+		}
+		p.SpProv = spr
+		p.Minit = spr.Model()
+	default:
+		return nil, fmt.Errorf("bench: unknown kind %d", w.Kind)
+	}
+	if w.Kind != KindSparse {
+		infl, err := influence.NewCached(p.Dense, p.Minit, cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		p.Infl = infl
+	}
+	p.captureDt = time.Since(start)
+	return p, nil
+}
+
+// CaptureTime reports how long preparation (data + training + provenance
+// capture) took — the offline cost excluded from reported update times.
+func (p *Prepared) CaptureTime() time.Duration { return p.captureDt }
+
+// N returns the training-set size.
+func (p *Prepared) N() int {
+	if p.Dense != nil {
+		return p.Dense.N()
+	}
+	return p.Sp.N()
+}
+
+// PickRemoval deterministically selects ⌈rate·n⌉ samples (at least 1).
+func (p *Prepared) PickRemoval(rate float64, seed int64) []int {
+	n := p.N()
+	k := int(rate * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Methods returns the update strategies applicable to this workload, in
+// presentation order.
+func (p *Prepared) Methods() []Method {
+	switch p.W.Kind {
+	case KindLinear:
+		return []Method{MethodBaseL, MethodPrIU, MethodPrIUOpt, MethodClosedForm, MethodINFL}
+	case KindBinary:
+		return []Method{MethodBaseL, MethodPrIU, MethodPrIUOpt, MethodINFL}
+	case KindMulti:
+		if p.Dense.M() >= 256 {
+			// cifar10 regime: the paper runs only PrIU (no opt, no INFL) for
+			// extremely large feature spaces.
+			return []Method{MethodBaseL, MethodPrIU}
+		}
+		return []Method{MethodBaseL, MethodPrIU, MethodPrIUOpt, MethodINFL}
+	case KindSparse:
+		return []Method{MethodBaseL, MethodPrIU}
+	}
+	return nil
+}
+
+// RunUpdate executes one timed update with the given method and removal set.
+func (p *Prepared) RunUpdate(m Method, removed []int) (*gbm.Model, time.Duration, error) {
+	rm, err := gbm.RemovalSet(p.N(), removed)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	var model *gbm.Model
+	switch {
+	case m == MethodBaseL && p.W.Kind == KindLinear:
+		model, err = gbm.TrainLinear(p.Dense, p.W.Cfg, p.Sched, rm)
+	case m == MethodBaseL && p.W.Kind == KindBinary:
+		model, err = gbm.TrainLogistic(p.Dense, p.W.Cfg, p.Sched, rm)
+	case m == MethodBaseL && p.W.Kind == KindMulti:
+		model, err = gbm.TrainMultinomial(p.Dense, p.W.Cfg, p.Sched, rm)
+	case m == MethodBaseL && p.W.Kind == KindSparse:
+		model, err = gbm.TrainLogisticSparse(p.Sp, p.W.Cfg, p.Sched, rm)
+	case m == MethodPrIU && p.W.Kind == KindLinear:
+		model, err = p.LinProv.Update(removed)
+	case m == MethodPrIU && p.W.Kind == KindBinary:
+		model, err = p.LogProv.Update(removed)
+	case m == MethodPrIU && p.W.Kind == KindMulti:
+		model, err = p.MultProv.Update(removed)
+	case m == MethodPrIU && p.W.Kind == KindSparse:
+		model, err = p.SpProv.Update(removed)
+	case m == MethodPrIUOpt && p.W.Kind == KindLinear:
+		model, err = p.LinOpt.Update(removed)
+	case m == MethodPrIUOpt && p.W.Kind == KindBinary:
+		model, err = p.LogOpt.Update(removed)
+	case m == MethodPrIUOpt && p.W.Kind == KindMulti:
+		model, err = p.MultOpt.Update(removed)
+	case m == MethodClosedForm && p.W.Kind == KindLinear:
+		model, err = p.View.Update(removed)
+	case m == MethodINFL && p.W.Kind != KindSparse:
+		model, err = p.Infl.Update(removed)
+	default:
+		return nil, 0, fmt.Errorf("bench: method %s not applicable to workload %s", m, p.W.ID)
+	}
+	dt := time.Since(start)
+	if err != nil {
+		return nil, 0, err
+	}
+	return model, dt, nil
+}
+
+// Evaluate computes the validation metric of a model for this workload.
+func (p *Prepared) Evaluate(model *gbm.Model) (float64, error) {
+	switch p.W.Kind {
+	case KindLinear:
+		return metrics.MSE(model, p.Valid)
+	case KindBinary, KindMulti:
+		return metrics.Accuracy(model, p.Valid)
+	case KindSparse:
+		return metrics.AccuracySparse(model, p.Sp)
+	}
+	return 0, fmt.Errorf("bench: unknown kind")
+}
+
+// Sweep runs every applicable method across the deletion-rate sweep,
+// comparing each updated model against the BaseL reference.
+func (p *Prepared) Sweep(rates []float64) ([]Result, error) {
+	var out []Result
+	for ri, rate := range rates {
+		removed := p.PickRemoval(rate, p.W.Seed+int64(1000*ri))
+		base, baseDt, err := p.RunUpdate(MethodBaseL, removed)
+		if err != nil {
+			return nil, err
+		}
+		baseMetric, err := p.Evaluate(base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{
+			Workload: p.W.ID, Method: MethodBaseL, DeletionRate: rate,
+			Removed: len(removed), UpdateTime: baseDt, Metric: baseMetric,
+		})
+		for _, m := range p.Methods() {
+			if m == MethodBaseL {
+				continue
+			}
+			model, dt, err := p.RunUpdate(m, removed)
+			if err != nil {
+				return nil, err
+			}
+			metric, err := p.Evaluate(model)
+			if err != nil {
+				return nil, err
+			}
+			cmp, err := metrics.Compare(model, base)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Result{
+				Workload: p.W.ID, Method: m, DeletionRate: rate,
+				Removed: len(removed), UpdateTime: dt, Metric: metric, Comparison: cmp,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FootprintBytes reports provenance-cache memory per method for Table 3.
+// BaseL's figure is the training data plus the batch schedule (what plain
+// retraining keeps resident).
+func (p *Prepared) FootprintBytes(m Method) int64 {
+	var dataBytes int64
+	if p.Dense != nil {
+		dataBytes = int64(p.Dense.N())*int64(p.Dense.M())*8 + int64(p.Dense.N())*8
+	} else {
+		dataBytes = p.Sp.X.FootprintBytes() + int64(p.Sp.N())*8
+	}
+	base := dataBytes + p.Sched.FootprintBytes()
+	switch m {
+	case MethodBaseL:
+		return base
+	case MethodPrIU:
+		switch p.W.Kind {
+		case KindLinear:
+			return base + p.LinProv.FootprintBytes()
+		case KindBinary:
+			return base + p.LogProv.FootprintBytes()
+		case KindMulti:
+			return base + p.MultProv.FootprintBytes()
+		case KindSparse:
+			return base + p.SpProv.FootprintBytes()
+		}
+	case MethodPrIUOpt:
+		switch p.W.Kind {
+		case KindLinear:
+			return base + p.LinOpt.FootprintBytes()
+		case KindBinary:
+			return base + p.LogOpt.FootprintBytes()
+		case KindMulti:
+			return base + p.MultOpt.FootprintBytes()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's Sec 6 on the synthetic dataset substitutes. Each
+// experiment id (fig1a, fig2b, table3, ...) maps to a runner that prepares
+// the workload, times the update phase of each method (BaseL retraining,
+// PrIU, PrIU-opt, INFL, Closed-form) across the paper's deletion-rate sweep,
+// and prints rows in the same shape the paper reports.
+//
+// Sizes are scaled down from the paper's server-scale runs so the whole
+// suite executes offline on a laptop; the per-experiment scale factors are
+// recorded in EXPERIMENTS.md. Only relative behaviour (who wins, by what
+// factor, where crossovers fall) is expected to transfer.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+)
+
+// Kind classifies a workload by the model family it trains.
+type Kind int
+
+const (
+	// KindLinear is ridge linear regression (SGEMM-style).
+	KindLinear Kind = iota
+	// KindBinary is binary logistic regression (HIGGS/RCV1-style).
+	KindBinary
+	// KindMulti is multinomial logistic regression (Cov/Heartbeat/cifar10).
+	KindMulti
+	// KindSparse is binary logistic regression over CSR data (RCV1).
+	KindSparse
+)
+
+// Workload is one experiment configuration — the analogue of a row in the
+// paper's Table 2, with the synthetic sample count and schema it runs on.
+type Workload struct {
+	ID     string
+	Schema string // dataset.PaperSchemas name
+	Kind   Kind
+	// N is the synthetic training-set size (paper sizes are in the schema).
+	N int
+	// ExtraFeatures appends random features (the SGEMM (extended) device).
+	ExtraFeatures int
+	// NNZPerRow is the per-row density for sparse workloads.
+	NNZPerRow int
+	Cfg       gbm.Config
+	Mode      core.CacheMode
+	// Epsilon overrides the SVD coverage threshold (0 = package default).
+	Epsilon float64
+	Seed    int64
+}
+
+// Workloads lists every configuration used by the experiments, mirroring
+// Table 2's rows (hyperparameters kept; n and τ scaled as documented in
+// EXPERIMENTS.md). Learning rates are adapted to the synthetic generators'
+// scale where the paper's values (tuned to raw UCI feature ranges) would not
+// converge.
+var Workloads = map[string]Workload{
+	"sgemm-original": {
+		ID: "sgemm-original", Schema: "SGEMM", Kind: KindLinear, N: 12000,
+		Cfg:  gbm.Config{Eta: 5e-3, Lambda: 0.1, BatchSize: 200, Iterations: 600, Seed: 101},
+		Seed: 1,
+	},
+	"sgemm-extended": {
+		ID: "sgemm-extended", Schema: "SGEMM", Kind: KindLinear, N: 6000, ExtraFeatures: 282,
+		Cfg:  gbm.Config{Eta: 2e-3, Lambda: 0.1, BatchSize: 100, Iterations: 250, Seed: 102},
+		Mode: core.ModeSVD,
+		Seed: 2,
+	},
+	"cov-small": {
+		ID: "cov-small", Schema: "Cov", Kind: KindMulti, N: 12000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.001, BatchSize: 200, Iterations: 400, Seed: 103},
+		Seed: 3,
+	},
+	"cov-large1": {
+		ID: "cov-large1", Schema: "Cov", Kind: KindMulti, N: 12000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.001, BatchSize: 2000, Iterations: 60, Seed: 104},
+		Seed: 3,
+	},
+	"cov-large2": {
+		ID: "cov-large2", Schema: "Cov", Kind: KindMulti, N: 12000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.001, BatchSize: 2000, Iterations: 180, Seed: 105},
+		Seed: 3,
+	},
+	"higgs": {
+		ID: "higgs", Schema: "HIGGS", Kind: KindBinary, N: 20000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.01, BatchSize: 1000, Iterations: 250, Seed: 106},
+		Seed: 4,
+	},
+	// Heartbeat uses the paper's large-batch regime (their B=500 > m=188),
+	// where the full m×m caches beat per-sample recomputation.
+	"heartbeat": {
+		ID: "heartbeat", Schema: "Heartbeat", Kind: KindMulti, N: 6000,
+		Cfg:  gbm.Config{Eta: 5e-3, Lambda: 0.1, BatchSize: 600, Iterations: 80, Seed: 107},
+		Seed: 5,
+	},
+	"rcv1": {
+		ID: "rcv1", Schema: "RCV1", Kind: KindSparse, N: 2500, NNZPerRow: 60,
+		Cfg:  gbm.Config{Eta: 0.05, Lambda: 0.5, BatchSize: 250, Iterations: 300, Seed: 108},
+		Seed: 6,
+	},
+	"cifar10": {
+		ID: "cifar10", Schema: "cifar10", Kind: KindMulti, N: 3000,
+		Cfg:     gbm.Config{Eta: 1e-3, Lambda: 0.1, BatchSize: 128, Iterations: 50, Seed: 109},
+		Mode:    core.ModeSVD,
+		Epsilon: 0.05,
+		Seed:    7,
+	},
+	// Extended variants for the repetitive-deletion experiment (Fig 4); the
+	// paper concatenates copies to tens of millions of rows — we use the
+	// same construction at laptop scale.
+	"cov-extended": {
+		ID: "cov-extended", Schema: "Cov", Kind: KindMulti, N: 8000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.001, BatchSize: 400, Iterations: 250, Seed: 110},
+		Seed: 3,
+	},
+	"higgs-extended": {
+		ID: "higgs-extended", Schema: "HIGGS", Kind: KindBinary, N: 30000,
+		Cfg:  gbm.Config{Eta: 1e-2, Lambda: 0.01, BatchSize: 2000, Iterations: 300, Seed: 111},
+		Seed: 4,
+	},
+	"heartbeat-extended": {
+		ID: "heartbeat-extended", Schema: "Heartbeat", Kind: KindMulti, N: 8000,
+		Cfg:  gbm.Config{Eta: 5e-3, Lambda: 0.1, BatchSize: 600, Iterations: 100, Seed: 112},
+		Seed: 5,
+	},
+}
+
+// WorkloadByID returns a registered workload.
+func WorkloadByID(id string) (Workload, error) {
+	w, ok := Workloads[id]
+	if !ok {
+		return Workload{}, fmt.Errorf("bench: unknown workload %q", id)
+	}
+	return w, nil
+}
+
+// Scale returns a copy of the workload with n and τ multiplied by s (0 < s ≤ 1),
+// used by tests and quick runs.
+func (w Workload) Scale(s float64) Workload {
+	if s <= 0 || s > 1 {
+		return w
+	}
+	out := w
+	out.N = max(int(float64(w.N)*s), 4*w.Cfg.BatchSize/3+1)
+	out.Cfg.Iterations = max(int(float64(w.Cfg.Iterations)*s), 10)
+	if out.Cfg.BatchSize > out.N {
+		out.Cfg.BatchSize = out.N
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate materializes the workload's training data.
+func (w Workload) Generate() (*dataset.Dataset, *dataset.SparseDataset, error) {
+	schema, err := dataset.SchemaByName(w.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w.Kind == KindSparse {
+		sp, err := dataset.GenerateSparseFromSchema(schema, w.N, w.NNZPerRow, w.Seed)
+		return nil, sp, err
+	}
+	// cifar10 is simulated at reduced feature dimension so that provenance
+	// caches fit in laptop memory; the scale factor is documented in
+	// EXPERIMENTS.md (shape: it stays the largest dense feature space).
+	if w.Schema == "cifar10" {
+		d, err := dataset.GenerateMulticlass(schema.Name, w.N, 256, schema.Classes, 2.0, w.Seed)
+		return d, nil, err
+	}
+	d, err := dataset.GenerateFromSchema(schema, w.N, w.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if w.ExtraFeatures > 0 {
+		d, err = d.ExtendFeatures(w.ExtraFeatures, w.Seed+1000)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, nil, nil
+}
+
+// DeletionRates is the sweep used by the update-time figures (the paper's
+// 0.01%–20%).
+var DeletionRates = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.2}

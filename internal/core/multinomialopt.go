@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/mat"
+)
+
+// MultinomialOpt is PrIU-opt for multinomial logistic regression: the
+// early-termination strategy of Sec 5.4 applied per class. PrIU capture runs
+// for the first ts iterations; the per-class linearization coefficients are
+// then frozen at their iteration-ts values, the stabilized full-data matrices
+// C*ₖ = Σᵢ aₖᵢ,*·xᵢxᵢᵀ and D*ₖ = Σᵢ cₖᵢ,*·xᵢ are eigendecomposed offline,
+// and the online update finishes the remaining τ−ts iterations as scalar
+// recurrences in each class's eigenbasis.
+type MultinomialOpt struct {
+	prov           *MultinomialProvenance
+	ts             int
+	fullIterations int
+
+	// Stabilized per-class coefficients for every sample: index [k*n+i].
+	aStar, cStar []float64
+	// Per-class eigendecompositions of C*ₖ and the vectors D*ₖ.
+	eigs  []*mat.Eigen
+	dStar [][]float64
+}
+
+// CaptureMultinomialOpt performs the PrIU-opt offline phase for multinomial
+// logistic regression.
+func CaptureMultinomialOpt(d *dataset.Dataset, cfg gbm.Config, sched *gbm.Schedule, opts Options) (*MultinomialOpt, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	ts := int(float64(cfg.Iterations) * opts.earlyTermFrac())
+	if ts < 1 {
+		ts = 1
+	}
+	if ts > cfg.Iterations {
+		ts = cfg.Iterations
+	}
+	capCfg := cfg
+	capCfg.Iterations = ts
+	prov, err := CaptureMultinomial(d, capCfg, sched, opts)
+	if err != nil {
+		return nil, err
+	}
+	mo := &MultinomialOpt{prov: prov, ts: ts, fullIterations: cfg.Iterations}
+
+	m, q, n := d.M(), d.Classes, d.N()
+	w := prov.modelL.W
+	mo.aStar = make([]float64, q*n)
+	mo.cStar = make([]float64, q*n)
+	mo.eigs = make([]*mat.Eigen, q)
+	mo.dStar = make([][]float64, q)
+	cMats := make([]*mat.Dense, q)
+	for k := 0; k < q; k++ {
+		cMats[k] = mat.NewDense(m, m)
+		mo.dStar[k] = make([]float64, m)
+	}
+	logits := make([]float64, q)
+	probs := make([]float64, q)
+	for i := 0; i < n; i++ {
+		xi := d.X.Row(i)
+		for k := 0; k < q; k++ {
+			logits[k] = mat.Dot(w.Row(k), xi)
+		}
+		gbm.Softmax(probs, logits)
+		yi := int(d.Y[i])
+		for k := 0; k < q; k++ {
+			a := probs[k] * (1 - probs[k])
+			c := probs[k] - a*logits[k]
+			if k == yi {
+				c -= 1
+			}
+			mo.aStar[k*n+i] = a
+			mo.cStar[k*n+i] = c
+			if a != 0 {
+				mat.AddOuter(cMats[k], xi, xi, a)
+			}
+			mat.Axpy(mo.dStar[k], c, xi)
+		}
+	}
+	for k := 0; k < q; k++ {
+		eig, err := mat.NewEigenSym(cMats[k])
+		if err != nil {
+			return nil, err
+		}
+		mo.eigs[k] = eig
+	}
+	return mo, nil
+}
+
+// Model returns the standard-rule initial model.
+func (mo *MultinomialOpt) Model() *gbm.Model { return mo.prov.Model() }
+
+// Ts returns the early-termination iteration.
+func (mo *MultinomialOpt) Ts() int { return mo.ts }
+
+// Update computes the updated parameters: PrIU iterations to ts, then the
+// per-class eigen recurrences with incrementally updated eigenvalues.
+func (mo *MultinomialOpt) Update(removed []int) (*gbm.Model, error) {
+	if mo.eigs == nil {
+		return nil, ErrNoCapture
+	}
+	d := mo.prov.data
+	rm, err := gbm.RemovalSet(d.N(), removed)
+	if err != nil {
+		return nil, err
+	}
+	m, q, n := d.M(), mo.prov.q, d.N()
+	dn := len(rm)
+	nEff := n - dn
+	if nEff <= 0 {
+		return nil, fmt.Errorf("core: removal leaves no samples")
+	}
+
+	// Phase 1: PrIU to ts.
+	w := mat.NewDense(q, m)
+	mo.prov.updateInto(w, rm, 0, mo.ts)
+
+	// Phase 2: per-class eigen recurrences.
+	eta, lambda := mo.prov.cfg.Eta, mo.prov.cfg.Lambda
+	rem := mo.fullIterations - mo.ts
+	removedIdx := make([]int, 0, dn)
+	for i := 0; i < n; i++ {
+		if rm[i] {
+			removedIdx = append(removedIdx, i)
+		}
+	}
+	for k := 0; k < q; k++ {
+		dStar := mat.CloneVec(mo.dStar[k])
+		var cPrime []float64
+		if dn == 0 {
+			cPrime = mat.CloneVec(mo.eigs[k].Values)
+		} else {
+			// ΔC*ₖ = Σ_{i∈R} aₖᵢ,*·xᵢxᵢᵀ = ZᵀZ with rows √aₖᵢ,*·xᵢ (a ≥ 0);
+			// removal subtracts it, so the eigenvalue update uses sign −1.
+			z := mat.NewDense(dn, m)
+			for r, i := range removedIdx {
+				xi := d.X.Row(i)
+				s := sqrtAbs(mo.aStar[k*n+i])
+				dst := z.Row(r)
+				for j, v := range xi {
+					dst[j] = s * v
+				}
+				mat.Axpy(dStar, -mo.cStar[k*n+i], xi)
+			}
+			cPrime = mo.eigs[k].UpdateValuesGram(z, -1)
+		}
+		zc := mo.eigs[k].Q.MulVecT(w.Row(k))
+		dt := mo.eigs[k].Q.MulVecT(dStar)
+		for i := 0; i < m; i++ {
+			gamma := 1 - eta*lambda - eta*cPrime[i]/float64(nEff)
+			beta := -eta * dt[i] / float64(nEff)
+			zi := zc[i]
+			for t := 0; t < rem; t++ {
+				zi = gamma*zi + beta
+			}
+			zc[i] = zi
+		}
+		copy(w.Row(k), mo.eigs[k].Q.MulVec(zc))
+	}
+	return &gbm.Model{Task: dataset.MultiClassification, W: w}, nil
+}
+
+// FootprintBytes returns the provenance memory: the ts-truncated PrIU caches
+// plus the per-class O(m²) eigen state and stabilized coefficients.
+func (mo *MultinomialOpt) FootprintBytes() int64 {
+	total := mo.prov.FootprintBytes()
+	for k := range mo.eigs {
+		r, c := mo.eigs[k].Q.Dims()
+		total += int64(r)*int64(c)*8 + int64(len(mo.eigs[k].Values))*8
+		total += int64(len(mo.dStar[k])) * 8
+	}
+	total += int64(len(mo.aStar))*8 + int64(len(mo.cStar))*8
+	return total
+}

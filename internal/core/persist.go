@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/mat"
+)
+
+// Provenance-cache persistence. Capture is the expensive offline phase; in a
+// production deployment it runs once per training job and the caches are
+// persisted so later deletion requests (possibly in different processes)
+// reuse them. The format is a simple versioned little-endian binary layout.
+//
+// The training dataset itself and the batch schedule seed are NOT stored —
+// the loader receives the dataset and rebuilds the schedule from the saved
+// config, then verifies a dataset fingerprint so a cache can't silently be
+// applied to different data.
+
+const (
+	persistMagic   = "PRIU"
+	persistVersion = 1
+)
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, b.err = b.w.Write(buf[:])
+}
+
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+func (b *binWriter) bool(v bool)   { b.u64(map[bool]uint64{false: 0, true: 1}[v]) }
+func (b *binWriter) floats(v []float64) {
+	b.i64(int64(len(v)))
+	for _, x := range v {
+		b.f64(x)
+	}
+}
+
+func (b *binWriter) dense(m *mat.Dense) {
+	if m == nil {
+		b.i64(-1)
+		return
+	}
+	r, c := m.Dims()
+	b.i64(int64(r))
+	b.i64(int64(c))
+	for _, x := range m.Data() {
+		b.f64(x)
+	}
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(b.r, buf[:]); err != nil {
+		b.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (b *binReader) i64() int64   { return int64(b.u64()) }
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+func (b *binReader) bool() bool   { return b.u64() != 0 }
+
+func (b *binReader) floats() []float64 {
+	n := b.i64()
+	if b.err != nil || n < 0 || n > 1<<32 {
+		if b.err == nil {
+			b.err = fmt.Errorf("core: corrupt float slice length %d", n)
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b.f64()
+	}
+	return out
+}
+
+func (b *binReader) dense() *mat.Dense {
+	r := b.i64()
+	if r == -1 {
+		return nil
+	}
+	c := b.i64()
+	if b.err != nil || r <= 0 || c <= 0 || r*c > 1<<32 {
+		if b.err == nil {
+			b.err = fmt.Errorf("core: corrupt matrix dims %dx%d", r, c)
+		}
+		return nil
+	}
+	data := make([]float64, r*c)
+	for i := range data {
+		data[i] = b.f64()
+	}
+	if b.err != nil {
+		return nil
+	}
+	return mat.NewDenseData(int(r), int(c), data)
+}
+
+// fingerprint hashes dataset shape and a sample of entries (FNV-1a) so a
+// persisted cache is rejected when loaded against different data.
+func fingerprint(d *dataset.Dataset) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(d.N()))
+	mix(uint64(d.M()))
+	mix(uint64(d.Task))
+	stride := d.N()*d.M()/1024 + 1
+	data := d.X.Data()
+	for i := 0; i < len(data); i += stride {
+		mix(math.Float64bits(data[i]))
+	}
+	for i := 0; i < len(d.Y); i += d.N()/256 + 1 {
+		mix(math.Float64bits(d.Y[i]))
+	}
+	return h
+}
+
+func writeConfig(bw *binWriter, cfg gbm.Config) {
+	bw.f64(cfg.Eta)
+	bw.f64(cfg.Lambda)
+	bw.i64(int64(cfg.BatchSize))
+	bw.i64(int64(cfg.Iterations))
+	bw.i64(cfg.Seed)
+}
+
+func readConfig(br *binReader) gbm.Config {
+	return gbm.Config{
+		Eta:        br.f64(),
+		Lambda:     br.f64(),
+		BatchSize:  int(br.i64()),
+		Iterations: int(br.i64()),
+		Seed:       br.i64(),
+	}
+}
+
+func writeCache(bw *binWriter, c *iterCache) {
+	bw.dense(c.full)
+	bw.dense(c.p)
+	bw.dense(c.v)
+}
+
+func readCache(br *binReader) *iterCache {
+	return &iterCache{full: br.dense(), p: br.dense(), v: br.dense()}
+}
+
+// WriteTo serializes the linear-regression provenance cache.
+func (lp *LinearProvenance) WriteTo(w io.Writer) (int64, error) {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.w.WriteString(persistMagic)
+	bw.u64(persistVersion)
+	bw.u64(fingerprint(lp.data))
+	writeConfig(bw, lp.cfg)
+	bw.bool(lp.useSVD)
+	bw.i64(int64(lp.maxRank))
+	bw.dense(lp.model.W)
+	bw.i64(int64(len(lp.caches)))
+	for t := range lp.caches {
+		writeCache(bw, lp.caches[t])
+		bw.floats(lp.dvecs[t])
+	}
+	if bw.err != nil {
+		return 0, bw.err
+	}
+	return 0, bw.w.Flush()
+}
+
+// LoadLinearProvenance reads a cache written by WriteTo and re-binds it to
+// the dataset it was captured from (verified by fingerprint).
+func LoadLinearProvenance(r io.Reader, d *dataset.Dataset) (*LinearProvenance, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br.r, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	if v := br.u64(); v != persistVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", v)
+	}
+	if fp := br.u64(); fp != fingerprint(d) {
+		return nil, fmt.Errorf("core: cache fingerprint does not match dataset")
+	}
+	cfg := readConfig(br)
+	useSVD := br.bool()
+	maxRank := int(br.i64())
+	wMat := br.dense()
+	nCaches := br.i64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	if nCaches < 0 || int(nCaches) != cfg.Iterations {
+		return nil, fmt.Errorf("core: cache count %d does not match iterations %d", nCaches, cfg.Iterations)
+	}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	lp := &LinearProvenance{
+		cfg:     cfg,
+		sched:   sched,
+		data:    d,
+		model:   &gbm.Model{Task: dataset.Regression, W: wMat},
+		useSVD:  useSVD,
+		maxRank: maxRank,
+		caches:  make([]*iterCache, nCaches),
+		dvecs:   make([][]float64, nCaches),
+	}
+	for t := int64(0); t < nCaches; t++ {
+		lp.caches[t] = readCache(br)
+		lp.dvecs[t] = br.floats()
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	return lp, nil
+}
+
+// WriteTo serializes the binary-logistic provenance cache.
+func (lp *LogisticProvenance) WriteTo(w io.Writer) (int64, error) {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.w.WriteString(persistMagic)
+	bw.u64(persistVersion)
+	bw.u64(fingerprint(lp.data))
+	writeConfig(bw, lp.cfg)
+	bw.bool(lp.useSVD)
+	bw.i64(int64(lp.maxRank))
+	bw.dense(lp.modelL.W)
+	bw.dense(lp.modelExact.W)
+	bw.i64(int64(len(lp.caches)))
+	for t := range lp.caches {
+		writeCache(bw, lp.caches[t])
+		bw.floats(lp.dvecs[t])
+		bw.floats(lp.aCoef[t])
+		bw.floats(lp.bCoef[t])
+	}
+	if bw.err != nil {
+		return 0, bw.err
+	}
+	return 0, bw.w.Flush()
+}
+
+// LoadLogisticProvenance reads a cache written by WriteTo. The linearizer is
+// only needed for future captures, not updates, so it is not persisted.
+func LoadLogisticProvenance(r io.Reader, d *dataset.Dataset) (*LogisticProvenance, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br.r, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	if v := br.u64(); v != persistVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", v)
+	}
+	if fp := br.u64(); fp != fingerprint(d) {
+		return nil, fmt.Errorf("core: cache fingerprint does not match dataset")
+	}
+	cfg := readConfig(br)
+	useSVD := br.bool()
+	maxRank := int(br.i64())
+	wL := br.dense()
+	wExact := br.dense()
+	nCaches := br.i64()
+	if br.err != nil {
+		return nil, br.err
+	}
+	if nCaches < 0 || int(nCaches) != cfg.Iterations {
+		return nil, fmt.Errorf("core: cache count %d does not match iterations %d", nCaches, cfg.Iterations)
+	}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	lp := &LogisticProvenance{
+		cfg:        cfg,
+		sched:      sched,
+		data:       d,
+		modelL:     &gbm.Model{Task: dataset.BinaryClassification, W: wL},
+		modelExact: &gbm.Model{Task: dataset.BinaryClassification, W: wExact},
+		useSVD:     useSVD,
+		maxRank:    maxRank,
+		caches:     make([]*iterCache, nCaches),
+		dvecs:      make([][]float64, nCaches),
+		aCoef:      make([][]float64, nCaches),
+		bCoef:      make([][]float64, nCaches),
+	}
+	for t := int64(0); t < nCaches; t++ {
+		lp.caches[t] = readCache(br)
+		lp.dvecs[t] = br.floats()
+		lp.aCoef[t] = br.floats()
+		lp.bCoef[t] = br.floats()
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	return lp, nil
+}

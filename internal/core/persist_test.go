@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+)
+
+func TestLinearProvenanceRoundTrip(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.01, Lambda: 0.02, BatchSize: 20, Iterations: 60, Seed: 201}
+	d, sched := linearSetup(t, 100, 6, cfg)
+	lp, err := CaptureLinear(d, cfg, sched, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLinearProvenance(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := pickRemoved(100, 9, 202)
+	want, err := lp.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := l2dist(got, want); dist != 0 {
+		t.Fatalf("loaded cache update differs by %v", dist)
+	}
+	if dist := l2dist(loaded.Model(), lp.Model()); dist != 0 {
+		t.Fatalf("loaded Minit differs by %v", dist)
+	}
+}
+
+func TestLinearProvenanceRoundTripSVD(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.005, Lambda: 0.02, BatchSize: 10, Iterations: 40, Seed: 203}
+	d, sched := linearSetup(t, 60, 20, cfg)
+	lp, err := CaptureLinear(d, cfg, sched, Options{Mode: ModeSVD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLinearProvenance(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.UsesSVD() || loaded.MaxRank() != lp.MaxRank() {
+		t.Fatal("SVD metadata not preserved")
+	}
+	removed := pickRemoved(60, 4, 204)
+	want, _ := lp.Update(removed)
+	got, _ := loaded.Update(removed)
+	if dist := l2dist(got, want); dist != 0 {
+		t.Fatalf("loaded SVD cache update differs by %v", dist)
+	}
+}
+
+func TestLogisticProvenanceRoundTrip(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.05, Lambda: 0.02, BatchSize: 25, Iterations: 80, Seed: 205}
+	d, sched := logisticSetup(t, 120, 5, cfg)
+	lp, err := CaptureLogistic(d, cfg, sched, testLin, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLogisticProvenance(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := pickRemoved(120, 7, 206)
+	want, _ := lp.Update(removed)
+	got, _ := loaded.Update(removed)
+	if dist := l2dist(got, want); dist != 0 {
+		t.Fatalf("loaded logistic cache update differs by %v", dist)
+	}
+	if dist := l2dist(loaded.LinearizedModel(), lp.LinearizedModel()); dist != 0 {
+		t.Fatal("linearized model not preserved")
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.01, Lambda: 0.02, BatchSize: 10, Iterations: 20, Seed: 207}
+	d, sched := linearSetup(t, 50, 4, cfg)
+	lp, err := CaptureLinear(d, cfg, sched, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.GenerateRegression("other", 50, 4, 0.05, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLinearProvenance(&buf, other); err == nil {
+		t.Fatal("expected fingerprint mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	d, err := dataset.GenerateRegression("g", 20, 3, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLinearProvenance(bytes.NewReader([]byte("not a cache")), d); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := LoadLinearProvenance(bytes.NewReader(nil), d); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	if _, err := LoadLogisticProvenance(bytes.NewReader([]byte("XXXXjunkjunk")), d); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.01, Lambda: 0.02, BatchSize: 10, Iterations: 20, Seed: 208}
+	d, sched := linearSetup(t, 40, 4, cfg)
+	lp, err := CaptureLinear(d, cfg, sched, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := lp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadLinearProvenance(bytes.NewReader(half), d); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,172 @@
+package diagnostics
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+)
+
+func trainedLinear(t *testing.T, d *dataset.Dataset, lambda float64) *gbm.Model {
+	t.Helper()
+	// η kept small: dirty rows rescaled by s inflate the Hessian's largest
+	// eigenvalue by ~s², and GD requires η < 1/L.
+	cfg := gbm.Config{Eta: 0.003, Lambda: lambda, BatchSize: d.N(), Iterations: 3000, Seed: 1}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gbm.TrainLinear(d, cfg, sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRankFindsInjectedOutlier(t *testing.T) {
+	// A label outlier (a mislabeled sample, the kind of dirty data the
+	// paper's cleaning scenario targets) must dominate the influence ranking.
+	// Note that rescaling features AND label together (InjectDirty on
+	// regression data) keeps the sample consistent with the ground-truth
+	// model and is deliberately NOT a strong outlier.
+	dirty, err := dataset.GenerateRegression("diag", 120, 4, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlier := 43
+	dirty.Y[outlier] += 25 // mislabel
+	model := trainedLinear(t, dirty, 0.05)
+	r, err := NewRanker(dirty, model, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := r.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 120 {
+		t.Fatalf("ranked %d samples", len(ranked))
+	}
+	if ranked[0].Index != outlier {
+		t.Fatalf("label outlier %d not top-ranked (top: %+v)", outlier, ranked[:3])
+	}
+	// Sorted descending.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].ParamShift > ranked[i-1].ParamShift+1e-12 {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestTopKAndGroupShift(t *testing.T) {
+	d, err := dataset.GenerateRegression("diag2", 80, 3, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := trainedLinear(t, d, 0.1)
+	r, err := NewRanker(d, model, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := r.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	shift, err := r.GroupShift(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift <= 0 {
+		t.Fatalf("GroupShift = %v", shift)
+	}
+	// Removing the 5 most influential should shift the parameters at least
+	// as much as removing the 5 least influential.
+	ranked, err := r.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		bottom[i] = ranked[len(ranked)-1-i].Index
+	}
+	low, err := r.GroupShift(bottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > shift {
+		t.Fatalf("bottom-5 shift %v exceeds top-5 shift %v", low, shift)
+	}
+	if _, err := r.TopK(0); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := r.TopK(1000); err == nil {
+		t.Fatal("expected k error")
+	}
+}
+
+func TestResidualOutliers(t *testing.T) {
+	clean, err := dataset.GenerateRegression("diag3", 100, 4, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, ids, err := clean.InjectDirty(2, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := trainedLinear(t, dirty, 0.05)
+	out, err := ResidualOutliers(dirty, model, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for _, o := range out {
+		for _, id := range ids {
+			if o == id {
+				hit++
+			}
+		}
+	}
+	if hit < 1 {
+		t.Fatalf("residual outliers %v missed all dirty ids %v", out, ids)
+	}
+	bin, err := dataset.GenerateBinary("b", 20, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResidualOutliers(bin, model, 2); err == nil {
+		t.Fatal("expected task error")
+	}
+	if _, err := ResidualOutliers(dirty, model, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+}
+
+func TestRankerClassification(t *testing.T) {
+	d, err := dataset.GenerateBinary("diag4", 100, 4, 1.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gbm.Config{Eta: 0.05, Lambda: 0.05, BatchSize: 25, Iterations: 400, Seed: 2}
+	sched, err := gbm.NewSchedule(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := gbm.TrainLogistic(d, cfg, sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRanker(d, model, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := r.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 100 || ranked[0].ParamShift < ranked[99].ParamShift {
+		t.Fatal("classification ranking broken")
+	}
+}

@@ -1,0 +1,50 @@
+// Package gbm implements the gradient-based methods of the paper's Sec 3:
+// mini-batch SGD (with GD and SGD as the B=n and B=1 special cases) for
+// linear regression, binary logistic regression and multinomial logistic
+// regression, all with L2 regularization.
+//
+// Training is driven by a deterministic batch Schedule so that the retraining
+// baseline (BaseL, Sec 6.2) and the incremental PrIU update replay exactly
+// the same mini-batches: BaseL "excludes the removed samples from each
+// mini-batch", which requires batches to reference original sample indices.
+package gbm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config holds the hyperparameters of a GBM run (the paper's Table 2 rows).
+type Config struct {
+	// Eta is the learning rate η (constant across iterations, per Lemma 1's
+	// convergence conditions).
+	Eta float64
+	// Lambda is the L2 regularization rate λ.
+	Lambda float64
+	// BatchSize is the mini-batch size B.
+	BatchSize int
+	// Iterations is the total iteration count τ.
+	Iterations int
+	// Seed drives the batch schedule and any initialization randomness.
+	Seed int64
+}
+
+// ErrBadConfig reports an invalid hyperparameter combination.
+var ErrBadConfig = errors.New("gbm: invalid configuration")
+
+// Validate checks the configuration against a training-set size.
+func (c Config) Validate(n int) error {
+	if c.Eta <= 0 {
+		return fmt.Errorf("%w: eta %v", ErrBadConfig, c.Eta)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("%w: lambda %v", ErrBadConfig, c.Lambda)
+	}
+	if c.BatchSize < 1 || c.BatchSize > n {
+		return fmt.Errorf("%w: batch size %d for n=%d", ErrBadConfig, c.BatchSize, n)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("%w: iterations %d", ErrBadConfig, c.Iterations)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package gbm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schedule is a precomputed sequence of mini-batches: Batches[t] holds the
+// original-dataset indices of batch B(t). Sharing the schedule between the
+// initial training run, the BaseL retraining run and the PrIU update is what
+// makes the three directly comparable (the paper's experimental protocol).
+type Schedule struct {
+	n       int
+	batches [][]int
+}
+
+// NewSchedule samples Iterations mini-batches of size BatchSize uniformly
+// without replacement within each batch, deterministically from cfg.Seed.
+func NewSchedule(n int, cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(n); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{n: n, batches: make([][]int, cfg.Iterations)}
+	for t := range s.batches {
+		b := make([]int, cfg.BatchSize)
+		if cfg.BatchSize == n {
+			// Full-batch GD: the batch is the whole dataset, in order.
+			for i := range b {
+				b[i] = i
+			}
+		} else {
+			perm := rng.Perm(n)
+			copy(b, perm[:cfg.BatchSize])
+		}
+		s.batches[t] = b
+	}
+	return s, nil
+}
+
+// Iterations returns the number of scheduled batches.
+func (s *Schedule) Iterations() int { return len(s.batches) }
+
+// N returns the dataset size the schedule was built for.
+func (s *Schedule) N() int { return s.n }
+
+// Batch returns the index slice of batch t (aliased, do not modify).
+func (s *Schedule) Batch(t int) []int { return s.batches[t] }
+
+// SurvivorCount returns how many members of batch t survive the removal set.
+func (s *Schedule) SurvivorCount(t int, removed map[int]bool) int {
+	c := 0
+	for _, i := range s.batches[t] {
+		if !removed[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// FootprintBytes estimates the schedule's memory use (part of the BaseL
+// accounting in the Table 3 experiment).
+func (s *Schedule) FootprintBytes() int64 {
+	var total int64
+	for _, b := range s.batches {
+		total += int64(len(b)) * 8
+	}
+	return total
+}
+
+// RemovalSet converts a list of removed sample indices into the set form the
+// trainers accept, validating ranges.
+func RemovalSet(n int, removed []int) (map[int]bool, error) {
+	set := make(map[int]bool, len(removed))
+	for _, r := range removed {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("gbm: removed index %d out of range [0,%d)", r, n)
+		}
+		set[r] = true
+	}
+	return set, nil
+}
+
+// removalMask converts a removal set into a dense boolean mask for O(1)
+// membership checks in the per-batch-member hot loops. A nil set yields a
+// nil mask (indexing a nil mask is avoided by the callers' length check).
+func removalMask(n int, removed map[int]bool) []bool {
+	if len(removed) == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	for i, v := range removed {
+		if v && i >= 0 && i < n {
+			mask[i] = true
+		}
+	}
+	return mask
+}

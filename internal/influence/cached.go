@@ -1,0 +1,150 @@
+package influence
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/interp"
+	"repro/internal/mat"
+)
+
+// Cached is the paper-faithful INFL method: the influence-function
+// approximation of Koh & Liang extended to multi-sample deletion. The
+// full-data Hessian H at w* is computed and factorized once, offline; every
+// deletion then costs only O(Δn·m + m²) — a gradient subtraction and a
+// triangular solve:
+//
+//	w_new ≈ w* − H⁻¹·∇g(w*),   ∇g(w*) = (1/(n−Δn))·Σ_{i∉R} ∇hᵢ(w*) + λw*
+//
+// Crucially H is NOT recomputed for the surviving samples (that is the
+// "lower-order Taylor terms only" approximation the paper attributes to
+// INFL): the update is very fast — up to an order of magnitude below
+// PrIU-opt (Q5) — but its accuracy degrades as the removal grows, because
+// the curvature of the leave-R-out objective drifts away from H. The direct
+// Update* functions in this package implement the exact-Hessian Newton step
+// for comparison.
+type Cached struct {
+	data   *dataset.Dataset
+	model  *gbm.Model
+	lambda float64
+	q      int // 1 for linear/binary, #classes for multinomial
+
+	// hess[k] is the Cholesky factorization of the per-class full-data
+	// Hessian (1/n)·Σᵢ ∇²hᵢ + λI at w*.
+	hess []*mat.Cholesky
+	// grad[k] = Σᵢ ∇hᵢ (unnormalized data term).
+	grad [][]float64
+	// gscale[k][i]: ∇hᵢ = gscale·xᵢ, per class.
+	gscale [][]float64
+}
+
+// NewCached builds the cached INFL state for a trained model (any of the
+// three regression families). The Hessian factorization happens here, in the
+// offline phase.
+func NewCached(d *dataset.Dataset, model *gbm.Model, lambda float64) (*Cached, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("influence: negative lambda %v", lambda)
+	}
+	n, m := d.N(), d.M()
+	c := &Cached{data: d, model: model, lambda: lambda}
+	switch d.Task {
+	case dataset.Regression, dataset.BinaryClassification:
+		c.q = 1
+	case dataset.MultiClassification:
+		c.q = model.W.Rows()
+	default:
+		return nil, fmt.Errorf("influence: unsupported task %v", d.Task)
+	}
+	c.hess = make([]*mat.Cholesky, c.q)
+	c.grad = make([][]float64, c.q)
+	c.gscale = make([][]float64, c.q)
+	hmats := make([]*mat.Dense, c.q)
+	for k := 0; k < c.q; k++ {
+		hmats[k] = mat.NewDense(m, m)
+		c.grad[k] = make([]float64, m)
+		c.gscale[k] = make([]float64, n)
+	}
+	logits := make([]float64, c.q)
+	probs := make([]float64, c.q)
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		xi := d.X.Row(i)
+		switch d.Task {
+		case dataset.Regression:
+			w := model.W.Row(0)
+			mat.AddOuter(hmats[0], xi, xi, 2*inv)
+			c.gscale[0][i] = 2 * (mat.Dot(xi, w) - d.Y[i])
+		case dataset.BinaryClassification:
+			w := model.W.Row(0)
+			z := d.Y[i] * mat.Dot(xi, w)
+			mat.AddOuter(hmats[0], xi, xi, inv*interp.Sigmoid(z)*interp.Sigmoid(-z))
+			c.gscale[0][i] = -d.Y[i] * interp.F(z)
+		case dataset.MultiClassification:
+			for k := 0; k < c.q; k++ {
+				logits[k] = mat.Dot(model.W.Row(k), xi)
+			}
+			gbm.Softmax(probs, logits)
+			yi := int(d.Y[i])
+			for k := 0; k < c.q; k++ {
+				coef := probs[k]
+				if k == yi {
+					coef -= 1
+				}
+				mat.AddOuter(hmats[k], xi, xi, inv*probs[k]*(1-probs[k]))
+				c.gscale[k][i] = coef
+			}
+		}
+		for k := 0; k < c.q; k++ {
+			mat.Axpy(c.grad[k], c.gscale[k][i], xi)
+		}
+	}
+	for k := 0; k < c.q; k++ {
+		for j := 0; j < m; j++ {
+			hmats[k].Add(j, j, lambda)
+		}
+		ch, err := mat.NewCholesky(hmats[k])
+		if err != nil {
+			return nil, fmt.Errorf("influence: Hessian for class %d not SPD: %w", k, err)
+		}
+		c.hess[k] = ch
+	}
+	return c, nil
+}
+
+// Update computes the INFL-updated model for the removed set: subtract the
+// removed samples' gradients from the cached sum, renormalize, add the
+// regularizer and solve against the cached full-data Hessian factorization.
+func (c *Cached) Update(removed []int) (*gbm.Model, error) {
+	rm, err := gbm.RemovalSet(c.data.N(), removed)
+	if err != nil {
+		return nil, err
+	}
+	n, m := c.data.N(), c.data.M()
+	nEff := n - len(rm)
+	if nEff <= 0 {
+		return nil, fmt.Errorf("influence: removal leaves no samples")
+	}
+	inv := 1.0 / float64(nEff)
+	out := c.model.W.Clone()
+	for k := 0; k < c.q; k++ {
+		g := mat.CloneVec(c.grad[k])
+		for i := range rm {
+			mat.Axpy(g, -c.gscale[k][i], c.data.X.Row(i))
+		}
+		wk := c.model.W.Row(k)
+		for j := 0; j < m; j++ {
+			g[j] = inv*g[j] + c.lambda*wk[j]
+		}
+		step := c.hess[k].Solve(g)
+		mat.Axpy(out.Row(k), -1, step)
+	}
+	return &gbm.Model{Task: c.data.Task, W: out}, nil
+}
+
+// FootprintBytes returns the cached state's memory: q·(m² + m + n) floats
+// (the Cholesky factor stores m² per class).
+func (c *Cached) FootprintBytes() int64 {
+	n, m := c.data.N(), c.data.M()
+	return int64(c.q) * (int64(m)*int64(m)*8 + int64(m)*8 + int64(n)*8)
+}

@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a real symmetric matrix
+// A = Q * diag(Values) * Qᵀ with Q orthogonal and eigenvalues sorted in
+// descending order. PrIU-opt (Sec 5.2/5.4 of the paper) relies on this
+// decomposition of M = XᵀX (linear regression) and of the stabilized
+// provenance matrix C (logistic regression).
+type Eigen struct {
+	// Values are the eigenvalues in descending order.
+	Values []float64
+	// Q has the corresponding eigenvectors as columns.
+	Q *Dense
+}
+
+// jacobiMaxSweeps bounds the cyclic-Jacobi iteration; symmetric matrices of
+// the sizes used here (feature-space dimension) converge in well under this
+// many sweeps.
+const jacobiMaxSweeps = 64
+
+// NewEigenSym computes the eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. Only symmetry to within round-off is
+// assumed; the strictly upper triangle is read.
+func NewEigenSym(a *Dense) (*Eigen, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("mat: NewEigenSym requires a square matrix")
+	}
+	n := a.rows
+	w := a.Clone()
+	q := Identity(n)
+	if n == 1 {
+		return &Eigen{Values: []float64{w.At(0, 0)}, Q: q}, nil
+	}
+	// Scale-aware stopping threshold.
+	off := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := w.At(i, j)
+				s += v * v
+			}
+		}
+		return s
+	}
+	var fro float64
+	for _, v := range w.data {
+		fro += v * v
+	}
+	tol := 1e-28 * (fro + 1)
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		if off() <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for qi := p + 1; qi < n; qi++ {
+				apq := w.At(p, qi)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(qi, qi)
+				// Compute the Jacobi rotation that annihilates w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e100 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				applyJacobiRotation(w, q, p, qi, c, s)
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedQ := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedQ.Set(r, newCol, q.At(r, oldCol))
+		}
+	}
+	return &Eigen{Values: sortedVals, Q: sortedQ}, nil
+}
+
+// applyJacobiRotation applies the rotation G(p,q,θ) from both sides of w and
+// accumulates it into q: w ← GᵀwG, q ← qG.
+func applyJacobiRotation(w, q *Dense, p, r int, c, s float64) {
+	n := w.rows
+	for k := 0; k < n; k++ {
+		akp, akr := w.At(k, p), w.At(k, r)
+		w.Set(k, p, c*akp-s*akr)
+		w.Set(k, r, s*akp+c*akr)
+	}
+	for k := 0; k < n; k++ {
+		apk, ark := w.At(p, k), w.At(r, k)
+		w.Set(p, k, c*apk-s*ark)
+		w.Set(r, k, s*apk+c*ark)
+	}
+	for k := 0; k < n; k++ {
+		qkp, qkr := q.At(k, p), q.At(k, r)
+		q.Set(k, p, c*qkp-s*qkr)
+		q.Set(k, r, s*qkp+c*qkr)
+	}
+}
+
+// Reconstruct returns Q*diag(Values)*Qᵀ, primarily for testing.
+func (e *Eigen) Reconstruct() *Dense {
+	n := len(e.Values)
+	qd := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			qd.Set(i, j, e.Q.At(i, j)*e.Values[j])
+		}
+	}
+	return qd.Mul(e.Q.T())
+}
+
+// UpdateValues implements the incremental eigenvalue update of Ning et al.
+// used by PrIU-opt (Eq 18): when M' = M + delta is a small perturbation and
+// the eigenvectors of M' are approximated by those of M, the updated
+// eigenvalues are the diagonal of Qᵀ*M'*Q, i.e. Values[i] + (Qᵀ*delta*Q)[i][i].
+// delta must be n×n. The receiver is not modified; updated values are
+// returned in the eigenbasis order of e.
+func (e *Eigen) UpdateValues(delta *Dense) []float64 {
+	n := len(e.Values)
+	if delta.rows != n || delta.cols != n {
+		panic("mat: UpdateValues dimension mismatch")
+	}
+	out := make([]float64, n)
+	tmp := make([]float64, n)
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// col = i-th eigenvector.
+		for r := 0; r < n; r++ {
+			col[r] = e.Q.At(r, i)
+		}
+		delta.MulVecInto(tmp, col)
+		out[i] = e.Values[i] + Dot(col, tmp)
+	}
+	return out
+}
+
+// UpdateValuesGram returns the incremental eigenvalue update for a signed
+// Gram perturbation delta = sign·ΔZᵀΔZ: Values[i] + sign·‖ΔZ·qᵢ‖². It costs
+// O(k·n²) for a k×n ΔZ instead of forming the n×n delta.
+func (e *Eigen) UpdateValuesGram(dz *Dense, sign float64) []float64 {
+	n := len(e.Values)
+	if dz.cols != n {
+		panic("mat: UpdateValuesGram dimension mismatch")
+	}
+	out := make([]float64, n)
+	col := make([]float64, n)
+	prod := make([]float64, dz.rows)
+	for i := 0; i < n; i++ {
+		for r := 0; r < n; r++ {
+			col[r] = e.Q.At(r, i)
+		}
+		dz.MulVecInto(prod, col)
+		var s float64
+		for _, v := range prod {
+			s += v * v
+		}
+		out[i] = e.Values[i] + sign*s
+	}
+	return out
+}
+
+// UpdateValuesLowRank is UpdateValues specialized to delta = -ΔXᵀΔX given the
+// removed-row matrix ΔX (k×n). It costs O(k·n²) instead of forming the n×n
+// delta: (Qᵀ(−ΔXᵀΔX)Q)[i][i] = −‖ΔX·qᵢ‖².
+func (e *Eigen) UpdateValuesLowRank(dx *Dense) []float64 {
+	n := len(e.Values)
+	if dx.cols != n {
+		panic("mat: UpdateValuesLowRank dimension mismatch")
+	}
+	out := make([]float64, n)
+	col := make([]float64, n)
+	prod := make([]float64, dx.rows)
+	for i := 0; i < n; i++ {
+		for r := 0; r < n; r++ {
+			col[r] = e.Q.At(r, i)
+		}
+		dx.MulVecInto(prod, col)
+		var s float64
+		for _, v := range prod {
+			s += v * v
+		}
+		out[i] = e.Values[i] - s
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRLeastSquaresExactSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(8)
+		m := 2 + rng.Intn(4)
+		a := randDense(rng, n, m)
+		want := make([]float64, m)
+		for j := range want {
+			want[j] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		qr, err := NewQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := qr.SolveLeastSquares(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Distance(got, want) > 1e-8*(1+Norm2(want)) {
+			t.Fatalf("trial %d: QR solve error %v", trial, Distance(got, want))
+		}
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The least-squares residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 12, 4)
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := qr.SolveLeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := SubVec(b, a.MulVec(x))
+	proj := a.MulVecT(res)
+	if NormInf(proj) > 1e-9 {
+		t.Fatalf("residual not orthogonal: Aᵀr = %v", proj)
+	}
+}
+
+func TestQRMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDense(rng, 20, 5)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := qr.SolveLeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Gram()
+	ch, err := NewCholesky(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := ch.Solve(a.MulVecT(b))
+	if Distance(x1, x2) > 1e-8*(1+Norm2(x2)) {
+		t.Fatalf("QR and normal equations differ by %v", Distance(x1, x2))
+	}
+}
+
+func TestQRRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randDense(rng, 9, 4)
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := qr.R()
+	for i := 1; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R[%d][%d] = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+	// |det R| = Π|rdiag| must equal sqrt(det AᵀA).
+	detR := 1.0
+	for i := 0; i < 4; i++ {
+		detR *= r.At(i, i)
+	}
+	lu, err := NewLU(a.Gram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(detR)-math.Sqrt(lu.Det())) > 1e-8*(1+math.Abs(detR)) {
+		t.Fatalf("|det R| = %v, sqrt(det AᵀA) = %v", math.Abs(detR), math.Sqrt(lu.Det()))
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := NewQR(NewDense(2, 3)); err == nil {
+		t.Fatal("expected rows>=cols error")
+	}
+	// Rank-deficient: an all-zero column has Householder norm exactly 0.
+	a := NewDenseData(3, 2, []float64{1, 0, 2, 0, 3, 0})
+	if _, err := NewQR(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	good := NewDenseData(3, 2, []float64{1, 0, 0, 1, 0, 0})
+	qr, err := NewQR(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qr.SolveLeastSquares([]float64{1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+}

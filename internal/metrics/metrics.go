@@ -1,0 +1,111 @@
+// Package metrics implements the evaluation measures of the paper's Sec 6.2:
+// MSE for regression, validation accuracy for classification, and the model
+// comparison measures — L2 distance, cosine similarity, per-coordinate sign
+// flips and magnitude changes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/mat"
+)
+
+// MSE returns the mean squared error of a linear model on a dataset.
+func MSE(model *gbm.Model, d *dataset.Dataset) (float64, error) {
+	if d.Task != dataset.Regression {
+		return 0, fmt.Errorf("metrics: MSE requires regression data, got %v", d.Task)
+	}
+	preds := model.PredictLinear(d.X)
+	var s float64
+	for i, p := range preds {
+		r := p - d.Y[i]
+		s += r * r
+	}
+	return s / float64(len(preds)), nil
+}
+
+// Accuracy returns the validation accuracy of a classifier on a dataset
+// (binary or multiclass, by the model's task).
+func Accuracy(model *gbm.Model, d *dataset.Dataset) (float64, error) {
+	var preds []float64
+	switch d.Task {
+	case dataset.BinaryClassification:
+		preds = model.PredictBinary(d.X)
+	case dataset.MultiClassification:
+		preds = model.PredictMulticlass(d.X)
+	default:
+		return 0, fmt.Errorf("metrics: Accuracy requires classification data, got %v", d.Task)
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}
+
+// AccuracySparse is Accuracy for a sparse binary dataset.
+func AccuracySparse(model *gbm.Model, d *dataset.SparseDataset) (float64, error) {
+	if d.Task != dataset.BinaryClassification {
+		return 0, fmt.Errorf("metrics: AccuracySparse requires binary data, got %v", d.Task)
+	}
+	preds := model.PredictBinarySparse(d)
+	correct := 0
+	for i, p := range preds {
+		if p == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds)), nil
+}
+
+// Comparison summarizes how close two parameter vectors are — the paper's
+// "distance" (L2) and "similarity" (cosine) columns of Table 4 plus the
+// finer-grained sign-flip and magnitude analysis of Q4.
+type Comparison struct {
+	// L2Distance is ‖a − b‖₂.
+	L2Distance float64
+	// Cosine is the cosine of the angle between a and b.
+	Cosine float64
+	// SignFlips counts coordinates whose sign differs (zeros never flip).
+	SignFlips int
+	// MaxRelMagnitudeChange is max over coordinates of |aᵢ−bᵢ|/(|bᵢ|+eps).
+	MaxRelMagnitudeChange float64
+	// Coordinates is the vector length.
+	Coordinates int
+}
+
+// Compare computes the Comparison of the candidate model a against the
+// reference model b (typically BaseL).
+func Compare(a, b *gbm.Model) (Comparison, error) {
+	av, bv := a.Vec(), b.Vec()
+	if len(av) != len(bv) {
+		return Comparison{}, fmt.Errorf("metrics: model sizes differ: %d vs %d", len(av), len(bv))
+	}
+	const eps = 1e-12
+	c := Comparison{
+		L2Distance:  mat.Distance(av, bv),
+		Cosine:      mat.CosineSimilarity(av, bv),
+		Coordinates: len(av),
+	}
+	for i := range av {
+		if av[i]*bv[i] < 0 {
+			c.SignFlips++
+		}
+		rel := math.Abs(av[i]-bv[i]) / (math.Abs(bv[i]) + eps)
+		if rel > c.MaxRelMagnitudeChange {
+			c.MaxRelMagnitudeChange = rel
+		}
+	}
+	return c, nil
+}
+
+// String renders the comparison in the paper's Table 4 style.
+func (c Comparison) String() string {
+	return fmt.Sprintf("dist=%.4g cos=%.4f flips=%d/%d maxΔ=%.3g",
+		c.L2Distance, c.Cosine, c.SignFlips, c.Coordinates, c.MaxRelMagnitudeChange)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/mat"
+)
+
+func modelOf(task dataset.Task, rows, cols int, vals []float64) *gbm.Model {
+	return &gbm.Model{Task: task, W: mat.NewDenseData(rows, cols, vals)}
+}
+
+func TestMSE(t *testing.T) {
+	d := &dataset.Dataset{
+		Name: "m", Task: dataset.Regression,
+		X: mat.NewDenseData(2, 2, []float64{1, 0, 0, 1}),
+		Y: []float64{2, 0},
+	}
+	model := modelOf(dataset.Regression, 1, 2, []float64{1, 1})
+	got, err := MSE(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// predictions 1,1 vs labels 2,0 → errors 1,1 → MSE 1.
+	if got != 1 {
+		t.Fatalf("MSE = %v", got)
+	}
+	bin := &dataset.Dataset{Name: "b", Task: dataset.BinaryClassification,
+		X: mat.NewDense(1, 2), Y: []float64{1}}
+	if _, err := MSE(model, bin); err == nil {
+		t.Fatal("expected task error")
+	}
+}
+
+func TestAccuracyBinary(t *testing.T) {
+	d := &dataset.Dataset{
+		Name: "a", Task: dataset.BinaryClassification, Classes: 2,
+		X: mat.NewDenseData(4, 1, []float64{1, 2, -1, -3}),
+		Y: []float64{1, 1, -1, 1},
+	}
+	model := modelOf(dataset.BinaryClassification, 1, 1, []float64{1})
+	got, err := Accuracy(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	reg := &dataset.Dataset{Name: "r", Task: dataset.Regression, X: mat.NewDense(1, 1), Y: []float64{0}}
+	if _, err := Accuracy(model, reg); err == nil {
+		t.Fatal("expected task error")
+	}
+}
+
+func TestAccuracyMulticlass(t *testing.T) {
+	d := &dataset.Dataset{
+		Name: "mc", Task: dataset.MultiClassification, Classes: 2,
+		X: mat.NewDenseData(2, 2, []float64{1, 0, 0, 1}),
+		Y: []float64{0, 1},
+	}
+	// Class 0 weights favor feature 0; class 1 favors feature 1 → perfect.
+	model := modelOf(dataset.MultiClassification, 2, 2, []float64{1, 0, 0, 1})
+	got, err := Accuracy(model, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestAccuracySparse(t *testing.T) {
+	sd, err := dataset.GenerateSparseBinary("s", 30, 50, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := modelOf(dataset.BinaryClassification, 1, 50, make([]float64, 50))
+	acc, err := AccuracySparse(model, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("AccuracySparse = %v", acc)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := modelOf(dataset.Regression, 1, 3, []float64{1, -2, 3})
+	b := modelOf(dataset.Regression, 1, 3, []float64{1, 2, 3})
+	c, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SignFlips != 1 {
+		t.Fatalf("SignFlips = %d", c.SignFlips)
+	}
+	if math.Abs(c.L2Distance-4) > 1e-12 {
+		t.Fatalf("L2Distance = %v", c.L2Distance)
+	}
+	if c.Coordinates != 3 {
+		t.Fatalf("Coordinates = %d", c.Coordinates)
+	}
+	if c.MaxRelMagnitudeChange < 1.9 {
+		t.Fatalf("MaxRelMagnitudeChange = %v", c.MaxRelMagnitudeChange)
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+	// Identical models: perfect similarity.
+	c2, err := Compare(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.L2Distance != 0 || math.Abs(c2.Cosine-1) > 1e-12 || c2.SignFlips != 0 {
+		t.Fatalf("self comparison = %+v", c2)
+	}
+	// Size mismatch.
+	short := modelOf(dataset.Regression, 1, 2, []float64{1, 2})
+	if _, err := Compare(a, short); err == nil {
+		t.Fatal("expected size error")
+	}
+}

@@ -1,0 +1,165 @@
+package prov
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// AnnotatedMatrix is a formal sum Σₖ pₖ ∗ Aₖ of matrices annotated with
+// provenance polynomials — the matrix extension of the semiring framework
+// (Yan, Tannen & Ives) that PrIU's iteration models (Eq 7/8/10 of the paper)
+// are written in. All terms share the same dimensions.
+//
+// The algebra follows the usual matrix laws, with the crucial annotated
+// multiplication law (p∗A)(q∗B) = (p·q)∗(AB). Setting idempotent token
+// multiplication (the premise of Theorem 3) caps token exponents at 1.
+type AnnotatedMatrix struct {
+	rows, cols int
+	idempotent bool
+	terms      map[string]annTerm
+}
+
+type annTerm struct {
+	poly Poly
+	m    *mat.Dense
+}
+
+// NewAnnotatedMatrix returns the zero annotated matrix of the given shape.
+// If idempotent is true, all products use idempotent token multiplication.
+func NewAnnotatedMatrix(rows, cols int, idempotent bool) *AnnotatedMatrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("prov: invalid dimensions %dx%d", rows, cols))
+	}
+	return &AnnotatedMatrix{rows: rows, cols: cols, idempotent: idempotent, terms: map[string]annTerm{}}
+}
+
+// Annotate returns the single-term annotated matrix p ∗ a.
+func Annotate(p Poly, a *mat.Dense, idempotent bool) *AnnotatedMatrix {
+	r, c := a.Dims()
+	out := NewAnnotatedMatrix(r, c, idempotent)
+	out.addTerm(p, a.Clone())
+	return out
+}
+
+// Dims returns the shared dimensions of all terms.
+func (a *AnnotatedMatrix) Dims() (rows, cols int) { return a.rows, a.cols }
+
+// NumTerms returns the number of distinct provenance annotations.
+func (a *AnnotatedMatrix) NumTerms() int { return len(a.terms) }
+
+// addTerm merges p∗m into the term map, grouping by the polynomial's
+// canonical rendering. A zero polynomial contributes nothing.
+func (a *AnnotatedMatrix) addTerm(p Poly, m *mat.Dense) {
+	if p.IsZero() {
+		return
+	}
+	r, c := m.Dims()
+	if r != a.rows || c != a.cols {
+		panic("prov: term dimension mismatch")
+	}
+	k := p.String()
+	if ex, ok := a.terms[k]; ok {
+		ex.m.AddScaled(m, 1)
+		return
+	}
+	a.terms[k] = annTerm{poly: p, m: m}
+}
+
+// Plus returns a + b.
+func (a *AnnotatedMatrix) Plus(b *AnnotatedMatrix) *AnnotatedMatrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("prov: Plus dimension mismatch")
+	}
+	out := NewAnnotatedMatrix(a.rows, a.cols, a.idempotent || b.idempotent)
+	for _, t := range a.terms {
+		out.addTerm(t.poly, t.m.Clone())
+	}
+	for _, t := range b.terms {
+		out.addTerm(t.poly, t.m.Clone())
+	}
+	return out
+}
+
+// Mul returns the annotated product a·b, applying
+// (p∗A)(q∗B) = (p·q)∗(AB) pairwise across terms.
+func (a *AnnotatedMatrix) Mul(b *AnnotatedMatrix) *AnnotatedMatrix {
+	if a.cols != b.rows {
+		panic("prov: Mul dimension mismatch")
+	}
+	out := NewAnnotatedMatrix(a.rows, b.cols, a.idempotent || b.idempotent)
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			out.addTerm(ta.poly.Times(tb.poly, out.idempotent), ta.m.Mul(tb.m))
+		}
+	}
+	return out
+}
+
+// ScaleNumeric multiplies every term's matrix by s (a plain real scalar,
+// annotated 1_prov) and returns a new annotated matrix.
+func (a *AnnotatedMatrix) ScaleNumeric(s float64) *AnnotatedMatrix {
+	out := NewAnnotatedMatrix(a.rows, a.cols, a.idempotent)
+	for _, t := range a.terms {
+		out.addTerm(t.poly, t.m.Clone().Scale(s))
+	}
+	return out
+}
+
+// Eval evaluates the annotated matrix under the valuation v: each monomial
+// becomes 0 or its coefficient, and the surviving numeric matrices are
+// summed — this is deletion propagation by zeroing-out.
+func (a *AnnotatedMatrix) Eval(v Valuation) *mat.Dense {
+	out := mat.NewDense(a.rows, a.cols)
+	for _, t := range a.terms {
+		if c := v.Eval(t.poly); c != 0 {
+			out.AddScaled(t.m, float64(c))
+		}
+	}
+	return out
+}
+
+// Terms returns the (polynomial, matrix) pairs in canonical order of the
+// polynomial rendering; matrices are aliased, not copied.
+func (a *AnnotatedMatrix) Terms() []struct {
+	Poly   Poly
+	Matrix *mat.Dense
+} {
+	keys := make([]string, 0, len(a.terms))
+	for k := range a.terms {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]struct {
+		Poly   Poly
+		Matrix *mat.Dense
+	}, len(keys))
+	for i, k := range keys {
+		out[i].Poly = a.terms[k].poly
+		out[i].Matrix = a.terms[k].m
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// DecomposeRows returns the provenance-annotated decomposition of the
+// feature matrix X described in Sec 4.1 of the paper:
+// X = Σᵢ pᵢ ∗ (eᵢ·xᵢ) where row i is annotated with token i. The result has
+// one term per row.
+func DecomposeRows(x *mat.Dense, idempotent bool) *AnnotatedMatrix {
+	rows, cols := x.Dims()
+	out := NewAnnotatedMatrix(rows, cols, idempotent)
+	for i := 0; i < rows; i++ {
+		ri := mat.NewDense(rows, cols)
+		copy(ri.Row(i), x.Row(i))
+		out.addTerm(TokenPoly(Token(i)), ri)
+	}
+	return out
+}

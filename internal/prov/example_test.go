@@ -1,0 +1,41 @@
+package prov_test
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/prov"
+)
+
+// The introduction's running example: w = p²q∗u + qr⁴∗v + ps∗z. Deleting the
+// sample annotated r zeroes its monomial, leaving u + z.
+func Example() {
+	p, q, r, s := prov.Token(0), prov.Token(1), prov.Token(2), prov.Token(3)
+	u := mat.NewDenseData(1, 2, []float64{1, 0})
+	v := mat.NewDenseData(1, 2, []float64{0, 1})
+	z := mat.NewDenseData(1, 2, []float64{2, 2})
+
+	w := prov.Annotate(prov.PolyFromMonomial(prov.NewMonomial(p, p, q), 1), u, false)
+	w = w.Plus(prov.Annotate(prov.PolyFromMonomial(prov.NewMonomial(q, r, r, r, r), 1), v, false))
+	w = w.Plus(prov.Annotate(prov.PolyFromMonomial(prov.NewMonomial(p, s), 1), z, false))
+
+	updated := w.Eval(prov.NewValuation(r))
+	fmt.Println(updated.Row(0))
+	// Output: [3 2]
+}
+
+// ExampleLinearIteration runs the provenance-annotated GD update rule
+// symbolically and propagates a deletion by zeroing the sample's token.
+func ExampleLinearIteration() {
+	x := mat.NewDenseData(3, 1, []float64{1, 2, 3})
+	y := []float64{2, 4, 7}
+	it, err := prov.NewLinearIteration(x, y, 0.05, 0, true)
+	if err != nil {
+		panic(err)
+	}
+	it.Run(40)
+	full := it.Eval()      // all tokens present
+	without2 := it.Eval(2) // delete the third sample
+	fmt.Printf("full: %.3f, without sample 2: %.3f\n", full[0], without2[0])
+	// Output: full: 2.214, without sample 2: 1.999
+}

@@ -1,0 +1,107 @@
+package prov
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// This file implements the paper's Sec 4 iteration models symbolically: the
+// provenance-annotated gradient-descent update rule for linear regression
+// (Eq 7/8) executed directly in the algebra of annotated matrices. It is the
+// reference ("executable semantics") implementation that the optimized
+// numeric machinery in internal/core is tested against — and it makes the
+// Theorem 2/3 phenomenon observable: without idempotent token multiplication
+// the provenance expressions accumulate unboundedly many monomials (e.g.
+// pᵗᵢ terms whose coefficients blow up with the binomial growth used in the
+// Theorem 2 proof), while with idempotence the expression size stays bounded
+// and the iteration converges.
+
+// LinearIteration carries the provenance-annotated state W⁽ᵗ⁾ of Eq 7 for a
+// (small) training set. It is exponential in the worst case and intended for
+// reference/testing at toy sizes, not production updates.
+type LinearIteration struct {
+	x          *mat.Dense
+	y          []float64
+	eta        float64
+	lambda     float64
+	idempotent bool
+	w          *AnnotatedMatrix // m×1 annotated parameter expression
+	t          int
+}
+
+// NewLinearIteration builds the annotated full-batch GD iteration for the
+// given training set (row i annotated with token i), starting from W⁽⁰⁾ = 0.
+func NewLinearIteration(x *mat.Dense, y []float64, eta, lambda float64, idempotent bool) (*LinearIteration, error) {
+	n, m := x.Dims()
+	if len(y) != n {
+		return nil, fmt.Errorf("prov: %d labels for %d rows", len(y), n)
+	}
+	if eta <= 0 {
+		return nil, fmt.Errorf("prov: eta %v must be positive", eta)
+	}
+	_ = m
+	return &LinearIteration{
+		x: x, y: y, eta: eta, lambda: lambda, idempotent: idempotent,
+		w: NewAnnotatedMatrix(x.Cols(), 1, idempotent),
+	}, nil
+}
+
+// Step applies one provenance-annotated update (Eq 7 with B(t) = all samples,
+// P(t) replaced by the integer n as in the incremental-update reading):
+//
+//	W⁽ᵗ⁺¹⁾ = (1−ηλ)(1∗I)·W⁽ᵗ⁾ − (2η/n)·Σᵢ p²ᵢ∗(xᵢxᵢᵀ)·W⁽ᵗ⁾ + (2η/n)·Σᵢ p²ᵢ∗(xᵢyᵢ)
+func (it *LinearIteration) Step() {
+	n, m := it.x.Dims()
+	scale := 2 * it.eta / float64(n)
+	// A = (1−ηλ)(1prov∗I) − scale·Σ p²ᵢ∗xᵢxᵢᵀ
+	a := Annotate(OnePoly(), mat.Identity(m).Scale(1-it.eta*it.lambda), it.idempotent)
+	for i := 0; i < n; i++ {
+		xi := it.x.Row(i)
+		outer := mat.NewDense(m, m)
+		mat.AddOuter(outer, xi, xi, -scale)
+		p2 := PolyFromMonomial(NewMonomial(Token(i)).Times(NewMonomial(Token(i)), it.idempotent), 1)
+		a = a.Plus(Annotate(p2, outer, it.idempotent))
+	}
+	next := a.Mul(it.w)
+	// b = scale·Σ p²ᵢ∗(xᵢ·yᵢ)
+	for i := 0; i < n; i++ {
+		xi := it.x.Row(i)
+		col := mat.NewDense(m, 1)
+		for j := 0; j < m; j++ {
+			col.Set(j, 0, scale*xi[j]*it.y[i])
+		}
+		p2 := PolyFromMonomial(NewMonomial(Token(i)).Times(NewMonomial(Token(i)), it.idempotent), 1)
+		next = next.Plus(Annotate(p2, col, it.idempotent))
+	}
+	it.w = next
+	it.t++
+}
+
+// Run executes steps iterations.
+func (it *LinearIteration) Run(steps int) {
+	for s := 0; s < steps; s++ {
+		it.Step()
+	}
+}
+
+// Expression returns the current annotated parameter expression W⁽ᵗ⁾.
+func (it *LinearIteration) Expression() *AnnotatedMatrix { return it.w }
+
+// NumTerms returns the number of distinct provenance annotations in W⁽ᵗ⁾ —
+// the quantity whose growth separates the idempotent and non-idempotent
+// regimes (Theorems 2/3).
+func (it *LinearIteration) NumTerms() int { return it.w.NumTerms() }
+
+// Eval performs deletion propagation: removed tokens become 0_prov, the rest
+// 1_prov, and the surviving numeric contributions are summed into the
+// updated parameter vector w_U⁽ᵗ⁾.
+func (it *LinearIteration) Eval(removed ...Token) []float64 {
+	res := it.w.Eval(NewValuation(removed...))
+	m := res.Rows()
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		out[j] = res.At(j, 0)
+	}
+	return out
+}

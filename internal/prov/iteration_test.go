@@ -1,0 +1,173 @@
+package prov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// numericGD runs plain full-batch GD on the (optionally reduced) training
+// set — the ground truth the symbolic iteration must match under valuation.
+func numericGD(x *mat.Dense, y []float64, eta, lambda float64, steps int, removed map[int]bool) []float64 {
+	n, m := x.Dims()
+	w := make([]float64, m)
+	grad := make([]float64, m)
+	for s := 0; s < steps; s++ {
+		mat.ZeroVec(grad)
+		for i := 0; i < n; i++ {
+			if removed[i] {
+				continue
+			}
+			xi := x.Row(i)
+			r := mat.Dot(xi, w) - y[i]
+			mat.Axpy(grad, r, xi)
+		}
+		// NOTE: the annotated rule keeps the denominator n (the provenance
+		// expression's P(t) with every token at 1prov evaluates to n only
+		// when nothing is removed; the symbolic Eval also keeps n, so the
+		// numeric reference must too for exact agreement).
+		decay := 1 - eta*lambda
+		f := 2 * eta / float64(n)
+		for j := range w {
+			w[j] = decay*w[j] - f*grad[j]
+		}
+	}
+	return w
+}
+
+func toyProblem(seed int64, n, m int) (*mat.Dense, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := mat.NewDense(n, m)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		y[i] = rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestSymbolicIterationMatchesNumericNoDeletion(t *testing.T) {
+	x, y := toyProblem(1, 4, 2)
+	it, err := NewLinearIteration(x, y, 0.05, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(6)
+	got := it.Eval()
+	want := numericGD(x, y, 0.05, 0.1, 6, nil)
+	if mat.Distance(got, want) > 1e-10 {
+		t.Fatalf("symbolic (all 1prov) %v vs numeric %v", got, want)
+	}
+}
+
+func TestSymbolicIterationDeletionPropagation(t *testing.T) {
+	// Zeroing-out token 2 must equal numeric GD that skips sample 2 in the
+	// gradient (with the annotated rule's fixed denominator).
+	x, y := toyProblem(2, 4, 2)
+	it, err := NewLinearIteration(x, y, 0.05, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(5)
+	got := it.Eval(2)
+	want := numericGD(x, y, 0.05, 0.1, 5, map[int]bool{2: true})
+	if mat.Distance(got, want) > 1e-10 {
+		t.Fatalf("deletion propagation: symbolic %v vs numeric %v", got, want)
+	}
+	// Deleting everything gives the zero vector (W0 = 0 and every data term
+	// is annotated with some token).
+	if mat.Norm2(it.Eval(0, 1, 2, 3)) != 0 {
+		t.Fatal("deleting all tokens should zero the expression")
+	}
+}
+
+func TestIdempotenceBoundsExpressionGrowth(t *testing.T) {
+	// Theorem 2/3 phenomenon: without idempotent token multiplication the
+	// number of distinct provenance monomials grows with t (pᵢᵗ terms keep
+	// appearing); with idempotence it is bounded by the lattice of token
+	// subsets actually reachable — constant after the first few steps.
+	x, y := toyProblem(3, 3, 2)
+	nonIdem, err := NewLinearIteration(x, y, 0.05, 0.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idem, err := NewLinearIteration(x, y, 0.05, 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonIdemGrowth, idemSizes []int
+	for s := 0; s < 5; s++ {
+		nonIdem.Step()
+		idem.Step()
+		nonIdemGrowth = append(nonIdemGrowth, nonIdem.NumTerms())
+		idemSizes = append(idemSizes, idem.NumTerms())
+	}
+	if nonIdemGrowth[4] <= nonIdemGrowth[1] {
+		t.Fatalf("non-idempotent term count did not grow: %v", nonIdemGrowth)
+	}
+	if idemSizes[4] != idemSizes[3] {
+		t.Fatalf("idempotent term count did not stabilize: %v", idemSizes)
+	}
+	if idemSizes[4] >= nonIdemGrowth[4] {
+		t.Fatalf("idempotent expression (%d terms) should be smaller than non-idempotent (%d)",
+			idemSizes[4], nonIdemGrowth[4])
+	}
+}
+
+func TestSymbolicIterationValidation(t *testing.T) {
+	x, _ := toyProblem(4, 3, 2)
+	if _, err := NewLinearIteration(x, []float64{1}, 0.1, 0, true); err == nil {
+		t.Fatal("expected label-length error")
+	}
+	if _, err := NewLinearIteration(x, []float64{1, 2, 3}, 0, 0, true); err == nil {
+		t.Fatal("expected eta error")
+	}
+}
+
+func TestSymbolicMatchesDifferentEta(t *testing.T) {
+	x, y := toyProblem(5, 3, 3)
+	for _, eta := range []float64{0.01, 0.1} {
+		it, err := NewLinearIteration(x, y, eta, 0.05, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Run(4)
+		got := it.Eval(1)
+		want := numericGD(x, y, eta, 0.05, 4, map[int]bool{1: true})
+		if d := mat.Distance(got, want); d > 1e-10 {
+			t.Fatalf("eta=%v: distance %v", eta, d)
+		}
+	}
+}
+
+func TestSymbolicConvergenceUnderIdempotence(t *testing.T) {
+	// With idempotence and a convergent learning rate, successive evaluated
+	// iterates approach a fixed point (Theorem 3's conclusion, observed).
+	x, y := toyProblem(6, 4, 2)
+	it, err := NewLinearIteration(x, y, 0.05, 0.2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []float64
+	var lastDelta float64 = math.Inf(1)
+	for s := 0; s < 30; s++ {
+		it.Step()
+		cur := it.Eval(0)
+		if prev != nil {
+			delta := mat.Distance(cur, prev)
+			if s > 20 && delta > lastDelta+1e-12 {
+				t.Fatalf("iterates not contracting at step %d: %v -> %v", s, lastDelta, delta)
+			}
+			lastDelta = delta
+		}
+		prev = cur
+	}
+	if lastDelta > 1e-2 {
+		t.Fatalf("final step delta %v too large", lastDelta)
+	}
+}

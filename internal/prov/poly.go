@@ -1,0 +1,305 @@
+// Package prov implements the provenance semiring framework of Green,
+// Karvounarakis & Tannen extended to matrix algebra (Yan, Tannen & Ives),
+// which is the theoretical backbone of PrIU (Sec 4.1 of the paper).
+//
+// Training samples are annotated with provenance tokens; carrying them
+// through the gradient-based update rules yields model parameters expressed
+// as sums of (provenance polynomial ∗ matrix) terms. Deleting samples is
+// then "zeroing out" their tokens: a token set to 0_prov kills every term it
+// appears in, a token set to 1_prov keeps the term's numeric value.
+//
+// The package provides:
+//   - Token, Monomial and Poly — the semiring N[T] of provenance polynomials,
+//     with an idempotent-multiplication variant (the assumption under which
+//     Theorem 3 guarantees convergence of the annotated iterations);
+//   - AnnotatedMatrix — formal sums Σ pₖ ∗ Aₖ with the algebra of the matrix
+//     extension, including the key law (p∗A)(q∗B) = (p·q)∗(AB);
+//   - Valuation — the assignment of tokens to {0_prov, 1_prov} that performs
+//     deletion propagation.
+package prov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Token is a provenance token identifying one training sample. Tokens are
+// small non-negative integers (the sample index).
+type Token int
+
+// Monomial is a product of tokens with multiplicities, e.g. p²q. The zero
+// value is the empty monomial, i.e. the multiplicative identity 1.
+type Monomial struct {
+	// factors maps token -> exponent (> 0).
+	factors map[Token]int
+}
+
+// NewMonomial builds a monomial from the given tokens; repeated tokens
+// accumulate exponents.
+func NewMonomial(tokens ...Token) Monomial {
+	m := Monomial{factors: make(map[Token]int, len(tokens))}
+	for _, t := range tokens {
+		m.factors[t]++
+	}
+	return m
+}
+
+// One returns the empty monomial (multiplicative identity).
+func One() Monomial { return Monomial{} }
+
+// Degree returns the total degree of the monomial.
+func (m Monomial) Degree() int {
+	var d int
+	for _, e := range m.factors {
+		d += e
+	}
+	return d
+}
+
+// Exponent returns the exponent of token t in the monomial.
+func (m Monomial) Exponent(t Token) int { return m.factors[t] }
+
+// Tokens returns the distinct tokens in ascending order.
+func (m Monomial) Tokens() []Token {
+	out := make([]Token, 0, len(m.factors))
+	for t := range m.factors {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Times returns the product of two monomials. If idempotent is true, token
+// multiplication is idempotent (p·p = p), the assumption of Theorem 3 under
+// which the provenance-annotated iterations converge; exponents are then
+// capped at 1.
+func (m Monomial) Times(o Monomial, idempotent bool) Monomial {
+	out := Monomial{factors: make(map[Token]int, len(m.factors)+len(o.factors))}
+	for t, e := range m.factors {
+		out.factors[t] += e
+	}
+	for t, e := range o.factors {
+		out.factors[t] += e
+	}
+	if idempotent {
+		for t := range out.factors {
+			out.factors[t] = 1
+		}
+	}
+	return out
+}
+
+// key renders a canonical map key for the monomial.
+func (m Monomial) key() string {
+	if len(m.factors) == 0 {
+		return "1"
+	}
+	toks := m.Tokens()
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		fmt.Fprintf(&sb, "p%d^%d", t, m.factors[t])
+	}
+	return sb.String()
+}
+
+// String renders the monomial in the paper's notation (e.g. "p1^2·p3").
+func (m Monomial) String() string {
+	if len(m.factors) == 0 {
+		return "1"
+	}
+	toks := m.Tokens()
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if e := m.factors[t]; e == 1 {
+			parts = append(parts, fmt.Sprintf("p%d", t))
+		} else {
+			parts = append(parts, fmt.Sprintf("p%d^%d", t, m.factors[t]))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// Poly is a provenance polynomial in N[T]: a finite sum of monomials with
+// natural-number coefficients. The zero value is the zero polynomial 0_prov.
+type Poly struct {
+	terms map[string]polyTerm
+}
+
+type polyTerm struct {
+	mono  Monomial
+	coeff int
+}
+
+// Zero returns the zero polynomial 0_prov (absence).
+func Zero() Poly { return Poly{} }
+
+// OnePoly returns the polynomial 1_prov (neutral presence).
+func OnePoly() Poly { return PolyFromMonomial(One(), 1) }
+
+// TokenPoly returns the polynomial consisting of the single token t.
+func TokenPoly(t Token) Poly { return PolyFromMonomial(NewMonomial(t), 1) }
+
+// PolyFromMonomial returns coeff·mono as a polynomial.
+func PolyFromMonomial(mono Monomial, coeff int) Poly {
+	if coeff == 0 {
+		return Poly{}
+	}
+	p := Poly{terms: make(map[string]polyTerm, 1)}
+	p.terms[mono.key()] = polyTerm{mono: mono, coeff: coeff}
+	return p
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// IsOne reports whether p is exactly 1_prov.
+func (p Poly) IsOne() bool {
+	if len(p.terms) != 1 {
+		return false
+	}
+	t, ok := p.terms["1"]
+	return ok && t.coeff == 1
+}
+
+// NumTerms returns the number of monomials with non-zero coefficient.
+func (p Poly) NumTerms() int { return len(p.terms) }
+
+// Coeff returns the coefficient of the given monomial.
+func (p Poly) Coeff(m Monomial) int {
+	return p.terms[m.key()].coeff
+}
+
+// Plus returns p + q ("+" records alternative use, as in union/projection).
+func (p Poly) Plus(q Poly) Poly {
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms)+len(q.terms))}
+	for k, t := range p.terms {
+		out.terms[k] = t
+	}
+	for k, t := range q.terms {
+		if ex, ok := out.terms[k]; ok {
+			c := ex.coeff + t.coeff
+			if c == 0 {
+				delete(out.terms, k)
+			} else {
+				out.terms[k] = polyTerm{mono: ex.mono, coeff: c}
+			}
+		} else {
+			out.terms[k] = t
+		}
+	}
+	return out
+}
+
+// Times returns p·q ("·" records joint use, as in join). If idempotent is
+// true, token multiplication within monomials is idempotent.
+func (p Poly) Times(q Poly, idempotent bool) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Zero()
+	}
+	out := Poly{terms: make(map[string]polyTerm, len(p.terms)*len(q.terms))}
+	for _, a := range p.terms {
+		for _, b := range q.terms {
+			m := a.mono.Times(b.mono, idempotent)
+			k := m.key()
+			if ex, ok := out.terms[k]; ok {
+				out.terms[k] = polyTerm{mono: m, coeff: ex.coeff + a.coeff*b.coeff}
+			} else {
+				out.terms[k] = polyTerm{mono: m, coeff: a.coeff * b.coeff}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports structural equality of two polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, t := range p.terms {
+		o, ok := q.terms[k]
+		if !ok || o.coeff != t.coeff {
+			return false
+		}
+	}
+	return true
+}
+
+// Monomials returns the monomials of p in canonical (key) order.
+func (p Poly) Monomials() []Monomial {
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Monomial, len(keys))
+	for i, k := range keys {
+		out[i] = p.terms[k].mono
+	}
+	return out
+}
+
+// String renders the polynomial in a canonical order.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		t := p.terms[k]
+		if t.coeff == 1 {
+			parts = append(parts, t.mono.String())
+		} else {
+			parts = append(parts, fmt.Sprintf("%d·%s", t.coeff, t.mono.String()))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Valuation assigns tokens to {0_prov, 1_prov} for deletion propagation:
+// tokens in the deleted set evaluate to 0, all others to 1.
+type Valuation struct {
+	deleted map[Token]bool
+}
+
+// NewValuation returns a valuation deleting exactly the given tokens.
+func NewValuation(deleted ...Token) Valuation {
+	v := Valuation{deleted: make(map[Token]bool, len(deleted))}
+	for _, t := range deleted {
+		v.deleted[t] = true
+	}
+	return v
+}
+
+// Deleted reports whether token t is zeroed out.
+func (v Valuation) Deleted(t Token) bool { return v.deleted[t] }
+
+// EvalMonomial returns the numeric value of the monomial under v: 0 if any
+// token is deleted, otherwise 1.
+func (v Valuation) EvalMonomial(m Monomial) int {
+	for t := range m.factors {
+		if v.deleted[t] {
+			return 0
+		}
+	}
+	return 1
+}
+
+// Eval returns the natural-number value of p under v (each surviving
+// monomial contributes its coefficient).
+func (v Valuation) Eval(p Poly) int {
+	var s int
+	for _, t := range p.terms {
+		s += t.coeff * v.EvalMonomial(t.mono)
+	}
+	return s
+}

@@ -1,0 +1,285 @@
+package prov
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func randPoly(rng *rand.Rand) Poly {
+	p := Zero()
+	nterms := rng.Intn(4)
+	for i := 0; i < nterms; i++ {
+		toks := make([]Token, rng.Intn(3))
+		for j := range toks {
+			toks[j] = Token(rng.Intn(5))
+		}
+		p = p.Plus(PolyFromMonomial(NewMonomial(toks...), 1+rng.Intn(3)))
+	}
+	return p
+}
+
+func TestMonomialBasics(t *testing.T) {
+	m := NewMonomial(1, 1, 2)
+	if m.Degree() != 3 {
+		t.Fatalf("Degree = %d", m.Degree())
+	}
+	if m.Exponent(1) != 2 || m.Exponent(2) != 1 || m.Exponent(9) != 0 {
+		t.Fatal("wrong exponents")
+	}
+	if got := m.String(); got != "p1^2·p2" {
+		t.Fatalf("String = %q", got)
+	}
+	if One().String() != "1" {
+		t.Fatal("One String wrong")
+	}
+}
+
+func TestMonomialTimesIdempotent(t *testing.T) {
+	m := NewMonomial(1).Times(NewMonomial(1), true)
+	if m.Exponent(1) != 1 {
+		t.Fatalf("idempotent p·p exponent = %d, want 1", m.Exponent(1))
+	}
+	m2 := NewMonomial(1).Times(NewMonomial(1), false)
+	if m2.Exponent(1) != 2 {
+		t.Fatalf("non-idempotent p·p exponent = %d, want 2", m2.Exponent(1))
+	}
+}
+
+func TestPolyIdentities(t *testing.T) {
+	p := randPoly(rand.New(rand.NewSource(1)))
+	if !p.Plus(Zero()).Equal(p) {
+		t.Fatal("p + 0 != p")
+	}
+	if !p.Times(OnePoly(), false).Equal(p) {
+		t.Fatal("p · 1 != p")
+	}
+	if !p.Times(Zero(), false).IsZero() {
+		t.Fatal("p · 0 != 0")
+	}
+	if !Zero().IsZero() || Zero().NumTerms() != 0 {
+		t.Fatal("Zero not zero")
+	}
+	if !OnePoly().IsOne() {
+		t.Fatal("OnePoly not one")
+	}
+	if OnePoly().Plus(OnePoly()).IsOne() {
+		t.Fatal("1+1 should not be one")
+	}
+}
+
+func TestPolySemiringLawsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q, r := randPoly(rng), randPoly(rng), randPoly(rng)
+		// + commutative, associative.
+		if !p.Plus(q).Equal(q.Plus(p)) {
+			return false
+		}
+		if !p.Plus(q).Plus(r).Equal(p.Plus(q.Plus(r))) {
+			return false
+		}
+		// · commutative, associative (both idempotent and not).
+		for _, idem := range []bool{false, true} {
+			if !p.Times(q, idem).Equal(q.Times(p, idem)) {
+				return false
+			}
+			if !p.Times(q, idem).Times(r, idem).Equal(p.Times(q.Times(r, idem), idem)) {
+				return false
+			}
+			// Distributivity.
+			if !p.Times(q.Plus(r), idem).Equal(p.Times(q, idem).Plus(p.Times(r, idem))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyCoeffAndMonomials(t *testing.T) {
+	p := TokenPoly(1).Plus(TokenPoly(1)).Plus(TokenPoly(2))
+	if p.Coeff(NewMonomial(1)) != 2 {
+		t.Fatalf("Coeff(p1) = %d", p.Coeff(NewMonomial(1)))
+	}
+	if p.Coeff(NewMonomial(2)) != 1 {
+		t.Fatalf("Coeff(p2) = %d", p.Coeff(NewMonomial(2)))
+	}
+	if len(p.Monomials()) != 2 {
+		t.Fatalf("Monomials = %v", p.Monomials())
+	}
+	if p.String() == "" || Zero().String() != "0" {
+		t.Fatal("String rendering broken")
+	}
+}
+
+func TestValuationPaperExample(t *testing.T) {
+	// The intro's example: w = p²q∗u + qr⁴∗v + ps∗z; deleting r leaves u+z.
+	p, q, r, s := Token(0), Token(1), Token(2), Token(3)
+	u := mat.NewDenseData(1, 2, []float64{1, 0})
+	v := mat.NewDenseData(1, 2, []float64{0, 1})
+	z := mat.NewDenseData(1, 2, []float64{2, 2})
+
+	w := Annotate(PolyFromMonomial(NewMonomial(p, p, q), 1), u, false)
+	w = w.Plus(Annotate(PolyFromMonomial(NewMonomial(q, r, r, r, r), 1), v, false))
+	w = w.Plus(Annotate(PolyFromMonomial(NewMonomial(p, s), 1), z, false))
+
+	got := w.Eval(NewValuation(r))
+	want := u.Plus(z)
+	if !got.Equal(want, 0) {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+	// Deleting nothing returns u+v+z.
+	all := w.Eval(NewValuation())
+	if !all.Equal(u.Plus(v).Plus(z), 0) {
+		t.Fatalf("Eval(no deletion) = %v", all)
+	}
+	// Deleting p kills u and z.
+	onlyV := w.Eval(NewValuation(p))
+	if !onlyV.Equal(v, 0) {
+		t.Fatalf("Eval(delete p) = %v, want %v", onlyV, v)
+	}
+}
+
+func TestValuationEvalPoly(t *testing.T) {
+	v := NewValuation(2)
+	p := TokenPoly(1).Plus(TokenPoly(2)).Plus(OnePoly())
+	if got := v.Eval(p); got != 2 {
+		t.Fatalf("Eval = %d, want 2", got)
+	}
+	if !v.Deleted(2) || v.Deleted(1) {
+		t.Fatal("Deleted wrong")
+	}
+}
+
+func TestAnnotatedMulLaw(t *testing.T) {
+	// (p∗A)(q∗B) = (p·q)∗(AB)
+	rng := rand.New(rand.NewSource(2))
+	a := mat.NewDense(2, 3)
+	b := mat.NewDense(3, 2)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	for i := range b.Data() {
+		b.Data()[i] = rng.NormFloat64()
+	}
+	pa := Annotate(TokenPoly(1), a, false)
+	qb := Annotate(TokenPoly(2), b, false)
+	prod := pa.Mul(qb)
+	if prod.NumTerms() != 1 {
+		t.Fatalf("NumTerms = %d", prod.NumTerms())
+	}
+	term := prod.Terms()[0]
+	wantPoly := TokenPoly(1).Times(TokenPoly(2), false)
+	if !term.Poly.Equal(wantPoly) {
+		t.Fatalf("Poly = %v, want %v", term.Poly, wantPoly)
+	}
+	if !term.Matrix.Equal(a.Mul(b), 1e-12) {
+		t.Fatal("Matrix != AB")
+	}
+}
+
+func TestAnnotatedZeroOutKillsTerm(t *testing.T) {
+	a := mat.NewDenseData(1, 1, []float64{5})
+	am := Annotate(TokenPoly(7), a, false)
+	if got := am.Eval(NewValuation(7)); got.At(0, 0) != 0 {
+		t.Fatalf("Eval after zero-out = %v", got.At(0, 0))
+	}
+	if got := am.Eval(NewValuation()); got.At(0, 0) != 5 {
+		t.Fatalf("Eval with 1_prov = %v", got.At(0, 0))
+	}
+}
+
+func TestDecomposeRowsDeletionPropagation(t *testing.T) {
+	// Sec 4.1: annotate rows of X; Σ p²ᵢ∗xᵢxᵢᵀ under a deletion valuation
+	// equals the Gram matrix of the surviving rows.
+	rng := rand.New(rand.NewSource(3))
+	n, m := 5, 3
+	x := mat.NewDense(n, m)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	ax := DecomposeRows(x, false)
+	if ax.NumTerms() != n {
+		t.Fatalf("NumTerms = %d, want %d", ax.NumTerms(), n)
+	}
+	// Reconstruct X with no deletions.
+	if !ax.Eval(NewValuation()).Equal(x, 0) {
+		t.Fatal("DecomposeRows does not reconstruct X")
+	}
+	// XᵀX via annotated algebra: (Σpᵢ∗Rᵢ)ᵀ(Σpⱼ∗Rⱼ) — build transpose terms.
+	axt := NewAnnotatedMatrix(m, n, false)
+	for _, term := range ax.Terms() {
+		axt.addTerm(term.Poly, term.Matrix.T())
+	}
+	gram := axt.Mul(ax)
+	// Delete rows 1 and 3.
+	val := NewValuation(1, 3)
+	got := gram.Eval(val)
+	want := mat.NewDense(m, m)
+	for i := 0; i < n; i++ {
+		if val.Deleted(Token(i)) {
+			continue
+		}
+		mat.AddOuter(want, x.Row(i), x.Row(i), 1)
+	}
+	if !got.Equal(want, 1e-10) {
+		t.Fatalf("deletion propagation mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Cross terms pᵢ·pⱼ (i≠j) must be absent in XᵀX since helper rows are
+	// disjoint: every surviving monomial must be a single squared token.
+	for _, term := range gram.Terms() {
+		if term.Matrix.MaxAbs() < 1e-14 {
+			continue // structurally zero cross term
+		}
+		for _, mono := range term.Poly.Monomials() {
+			toks := mono.Tokens()
+			if len(toks) != 1 || mono.Exponent(toks[0]) != 2 {
+				t.Fatalf("unexpected non-diagonal monomial %v with nonzero matrix", mono)
+			}
+		}
+	}
+}
+
+func TestAnnotatedPlusGroupsEqualPolys(t *testing.T) {
+	a := mat.NewDenseData(1, 1, []float64{1})
+	b := mat.NewDenseData(1, 1, []float64{2})
+	s := Annotate(TokenPoly(1), a, false).Plus(Annotate(TokenPoly(1), b, false))
+	if s.NumTerms() != 1 {
+		t.Fatalf("NumTerms = %d, want 1 (grouped)", s.NumTerms())
+	}
+	if got := s.Eval(NewValuation()); got.At(0, 0) != 3 {
+		t.Fatalf("Eval = %v", got.At(0, 0))
+	}
+}
+
+func TestScaleNumeric(t *testing.T) {
+	a := mat.NewDenseData(1, 1, []float64{4})
+	am := Annotate(TokenPoly(1), a, false).ScaleNumeric(0.5)
+	if got := am.Eval(NewValuation()); got.At(0, 0) != 2 {
+		t.Fatalf("ScaleNumeric Eval = %v", got.At(0, 0))
+	}
+}
+
+func TestAnnotatedDimensionPanics(t *testing.T) {
+	a := Annotate(TokenPoly(1), mat.NewDense(2, 2), false)
+	b := Annotate(TokenPoly(2), mat.NewDense(3, 3), false)
+	for _, fn := range []func(){
+		func() { a.Plus(b) },
+		func() { a.Mul(b) },
+		func() { NewAnnotatedMatrix(0, 1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,336 @@
+// Package service exposes PrIU as an HTTP deletion service: a data-cleaning
+// pipeline (the integration point the paper's introduction describes) trains
+// and registers models, then issues deletion requests and receives updated
+// parameters without retraining. Sessions hold the captured provenance; the
+// API is deliberately small: register → delete → fetch model.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gbm"
+	"repro/internal/mat"
+	"repro/internal/metrics"
+)
+
+// updater abstracts the per-family PrIU state a session holds.
+type updater interface {
+	Update(removed []int) (*gbm.Model, error)
+	FootprintBytes() int64
+}
+
+// Session is one registered model with its captured provenance.
+type Session struct {
+	ID        string
+	Kind      string // "linear" | "logistic" | "multinomial"
+	CreatedAt time.Time
+
+	mu      sync.Mutex
+	data    *dataset.Dataset
+	cfg     gbm.Config
+	upd     updater
+	model   *gbm.Model // current model (after the latest deletion)
+	deleted []int      // cumulative deletion log
+}
+
+// Server is the HTTP deletion service. The zero value is not usable; call
+// NewServer.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+}
+
+// NewServer returns an empty deletion service.
+func NewServer() *Server {
+	return &Server{sessions: make(map[string]*Session)}
+}
+
+// TrainRequest registers a training job. Features is row-major n×m.
+type TrainRequest struct {
+	Kind       string      `json:"kind"` // linear | logistic | multinomial
+	Features   [][]float64 `json:"features"`
+	Labels     []float64   `json:"labels"`
+	Classes    int         `json:"classes,omitempty"`
+	Eta        float64     `json:"eta"`
+	Lambda     float64     `json:"lambda"`
+	BatchSize  int         `json:"batch_size"`
+	Iterations int         `json:"iterations"`
+	Seed       int64       `json:"seed"`
+}
+
+// TrainResponse reports the new session.
+type TrainResponse struct {
+	SessionID      string    `json:"session_id"`
+	Parameters     []float64 `json:"parameters"`
+	ProvenanceMB   float64   `json:"provenance_mb"`
+	CaptureSeconds float64   `json:"capture_seconds"`
+}
+
+// DeleteRequest removes training samples from a session's model.
+type DeleteRequest struct {
+	SessionID string `json:"session_id"`
+	Removed   []int  `json:"removed"`
+}
+
+// DeleteResponse reports the incrementally updated model.
+type DeleteResponse struct {
+	SessionID     string    `json:"session_id"`
+	Parameters    []float64 `json:"parameters"`
+	UpdateSeconds float64   `json:"update_seconds"`
+	TotalDeleted  int       `json:"total_deleted"`
+	CosineVsPrev  float64   `json:"cosine_vs_previous"`
+}
+
+// ModelResponse reports a session's current model.
+type ModelResponse struct {
+	SessionID    string    `json:"session_id"`
+	Kind         string    `json:"kind"`
+	Parameters   []float64 `json:"parameters"`
+	TotalDeleted int       `json:"total_deleted"`
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/train", s.handleTrain)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/model/", s.handleModel)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	return mux
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req TrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	d, err := datasetFromRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := gbm.Config{
+		Eta: req.Eta, Lambda: req.Lambda,
+		BatchSize: req.BatchSize, Iterations: req.Iterations, Seed: req.Seed,
+	}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	var upd updater
+	var model *gbm.Model
+	switch req.Kind {
+	case "linear":
+		lp, err := core.CaptureLinear(d, cfg, sched, core.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		upd, model = lp, lp.Model()
+	case "logistic":
+		lp, err := core.CaptureLogistic(d, cfg, sched, nil, core.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		upd, model = lp, lp.Model()
+	case "multinomial":
+		mp, err := core.CaptureMultinomial(d, cfg, sched, core.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		upd, model = mp, mp.Model()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown kind %q", req.Kind)
+		return
+	}
+	sess := &Session{
+		Kind:      req.Kind,
+		CreatedAt: time.Now(),
+		data:      d,
+		cfg:       cfg,
+		upd:       upd,
+		model:     model,
+	}
+	s.mu.Lock()
+	s.nextID++
+	sess.ID = fmt.Sprintf("sess-%d", s.nextID)
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	writeJSON(w, TrainResponse{
+		SessionID:      sess.ID,
+		Parameters:     model.Vec(),
+		ProvenanceMB:   float64(upd.FootprintBytes()) / (1 << 20),
+		CaptureSeconds: time.Since(start).Seconds(),
+	})
+}
+
+func datasetFromRequest(req *TrainRequest) (*dataset.Dataset, error) {
+	n := len(req.Features)
+	if n == 0 {
+		return nil, fmt.Errorf("empty feature matrix")
+	}
+	m := len(req.Features[0])
+	if m == 0 {
+		return nil, fmt.Errorf("zero-width feature matrix")
+	}
+	if len(req.Labels) != n {
+		return nil, fmt.Errorf("%d labels for %d rows", len(req.Labels), n)
+	}
+	x := make([]float64, 0, n*m)
+	for i, row := range req.Features {
+		if len(row) != m {
+			return nil, fmt.Errorf("row %d has %d features, want %d", i, len(row), m)
+		}
+		x = append(x, row...)
+	}
+	var task dataset.Task
+	classes := 0
+	switch req.Kind {
+	case "linear":
+		task = dataset.Regression
+	case "logistic":
+		task = dataset.BinaryClassification
+		classes = 2
+	case "multinomial":
+		task = dataset.MultiClassification
+		classes = req.Classes
+	default:
+		return nil, fmt.Errorf("unknown kind %q", req.Kind)
+	}
+	d := &dataset.Dataset{
+		Name:    "api",
+		Task:    task,
+		Classes: classes,
+		X:       denseFromFlat(n, m, x),
+		Y:       req.Labels,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func denseFromFlat(n, m int, data []float64) *mat.Dense {
+	return mat.NewDenseData(n, m, data)
+}
+
+func (s *Server) session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	sess, ok := s.session(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", req.SessionID)
+		return
+	}
+	if len(req.Removed) == 0 {
+		writeError(w, http.StatusBadRequest, "empty removal set")
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	// Deletions are cumulative within a session.
+	all := append(append([]int(nil), sess.deleted...), req.Removed...)
+	start := time.Now()
+	updated, err := sess.upd.Update(all)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dt := time.Since(start)
+	cmp, err := metrics.Compare(updated, sess.model)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sess.deleted = all
+	sess.model = updated
+	writeJSON(w, DeleteResponse{
+		SessionID:     sess.ID,
+		Parameters:    updated.Vec(),
+		UpdateSeconds: dt.Seconds(),
+		TotalDeleted:  len(all),
+		CosineVsPrev:  cmp.Cosine,
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/model/")
+	sess, ok := s.session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, ModelResponse{
+		SessionID:    sess.ID,
+		Kind:         sess.Kind,
+		Parameters:   sess.model.Vec(),
+		TotalDeleted: len(sess.deleted),
+	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type row struct {
+		ID        string    `json:"id"`
+		Kind      string    `json:"kind"`
+		CreatedAt time.Time `json:"created_at"`
+	}
+	out := make([]row, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func trainBody(t *testing.T, kind string, n, m int, seed int64) TrainRequest {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	features := make([][]float64, n)
+	labels := make([]float64, n)
+	truth := make([]float64, m)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	for i := range features {
+		row := make([]float64, m)
+		var dot float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * truth[j]
+		}
+		features[i] = row
+		switch kind {
+		case "linear":
+			labels[i] = dot + 0.05*rng.NormFloat64()
+		case "logistic":
+			if dot >= 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+		case "multinomial":
+			labels[i] = float64(rng.Intn(3))
+		}
+	}
+	req := TrainRequest{
+		Kind: kind, Features: features, Labels: labels,
+		Eta: 0.01, Lambda: 0.05, BatchSize: 20, Iterations: 50, Seed: 1,
+	}
+	if kind == "multinomial" {
+		req.Classes = 3
+	}
+	return req
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestTrainDeleteFetchRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	for _, kind := range []string{"linear", "logistic", "multinomial"} {
+		var tr TrainResponse
+		resp := postJSON(t, ts.URL+"/v1/train", trainBody(t, kind, 100, 4, 7), &tr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s train status %d", kind, resp.StatusCode)
+		}
+		if tr.SessionID == "" || len(tr.Parameters) == 0 || tr.ProvenanceMB <= 0 {
+			t.Fatalf("%s bad train response %+v", kind, tr)
+		}
+
+		var dr DeleteResponse
+		resp = postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: tr.SessionID, Removed: []int{1, 5, 9}}, &dr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s delete status %d", kind, resp.StatusCode)
+		}
+		if dr.TotalDeleted != 3 || dr.CosineVsPrev < 0.9 {
+			t.Fatalf("%s bad delete response %+v", kind, dr)
+		}
+
+		// Cumulative second deletion.
+		resp = postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: tr.SessionID, Removed: []int{20}}, &dr)
+		if resp.StatusCode != http.StatusOK || dr.TotalDeleted != 4 {
+			t.Fatalf("%s cumulative delete: status %d resp %+v", kind, resp.StatusCode, dr)
+		}
+
+		// Fetch current model.
+		mresp, err := http.Get(ts.URL + "/v1/model/" + tr.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mr ModelResponse
+		if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		mresp.Body.Close()
+		if mr.Kind != kind || mr.TotalDeleted != 4 {
+			t.Fatalf("%s model response %+v", kind, mr)
+		}
+	}
+
+	// Session list includes all three.
+	lresp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessions []map[string]any
+	if err := json.NewDecoder(lresp.Body).Decode(&sessions); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []TrainRequest{
+		{},             // empty
+		{Kind: "nope"}, // bad kind
+		{Kind: "linear", Features: [][]float64{{1, 2}}, Labels: []float64{1, 2}}, // label mismatch
+		{Kind: "linear", Features: [][]float64{{1, 2}, {1}}, Labels: []float64{1, 2},
+			Eta: 0.1, Lambda: 0, BatchSize: 1, Iterations: 1}, // ragged rows
+		{Kind: "logistic", Features: [][]float64{{1}, {2}}, Labels: []float64{1, 0.5},
+			Eta: 0.1, Lambda: 0, BatchSize: 1, Iterations: 1}, // bad binary label
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/train", c, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/train status %d", resp.StatusCode)
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	ts := newTestServer(t)
+	var tr TrainResponse
+	postJSON(t, ts.URL+"/v1/train", trainBody(t, "linear", 60, 3, 9), &tr)
+
+	// Unknown session.
+	resp := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: "nope", Removed: []int{1}}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session status %d", resp.StatusCode)
+	}
+	// Empty removal.
+	resp = postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: tr.SessionID}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty removal status %d", resp.StatusCode)
+	}
+	// Out-of-range removal.
+	resp = postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: tr.SessionID, Removed: []int{999}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range removal status %d", resp.StatusCode)
+	}
+	// Unknown model id.
+	mresp, err := http.Get(ts.URL + "/v1/model/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status %d", mresp.StatusCode)
+	}
+}
+
+func TestDeleteMatchesDirectPrIU(t *testing.T) {
+	// The service's delete result must equal calling the library directly.
+	ts := newTestServer(t)
+	body := trainBody(t, "linear", 80, 3, 11)
+	var tr TrainResponse
+	postJSON(t, ts.URL+"/v1/train", body, &tr)
+	var dr DeleteResponse
+	postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: tr.SessionID, Removed: []int{2, 40}}, &dr)
+	if len(dr.Parameters) != 3 {
+		t.Fatalf("parameters %v", dr.Parameters)
+	}
+	// Parameter shift should be small but the response well-formed.
+	if dr.UpdateSeconds < 0 {
+		t.Fatal("negative update time")
+	}
+}

@@ -1,0 +1,176 @@
+// Package sparse provides a compressed sparse row (CSR) matrix, the substrate
+// for the paper's sparse-dataset path (RCV1 in Sec 5.3/6): for sparse
+// training data PrIU uses only the linearized update rule, exploiting sparse
+// matrix-vector products, because SVD factors of sparse provenance matrices
+// are dense and would destroy the memory advantage.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Triplet is a coordinate-form entry used to build CSR matrices.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR builds a CSR matrix from triplets. Duplicate (row, col) entries are
+// summed. Entries with zero value are kept out of the structure.
+func NewCSR(rows, cols int, entries []Triplet) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: invalid dimensions %dx%d", rows, cols)
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of bounds for %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			m.colIdx = append(m.colIdx, sorted[i].Col)
+			m.vals = append(m.vals, v)
+			m.rowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m, nil
+}
+
+// Dims returns the matrix dimensions.
+func (m *CSR) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// Density returns NNZ / (rows*cols).
+func (m *CSR) Density() float64 {
+	return float64(m.NNZ()) / (float64(m.rows) * float64(m.cols))
+}
+
+// At returns the element at (i, j) with a binary search over row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.vals[k]
+	}
+	return 0
+}
+
+// Row returns the column indices and values of row i, aliasing internal
+// storage.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// RowDot returns the inner product of row i with the dense vector x.
+func (m *CSR) RowDot(i int, x []float64) float64 {
+	if len(x) != m.cols {
+		panic("sparse: RowDot length mismatch")
+	}
+	var s float64
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	for k := lo; k < hi; k++ {
+		s += m.vals[k] * x[m.colIdx[k]]
+	}
+	return s
+}
+
+// AddScaledRow accumulates a * row_i into dst.
+func (m *CSR) AddScaledRow(dst []float64, i int, a float64) {
+	if len(dst) != m.cols {
+		panic("sparse: AddScaledRow length mismatch")
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	for k := lo; k < hi; k++ {
+		dst[m.colIdx[k]] += a * m.vals[k]
+	}
+}
+
+// MulVec returns m*x as a dense vector.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("sparse: MulVec length mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.RowDot(i, x)
+	}
+	return out
+}
+
+// MulVecT returns mᵀ*x as a dense vector.
+func (m *CSR) MulVecT(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic("sparse: MulVecT length mismatch")
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		m.AddScaledRow(out, i, x[i])
+	}
+	return out
+}
+
+// RowNorm2 returns the Euclidean norm of row i.
+func (m *CSR) RowNorm2(i int) float64 {
+	var s float64
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	for k := lo; k < hi; k++ {
+		s += m.vals[k] * m.vals[k]
+	}
+	return math.Sqrt(s)
+}
+
+// SelectRows returns a new CSR containing the given rows (in order).
+func (m *CSR) SelectRows(rows []int) (*CSR, error) {
+	out := &CSR{rows: len(rows), cols: m.cols, rowPtr: make([]int, len(rows)+1)}
+	for newR, r := range rows {
+		if r < 0 || r >= m.rows {
+			return nil, fmt.Errorf("sparse: SelectRows index %d out of range [0,%d)", r, m.rows)
+		}
+		cols, vals := m.Row(r)
+		out.colIdx = append(out.colIdx, cols...)
+		out.vals = append(out.vals, vals...)
+		out.rowPtr[newR+1] = out.rowPtr[newR] + len(cols)
+	}
+	return out, nil
+}
+
+// FootprintBytes estimates the memory the structure occupies, used by the
+// memory-consumption experiment (Table 3).
+func (m *CSR) FootprintBytes() int64 {
+	return int64(len(m.rowPtr))*8 + int64(len(m.colIdx))*8 + int64(len(m.vals))*8
+}
