@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark, no tests.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending files listed) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything CI runs, in one target, for local parity.
+ci: build vet fmt-check race bench

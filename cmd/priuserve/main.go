@@ -2,14 +2,20 @@
 //
 // Usage:
 //
-//	priuserve -addr :8080
+//	priuserve -addr :8080 -workers 0
 //
 // Endpoints:
 //
 //	POST /v1/train     register data + hyperparameters, train with capture
-//	POST /v1/delete    incrementally remove training samples from a session
+//	POST /v1/delete    incrementally remove training samples from a session,
+//	                   or a {"batch": [...]} of removals across sessions
+//	                   executed concurrently on the worker pool
 //	GET  /v1/model/ID  fetch a session's current parameters
 //	GET  /v1/sessions  list sessions
+//	GET  /v1/stats     per-shard and per-session counters
+//
+// -workers sets the kernel worker-pool parallelism (0 = GOMAXPROCS); the
+// session store itself is hash-sharded and needs no tuning.
 package main
 
 import (
@@ -17,14 +23,17 @@ import (
 	"log"
 	"net/http"
 
+	"repro/internal/par"
 	"repro/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "kernel worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+	par.SetWorkers(*workers)
 	srv := service.NewServer()
-	log.Printf("priuserve listening on %s", *addr)
+	log.Printf("priuserve listening on %s (%d workers)", *addr, par.Workers())
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -7,4 +7,28 @@
 // paper-vs-measured record. The benchmark harness in bench_test.go
 // regenerates every table and figure of the paper's evaluation section;
 // cmd/priubench runs the same experiments as a CLI.
+//
+// # Parallel architecture
+//
+// Every hot kernel routes its row loop through internal/par, a chunked
+// worker pool with a serial fallback below a per-kernel work cutoff:
+//
+//   - internal/mat: MulVecInto, MulVecTInto, GramInto, MulInto, AddScaled
+//     and the incremental eigenvalue updates run row-block-parallel; kernels
+//     whose rows scatter into shared output (MulVecT, Gram) use per-worker
+//     accumulators merged at the end (par.MapReduce).
+//   - internal/sparse: CSR SpMV is row-parallel with a grain that adapts to
+//     the average row density; SpMVᵀ merges per-worker dense accumulators.
+//   - internal/core: the PrIU-opt eigenbasis recurrences (Eq 17 / Sec 5.4)
+//     split across coordinates, the multinomial updater runs its classes in
+//     parallel, and the sparse logistic replay fans the batch out with
+//     private step vectors.
+//   - internal/service: the session store is hash-sharded (per-shard locks
+//     and counters), and batched deletions execute independent sessions'
+//     updates concurrently on the same pool. GET /v1/stats exposes the
+//     per-shard and per-session counters.
+//
+// par.SetWorkers is the single parallelism knob (priuserve -workers);
+// Benchmark*Parallel in bench_parallel_test.go reports the measured
+// serial-vs-parallel speedup of each kernel.
 package repro

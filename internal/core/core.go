@@ -30,6 +30,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // Options configures provenance capture.
@@ -268,6 +269,22 @@ func weightedGramCache(rows [][]float64, weights []float64, m int, useSVD bool, 
 }
 
 func sqrtAbs(x float64) float64 { return math.Sqrt(math.Abs(x)) }
+
+// rollRecurrence evaluates z[i] ← γᵢ·z[i] + βᵢ repeated `iters` times for
+// every coordinate, the O(τm) eigenbasis recurrence shared by PrIU-opt's
+// linear (Eq 17) and logistic (Sec 5.4) update phases. Coordinates are
+// independent, so the loop runs block-parallel for large τ·m.
+func rollRecurrence(z []float64, iters int, coef func(i int) (gamma, beta, z0 float64)) {
+	par.For(len(z), par.Grain(iters), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gamma, beta, zi := coef(i)
+			for t := 0; t < iters; t++ {
+				zi = gamma*zi + beta
+			}
+			z[i] = zi
+		}
+	})
+}
 
 // removalMask converts a removal set into a dense boolean mask for cheap
 // membership checks in the per-batch-member hot loops.

@@ -95,15 +95,11 @@ func (lo *LinearOpt) Update(removed []int) (*gbm.Model, error) {
 	eta, lambda := lo.cfg.Eta, lo.cfg.Lambda
 	qtn := lo.eig.Q.MulVecT(nPrime)
 	z := make([]float64, m)
-	for i := 0; i < m; i++ {
-		gamma := 1 - eta*lambda - 2*eta*cPrime[i]/float64(nEff)
-		beta := 2 * eta / float64(nEff) * qtn[i]
-		zi := 0.0
-		for t := 0; t < lo.cfg.Iterations; t++ {
-			zi = gamma*zi + beta
-		}
-		z[i] = zi
-	}
+	rollRecurrence(z, lo.cfg.Iterations, func(i int) (gamma, beta, z0 float64) {
+		return 1 - eta*lambda - 2*eta*cPrime[i]/float64(nEff),
+			2 * eta / float64(nEff) * qtn[i],
+			0
+	})
 	w := lo.eig.Q.MulVec(z)
 	return &gbm.Model{Task: dataset.Regression, W: mat.NewDenseData(1, m, w)}, nil
 }

@@ -145,15 +145,11 @@ func (lo *LogisticOpt) Update(removed []int) (*gbm.Model, error) {
 	zc := lo.eig.Q.MulVecT(w)
 	dt := lo.eig.Q.MulVecT(dStar)
 	rem := lo.fullIterations - lo.ts
-	for i := 0; i < m; i++ {
-		gamma := 1 - eta*lambda + eta*cPrime[i]/float64(nEff)
-		beta := eta * dt[i] / float64(nEff)
-		zi := zc[i]
-		for t := 0; t < rem; t++ {
-			zi = gamma*zi + beta
-		}
-		zc[i] = zi
-	}
+	rollRecurrence(zc, rem, func(i int) (gamma, beta, z0 float64) {
+		return 1 - eta*lambda + eta*cPrime[i]/float64(nEff),
+			eta * dt[i] / float64(nEff),
+			zc[i]
+	})
 	w = lo.eig.Q.MulVec(zc)
 	return &gbm.Model{Task: dataset.BinaryClassification, W: mat.NewDenseData(1, m, w)}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gbm"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // MultinomialProvenance is the multinomial-logistic analogue of
@@ -167,19 +168,23 @@ func (mp *MultinomialProvenance) Update(removed []int) (*gbm.Model, error) {
 }
 
 // updateInto rolls the per-class incremental update from iteration t0 to
-// tEnd on w in place.
+// tEnd on w in place. Classes evolve independently — the only cross-class
+// inputs are the per-iteration surviving batch sizes, which are precomputed —
+// so classes run in parallel, each rolling all its iterations with private
+// scratch. This restructure itself preserves the serial per-class arithmetic
+// order; bitwise run-to-run determinism additionally requires the nested
+// kernels to reduce deterministically, which holds for full caches but not
+// for SVD caches (whose transpose mat-vec merges per-worker partials in
+// completion order).
 func (mp *MultinomialProvenance) updateInto(w *mat.Dense, rm map[int]bool, t0, tEnd int) {
 	mask := removalMask(mp.data.N(), rm)
 	m, q := mp.data.M(), mp.q
-	cw := make([]float64, m)
-	scratch := make([]float64, m)
-	dGW := make([]float64, m)
-	dDV := make([]float64, m)
 	eta, lambda := mp.cfg.Eta, mp.cfg.Lambda
+	decay := 1 - eta*lambda
+	bUs := make([]int, tEnd-t0)
 	for t := t0; t < tEnd; t++ {
 		batch := mp.sched.Batch(t)
-		b := len(batch)
-		bU := b
+		bU := len(batch)
 		if mask != nil {
 			for _, i := range batch {
 				if mask[i] {
@@ -187,41 +192,52 @@ func (mp *MultinomialProvenance) updateInto(w *mat.Dense, rm map[int]bool, t0, t
 				}
 			}
 		}
-		decay := 1 - eta*lambda
-		if bU == 0 {
-			w.Scale(decay)
-			continue
-		}
-		f := eta / float64(bU)
-		for k := 0; k < q; k++ {
+		bUs[t-t0] = bU
+	}
+	par.For(q, 1, func(klo, khi int) {
+		cw := make([]float64, m)
+		scratch := make([]float64, m)
+		dGW := make([]float64, m)
+		dDV := make([]float64, m)
+		for k := klo; k < khi; k++ {
 			wk := w.Row(k)
-			mp.caches[t][k].apply(cw, wk, scratch)
-			removedAny := false
-			for j, i := range batch {
-				if mask == nil || !mask[i] {
+			for t := t0; t < tEnd; t++ {
+				bU := bUs[t-t0]
+				if bU == 0 {
+					mat.ScaleVec(wk, decay)
 					continue
 				}
+				batch := mp.sched.Batch(t)
+				b := len(batch)
+				mp.caches[t][k].apply(cw, wk, scratch)
+				removedAny := false
+				for j, i := range batch {
+					if mask == nil || !mask[i] {
+						continue
+					}
+					if !removedAny {
+						removedAny = true
+						mat.ZeroVec(dGW)
+						mat.ZeroVec(dDV)
+					}
+					xi := mp.data.X.Row(i)
+					mat.Axpy(dGW, mp.aCoef[t][k*b+j]*mat.Dot(xi, wk), xi)
+					mat.Axpy(dDV, mp.cCoef[t][k*b+j], xi)
+				}
+				f := eta / float64(bU)
+				dv := mp.dvecs[t][k]
 				if !removedAny {
-					removedAny = true
-					mat.ZeroVec(dGW)
-					mat.ZeroVec(dDV)
-				}
-				xi := mp.data.X.Row(i)
-				mat.Axpy(dGW, mp.aCoef[t][k*b+j]*mat.Dot(xi, wk), xi)
-				mat.Axpy(dDV, mp.cCoef[t][k*b+j], xi)
-			}
-			dv := mp.dvecs[t][k]
-			if !removedAny {
-				for j := range wk {
-					wk[j] = decay*wk[j] - f*(cw[j]+dv[j])
-				}
-			} else {
-				for j := range wk {
-					wk[j] = decay*wk[j] - f*(cw[j]-dGW[j]+dv[j]-dDV[j])
+					for j := range wk {
+						wk[j] = decay*wk[j] - f*(cw[j]+dv[j])
+					}
+				} else {
+					for j := range wk {
+						wk[j] = decay*wk[j] - f*(cw[j]-dGW[j]+dv[j]-dDV[j])
+					}
 				}
 			}
 		}
-	}
+	})
 }
 
 // FootprintBytes returns the memory occupied by the cached provenance.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gbm"
 	"repro/internal/interp"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // SparseLogisticProvenance implements PrIU's sparse-dataset path (Sec 5.3):
@@ -106,19 +107,54 @@ func (sp *SparseLogisticProvenance) Update(removed []int) (*gbm.Model, error) {
 	w := make([]float64, m)
 	step := make([]float64, m)
 	eta, lambda := sp.cfg.Eta, sp.cfg.Lambda
+	// Chunk grain so each chunk touches ~par.MinWork stored non-zeros; below
+	// that the batch replays serially into the preallocated step buffer.
+	rows, _ := d.X.Dims()
+	avgNNZ := 0
+	if rows > 0 {
+		avgNNZ = d.X.NNZ() / rows
+	}
+	grain := par.Grain(avgNNZ)
 	for t := 0; t < sp.cfg.Iterations; t++ {
 		batch := sp.sched.Batch(t)
-		mat.ZeroVec(step)
-		bU := 0
-		for k, i := range batch {
-			if mask != nil && mask[i] {
-				continue
+		var bU int
+		if par.Workers() > 1 && len(batch) > grain {
+			// Row-parallel linearized replay: each worker scatters its batch
+			// slice into a private accumulator (sparse SpMV-transpose shape).
+			acc := par.MapReduce(len(batch), grain,
+				func() *sparseStepAcc { return &sparseStepAcc{step: make([]float64, m)} },
+				func(acc *sparseStepAcc, lo, hi int) *sparseStepAcc {
+					for k := lo; k < hi; k++ {
+						i := batch[k]
+						if mask != nil && mask[i] {
+							continue
+						}
+						acc.bU++
+						yi := d.Y[i]
+						coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
+						d.X.AddScaledRow(acc.step, i, coef)
+					}
+					return acc
+				},
+				func(a, b *sparseStepAcc) *sparseStepAcc {
+					mat.Axpy(a.step, 1, b.step)
+					a.bU += b.bU
+					return a
+				})
+			copy(step, acc.step)
+			bU = acc.bU
+		} else {
+			mat.ZeroVec(step)
+			for k, i := range batch {
+				if mask != nil && mask[i] {
+					continue
+				}
+				bU++
+				yi := d.Y[i]
+				// a·xᵢxᵢᵀw + b·yᵢxᵢ accumulated as one sparse axpy.
+				coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
+				d.X.AddScaledRow(step, i, coef)
 			}
-			bU++
-			yi := d.Y[i]
-			// a·xᵢxᵢᵀw + b·yᵢxᵢ accumulated as one sparse axpy.
-			coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
-			d.X.AddScaledRow(step, i, coef)
 		}
 		decay := 1 - eta*lambda
 		if bU == 0 {
@@ -131,6 +167,13 @@ func (sp *SparseLogisticProvenance) Update(removed []int) (*gbm.Model, error) {
 		}
 	}
 	return &gbm.Model{Task: dataset.BinaryClassification, W: mat.NewDenseData(1, m, w)}, nil
+}
+
+// sparseStepAcc is a worker-private accumulator for the parallel batch
+// replay: the partial step vector and the surviving-member count.
+type sparseStepAcc struct {
+	step []float64
+	bU   int
 }
 
 // FootprintBytes returns the coefficient-cache memory (O(τ·B) floats).

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gbm"
 	"repro/internal/interp"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // Cached is the paper-faithful INFL method: the influence-function
@@ -127,18 +128,23 @@ func (c *Cached) Update(removed []int) (*gbm.Model, error) {
 	}
 	inv := 1.0 / float64(nEff)
 	out := c.model.W.Clone()
-	for k := 0; k < c.q; k++ {
-		g := mat.CloneVec(c.grad[k])
-		for i := range rm {
-			mat.Axpy(g, -c.gscale[k][i], c.data.X.Row(i))
+	// Classes are independent (disjoint gradient caches, Hessian factors and
+	// output rows), so the gradient correction + triangular solve runs
+	// class-parallel.
+	par.For(c.q, 1, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			g := mat.CloneVec(c.grad[k])
+			for i := range rm {
+				mat.Axpy(g, -c.gscale[k][i], c.data.X.Row(i))
+			}
+			wk := c.model.W.Row(k)
+			for j := 0; j < m; j++ {
+				g[j] = inv*g[j] + c.lambda*wk[j]
+			}
+			step := c.hess[k].Solve(g)
+			mat.Axpy(out.Row(k), -1, step)
 		}
-		wk := c.model.W.Row(k)
-		for j := 0; j < m; j++ {
-			g[j] = inv*g[j] + c.lambda*wk[j]
-		}
-		step := c.hess[k].Solve(g)
-		mat.Axpy(out.Row(k), -1, step)
-	}
+	})
 	return &gbm.Model{Task: c.data.Task, W: out}, nil
 }
 

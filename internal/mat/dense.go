@@ -12,6 +12,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // Dense is a row-major dense matrix.
@@ -116,13 +118,17 @@ func (m *Dense) Scale(s float64) *Dense {
 }
 
 // AddScaled adds s*b to m in place and returns m. Dimensions must match.
+// Large matrices are updated row-block-parallel.
 func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
 	if m.rows != b.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: AddScaled dimension mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	for i, v := range b.data {
-		m.data[i] += s * v
-	}
+	par.For(len(m.data), parMinFlops, func(lo, hi int) {
+		dst, src := m.data[lo:hi], b.data[lo:hi]
+		for i, v := range src {
+			dst[i] += s * v
+		}
+	})
 	return m
 }
 
@@ -145,28 +151,31 @@ func (m *Dense) Mul(b *Dense) *Dense {
 	return out
 }
 
-// MulInto computes dst = a*b. dst must not alias a or b.
+// MulInto computes dst = a*b. dst must not alias a or b. Rows of dst are
+// independent, so large products are computed row-block-parallel.
 func MulInto(dst, a, b *Dense) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic("mat: MulInto dimension mismatch")
 	}
 	n := b.cols
-	for i := 0; i < a.rows; i++ {
-		di := dst.data[i*n : (i+1)*n]
-		for j := range di {
-			di[j] = 0
-		}
-		ai := a.data[i*a.cols : (i+1)*a.cols]
-		for k, av := range ai {
-			if av == 0 {
-				continue
+	par.For(a.rows, parGrain(a.cols*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst.data[i*n : (i+1)*n]
+			for j := range di {
+				di[j] = 0
 			}
-			bk := b.data[k*n : (k+1)*n]
-			for j, bv := range bk {
-				di[j] += av * bv
+			ai := a.data[i*a.cols : (i+1)*a.cols]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.data[k*n : (k+1)*n]
+				for j, bv := range bk {
+					di[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MulVec returns m*x as a new vector of length m.rows.
@@ -177,19 +186,22 @@ func (m *Dense) MulVec(x []float64) []float64 {
 }
 
 // MulVecInto computes dst = m*x. dst must have length m.rows and must not
-// alias x.
+// alias x. Output rows are independent, so large matrices are processed
+// row-block-parallel.
 func (m *Dense) MulVecInto(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d -> %d", m.rows, m.cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.rows; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, v := range ri {
-			s += v * x[j]
+	par.For(m.rows, parGrain(m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := m.data[i*m.cols : (i+1)*m.cols]
+			var s float64
+			for j, v := range ri {
+				s += v * x[j]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 }
 
 // MulVecT returns mᵀ*x as a new vector of length m.cols.
@@ -200,15 +212,39 @@ func (m *Dense) MulVecT(x []float64) []float64 {
 }
 
 // MulVecTInto computes dst = mᵀ*x. dst must have length m.cols and must not
-// alias x.
+// alias x. Rows contribute to the whole output, so the parallel path gives
+// each worker a private accumulator and merges (a MapReduce); the serial path
+// stays allocation-free.
 func (m *Dense) MulVecTInto(dst, x []float64) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("mat: MulVecT dimension mismatch %dx%d^T * %d -> %d", m.rows, m.cols, len(x), len(dst)))
 	}
-	for j := range dst {
-		dst[j] = 0
+	grain := parGrain(m.cols)
+	if !parActive(m.rows, grain) {
+		for j := range dst {
+			dst[j] = 0
+		}
+		m.addScaledRowsT(dst, x, 0, m.rows)
+		return
 	}
-	for i := 0; i < m.rows; i++ {
+	acc := par.MapReduce(m.rows, grain,
+		func() []float64 { return make([]float64, m.cols) },
+		func(acc []float64, lo, hi int) []float64 {
+			m.addScaledRowsT(acc, x, lo, hi)
+			return acc
+		},
+		func(a, b []float64) []float64 {
+			for j, v := range b {
+				a[j] += v
+			}
+			return a
+		})
+	copy(dst, acc)
+}
+
+// addScaledRowsT accumulates Σ_{i∈[lo,hi)} x[i]·row_i into dst.
+func (m *Dense) addScaledRowsT(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
@@ -228,13 +264,32 @@ func (m *Dense) Gram() *Dense {
 	return g
 }
 
-// GramInto accumulates mᵀ*m into dst (dst is overwritten).
+// GramInto accumulates mᵀ*m into dst (dst is overwritten). The parallel path
+// accumulates per-worker cols×cols partials over row blocks and merges them;
+// the serial path accumulates directly into dst.
 func (m *Dense) GramInto(dst *Dense) {
 	if dst.rows != m.cols || dst.cols != m.cols {
 		panic("mat: GramInto dimension mismatch")
 	}
-	dst.Zero()
-	for i := 0; i < m.rows; i++ {
+	grain := parGrain(m.cols * m.cols)
+	if !parActive(m.rows, grain) {
+		dst.Zero()
+		m.gramRows(dst, 0, m.rows)
+		return
+	}
+	acc := par.MapReduce(m.rows, grain,
+		func() *Dense { return NewDense(m.cols, m.cols) },
+		func(acc *Dense, lo, hi int) *Dense {
+			m.gramRows(acc, lo, hi)
+			return acc
+		},
+		func(a, b *Dense) *Dense { return a.AddScaled(b, 1) })
+	dst.CopyFrom(acc)
+}
+
+// gramRows accumulates Σ_{i∈[lo,hi)} row_i·row_iᵀ into dst.
+func (m *Dense) gramRows(dst *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ri := m.data[i*m.cols : (i+1)*m.cols]
 		AddOuter(dst, ri, ri, 1)
 	}

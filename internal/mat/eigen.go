@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Eigen holds the eigendecomposition of a real symmetric matrix
@@ -143,16 +145,19 @@ func (e *Eigen) UpdateValues(delta *Dense) []float64 {
 		panic("mat: UpdateValues dimension mismatch")
 	}
 	out := make([]float64, n)
-	tmp := make([]float64, n)
-	col := make([]float64, n)
-	for i := 0; i < n; i++ {
-		// col = i-th eigenvector.
-		for r := 0; r < n; r++ {
-			col[r] = e.Q.At(r, i)
+	// Each eigenvalue update is independent; chunks carry their own scratch.
+	par.For(n, parGrain(2*n*n), func(lo, hi int) {
+		tmp := make([]float64, n)
+		col := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			// col = i-th eigenvector.
+			for r := 0; r < n; r++ {
+				col[r] = e.Q.At(r, i)
+			}
+			delta.MulVecInto(tmp, col)
+			out[i] = e.Values[i] + Dot(col, tmp)
 		}
-		delta.MulVecInto(tmp, col)
-		out[i] = e.Values[i] + Dot(col, tmp)
-	}
+	})
 	return out
 }
 
@@ -165,19 +170,21 @@ func (e *Eigen) UpdateValuesGram(dz *Dense, sign float64) []float64 {
 		panic("mat: UpdateValuesGram dimension mismatch")
 	}
 	out := make([]float64, n)
-	col := make([]float64, n)
-	prod := make([]float64, dz.rows)
-	for i := 0; i < n; i++ {
-		for r := 0; r < n; r++ {
-			col[r] = e.Q.At(r, i)
+	par.For(n, parGrain(dz.rows*n), func(lo, hi int) {
+		col := make([]float64, n)
+		prod := make([]float64, dz.rows)
+		for i := lo; i < hi; i++ {
+			for r := 0; r < n; r++ {
+				col[r] = e.Q.At(r, i)
+			}
+			dz.MulVecInto(prod, col)
+			var s float64
+			for _, v := range prod {
+				s += v * v
+			}
+			out[i] = e.Values[i] + sign*s
 		}
-		dz.MulVecInto(prod, col)
-		var s float64
-		for _, v := range prod {
-			s += v * v
-		}
-		out[i] = e.Values[i] + sign*s
-	}
+	})
 	return out
 }
 
@@ -185,23 +192,5 @@ func (e *Eigen) UpdateValuesGram(dz *Dense, sign float64) []float64 {
 // removed-row matrix ΔX (k×n). It costs O(k·n²) instead of forming the n×n
 // delta: (Qᵀ(−ΔXᵀΔX)Q)[i][i] = −‖ΔX·qᵢ‖².
 func (e *Eigen) UpdateValuesLowRank(dx *Dense) []float64 {
-	n := len(e.Values)
-	if dx.cols != n {
-		panic("mat: UpdateValuesLowRank dimension mismatch")
-	}
-	out := make([]float64, n)
-	col := make([]float64, n)
-	prod := make([]float64, dx.rows)
-	for i := 0; i < n; i++ {
-		for r := 0; r < n; r++ {
-			col[r] = e.Q.At(r, i)
-		}
-		dx.MulVecInto(prod, col)
-		var s float64
-		for _, v := range prod {
-			s += v * v
-		}
-		out[i] = e.Values[i] - s
-	}
-	return out
+	return e.UpdateValuesGram(dx, -1)
 }

@@ -1,0 +1,261 @@
+// Package par provides the reusable parallelism substrate for the PrIU
+// reproduction: a lazily started pool of worker goroutines and two chunked
+// scheduling primitives, For (independent index ranges) and MapReduce
+// (per-worker accumulators merged at the end). The dense and sparse kernels
+// route their row loops through this package, so one knob — SetWorkers —
+// controls the parallelism of the whole stack.
+//
+// Design points:
+//
+//   - Work is split into contiguous chunks of at least `grain` items; chunks
+//     are claimed from an atomic counter, so uneven per-item cost (e.g. CSR
+//     rows with skewed NNZ) load-balances automatically.
+//   - Below the grain cutoff, or when Workers() == 1, calls run serially on
+//     the caller's goroutine with zero scheduling overhead; kernels stay
+//     deterministic and allocation-free for small operands.
+//   - The submitting goroutine always participates in the work. Helper
+//     workers are requested from the shared pool with a non-blocking send:
+//     if the pool is saturated (e.g. a kernel invoked from inside another
+//     parallel region), the caller simply does the work itself. Nested use
+//     therefore degrades to serial execution instead of deadlocking.
+//   - A panic in any chunk aborts the remaining chunks and is re-raised on
+//     the submitting goroutine after all helpers have drained.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is a reasonable minimum number of scalar work items per chunk
+// for memory-bound vector loops. Compute-bound kernels derive their own grain
+// from a flop estimate via Grain.
+const DefaultGrain = 4096
+
+// MinWork is the approximate amount of per-chunk scalar work (flops or
+// memory touches) below which splitting is not worth the scheduling and
+// wakeup overhead (~a few microseconds per chunk).
+const MinWork = 1 << 15
+
+// Grain converts a per-item work estimate into a chunk grain: every chunk
+// carries at least MinWork work items.
+func Grain(perItem int) int {
+	if perItem < 1 {
+		perItem = 1
+	}
+	g := MinWork / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// chunksPerWorker bounds how many chunks each worker claims on average;
+// more chunks than this only adds counter contention.
+const chunksPerWorker = 4
+
+var workers atomic.Int64
+
+func init() { workers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// Workers returns the current target parallelism (including the caller's
+// goroutine).
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the target parallelism for subsequent For/MapReduce calls.
+// n <= 0 resets to runtime.GOMAXPROCS(0). It returns the previous value so
+// callers (benchmarks, tests) can restore it.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// The helper pool: long-lived goroutines fed closures over an unbuffered
+// channel. Pool size is fixed at startup; on single-core hosts a few helpers
+// are still kept so tests can exercise real interleavings.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func pool() chan func() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 4 {
+			n = 4
+		}
+		poolCh = make(chan func())
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range poolCh {
+					f()
+				}
+			}()
+		}
+	})
+	return poolCh
+}
+
+// plan computes the chunk size and count for n items with the requested
+// minimum grain, capping the chunk count at w*chunksPerWorker.
+func plan(n, grain, w int) (chunk, chunks int) {
+	if grain < 1 {
+		grain = 1
+	}
+	chunks = (n + grain - 1) / grain
+	if max := w * chunksPerWorker; chunks > max {
+		chunks = max
+	}
+	chunk = (n + chunks - 1) / chunks
+	chunks = (n + chunk - 1) / chunk
+	return chunk, chunks
+}
+
+// For runs fn(lo, hi) over disjoint subranges covering [0, n). grain is the
+// minimum number of items per chunk; n <= grain (or Workers() == 1) runs
+// fn(0, n) serially on the caller's goroutine. fn must be safe to call
+// concurrently from multiple goroutines on disjoint ranges.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunk, chunks := plan(n, grain, w)
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[any]
+	)
+	runner := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &r)
+				next.Store(int64(chunks)) // abort remaining chunks
+			}
+		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	helpers := w - 1
+	if chunks-1 < helpers {
+		helpers = chunks - 1
+	}
+	var wg sync.WaitGroup
+	p := pool()
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		select {
+		case p <- func() { defer wg.Done(); runner() }:
+		default:
+			// Pool saturated (nested parallel region or heavy load): the
+			// caller absorbs this helper's share.
+			wg.Done()
+		}
+	}
+	runner()
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}
+
+// MapReduce runs chunk over disjoint subranges covering [0, n), giving each
+// participating worker its own accumulator from newAcc, and folds the
+// per-worker accumulators with merge. chunk receives the worker's current
+// accumulator and returns the (possibly same, possibly replaced) accumulator.
+// merge may mutate and return its first argument. For n <= grain or a single
+// worker the call reduces to chunk(newAcc(), 0, n) with no merge.
+func MapReduce[T any](n, grain int, newAcc func() T, chunk func(acc T, lo, hi int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return newAcc()
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		return chunk(newAcc(), 0, n)
+	}
+	sz, chunks := plan(n, grain, w)
+	if chunks <= 1 {
+		return chunk(newAcc(), 0, n)
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[any]
+		mu       sync.Mutex
+		accs     []T
+	)
+	runner := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &r)
+				next.Store(int64(chunks))
+			}
+		}()
+		var acc T
+		started := false
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				break
+			}
+			if !started {
+				acc = newAcc()
+				started = true
+			}
+			lo := c * sz
+			hi := lo + sz
+			if hi > n {
+				hi = n
+			}
+			acc = chunk(acc, lo, hi)
+		}
+		if started {
+			mu.Lock()
+			accs = append(accs, acc)
+			mu.Unlock()
+		}
+	}
+	helpers := w - 1
+	if chunks-1 < helpers {
+		helpers = chunks - 1
+	}
+	var wg sync.WaitGroup
+	p := pool()
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		select {
+		case p <- func() { defer wg.Done(); runner() }:
+		default:
+			wg.Done()
+		}
+	}
+	runner()
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out = merge(out, a)
+	}
+	return out
+}

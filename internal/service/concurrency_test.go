@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestConcurrentTrainDeleteModel hammers the sharded store from many
+// goroutines — trains, single deletes, batched deletes, model fetches and
+// stats reads interleaved across independent sessions — and must pass under
+// -race. The kernel pool is forced above one worker so the parallel code
+// paths are exercised even on single-core runners.
+func TestConcurrentTrainDeleteModel(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+
+	ts := newTestServer(t)
+	kinds := []string{"linear", "logistic", "multinomial"}
+
+	// Phase 1: concurrent training across kinds.
+	const perKind = 3
+	ids := make([]string, len(kinds)*perKind)
+	var wg sync.WaitGroup
+	for ki, kind := range kinds {
+		for r := 0; r < perKind; r++ {
+			wg.Add(1)
+			go func(slot int, kind string, seed int64) {
+				defer wg.Done()
+				var tr TrainResponse
+				resp := postJSON(t, ts.URL+"/v1/train", trainBody(t, kind, 80, 4, seed), &tr)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("train %s status %d", kind, resp.StatusCode)
+					return
+				}
+				ids[slot] = tr.SessionID
+			}(ki*perKind+r, kind, int64(100+ki*perKind+r))
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 2: concurrent single deletes, model fetches and stats reads,
+	// plus repeat deletes targeting the same session to contend on its lock.
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			wg.Add(3)
+			go func(id string, round int) {
+				defer wg.Done()
+				var dr DeleteResponse
+				resp := postJSON(t, ts.URL+"/v1/delete",
+					DeleteRequest{SessionID: id, Removed: []int{round*5 + 1, round*5 + 2}}, &dr)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("delete %s round %d status %d", id, round, resp.StatusCode)
+				}
+			}(id, round)
+			go func(id string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/v1/model/" + id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("model %s status %d", id, resp.StatusCode)
+				}
+			}(id)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + "/v1/stats")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}()
+		}
+		wg.Wait()
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 3: one batched delete spanning every session concurrently, with
+	// one bogus item that must fail without failing the batch.
+	batch := make([]DeleteItem, 0, len(ids)+1)
+	for _, id := range ids {
+		batch = append(batch, DeleteItem{SessionID: id, Removed: []int{40, 41}})
+	}
+	batch = append(batch, DeleteItem{SessionID: "sess-nope", Removed: []int{1}})
+	var br BatchDeleteResponse
+	resp := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{Batch: batch}, &br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch delete status %d", resp.StatusCode)
+	}
+	if len(br.Results) != len(batch) {
+		t.Fatalf("batch results = %d, want %d", len(br.Results), len(batch))
+	}
+	for i, res := range br.Results[:len(ids)] {
+		if res.Error != "" || res.Result == nil {
+			t.Fatalf("batch item %d failed: %+v", i, res)
+		}
+		// 3 rounds × 2 + batch 2 = 8 cumulative deletions.
+		if res.Result.TotalDeleted != 8 {
+			t.Fatalf("batch item %d total deleted = %d, want 8", i, res.Result.TotalDeleted)
+		}
+	}
+	if last := br.Results[len(ids)]; last.Error == "" || last.Result != nil {
+		t.Fatalf("bogus batch item should fail, got %+v", last)
+	}
+
+	// Final stats must add up across shards.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Sessions != len(ids) {
+		t.Fatalf("stats sessions = %d, want %d", stats.Sessions, len(ids))
+	}
+	if stats.Trains != int64(len(ids)) {
+		t.Fatalf("stats trains = %d, want %d", stats.Trains, len(ids))
+	}
+	wantDeletes := int64(len(ids)*3 + len(batch))
+	if stats.Deletes != wantDeletes {
+		t.Fatalf("stats deletes = %d, want %d", stats.Deletes, wantDeletes)
+	}
+	if stats.DeleteErrors != 1 {
+		t.Fatalf("stats delete errors = %d, want 1", stats.DeleteErrors)
+	}
+	if len(stats.Shards) != numShards {
+		t.Fatalf("stats shards = %d, want %d", len(stats.Shards), numShards)
+	}
+	var shardSessions int
+	var perSession int64
+	for _, sh := range stats.Shards {
+		shardSessions += sh.Sessions
+		for _, ss := range sh.SessionStats {
+			if ss.Updates < 4 || ss.TotalDeleted != 8 {
+				t.Fatalf("session stats %+v", ss)
+			}
+			perSession++
+		}
+	}
+	if shardSessions != len(ids) || perSession != int64(len(ids)) {
+		t.Fatalf("shard session totals %d/%d, want %d", shardSessions, perSession, len(ids))
+	}
+}

@@ -1,16 +1,32 @@
 // Package service exposes PrIU as an HTTP deletion service: a data-cleaning
 // pipeline (the integration point the paper's introduction describes) trains
 // and registers models, then issues deletion requests and receives updated
-// parameters without retraining. Sessions hold the captured provenance; the
-// API is deliberately small: register → delete → fetch model.
+// parameters without retraining. Sessions hold the captured provenance.
+//
+// The session store is hash-sharded: each shard owns an independent mutex and
+// session map plus its own atomic request counters, so traffic on different
+// sessions never contends on a global lock. POST /v1/delete additionally
+// accepts a batch of deletions spanning several sessions and executes the
+// independent sessions' updates concurrently on the internal/par worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/train     register data + hyperparameters, train with capture
+//	POST /v1/delete    incrementally remove samples (single session or batch)
+//	GET  /v1/model/ID  fetch a session's current parameters
+//	GET  /v1/sessions  list sessions
+//	GET  /v1/stats     per-shard and per-session counters
 package service
 
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +34,7 @@ import (
 	"repro/internal/gbm"
 	"repro/internal/mat"
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // updater abstracts the per-family PrIU state a session holds.
@@ -38,19 +55,62 @@ type Session struct {
 	upd     updater
 	model   *gbm.Model // current model (after the latest deletion)
 	deleted []int      // cumulative deletion log
+
+	// Counters (guarded by mu) surfaced by /v1/stats.
+	updates           int64
+	lastUpdateSeconds float64
+}
+
+// numShards is the session-store shard count. Shard selection hashes the
+// session ID, so concurrent requests to different sessions rarely share a
+// lock; 16 shards keep contention negligible well past hundreds of
+// concurrent streams while the per-shard memory overhead stays trivial.
+const numShards = 16
+
+// shard is one lock domain of the session store.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	// Request counters: lock-free so the hot paths never take the shard
+	// lock just to bump a metric.
+	trains       atomic.Int64
+	deletes      atomic.Int64
+	deleteErrors atomic.Int64
 }
 
 // Server is the HTTP deletion service. The zero value is not usable; call
 // NewServer.
 type Server struct {
-	mu       sync.Mutex
-	sessions map[string]*Session
-	nextID   int
+	shards [numShards]shard
+	nextID atomic.Int64
+	start  time.Time
 }
 
 // NewServer returns an empty deletion service.
 func NewServer() *Server {
-	return &Server{sessions: make(map[string]*Session)}
+	s := &Server{start: time.Now()}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[string]*Session)
+	}
+	return s
+}
+
+// sessionIDLess orders generated "sess-N" IDs numerically (shorter numeric
+// suffix first) so listings don't interleave sess-10 between sess-1 and
+// sess-2 once the store passes nine sessions.
+func sessionIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// shardFor maps a session ID to its shard.
+func (s *Server) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &s.shards[h.Sum32()%numShards]
 }
 
 // TrainRequest registers a training job. Features is row-major n×m.
@@ -74,10 +134,19 @@ type TrainResponse struct {
 	CaptureSeconds float64   `json:"capture_seconds"`
 }
 
-// DeleteRequest removes training samples from a session's model.
-type DeleteRequest struct {
+// DeleteItem is one session's removal set within a batched delete.
+type DeleteItem struct {
 	SessionID string `json:"session_id"`
 	Removed   []int  `json:"removed"`
+}
+
+// DeleteRequest removes training samples. Either the single-session fields
+// (SessionID + Removed) or Batch must be set, not both. Batch items for
+// different sessions execute concurrently.
+type DeleteRequest struct {
+	SessionID string       `json:"session_id,omitempty"`
+	Removed   []int        `json:"removed,omitempty"`
+	Batch     []DeleteItem `json:"batch,omitempty"`
 }
 
 // DeleteResponse reports the incrementally updated model.
@@ -89,12 +158,57 @@ type DeleteResponse struct {
 	CosineVsPrev  float64   `json:"cosine_vs_previous"`
 }
 
+// BatchDeleteResult is one item's outcome within a batched delete: either the
+// update result or the item's error.
+type BatchDeleteResult struct {
+	SessionID string          `json:"session_id"`
+	Error     string          `json:"error,omitempty"`
+	Result    *DeleteResponse `json:"result,omitempty"`
+}
+
+// BatchDeleteResponse reports all outcomes of a batched delete, in request
+// order. Per-item failures do not fail the batch.
+type BatchDeleteResponse struct {
+	Results []BatchDeleteResult `json:"results"`
+}
+
 // ModelResponse reports a session's current model.
 type ModelResponse struct {
 	SessionID    string    `json:"session_id"`
 	Kind         string    `json:"kind"`
 	Parameters   []float64 `json:"parameters"`
 	TotalDeleted int       `json:"total_deleted"`
+}
+
+// SessionStats is one session's counters within /v1/stats.
+type SessionStats struct {
+	SessionID         string    `json:"session_id"`
+	Kind              string    `json:"kind"`
+	CreatedAt         time.Time `json:"created_at"`
+	Updates           int64     `json:"updates"`
+	TotalDeleted      int       `json:"total_deleted"`
+	LastUpdateSeconds float64   `json:"last_update_seconds"`
+}
+
+// ShardStats is one shard's counters within /v1/stats.
+type ShardStats struct {
+	Shard        int            `json:"shard"`
+	Sessions     int            `json:"sessions"`
+	Trains       int64          `json:"trains"`
+	Deletes      int64          `json:"deletes"`
+	DeleteErrors int64          `json:"delete_errors"`
+	SessionStats []SessionStats `json:"session_stats,omitempty"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Workers       int          `json:"workers"`
+	Sessions      int          `json:"sessions"`
+	Trains        int64        `json:"trains"`
+	Deletes       int64        `json:"deletes"`
+	DeleteErrors  int64        `json:"delete_errors"`
+	Shards        []ShardStats `json:"shards"`
 }
 
 // Handler returns the service's HTTP routes.
@@ -104,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/model/", s.handleModel)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
 
@@ -172,6 +287,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := &Session{
+		ID:        fmt.Sprintf("sess-%d", s.nextID.Add(1)),
 		Kind:      req.Kind,
 		CreatedAt: time.Now(),
 		data:      d,
@@ -179,11 +295,11 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		upd:       upd,
 		model:     model,
 	}
-	s.mu.Lock()
-	s.nextID++
-	sess.ID = fmt.Sprintf("sess-%d", s.nextID)
-	s.sessions[sess.ID] = sess
-	s.mu.Unlock()
+	sh := s.shardFor(sess.ID)
+	sh.mu.Lock()
+	sh.sessions[sess.ID] = sess
+	sh.mu.Unlock()
+	sh.trains.Add(1)
 	writeJSON(w, TrainResponse{
 		SessionID:      sess.ID,
 		Parameters:     model.Vec(),
@@ -229,7 +345,7 @@ func datasetFromRequest(req *TrainRequest) (*dataset.Dataset, error) {
 		Name:    "api",
 		Task:    task,
 		Classes: classes,
-		X:       denseFromFlat(n, m, x),
+		X:       mat.NewDenseData(n, m, x),
 		Y:       req.Labels,
 	}
 	if err := d.Validate(); err != nil {
@@ -238,14 +354,11 @@ func datasetFromRequest(req *TrainRequest) (*dataset.Dataset, error) {
 	return d, nil
 }
 
-func denseFromFlat(n, m int, data []float64) *mat.Dense {
-	return mat.NewDenseData(n, m, data)
-}
-
 func (s *Server) session(id string) (*Session, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sess, ok := sh.sessions[id]
 	return sess, ok
 }
 
@@ -259,40 +372,87 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	sess, ok := s.session(req.SessionID)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %q", req.SessionID)
+	if req.SessionID == "" && len(req.Removed) == 0 && len(req.Batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delete request: set session_id/removed or batch")
 		return
 	}
-	if len(req.Removed) == 0 {
-		writeError(w, http.StatusBadRequest, "empty removal set")
+	if len(req.Batch) > 0 {
+		if req.SessionID != "" || len(req.Removed) > 0 {
+			writeError(w, http.StatusBadRequest, "set either session_id/removed or batch, not both")
+			return
+		}
+		s.handleBatchDelete(w, req.Batch)
 		return
+	}
+	resp, status, err := s.deleteOne(req.SessionID, req.Removed)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleBatchDelete executes the items concurrently on the shared worker
+// pool. Items targeting the same session serialize on that session's mutex;
+// everything else proceeds independently. Results keep request order.
+func (s *Server) handleBatchDelete(w http.ResponseWriter, batch []DeleteItem) {
+	results := make([]BatchDeleteResult, len(batch))
+	par.For(len(batch), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			item := batch[i]
+			results[i].SessionID = item.SessionID
+			resp, _, err := s.deleteOne(item.SessionID, item.Removed)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			results[i].Result = &resp
+		}
+	})
+	writeJSON(w, BatchDeleteResponse{Results: results})
+}
+
+// deleteOne applies one session's cumulative deletion and returns the
+// response, or the HTTP status to report and the error.
+func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int, error) {
+	sh := s.shardFor(sessionID)
+	sh.deletes.Add(1)
+	sess, ok := s.session(sessionID)
+	if !ok {
+		sh.deleteErrors.Add(1)
+		return DeleteResponse{}, http.StatusNotFound, fmt.Errorf("unknown session %q", sessionID)
+	}
+	if len(removed) == 0 {
+		sh.deleteErrors.Add(1)
+		return DeleteResponse{}, http.StatusBadRequest, fmt.Errorf("empty removal set")
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	// Deletions are cumulative within a session.
-	all := append(append([]int(nil), sess.deleted...), req.Removed...)
+	all := append(append([]int(nil), sess.deleted...), removed...)
 	start := time.Now()
 	updated, err := sess.upd.Update(all)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		sh.deleteErrors.Add(1)
+		return DeleteResponse{}, http.StatusBadRequest, err
 	}
 	dt := time.Since(start)
 	cmp, err := metrics.Compare(updated, sess.model)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
+		sh.deleteErrors.Add(1)
+		return DeleteResponse{}, http.StatusInternalServerError, err
 	}
 	sess.deleted = all
 	sess.model = updated
-	writeJSON(w, DeleteResponse{
+	sess.updates++
+	sess.lastUpdateSeconds = dt.Seconds()
+	return DeleteResponse{
 		SessionID:     sess.ID,
 		Parameters:    updated.Vec(),
 		UpdateSeconds: dt.Seconds(),
 		TotalDeleted:  len(all),
 		CosineVsPrev:  cmp.Cosine,
-	})
+	}, http.StatusOK, nil
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -321,16 +481,71 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	type row struct {
 		ID        string    `json:"id"`
 		Kind      string    `json:"kind"`
 		CreatedAt time.Time `json:"created_at"`
 	}
-	out := make([]row, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+	var out []row
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].ID, out[j].ID) })
+	if out == nil {
+		out = []row{}
 	}
 	writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       par.Workers(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		ss := ShardStats{
+			Shard:        i,
+			Trains:       sh.trains.Load(),
+			Deletes:      sh.deletes.Load(),
+			DeleteErrors: sh.deleteErrors.Load(),
+		}
+		sh.mu.RLock()
+		ss.Sessions = len(sh.sessions)
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			sessions = append(sessions, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range sessions {
+			sess.mu.Lock()
+			ss.SessionStats = append(ss.SessionStats, SessionStats{
+				SessionID:         sess.ID,
+				Kind:              sess.Kind,
+				CreatedAt:         sess.CreatedAt,
+				Updates:           sess.updates,
+				TotalDeleted:      len(sess.deleted),
+				LastUpdateSeconds: sess.lastUpdateSeconds,
+			})
+			sess.mu.Unlock()
+		}
+		sort.Slice(ss.SessionStats, func(a, b int) bool {
+			return sessionIDLess(ss.SessionStats[a].SessionID, ss.SessionStats[b].SessionID)
+		})
+		resp.Sessions += ss.Sessions
+		resp.Trains += ss.Trains
+		resp.Deletes += ss.Deletes
+		resp.DeleteErrors += ss.DeleteErrors
+		resp.Shards = append(resp.Shards, ss)
+	}
+	writeJSON(w, resp)
 }

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // CSR is a compressed sparse row matrix.
@@ -117,31 +119,74 @@ func (m *CSR) AddScaledRow(dst []float64, i int, a float64) {
 	}
 }
 
+// rowGrain returns the row-chunk grain so each chunk carries roughly
+// par.MinWork stored non-zeros.
+func (m *CSR) rowGrain() int {
+	if m.rows == 0 {
+		return 1
+	}
+	return par.Grain(m.NNZ() / m.rows)
+}
+
 // MulVec returns m*x as a dense vector.
 func (m *CSR) MulVec(x []float64) []float64 {
-	if len(x) != m.cols {
-		panic("sparse: MulVec length mismatch")
-	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.RowDot(i, x)
-	}
+	m.MulVecInto(out, x)
 	return out
 }
 
-// MulVecT returns mᵀ*x as a dense vector.
+// MulVecInto computes dst = m*x. dst must have length m.rows and must not
+// alias x. Output rows are independent, so large matrices run row-parallel;
+// the chunk grain adapts to the average row density.
+func (m *CSR) MulVecInto(dst, x []float64) {
+	if len(x) != m.cols {
+		panic("sparse: MulVec length mismatch")
+	}
+	if len(dst) != m.rows {
+		panic("sparse: MulVec output length mismatch")
+	}
+	par.For(m.rows, m.rowGrain(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = m.RowDot(i, x)
+		}
+	})
+}
+
+// MulVecT returns mᵀ*x as a dense vector. Rows scatter into the whole output,
+// so the parallel path gives each worker a private dense accumulator over a
+// row block and merges; the serial path scatters directly.
 func (m *CSR) MulVecT(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic("sparse: MulVecT length mismatch")
 	}
-	out := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		if x[i] == 0 {
-			continue
+	grain := m.rowGrain()
+	if par.Workers() <= 1 || m.rows <= grain {
+		out := make([]float64, m.cols)
+		for i := 0; i < m.rows; i++ {
+			if x[i] == 0 {
+				continue
+			}
+			m.AddScaledRow(out, i, x[i])
 		}
-		m.AddScaledRow(out, i, x[i])
+		return out
 	}
-	return out
+	return par.MapReduce(m.rows, grain,
+		func() []float64 { return make([]float64, m.cols) },
+		func(acc []float64, lo, hi int) []float64 {
+			for i := lo; i < hi; i++ {
+				if x[i] == 0 {
+					continue
+				}
+				m.AddScaledRow(acc, i, x[i])
+			}
+			return acc
+		},
+		func(a, b []float64) []float64 {
+			for j, v := range b {
+				a[j] += v
+			}
+			return a
+		})
 }
 
 // RowNorm2 returns the Euclidean norm of row i.
