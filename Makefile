@@ -1,6 +1,7 @@
 GO ?= go
+SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline fmt fmt-check vet ci
 
 all: build
 
@@ -16,6 +17,22 @@ race:
 # Benchmark smoke: one iteration of every benchmark, no tests.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Bench smoke + regression gate: archives the speedup metrics as
+# BENCH_<sha>.json and fails if any metric regresses >20% vs the committed
+# baseline (cmd/benchguard). The redirect-then-cat shape (not a tee pipe)
+# keeps a panicking benchmark failing the target.
+bench-guard:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out || (cat bench.out; exit 1)
+	cat bench.out
+	$(GO) run ./cmd/benchguard -in bench.out -json BENCH_$(SHA).json \
+		-baseline BENCH_BASELINE.json -commit $(SHA)
+
+# Refresh the committed baseline from a fresh bench run on this machine.
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out || (cat bench.out; exit 1)
+	cat bench.out
+	$(GO) run ./cmd/benchguard -in bench.out -json BENCH_BASELINE.json -commit $(SHA)
 
 fmt:
 	gofmt -w .

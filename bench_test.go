@@ -17,8 +17,8 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/bench"
 	"repro/internal/mat"
+	"repro/priu/bench"
 )
 
 // benchScale shrinks the harness workloads so the full suite completes in

@@ -1,0 +1,168 @@
+// Command benchguard turns `go test -bench` output into a per-commit JSON
+// artifact and gates CI on speedup regressions.
+//
+// The parallel-kernel benchmarks (bench_parallel_test.go) self-measure a
+// 1-worker baseline and report a custom "speedup" metric per benchmark.
+// benchguard extracts those metrics, writes them as JSON
+// (BENCH_<sha>.json in CI, archived per commit), and compares them against a
+// committed baseline: a benchmark whose speedup falls more than -tolerance
+// (default 20%) below its baseline value fails the run.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.out
+//	benchguard -in bench.out -json BENCH_$(git rev-parse --short HEAD).json \
+//	           -baseline BENCH_BASELINE.json
+//	benchguard -in bench.out -json BENCH_BASELINE.json   # refresh baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the archived benchmark artifact.
+type Report struct {
+	Commit    string             `json:"commit,omitempty"`
+	Generated string             `json:"generated"`
+	Speedups  map[string]float64 `json:"speedups"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parseSpeedups extracts every benchmark's "speedup" metric from go test
+// -bench output. Benchmarks without the metric are ignored.
+func parseSpeedups(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		fields := strings.Fields(m[2])
+		// Metrics are (value, unit) pairs after the iteration count.
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "speedup" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing speedup of %s: %w", name, err)
+			}
+			// Strip the -N GOMAXPROCS suffix so runs on hosts with
+			// different core counts compare under one key.
+			if idx := strings.LastIndex(name, "-"); idx > 0 {
+				if _, err := strconv.Atoi(name[idx+1:]); err == nil {
+					name = name[:idx]
+				}
+			}
+			out[name] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		jsonOut   = flag.String("json", "", "write the parsed speedups as JSON to this path")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (omit to skip the gate)")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional speedup regression vs baseline")
+		commit    = flag.String("commit", "", "commit SHA recorded in the JSON artifact")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("opening input: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	speedups, err := parseSpeedups(src)
+	if err != nil {
+		fatal("parsing bench output: %v", err)
+	}
+	if len(speedups) == 0 {
+		fatal("no speedup metrics found in bench output")
+	}
+	fmt.Printf("benchguard: parsed %d speedup metrics\n", len(speedups))
+
+	if *jsonOut != "" {
+		rep := Report{
+			Commit:    *commit,
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Speedups:  speedups,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("encoding report: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("benchguard: wrote %s\n", *jsonOut)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal("decoding baseline: %v", err)
+	}
+	names := make([]string, 0, len(base.Speedups))
+	for name := range base.Speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		want := base.Speedups[name]
+		got, ok := speedups[name]
+		if !ok {
+			fmt.Printf("benchguard: WARNING: baseline benchmark %s missing from this run\n", name)
+			continue
+		}
+		floor := (1 - *tolerance) * want
+		status := "ok"
+		if got < floor {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: speedup %.3f < floor %.3f (baseline %.3f)", name, got, floor, want))
+		}
+		fmt.Printf("benchguard: %-40s baseline %6.3f  now %6.3f  [%s]\n", name, want, got, status)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d speedup regression(s) beyond %.0f%%:\n",
+			len(regressions), *tolerance*100)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: no speedup regressions")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(2)
+}

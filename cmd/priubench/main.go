@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/priu/bench"
 )
 
 func main() {

@@ -2,20 +2,26 @@
 //
 // Usage:
 //
-//	priuserve -addr :8080 -workers 0
+//	priuserve -addr :8080 -workers 0 -max-sessions 0 -max-bytes 0
 //
-// Endpoints:
+// Endpoints (see priu/service for the full wire formats):
 //
-//	POST /v1/train     register data + hyperparameters, train with capture
-//	POST /v1/delete    incrementally remove training samples from a session,
-//	                   or a {"batch": [...]} of removals across sessions
-//	                   executed concurrently on the worker pool
-//	GET  /v1/model/ID  fetch a session's current parameters
-//	GET  /v1/sessions  list sessions
-//	GET  /v1/stats     per-shard and per-session counters
+//	POST   /v1/train                   register data + hyperparameters
+//	POST   /v1/delete                  incremental removal (single or batch)
+//	GET    /v1/model/ID                fetch a session's current parameters
+//	GET    /v1/sessions                list sessions
+//	GET    /v1/stats                   per-shard and per-session counters
+//	POST   /v2/sessions                train, or restore a streamed snapshot
+//	GET    /v2/sessions/{id}           session metadata + parameters
+//	DELETE /v2/sessions/{id}           drop a session
+//	GET    /v2/sessions/{id}/snapshot  export a self-contained snapshot
+//	POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
+//	GET    /healthz                    load-balancer probe
 //
-// -workers sets the kernel worker-pool parallelism (0 = GOMAXPROCS); the
-// session store itself is hash-sharded and needs no tuning.
+// -workers sets the kernel worker-pool parallelism (0 = GOMAXPROCS).
+// -max-sessions / -max-bytes bound the session store; when a registration
+// exceeds a budget the least recently used sessions are evicted (reported
+// in /v1/stats). 0 disables a budget.
 package main
 
 import (
@@ -23,17 +29,25 @@ import (
 	"log"
 	"net/http"
 
-	"repro/internal/par"
-	"repro/internal/service"
+	"repro/priu"
+	"repro/priu/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0 = GOMAXPROCS)")
+	maxSessions := flag.Int("max-sessions", 0, "max resident sessions before LRU eviction (0 = unbounded)")
+	maxBytes := flag.Int64("max-bytes", 0, "max resident session bytes (data + provenance) before LRU eviction (0 = unbounded)")
+	maxBatch := flag.Int("max-batch", 0, "max removals per v2 deletion batch (0 = default)")
 	flag.Parse()
-	par.SetWorkers(*workers)
-	srv := service.NewServer()
-	log.Printf("priuserve listening on %s (%d workers)", *addr, par.Workers())
+	priu.SetWorkers(*workers)
+	srv := service.NewServer(
+		service.WithMaxSessions(*maxSessions),
+		service.WithMaxBytes(*maxBytes),
+		service.WithMaxRemovalsPerBatch(*maxBatch),
+	)
+	log.Printf("priuserve %s listening on %s (%d workers, max-sessions=%d, max-bytes=%d)",
+		priu.Version, *addr, priu.Workers(), *maxSessions, *maxBytes)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
-	"repro/internal/metrics"
+	"repro/priu"
+	"repro/priu/bench"
 )
 
 func main() {
@@ -62,7 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "priutrain: %s: %v\n", m, err)
 		os.Exit(1)
 	}
-	cmp, err := metrics.Compare(upd, base)
+	cmp, err := priu.Compare(upd, base)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "priutrain: compare: %v\n", err)
 		os.Exit(1)

@@ -2,6 +2,15 @@
 // Provenance-Based Approach for Incrementally Updating Regression Models"
 // (Wu, Tannen, Davidson; SIGMOD 2020).
 //
+// The public entry point is the repro/priu package: a uniform Updater
+// interface over every model family (train once with provenance capture,
+// then apply any deletion incrementally), functional options for
+// configuration, a by-name family registry, and self-contained snapshots.
+// repro/priu/service builds the versioned HTTP deletion service on it
+// (v1 + v2 with typed errors, snapshot import/export and NDJSON streaming
+// deletions), and repro/priu/bench reproduces the paper's evaluation.
+// Everything under internal/ is implementation detail.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The benchmark harness in bench_test.go
@@ -23,12 +32,13 @@
 //     split across coordinates, the multinomial updater runs its classes in
 //     parallel, and the sparse logistic replay fans the batch out with
 //     private step vectors.
-//   - internal/service: the session store is hash-sharded (per-shard locks
-//     and counters), and batched deletions execute independent sessions'
-//     updates concurrently on the same pool. GET /v1/stats exposes the
-//     per-shard and per-session counters.
+//   - priu/service: the session store is hash-sharded (per-shard locks and
+//     counters), batched deletions execute independent sessions' updates
+//     concurrently on the same pool, and an optional LRU budget
+//     (-max-sessions / -max-bytes) bounds resident provenance.
 //
-// par.SetWorkers is the single parallelism knob (priuserve -workers);
+// priu.SetWorkers is the single parallelism knob (priuserve -workers);
 // Benchmark*Parallel in bench_parallel_test.go reports the measured
-// serial-vs-parallel speedup of each kernel.
+// serial-vs-parallel speedup of each kernel, which CI archives per commit
+// and gates against BENCH_BASELINE.json via cmd/benchguard.
 package repro

@@ -11,15 +11,12 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/gbm"
-	"repro/internal/metrics"
+	"repro/priu"
 )
 
 func main() {
 	// A HIGGS-shaped binary classification task.
-	clean, err := dataset.GenerateBinary("higgs-like", 8000, 28, 0.9, 7)
+	clean, err := priu.GenerateBinary("higgs-like", 8000, 28, 0.9, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,18 +34,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := gbm.Config{Eta: 5e-3, Lambda: 0.01, BatchSize: 500, Iterations: 400, Seed: 3}
-	sched, err := gbm.NewSchedule(dirty.N(), cfg)
-	if err != nil {
-		log.Fatal(err)
+	opts := []priu.Option{
+		priu.WithEta(5e-3), priu.WithLambda(0.01),
+		priu.WithBatchSize(500), priu.WithIterations(400), priu.WithSeed(3),
 	}
 
 	fmt.Printf("training on corrupted data (%d dirty of %d samples)...\n", dirtyCount, dirty.N())
-	prov, err := core.CaptureLogistic(dirty, cfg, sched, nil, core.Options{})
+	prov, err := priu.Train(priu.FamilyLogistic, dirty, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	accDirty, _ := metrics.Accuracy(prov.Model(), valid)
+	accDirty, _ := priu.Accuracy(prov.Model(), valid)
 	fmt.Printf("model trained on dirty data: validation accuracy %.4f\n", accDirty)
 
 	// The cleaning pipeline identifies the dirty rows (here we know them);
@@ -59,20 +55,19 @@ func main() {
 		log.Fatal(err)
 	}
 	updTime := time.Since(t0)
-	accClean, _ := metrics.Accuracy(cleaned, valid)
+	accClean, _ := priu.Accuracy(cleaned, valid)
 	fmt.Printf("after removing dirty samples via PrIU (%.1fms): accuracy %.4f\n",
 		updTime.Seconds()*1000, accClean)
 
 	// Reference: full retraining without the dirty rows.
-	rm, _ := gbm.RemovalSet(dirty.N(), dirtyIDs)
 	t0 = time.Now()
-	retrained, err := gbm.TrainLogistic(dirty, cfg, sched, rm)
+	retrained, err := priu.Retrain(priu.FamilyLogistic, dirty, dirtyIDs, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	retrainTime := time.Since(t0)
-	accRetrain, _ := metrics.Accuracy(retrained, valid)
-	cmp, _ := metrics.Compare(cleaned, retrained)
+	accRetrain, _ := priu.Accuracy(retrained, valid)
+	cmp, _ := priu.Compare(cleaned, retrained)
 	fmt.Printf("reference retraining (%.1fms): accuracy %.4f\n",
 		retrainTime.Seconds()*1000, accRetrain)
 	fmt.Printf("speed-up %.1fx; model agreement: %s\n",

@@ -2,7 +2,7 @@
 // repeatedly removes different subsets of training samples — here, each of
 // the classes of a Cov-shaped multiclass task in turn — to understand how
 // much each group drives the model. Retraining per probe is the bottleneck;
-// PrIU-opt captures provenance once and answers every probe incrementally.
+// PrIU captures provenance once and answers every probe incrementally.
 //
 // Run with: go run ./examples/interpretability
 package main
@@ -12,14 +12,11 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/gbm"
-	"repro/internal/metrics"
+	"repro/priu"
 )
 
 func main() {
-	d, err := dataset.GenerateMulticlass("cov-like", 6000, 54, 7, 2.0, 11)
+	d, err := priu.GenerateMulticlass("cov-like", 6000, 54, 7, 2.0, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,20 +24,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := gbm.Config{Eta: 1e-2, Lambda: 0.001, BatchSize: 200, Iterations: 150, Seed: 5}
-	sched, err := gbm.NewSchedule(train.N(), cfg)
-	if err != nil {
-		log.Fatal(err)
+	opts := []priu.Option{
+		priu.WithEta(1e-2), priu.WithLambda(0.001),
+		priu.WithBatchSize(200), priu.WithIterations(150), priu.WithSeed(5),
 	}
 
 	fmt.Println("capturing provenance once (offline)...")
 	t0 := time.Now()
-	prov, err := core.CaptureMultinomial(train, cfg, sched, core.Options{})
+	prov, err := priu.Train(priu.FamilyMultinomial, train, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("capture done in %.2fs\n\n", time.Since(t0).Seconds())
-	accFull, _ := metrics.Accuracy(prov.Model(), valid)
+	accFull, _ := priu.Accuracy(prov.Model(), valid)
 	fmt.Printf("full model validation accuracy: %.4f\n\n", accFull)
 
 	// Probe: for each class, remove a sample of up to 200 of its training
@@ -62,15 +58,14 @@ func main() {
 		priuDt := time.Since(t0)
 		totalPriu += priuDt
 
-		rm, _ := gbm.RemovalSet(train.N(), removed)
 		t0 = time.Now()
-		if _, err := gbm.TrainMultinomial(train, cfg, sched, rm); err != nil {
+		if _, err := priu.Retrain(priu.FamilyMultinomial, train, removed, opts...); err != nil {
 			log.Fatal(err)
 		}
 		totalRetrain += time.Since(t0)
 
-		acc, _ := metrics.Accuracy(upd, valid)
-		cmp, _ := metrics.Compare(upd, prov.Model())
+		acc, _ := priu.Accuracy(upd, valid)
+		cmp, _ := priu.Compare(upd, prov.Model())
 		fmt.Printf("%-8d %9d %12.2f %+12.4f %12.4g\n",
 			k, len(removed), priuDt.Seconds()*1000, acc-accFull, cmp.L2Distance)
 	}

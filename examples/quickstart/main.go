@@ -1,25 +1,24 @@
 // Quickstart: train a ridge linear-regression model with mini-batch SGD,
 // capture provenance with PrIU, delete a handful of training samples, and
-// get the updated model without retraining.
+// get the updated model without retraining — all through the public
+// repro/priu package.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/gbm"
-	"repro/internal/metrics"
+	"repro/priu"
 )
 
 func main() {
 	// 1. A training set: 5000 samples, 18 features (SGEMM-shaped), plus a
 	//    held-out validation split.
-	full, err := dataset.GenerateRegression("quickstart", 5000, 18, 0.1, 42)
+	full, err := priu.GenerateRegression("quickstart", 5000, 18, 0.1, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,29 +27,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Hyperparameters and the deterministic mini-batch schedule shared by
-	//    training, retraining and incremental updates.
-	cfg := gbm.Config{Eta: 5e-3, Lambda: 0.1, BatchSize: 200, Iterations: 500, Seed: 1}
-	sched, err := gbm.NewSchedule(train.N(), cfg)
+	// 2. Offline: train the initial model while capturing provenance. The
+	//    same options drive training, retraining and incremental updates
+	//    through one deterministic batch schedule.
+	opts := []priu.Option{
+		priu.WithEta(5e-3), priu.WithLambda(0.1),
+		priu.WithBatchSize(200), priu.WithIterations(500), priu.WithSeed(1),
+	}
+	prov, err := priu.Train(priu.FamilyLinear, train, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 3. Offline: train the initial model while capturing provenance.
-	prov, err := core.CaptureLinear(train, cfg, sched, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	mseInit, _ := metrics.MSE(prov.Model(), valid)
+	mseInit, _ := priu.MSE(prov.Model(), valid)
 	fmt.Printf("initial model: validation MSE %.4f\n", mseInit)
 
-	// 4. Someone flags 50 samples for deletion.
+	// 3. Someone flags 50 samples for deletion.
 	removed := make([]int, 50)
 	for i := range removed {
 		removed[i] = i * 7 // any indices into the training set
 	}
 
-	// 5. Online: incremental update vs retraining from scratch.
+	// 4. Online: incremental update vs retraining from scratch.
 	t0 := time.Now()
 	updated, err := prov.Update(removed)
 	if err != nil {
@@ -58,22 +55,38 @@ func main() {
 	}
 	priuTime := time.Since(t0)
 
-	rm, _ := gbm.RemovalSet(train.N(), removed)
 	t0 = time.Now()
-	retrained, err := gbm.TrainLinear(train, cfg, sched, rm)
+	retrained, err := priu.Retrain(priu.FamilyLinear, train, removed, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	retrainTime := time.Since(t0)
 
-	cmp, err := metrics.Compare(updated, retrained)
+	cmp, err := priu.Compare(updated, retrained)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mseUpd, _ := metrics.MSE(updated, valid)
+	mseUpd, _ := priu.MSE(updated, valid)
 	fmt.Printf("after deleting %d samples:\n", len(removed))
 	fmt.Printf("  PrIU update: %8.2fms, validation MSE %.4f\n", priuTime.Seconds()*1000, mseUpd)
 	fmt.Printf("  retraining:  %8.2fms\n", retrainTime.Seconds()*1000)
 	fmt.Printf("  speed-up %.1fx; models agree: %s\n",
 		retrainTime.Seconds()/priuTime.Seconds(), cmp)
+
+	// 5. Snapshots: the captured provenance (plus the training set) bundles
+	//    into one stream and resurrects in a fresh process.
+	var snap bytes.Buffer
+	if err := priu.WriteSnapshot(&snap, priu.FamilyLinear, train, prov); err != nil {
+		log.Fatal(err)
+	}
+	_, _, restored, err := priu.ReadSnapshot(&snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := restored.Update(removed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, _ = priu.Compare(again, updated)
+	fmt.Printf("snapshot round-trip: restored update matches: %s\n", cmp)
 }

@@ -13,15 +13,12 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/gbm"
-	"repro/internal/metrics"
+	"repro/priu"
 )
 
 func main() {
 	// RCV1-shaped: 47,236 features, ~0.1% density.
-	d, err := dataset.GenerateSparseBinary("rcv1-like", 3000, 47_236, 60, 13)
+	d, err := priu.GenerateSparseBinary("rcv1-like", 3000, 47_236, 60, 13)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,17 +26,15 @@ func main() {
 	fmt.Printf("sparse dataset: %d×%d, %d non-zeros (density %.4f%%)\n",
 		rows, cols, d.X.NNZ(), 100*d.X.Density())
 
-	cfg := gbm.Config{Eta: 0.05, Lambda: 0.5, BatchSize: 300, Iterations: 300, Seed: 17}
-	sched, err := gbm.NewSchedule(d.N(), cfg)
+	opts := []priu.Option{
+		priu.WithEta(0.05), priu.WithLambda(0.5),
+		priu.WithBatchSize(300), priu.WithIterations(300), priu.WithSeed(17),
+	}
+	prov, err := priu.Train(priu.FamilySparseLogistic, d, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	prov, err := core.CaptureLogisticSparse(d, cfg, sched, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	acc, _ := metrics.AccuracySparse(prov.Model(), d)
+	acc, _ := priu.AccuracySparse(prov.Model(), d)
 	fmt.Printf("initial model training accuracy: %.4f\n", acc)
 	fmt.Printf("provenance cache: %.2f MB (coefficients only — no dense factors)\n",
 		float64(prov.FootprintBytes())/(1<<20))
@@ -56,15 +51,14 @@ func main() {
 	}
 	priuDt := time.Since(t0)
 
-	rm, _ := gbm.RemovalSet(d.N(), removed)
 	t0 = time.Now()
-	retrained, err := gbm.TrainLogisticSparse(d, cfg, sched, rm)
+	retrained, err := priu.Retrain(priu.FamilySparseLogistic, d, removed, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	retrainDt := time.Since(t0)
 
-	cmp, _ := metrics.Compare(upd, retrained)
+	cmp, _ := priu.Compare(upd, retrained)
 	fmt.Printf("update after deleting %d samples:\n", len(removed))
 	fmt.Printf("  PrIU (sparse path): %7.1fms\n", priuDt.Seconds()*1000)
 	fmt.Printf("  retraining:         %7.1fms\n", retrainDt.Seconds()*1000)

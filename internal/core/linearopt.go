@@ -18,8 +18,9 @@ type LinearOpt struct {
 	cfg  gbm.Config
 	data *dataset.Dataset
 
-	eig *mat.Eigen // eigendecomposition of M = XᵀX (Q orthogonal)
-	n   []float64  // N = XᵀY
+	eig   *mat.Eigen // eigendecomposition of M = XᵀX (Q orthogonal)
+	n     []float64  // N = XᵀY
+	model *gbm.Model // GD-approximation model over the full dataset
 }
 
 // NewLinearOpt performs the offline phase of PrIU-opt: M, N and the
@@ -36,8 +37,20 @@ func NewLinearOpt(d *dataset.Dataset, cfg gbm.Config) (*LinearOpt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LinearOpt{cfg: cfg, data: d, eig: eig, n: d.X.MulVecT(d.Y)}, nil
+	lo := &LinearOpt{cfg: cfg, data: d, eig: eig, n: d.X.MulVecT(d.Y)}
+	// The no-removal update is the GD approximation of Minit over the full
+	// data — cheap (O(τm + m²)) and it gives the family a uniform Model().
+	model, err := lo.Update(nil)
+	if err != nil {
+		return nil, err
+	}
+	lo.model = model
+	return lo, nil
 }
+
+// Model returns the GD-approximation model trained over the full dataset
+// (Sec 5.2 replaces mini-batch SGD with full-batch GD offline).
+func (lo *LinearOpt) Model() *gbm.Model { return lo.model }
 
 // Update computes the updated model parameters after removing the given
 // samples, using incremental eigenvalue updates and the closed iteration of

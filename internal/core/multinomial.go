@@ -151,6 +151,10 @@ func (mp *MultinomialProvenance) LinearizedModel() *gbm.Model { return mp.modelL
 // UsesSVD reports whether the caches store truncated SVD factors.
 func (mp *MultinomialProvenance) UsesSVD() bool { return mp.useSVD }
 
+// MaxRank returns the largest truncation rank across iterations and classes
+// (m in full mode).
+func (mp *MultinomialProvenance) MaxRank() int { return mp.maxRank }
+
 // Update incrementally computes the updated q×m parameter matrix after
 // removing the given samples, zeroing out their per-class contributions.
 func (mp *MultinomialProvenance) Update(removed []int) (*gbm.Model, error) {

@@ -92,6 +92,106 @@ func TestLogisticProvenanceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMultinomialProvenanceRoundTrip(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.02, Lambda: 0.01, BatchSize: 30, Iterations: 40, Seed: 209}
+	d, err := dataset.GenerateMulticlass("mc-persist", 150, 6, 3, 2.0, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := CaptureMultinomial(d, cfg, sched, Options{Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := mp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMultinomialProvenance(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := pickRemoved(150, 8, 210)
+	want, err := mp.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := l2dist(got, want); dist != 0 {
+		t.Fatalf("loaded multinomial cache update differs by %v", dist)
+	}
+	if dist := l2dist(loaded.LinearizedModel(), mp.LinearizedModel()); dist != 0 {
+		t.Fatal("linearized model not preserved")
+	}
+	if dist := l2dist(loaded.Model(), mp.Model()); dist != 0 {
+		t.Fatal("exact model not preserved")
+	}
+	// Wrong class count fails closed.
+	wrong := *d
+	wrong.Classes = 4
+	var buf2 bytes.Buffer
+	if _, err := mp.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMultinomialProvenance(&buf2, &wrong); err == nil {
+		t.Fatal("expected class-count/fingerprint mismatch")
+	}
+}
+
+func TestSparseLogisticProvenanceRoundTrip(t *testing.T) {
+	cfg := gbm.Config{Eta: 0.05, Lambda: 0.1, BatchSize: 25, Iterations: 50, Seed: 211}
+	d, err := dataset.GenerateSparseBinary("sp-persist", 120, 300, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := gbm.NewSchedule(d.N(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := CaptureLogisticSparse(d, cfg, sched, testLin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSparseLogisticProvenance(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := pickRemoved(120, 6, 212)
+	want, err := sp.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Update(removed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist := l2dist(got, want); dist != 0 {
+		t.Fatalf("loaded sparse cache update differs by %v", dist)
+	}
+	// A different sparse dataset is rejected by fingerprint.
+	other, err := dataset.GenerateSparseBinary("sp-other", 120, 300, 8, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := sp.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSparseLogisticProvenance(&buf2, other); err == nil {
+		t.Fatal("expected sparse fingerprint mismatch")
+	}
+}
+
 func TestLoadRejectsWrongDataset(t *testing.T) {
 	cfg := gbm.Config{Eta: 0.01, Lambda: 0.02, BatchSize: 10, Iterations: 20, Seed: 207}
 	d, sched := linearSetup(t, 50, 4, cfg)

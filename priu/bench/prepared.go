@@ -2,16 +2,14 @@ package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/closedform"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gbm"
 	"repro/internal/influence"
-	"repro/internal/interp"
 	"repro/internal/metrics"
+	"repro/priu"
 )
 
 // Method names the update strategies compared in the experiments.
@@ -41,44 +39,62 @@ type Result struct {
 	Comparison metrics.Comparison
 }
 
+// benchLinearizerCells keeps workload preparation fast: a 100k-cell grid
+// (error bound ~4·10⁻⁷, well inside every tolerance used here) instead of
+// the paper's 10⁶-cell default, which interp's own tests exercise.
+const benchLinearizerCells = 100_000
+
 // Prepared holds a workload with its data generated, initial model trained
-// and all offline provenance captured, ready for timed update runs.
+// and all offline provenance captured, ready for timed update runs. Every
+// update strategy is held behind priu.Updater — the harness dispatches on
+// Method names, never on concrete engine types.
 type Prepared struct {
 	W     Workload
 	Dense *dataset.Dataset
 	Valid *dataset.Dataset
 	Sp    *dataset.SparseDataset
-	Sched *gbm.Schedule
 	Minit *gbm.Model
 
-	LinProv   *core.LinearProvenance
-	LinOpt    *core.LinearOpt
-	View      *closedform.View
-	LogProv   *core.LogisticProvenance
-	LogOpt    *core.LogisticOpt
-	MultProv  *core.MultinomialProvenance
-	MultOpt   *core.MultinomialOpt
-	SpProv    *core.SparseLogisticProvenance
-	Infl      *influence.Cached
-	lin       *interp.Linearizer
-	captureDt time.Duration
+	baseFamily string
+	cfg        priu.Config
+	upds       map[Method]priu.Updater
+	// baseRetrain is the BaseL retrainer with its schedule prebuilt, so
+	// timed runs exclude deletion-independent setup (the paper's protocol).
+	baseRetrain func(removed []int) (*gbm.Model, error)
+	schedBytes  int64
+	captureDt   time.Duration
 }
 
-// sharedLinearizer uses a 100k-cell grid (error bound ~4·10⁻⁷, well inside
-// every tolerance used here) to keep workload preparation fast; the paper's
-// 10⁶-cell default is exercised by interp's own tests.
-var sharedLinearizer *interp.Linearizer
-
-func getLinearizer() *interp.Linearizer {
-	if sharedLinearizer == nil {
-		l, err := interp.NewLinearizer(interp.F, interp.DefaultBound, 100_000)
-		if err != nil {
-			panic(err)
-		}
-		sharedLinearizer = l
+// familyForKind maps a workload kind to its base priu family.
+func familyForKind(k Kind) (string, error) {
+	switch k {
+	case KindLinear:
+		return priu.FamilyLinear, nil
+	case KindBinary:
+		return priu.FamilyLogistic, nil
+	case KindMulti:
+		return priu.FamilyMultinomial, nil
+	case KindSparse:
+		return priu.FamilySparseLogistic, nil
+	default:
+		return "", fmt.Errorf("bench: unknown kind %d", k)
 	}
-	return sharedLinearizer
 }
+
+// fixedModelUpdater adapts the comparison baselines (closed-form view,
+// influence functions) — which expose Update/FootprintBytes but compute no
+// initial model of their own — into priu.Updater.
+type fixedModelUpdater struct {
+	impl interface {
+		Update(removed []int) (*gbm.Model, error)
+		FootprintBytes() int64
+	}
+	model *gbm.Model
+}
+
+func (u fixedModelUpdater) Update(removed []int) (*gbm.Model, error) { return u.impl.Update(removed) }
+func (u fixedModelUpdater) Model() *gbm.Model                        { return u.model }
+func (u fixedModelUpdater) FootprintBytes() int64                    { return u.impl.FootprintBytes() }
 
 // Prepare generates the data, trains the initial model and runs every
 // offline capture the workload's methods need.
@@ -88,7 +104,7 @@ func Prepare(w Workload) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{W: w, Sp: sp, lin: getLinearizer()}
+	p := &Prepared{W: w, Sp: sp, upds: map[Method]priu.Updater{}}
 	if dense != nil {
 		train, valid, err := dense.Split(0.9, w.Seed+7)
 		if err != nil {
@@ -107,73 +123,73 @@ func Prepare(w Workload) (*Prepared, error) {
 		cfg.BatchSize = n
 	}
 	p.W.Cfg = cfg
+	p.cfg = priu.Config{
+		Eta: cfg.Eta, Lambda: cfg.Lambda, BatchSize: cfg.BatchSize,
+		Iterations: cfg.Iterations, Seed: cfg.Seed,
+		Mode: w.Mode, Epsilon: w.Epsilon,
+		LinearizerCells: benchLinearizerCells,
+	}
+	p.baseFamily, err = familyForKind(w.Kind)
+	if err != nil {
+		return nil, err
+	}
 	sched, err := gbm.NewSchedule(n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	p.Sched = sched
-	opts := core.Options{Mode: w.Mode, Epsilon: w.Epsilon}
-	switch w.Kind {
-	case KindLinear:
-		lp, err := core.CaptureLinear(p.Dense, cfg, sched, opts)
-		if err != nil {
-			return nil, err
+	p.schedBytes = sched.FootprintBytes()
+
+	for _, m := range p.Methods() {
+		switch m {
+		case MethodBaseL:
+			p.baseRetrain, err = priu.NewRetrainer(p.baseFamily, p.TrainingSet(), p.cfg)
+			if err != nil {
+				return nil, err
+			}
+		case MethodPrIU:
+			u, err := priu.TrainConfig(p.baseFamily, p.TrainingSet(), p.cfg)
+			if err != nil {
+				return nil, err
+			}
+			p.upds[m] = u
+			p.Minit = u.Model()
+		case MethodPrIUOpt:
+			u, err := priu.TrainConfig(p.baseFamily+"-opt", p.TrainingSet(), p.cfg)
+			if err != nil {
+				return nil, err
+			}
+			p.upds[m] = u
+		case MethodClosedForm:
+			view, err := closedform.NewView(p.Dense, cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+			p.upds[m] = fixedModelUpdater{impl: view, model: p.Minit}
+		case MethodINFL:
+			infl, err := influence.NewCached(p.Dense, p.Minit, cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+			p.upds[m] = fixedModelUpdater{impl: infl, model: p.Minit}
 		}
-		p.LinProv = lp
-		p.Minit = lp.Model()
-		lo, err := core.NewLinearOpt(p.Dense, cfg)
-		if err != nil {
-			return nil, err
-		}
-		p.LinOpt = lo
-		view, err := closedform.NewView(p.Dense, cfg.Lambda)
-		if err != nil {
-			return nil, err
-		}
-		p.View = view
-	case KindBinary:
-		lp, err := core.CaptureLogistic(p.Dense, cfg, sched, p.lin, opts)
-		if err != nil {
-			return nil, err
-		}
-		p.LogProv = lp
-		p.Minit = lp.Model()
-		lo, err := core.CaptureLogisticOpt(p.Dense, cfg, sched, p.lin, opts)
-		if err != nil {
-			return nil, err
-		}
-		p.LogOpt = lo
-	case KindMulti:
-		mp, err := core.CaptureMultinomial(p.Dense, cfg, sched, opts)
-		if err != nil {
-			return nil, err
-		}
-		p.MultProv = mp
-		p.Minit = mp.Model()
-		mo, err := core.CaptureMultinomialOpt(p.Dense, cfg, sched, opts)
-		if err != nil {
-			return nil, err
-		}
-		p.MultOpt = mo
-	case KindSparse:
-		spr, err := core.CaptureLogisticSparse(p.Sp, cfg, sched, p.lin)
-		if err != nil {
-			return nil, err
-		}
-		p.SpProv = spr
-		p.Minit = spr.Model()
-	default:
-		return nil, fmt.Errorf("bench: unknown kind %d", w.Kind)
-	}
-	if w.Kind != KindSparse {
-		infl, err := influence.NewCached(p.Dense, p.Minit, cfg.Lambda)
-		if err != nil {
-			return nil, err
-		}
-		p.Infl = infl
 	}
 	p.captureDt = time.Since(start)
 	return p, nil
+}
+
+// TrainingSet returns the workload's training input (dense or sparse).
+func (p *Prepared) TrainingSet() priu.TrainingSet {
+	if p.Dense != nil {
+		return p.Dense
+	}
+	return p.Sp
+}
+
+// Updater returns the captured updater behind a method, if the method has
+// offline state (BaseL does not).
+func (p *Prepared) Updater(m Method) (priu.Updater, bool) {
+	u, ok := p.upds[m]
+	return u, ok
 }
 
 // CaptureTime reports how long preparation (data + training + provenance
@@ -181,27 +197,12 @@ func Prepare(w Workload) (*Prepared, error) {
 func (p *Prepared) CaptureTime() time.Duration { return p.captureDt }
 
 // N returns the training-set size.
-func (p *Prepared) N() int {
-	if p.Dense != nil {
-		return p.Dense.N()
-	}
-	return p.Sp.N()
-}
+func (p *Prepared) N() int { return p.TrainingSet().N() }
 
-// PickRemoval deterministically selects ⌈rate·n⌉ samples (at least 1).
+// PickRemoval deterministically selects ⌈rate·n⌉ samples (at least 1),
+// sharing the selection policy with the ablation runners (removalOf).
 func (p *Prepared) PickRemoval(rate float64, seed int64) []int {
-	n := p.N()
-	k := int(rate * float64(n))
-	if k < 1 {
-		k = 1
-	}
-	if k >= n {
-		k = n - 1
-	}
-	perm := rand.New(rand.NewSource(seed)).Perm(n)
-	out := make([]int, k)
-	copy(out, perm[:k])
-	return out
+	return removalOf(p.N(), rate, seed)
 }
 
 // Methods returns the update strategies applicable to this workload, in
@@ -227,47 +228,24 @@ func (p *Prepared) Methods() []Method {
 
 // RunUpdate executes one timed update with the given method and removal set.
 func (p *Prepared) RunUpdate(m Method, removed []int) (*gbm.Model, time.Duration, error) {
-	rm, err := gbm.RemovalSet(p.N(), removed)
-	if err != nil {
-		return nil, 0, err
+	if m == MethodBaseL {
+		start := time.Now()
+		model, err := p.baseRetrain(removed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return model, time.Since(start), nil
 	}
-	start := time.Now()
-	var model *gbm.Model
-	switch {
-	case m == MethodBaseL && p.W.Kind == KindLinear:
-		model, err = gbm.TrainLinear(p.Dense, p.W.Cfg, p.Sched, rm)
-	case m == MethodBaseL && p.W.Kind == KindBinary:
-		model, err = gbm.TrainLogistic(p.Dense, p.W.Cfg, p.Sched, rm)
-	case m == MethodBaseL && p.W.Kind == KindMulti:
-		model, err = gbm.TrainMultinomial(p.Dense, p.W.Cfg, p.Sched, rm)
-	case m == MethodBaseL && p.W.Kind == KindSparse:
-		model, err = gbm.TrainLogisticSparse(p.Sp, p.W.Cfg, p.Sched, rm)
-	case m == MethodPrIU && p.W.Kind == KindLinear:
-		model, err = p.LinProv.Update(removed)
-	case m == MethodPrIU && p.W.Kind == KindBinary:
-		model, err = p.LogProv.Update(removed)
-	case m == MethodPrIU && p.W.Kind == KindMulti:
-		model, err = p.MultProv.Update(removed)
-	case m == MethodPrIU && p.W.Kind == KindSparse:
-		model, err = p.SpProv.Update(removed)
-	case m == MethodPrIUOpt && p.W.Kind == KindLinear:
-		model, err = p.LinOpt.Update(removed)
-	case m == MethodPrIUOpt && p.W.Kind == KindBinary:
-		model, err = p.LogOpt.Update(removed)
-	case m == MethodPrIUOpt && p.W.Kind == KindMulti:
-		model, err = p.MultOpt.Update(removed)
-	case m == MethodClosedForm && p.W.Kind == KindLinear:
-		model, err = p.View.Update(removed)
-	case m == MethodINFL && p.W.Kind != KindSparse:
-		model, err = p.Infl.Update(removed)
-	default:
+	u, ok := p.upds[m]
+	if !ok {
 		return nil, 0, fmt.Errorf("bench: method %s not applicable to workload %s", m, p.W.ID)
 	}
-	dt := time.Since(start)
+	start := time.Now()
+	model, err := u.Update(removed)
 	if err != nil {
 		return nil, 0, err
 	}
-	return model, dt, nil
+	return model, time.Since(start), nil
 }
 
 // Evaluate computes the validation metric of a model for this workload.
@@ -336,30 +314,13 @@ func (p *Prepared) FootprintBytes(m Method) int64 {
 	} else {
 		dataBytes = p.Sp.X.FootprintBytes() + int64(p.Sp.N())*8
 	}
-	base := dataBytes + p.Sched.FootprintBytes()
-	switch m {
-	case MethodBaseL:
+	base := dataBytes + p.schedBytes
+	if m == MethodBaseL {
 		return base
-	case MethodPrIU:
-		switch p.W.Kind {
-		case KindLinear:
-			return base + p.LinProv.FootprintBytes()
-		case KindBinary:
-			return base + p.LogProv.FootprintBytes()
-		case KindMulti:
-			return base + p.MultProv.FootprintBytes()
-		case KindSparse:
-			return base + p.SpProv.FootprintBytes()
-		}
-	case MethodPrIUOpt:
-		switch p.W.Kind {
-		case KindLinear:
-			return base + p.LinOpt.FootprintBytes()
-		case KindBinary:
-			return base + p.LogOpt.FootprintBytes()
-		case KindMulti:
-			return base + p.MultOpt.FootprintBytes()
-		}
 	}
-	return 0
+	u, ok := p.upds[m]
+	if !ok {
+		return 0
+	}
+	return base + u.FootprintBytes()
 }

@@ -1,0 +1,252 @@
+// Package priu is the public entry point of the repository: a uniform,
+// importable facade over the PrIU provenance-based incremental model-update
+// engines (Wu, Tannen, Davidson; SIGMOD 2020) implemented under internal/.
+//
+// The paper frames incremental updating as one abstraction — capture
+// provenance once during training, then apply any deletion cheaply — and this
+// package exposes exactly that shape:
+//
+//	u, err := priu.Train("linear", ds, priu.WithIterations(500))
+//	updated, err := u.Update([]int{3, 17, 256}) // model without those samples
+//
+// Every model family (linear, logistic, multinomial, sparse-logistic, plus
+// their PrIU-opt variants) implements Updater; optional capabilities —
+// snapshot persistence, the linearized companion model, truncation /
+// early-termination introspection — are discovered with interface assertions
+// (Snapshotter, Linearized, Truncated, EarlyTerminated).
+//
+// Families are registered by name in a registry (Register / Families), so
+// services, CLIs and benchmarks dispatch on strings instead of type-switching
+// over concrete engine types. priu/service builds the versioned HTTP deletion
+// service (v1 + v2 with snapshots and streaming deletions) on this interface,
+// and priu/bench builds the paper's experiment harness on it.
+package priu
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/gbm"
+	"repro/internal/par"
+)
+
+// Version identifies the library and service API generation.
+const Version = "2.0.0"
+
+// Model is the trained parameter container shared by every family: a 1×m
+// weight vector for regression and binary classification, q×m for
+// multinomial. It is an alias of the internal trainer's model type, so values
+// returned by Updater methods interoperate with all priu helpers.
+type Model = gbm.Model
+
+// TrainingSet is the minimal view of a training input: both dense
+// (*priu.Dataset) and sparse (*priu.SparseDataset) datasets satisfy it.
+// Families type-assert to the concrete representation they support.
+type TrainingSet interface {
+	// N returns the number of samples.
+	N() int
+	// M returns the number of features.
+	M() int
+}
+
+// Updater is the unified interface of the paper's contribution: state
+// captured during training that can propagate any later deletion to the
+// model parameters without retraining.
+type Updater interface {
+	// Update returns the model that training without the removed samples
+	// would (approximately) produce. The removal set is cumulative-free:
+	// indices are into the original training set, and each call is
+	// independent of previous calls.
+	Update(removed []int) (*Model, error)
+	// Model returns the initial model trained during capture.
+	Model() *Model
+	// FootprintBytes reports the memory held by the captured provenance.
+	FootprintBytes() int64
+}
+
+// Snapshotter is the optional persistence capability: updaters that can
+// serialize their captured provenance. The stream excludes the training data;
+// restore it with ReadFrom (same family, same dataset) or bundle data and
+// provenance together with WriteSnapshot/ReadSnapshot.
+type Snapshotter interface {
+	Updater
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// Linearized is the optional capability of families trained with the
+// paper's linearized update rule (Sec 4.2): they carry the companion model
+// w_L, which Theorem 4 bounds to within O((Δx)²) of the exact one.
+type Linearized interface {
+	LinearizedModel() *Model
+}
+
+// Truncated is the optional capability of families whose provenance matrices
+// are stored as truncated SVD factors (Theorems 6/8).
+type Truncated interface {
+	// MaxRank returns the largest truncation rank across iterations
+	// (m when full matrices are stored).
+	MaxRank() int
+}
+
+// EarlyTerminated is the optional capability of the PrIU-opt families that
+// stop provenance tracking early (Sec 5.4).
+type EarlyTerminated interface {
+	// Ts returns the iteration at which provenance tracking stopped.
+	Ts() int
+}
+
+// Family is one registered model family: how to capture provenance on a
+// training set, how to restore a persisted capture, and how to retrain from
+// scratch (the BaseL reference the paper compares against).
+type Family struct {
+	// Name is the registry key ("linear", "logistic", ...).
+	Name string
+	// Task labels what the family expects in the dataset's Y column, so
+	// services can build datasets for any registered family without
+	// hardcoding names. The zero value is Regression.
+	Task Task
+	// Sparse marks families that train on *SparseDataset (CSR) input.
+	Sparse bool
+	// Capture trains the initial model while capturing provenance.
+	Capture func(ds TrainingSet, cfg Config) (Updater, error)
+	// Restore rebuilds an updater from a WriteTo stream and the original
+	// training set. Nil when the family is not snapshottable.
+	Restore func(r io.Reader, ds TrainingSet) (Updater, error)
+	// Retrain trains from scratch without the removed samples, replaying
+	// the same deterministic batch schedule capture used.
+	Retrain func(ds TrainingSet, cfg Config, removed []int) (*Model, error)
+	// Retrainer returns a prepared retrainer with the deletion-independent
+	// setup (e.g. the batch schedule) prebuilt, so repeated baseline runs
+	// don't pay it per call. Nil falls back to Retrain.
+	Retrainer func(ds TrainingSet, cfg Config) (func(removed []int) (*Model, error), error)
+}
+
+var (
+	familiesMu sync.RWMutex
+	families   = map[string]Family{}
+)
+
+// Register adds a family to the registry. It panics on an empty name, a nil
+// Capture, or a duplicate registration — registration is a package-init-time
+// act and misuse is a programming error.
+func Register(name string, f Family) {
+	if name == "" || f.Capture == nil {
+		panic("priu: Register requires a name and a Capture function")
+	}
+	familiesMu.Lock()
+	defer familiesMu.Unlock()
+	if _, dup := families[name]; dup {
+		panic(fmt.Sprintf("priu: family %q registered twice", name))
+	}
+	f.Name = name
+	families[name] = f
+}
+
+// Lookup returns the named family.
+func Lookup(name string) (Family, bool) {
+	familiesMu.RLock()
+	defer familiesMu.RUnlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// Families lists the registered family names in sorted order.
+func Families() []string {
+	familiesMu.RLock()
+	defer familiesMu.RUnlock()
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Train captures provenance for the named family on the training set,
+// starting from the package defaults and applying the given options.
+func Train(family string, ds TrainingSet, opts ...Option) (Updater, error) {
+	cfg := defaultConfig(ds)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return TrainConfig(family, ds, cfg)
+}
+
+// TrainConfig is Train with a fully explicit configuration: no defaulting is
+// applied, so zero-valued hyperparameters fail validation exactly as the
+// underlying trainers specify. Services that forward user-supplied configs
+// verbatim use this entry point.
+func TrainConfig(family string, ds TrainingSet, cfg Config) (Updater, error) {
+	f, ok := Lookup(family)
+	if !ok {
+		return nil, fmt.Errorf("priu: unknown family %q (registered: %v)", family, Families())
+	}
+	if cfg.Workers != 0 {
+		par.SetWorkers(cfg.Workers)
+	}
+	return f.Capture(ds, cfg)
+}
+
+// Retrain trains the named family's model from scratch without the removed
+// samples — the BaseL reference of Sec 6.2. It replays the same deterministic
+// batch schedule as Train with the same configuration.
+func Retrain(family string, ds TrainingSet, removed []int, opts ...Option) (*Model, error) {
+	cfg := defaultConfig(ds)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return RetrainConfig(family, ds, cfg, removed)
+}
+
+// RetrainConfig is Retrain with a fully explicit configuration.
+func RetrainConfig(family string, ds TrainingSet, cfg Config, removed []int) (*Model, error) {
+	f, ok := Lookup(family)
+	if !ok {
+		return nil, fmt.Errorf("priu: unknown family %q (registered: %v)", family, Families())
+	}
+	if f.Retrain == nil {
+		return nil, fmt.Errorf("priu: family %q has no retrain baseline", family)
+	}
+	return f.Retrain(ds, cfg, removed)
+}
+
+// NewRetrainer returns a from-scratch retrainer with its deterministic batch
+// schedule prebuilt. Benchmarks time only the returned closure, matching the
+// paper's protocol of excluding deletion-independent setup from BaseL times.
+func NewRetrainer(family string, ds TrainingSet, cfg Config) (func(removed []int) (*Model, error), error) {
+	f, ok := Lookup(family)
+	if !ok {
+		return nil, fmt.Errorf("priu: unknown family %q (registered: %v)", family, Families())
+	}
+	if f.Retrainer != nil {
+		return f.Retrainer(ds, cfg)
+	}
+	if f.Retrain == nil {
+		return nil, fmt.Errorf("priu: family %q has no retrain baseline", family)
+	}
+	return func(removed []int) (*Model, error) { return f.Retrain(ds, cfg, removed) }, nil
+}
+
+// ReadFrom restores an updater from a Snapshotter.WriteTo stream. The family
+// and the original training set must match the capture: the stream carries a
+// dataset fingerprint that is verified on load.
+func ReadFrom(family string, r io.Reader, ds TrainingSet) (Updater, error) {
+	f, ok := Lookup(family)
+	if !ok {
+		return nil, fmt.Errorf("priu: unknown family %q (registered: %v)", family, Families())
+	}
+	if f.Restore == nil {
+		return nil, fmt.Errorf("priu: family %q is not snapshottable", family)
+	}
+	return f.Restore(r, ds)
+}
+
+// SetWorkers sets the shared kernel worker-pool size (0 restores the
+// GOMAXPROCS default) and returns the resulting size. One knob controls every
+// parallel kernel in the library.
+func SetWorkers(n int) int { return par.SetWorkers(n) }
+
+// Workers returns the current worker-pool size.
+func Workers() int { return par.Workers() }

@@ -1,0 +1,260 @@
+package priu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testWorkers forces a single worker so parallel-kernel merge order cannot
+// introduce run-to-run float differences; restored on cleanup.
+func testWorkers(t *testing.T) {
+	t.Helper()
+	prev := Workers()
+	SetWorkers(1)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func denseSet(t *testing.T, family string) *Dataset {
+	t.Helper()
+	var (
+		d   *Dataset
+		err error
+	)
+	switch family {
+	case FamilyLinear, FamilyLinearOpt:
+		d, err = GenerateRegression("t-lin", 150, 8, 0.1, 3)
+	case FamilyLogistic, FamilyLogisticOpt:
+		d, err = GenerateBinary("t-log", 150, 8, 0.8, 4)
+	case FamilyMultinomial, FamilyMultinomialOpt:
+		d, err = GenerateMulticlass("t-mult", 180, 8, 3, 1.5, 5)
+	default:
+		t.Fatalf("no dense dataset for family %q", family)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testOpts() []Option {
+	return []Option{
+		WithEta(5e-3), WithLambda(0.05), WithBatchSize(30),
+		WithIterations(25), WithSeed(11), WithLinearizerCells(50_000),
+	}
+}
+
+func TestFamiliesRegistered(t *testing.T) {
+	want := []string{
+		FamilyLinear, FamilyLinearOpt, FamilyLogistic, FamilyLogisticOpt,
+		FamilyMultinomial, FamilyMultinomialOpt, FamilySparseLogistic,
+	}
+	got := Families()
+	for _, name := range want {
+		found := false
+		for _, g := range got {
+			if g == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q not registered (got %v)", name, got)
+		}
+	}
+}
+
+func TestTrainAllFamilies(t *testing.T) {
+	testWorkers(t)
+	for _, fam := range []string{
+		FamilyLinear, FamilyLinearOpt, FamilyLogistic, FamilyLogisticOpt,
+		FamilyMultinomial, FamilyMultinomialOpt,
+	} {
+		u, err := Train(fam, denseSet(t, fam), testOpts()...)
+		if err != nil {
+			t.Fatalf("Train(%s): %v", fam, err)
+		}
+		if u.Model() == nil {
+			t.Fatalf("Train(%s): nil initial model", fam)
+		}
+		if u.FootprintBytes() <= 0 {
+			t.Fatalf("Train(%s): non-positive footprint", fam)
+		}
+		upd, err := u.Update([]int{1, 5, 9})
+		if err != nil {
+			t.Fatalf("Update(%s): %v", fam, err)
+		}
+		if len(upd.Vec()) == 0 {
+			t.Fatalf("Update(%s): empty parameters", fam)
+		}
+	}
+	sp, err := GenerateSparseBinary("t-sp", 200, 500, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Train(FamilySparseLogistic, sp, testOpts()...)
+	if err != nil {
+		t.Fatalf("Train(sparse-logistic): %v", err)
+	}
+	if _, err := u.Update([]int{0, 3}); err != nil {
+		t.Fatalf("Update(sparse-logistic): %v", err)
+	}
+}
+
+func TestTrainConfigRejectsZeroHyperparameters(t *testing.T) {
+	d := denseSet(t, FamilyLinear)
+	// TrainConfig applies no defaults: a zero eta must fail validation, the
+	// behavior services rely on when forwarding user configs verbatim.
+	if _, err := TrainConfig(FamilyLinear, d, Config{Lambda: 0.1, BatchSize: 10, Iterations: 5, Seed: 1}); err == nil {
+		t.Fatal("TrainConfig with zero eta should fail")
+	}
+	if _, err := Train("no-such-family", d); err == nil || !strings.Contains(err.Error(), "unknown family") {
+		t.Fatalf("unknown family error missing, got %v", err)
+	}
+	if _, err := Train(FamilySparseLogistic, d); err == nil {
+		t.Fatal("sparse family should reject dense dataset")
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	testWorkers(t)
+	logi, err := Train(FamilyLogistic, denseSet(t, FamilyLogistic), testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := logi.(Linearized); !ok {
+		t.Error("logistic updater should implement Linearized")
+	}
+	if _, ok := logi.(Truncated); !ok {
+		t.Error("logistic updater should implement Truncated")
+	}
+	if _, ok := logi.(Snapshotter); !ok {
+		t.Error("logistic updater should implement Snapshotter")
+	}
+	opt, err := Train(FamilyLogisticOpt, denseSet(t, FamilyLogisticOpt), testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, ok := opt.(EarlyTerminated)
+	if !ok {
+		t.Fatal("logistic-opt updater should implement EarlyTerminated")
+	}
+	if ts := et.Ts(); ts < 1 || ts > 25 {
+		t.Errorf("Ts() = %d out of range", ts)
+	}
+	lin, err := Train(FamilyLinearOpt, denseSet(t, FamilyLinearOpt), testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lin.(Snapshotter); ok {
+		t.Error("linear-opt should not claim Snapshotter")
+	}
+}
+
+// TestSnapshotRoundTrip is the acceptance check: all four snapshottable
+// families survive WriteTo → ReadFrom (via the full WriteSnapshot envelope)
+// with bitwise-identical Update output on a fixed removal set.
+func TestSnapshotRoundTrip(t *testing.T) {
+	testWorkers(t)
+	removal := []int{2, 7, 19, 42}
+	cases := []struct {
+		family string
+		ds     TrainingSet
+	}{
+		{FamilyLinear, denseSet(t, FamilyLinear)},
+		{FamilyLogistic, denseSet(t, FamilyLogistic)},
+		{FamilyMultinomial, denseSet(t, FamilyMultinomial)},
+	}
+	sp, err := GenerateSparseBinary("t-snap-sp", 200, 400, 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		family string
+		ds     TrainingSet
+	}{FamilySparseLogistic, sp})
+
+	for _, tc := range cases {
+		opts := append(testOpts(), WithFullCaches())
+		u, err := Train(tc.family, tc.ds, opts...)
+		if err != nil {
+			t.Fatalf("%s: train: %v", tc.family, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, tc.family, tc.ds, u); err != nil {
+			t.Fatalf("%s: WriteSnapshot: %v", tc.family, err)
+		}
+		fam2, ds2, u2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadSnapshot: %v", tc.family, err)
+		}
+		if fam2 != tc.family {
+			t.Fatalf("restored family %q, want %q", fam2, tc.family)
+		}
+		if ds2.N() != tc.ds.N() || ds2.M() != tc.ds.M() {
+			t.Fatalf("%s: restored dataset %dx%d, want %dx%d",
+				tc.family, ds2.N(), ds2.M(), tc.ds.N(), tc.ds.M())
+		}
+		want, err := u.Update(removal)
+		if err != nil {
+			t.Fatalf("%s: original update: %v", tc.family, err)
+		}
+		got, err := u2.Update(removal)
+		if err != nil {
+			t.Fatalf("%s: restored update: %v", tc.family, err)
+		}
+		wv, gv := want.Vec(), got.Vec()
+		if len(wv) != len(gv) {
+			t.Fatalf("%s: parameter count %d vs %d", tc.family, len(gv), len(wv))
+		}
+		for i := range wv {
+			if wv[i] != gv[i] {
+				t.Fatalf("%s: parameter %d differs after round-trip: %v vs %v",
+					tc.family, i, gv[i], wv[i])
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsWrongDataset(t *testing.T) {
+	testWorkers(t)
+	d := denseSet(t, FamilyLinear)
+	u, err := Train(FamilyLinear, d, testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := u.(Snapshotter).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := GenerateRegression("t-other", 150, 8, 0.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(FamilyLinear, bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("ReadFrom should reject a fingerprint mismatch")
+	}
+	if _, err := ReadFrom(FamilyLinearOpt, bytes.NewReader(buf.Bytes()), d); err == nil {
+		t.Fatal("ReadFrom should reject a non-snapshottable family")
+	}
+}
+
+func TestRetrainMatchesCaptureSchedule(t *testing.T) {
+	testWorkers(t)
+	d := denseSet(t, FamilyLinear)
+	u, err := Train(FamilyLinear, d, testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retraining with an empty removal set replays the identical schedule, so
+	// it must reproduce the capture-time initial model exactly.
+	re, err := Retrain(FamilyLinear, d, nil, testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uv, rv := u.Model().Vec(), re.Vec()
+	for i := range uv {
+		if uv[i] != rv[i] {
+			t.Fatalf("retrain diverges from capture at parameter %d: %v vs %v", i, rv[i], uv[i])
+		}
+	}
+}

@@ -1,25 +1,39 @@
-// Package service exposes PrIU as an HTTP deletion service: a data-cleaning
-// pipeline (the integration point the paper's introduction describes) trains
-// and registers models, then issues deletion requests and receives updated
-// parameters without retraining. Sessions hold the captured provenance.
+// Package service exposes PrIU as a versioned HTTP deletion service: a
+// data-cleaning pipeline (the integration point the paper's introduction
+// describes) trains and registers models, then issues deletion requests and
+// receives updated parameters without retraining. Sessions hold a
+// priu.Updater — the service never touches concrete engine types, so any
+// registered family (including externally registered ones) is servable.
 //
 // The session store is hash-sharded: each shard owns an independent mutex and
 // session map plus its own atomic request counters, so traffic on different
-// sessions never contends on a global lock. POST /v1/delete additionally
-// accepts a batch of deletions spanning several sessions and executes the
-// independent sessions' updates concurrently on the internal/par worker pool.
+// sessions never contends on a global lock. An optional LRU eviction budget
+// (max sessions / max resident provenance bytes) bounds store growth;
+// evictions are reported in /v1/stats.
 //
-// Endpoints:
+// Two API generations are mounted side by side:
 //
-//	POST /v1/train     register data + hyperparameters, train with capture
-//	POST /v1/delete    incrementally remove samples (single session or batch)
-//	GET  /v1/model/ID  fetch a session's current parameters
-//	GET  /v1/sessions  list sessions
-//	GET  /v1/stats     per-shard and per-session counters
+//	v1 (stable, unchanged wire format)
+//	  POST /v1/train     register data + hyperparameters, train with capture
+//	  POST /v1/delete    incrementally remove samples (single session or batch)
+//	  GET  /v1/model/ID  fetch a session's current parameters
+//	  GET  /v1/sessions  list sessions
+//	  GET  /v1/stats     per-shard and per-session counters
+//
+//	v2 (REST routing, typed {"error":{"code","message"}} envelopes, snapshots,
+//	streaming deletions — see v2.go)
+//	  POST   /v2/sessions                train, or restore from a snapshot
+//	  GET    /v2/sessions/{id}           session metadata + parameters
+//	  DELETE /v2/sessions/{id}           drop a session
+//	  GET    /v2/sessions/{id}/snapshot  stream a self-contained snapshot
+//	  POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
+//
+//	GET /healthz           load-balancer probe (version, uptime, workers)
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -29,37 +43,38 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/gbm"
 	"repro/internal/mat"
 	"repro/internal/metrics"
 	"repro/internal/par"
+	"repro/priu"
 )
-
-// updater abstracts the per-family PrIU state a session holds.
-type updater interface {
-	Update(removed []int) (*gbm.Model, error)
-	FootprintBytes() int64
-}
 
 // Session is one registered model with its captured provenance.
 type Session struct {
 	ID        string
-	Kind      string // "linear" | "logistic" | "multinomial"
+	Kind      string // priu family name ("linear", "logistic", ...)
 	CreatedAt time.Time
 
 	mu      sync.Mutex
-	data    *dataset.Dataset
-	cfg     gbm.Config
-	upd     updater
-	model   *gbm.Model // current model (after the latest deletion)
-	deleted []int      // cumulative deletion log
+	ds      priu.TrainingSet
+	upd     priu.Updater
+	model   *priu.Model // current model (after the latest deletion)
+	deleted []int       // cumulative deletion log
+
+	// footprint is the session's resident-memory charge (training data +
+	// provenance), fixed at registration.
+	footprint int64
+	// lastUsed is a unix-nano timestamp of the latest access (LRU clock).
+	lastUsed atomic.Int64
 
 	// Counters (guarded by mu) surfaced by /v1/stats.
 	updates           int64
 	lastUpdateSeconds float64
 }
+
+// touch advances the session's LRU clock.
+func (sess *Session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // numShards is the session-store shard count. Shard selection hashes the
 // session ID, so concurrent requests to different sessions rarely share a
@@ -77,7 +92,12 @@ type shard struct {
 	trains       atomic.Int64
 	deletes      atomic.Int64
 	deleteErrors atomic.Int64
+	evictions    atomic.Int64
 }
+
+// defaultMaxRemovalsPerBatch bounds one v2 deletion batch; oversize batches
+// are rejected with a typed error instead of stalling the update pool.
+const defaultMaxRemovalsPerBatch = 1 << 20
 
 // Server is the HTTP deletion service. The zero value is not usable; call
 // NewServer.
@@ -85,13 +105,46 @@ type Server struct {
 	shards [numShards]shard
 	nextID atomic.Int64
 	start  time.Time
+
+	// Eviction budgets (0 = unbounded) and accounting.
+	maxSessions int
+	maxBytes    int64
+	curBytes    atomic.Int64
+
+	// maxRemovals bounds one v2 deletion batch.
+	maxRemovals int
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithMaxSessions bounds the number of resident sessions; the least recently
+// used session is evicted when a registration exceeds the budget (0 =
+// unbounded).
+func WithMaxSessions(n int) ServerOption { return func(s *Server) { s.maxSessions = n } }
+
+// WithMaxBytes bounds resident session memory (training data + provenance,
+// as charged by priu.Updater.FootprintBytes); least recently used sessions
+// are evicted when a registration exceeds the budget (0 = unbounded).
+func WithMaxBytes(b int64) ServerOption { return func(s *Server) { s.maxBytes = b } }
+
+// WithMaxRemovalsPerBatch bounds the size of one v2 deletion batch.
+func WithMaxRemovalsPerBatch(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxRemovals = n
+		}
+	}
 }
 
 // NewServer returns an empty deletion service.
-func NewServer() *Server {
-	s := &Server{start: time.Now()}
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{start: time.Now(), maxRemovals: defaultMaxRemovalsPerBatch}
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[string]*Session)
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	return s
 }
@@ -197,6 +250,7 @@ type ShardStats struct {
 	Trains       int64          `json:"trains"`
 	Deletes      int64          `json:"deletes"`
 	DeleteErrors int64          `json:"delete_errors"`
+	Evictions    int64          `json:"evictions"`
 	SessionStats []SessionStats `json:"session_stats,omitempty"`
 }
 
@@ -208,10 +262,25 @@ type StatsResponse struct {
 	Trains        int64        `json:"trains"`
 	Deletes       int64        `json:"deletes"`
 	DeleteErrors  int64        `json:"delete_errors"`
+	Evictions     int64        `json:"evictions"`
+	ResidentBytes int64        `json:"resident_bytes"`
 	Shards        []ShardStats `json:"shards"`
 }
 
-// Handler returns the service's HTTP routes.
+// HealthResponse is the /healthz payload for load-balancer probes.
+type HealthResponse struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	Shards        int     `json:"shards"`
+	Sessions      int     `json:"sessions"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	MaxSessions   int     `json:"max_sessions,omitempty"`
+	MaxBytes      int64   `json:"max_bytes,omitempty"`
+}
+
+// Handler returns the service's HTTP routes: the unchanged v1 surface, the
+// v2 REST surface, and the health probe.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/train", s.handleTrain)
@@ -219,6 +288,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/model/", s.handleModel)
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mountV2(mux)
 	return mux
 }
 
@@ -243,115 +314,209 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	d, err := datasetFromRequest(&req)
+	d, err := datasetFromRequest(req.Kind, req.Features, req.Labels, req.Classes)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cfg := gbm.Config{
+	cfg := priu.Config{
 		Eta: req.Eta, Lambda: req.Lambda,
 		BatchSize: req.BatchSize, Iterations: req.Iterations, Seed: req.Seed,
 	}
-	sched, err := gbm.NewSchedule(d.N(), cfg)
+	start := time.Now()
+	upd, err := priu.TrainConfig(req.Kind, d, cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	start := time.Now()
-	var upd updater
-	var model *gbm.Model
-	switch req.Kind {
-	case "linear":
-		lp, err := core.CaptureLinear(d, cfg, sched, core.Options{})
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		upd, model = lp, lp.Model()
-	case "logistic":
-		lp, err := core.CaptureLogistic(d, cfg, sched, nil, core.Options{})
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		upd, model = lp, lp.Model()
-	case "multinomial":
-		mp, err := core.CaptureMultinomial(d, cfg, sched, core.Options{})
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		upd, model = mp, mp.Model()
-	default:
-		writeError(w, http.StatusBadRequest, "unknown kind %q", req.Kind)
-		return
-	}
-	sess := &Session{
-		ID:        fmt.Sprintf("sess-%d", s.nextID.Add(1)),
-		Kind:      req.Kind,
-		CreatedAt: time.Now(),
-		data:      d,
-		cfg:       cfg,
-		upd:       upd,
-		model:     model,
-	}
-	sh := s.shardFor(sess.ID)
-	sh.mu.Lock()
-	sh.sessions[sess.ID] = sess
-	sh.mu.Unlock()
-	sh.trains.Add(1)
+	sess := s.addSession(req.Kind, d, upd, nil, nil)
 	writeJSON(w, TrainResponse{
 		SessionID:      sess.ID,
-		Parameters:     model.Vec(),
+		Parameters:     sess.model.Vec(),
 		ProvenanceMB:   float64(upd.FootprintBytes()) / (1 << 20),
 		CaptureSeconds: time.Since(start).Seconds(),
 	})
 }
 
-func datasetFromRequest(req *TrainRequest) (*dataset.Dataset, error) {
-	n := len(req.Features)
+// addSession registers an updater under a fresh session ID and enforces the
+// eviction budget. A non-empty deleted log (snapshot restore) comes with the
+// model that already reflects it.
+func (s *Server) addSession(kind string, ds priu.TrainingSet, upd priu.Updater, deleted []int, model *priu.Model) *Session {
+	if model == nil {
+		model = upd.Model()
+	}
+	sess := &Session{
+		ID:        fmt.Sprintf("sess-%d", s.nextID.Add(1)),
+		Kind:      kind,
+		CreatedAt: time.Now(),
+		ds:        ds,
+		upd:       upd,
+		model:     model,
+		deleted:   deleted,
+		footprint: trainingSetBytes(ds) + upd.FootprintBytes(),
+	}
+	sess.touch()
+	sh := s.shardFor(sess.ID)
+	sh.mu.Lock()
+	sh.sessions[sess.ID] = sess
+	sh.mu.Unlock()
+	sh.trains.Add(1)
+	s.curBytes.Add(sess.footprint)
+	s.enforceBudget(sess.ID)
+	return sess
+}
+
+// trainingSetBytes charges a training set's resident memory for eviction
+// accounting.
+func trainingSetBytes(ds priu.TrainingSet) int64 {
+	switch d := ds.(type) {
+	case *dataset.Dataset:
+		return int64(d.N())*int64(d.M())*8 + int64(d.N())*8
+	case *dataset.SparseDataset:
+		return d.X.FootprintBytes() + int64(d.N())*8
+	default:
+		return 0
+	}
+}
+
+// sessionCount returns the number of resident sessions.
+func (s *Server) sessionCount() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// enforceBudget evicts least-recently-used sessions until the store is back
+// under the session-count and byte budgets. The session named keepID (the
+// one that triggered enforcement) is never evicted, so a single oversized
+// registration still lands.
+func (s *Server) enforceBudget(keepID string) {
+	if s.maxSessions <= 0 && s.maxBytes <= 0 {
+		return
+	}
+	for {
+		over := (s.maxSessions > 0 && s.sessionCount() > s.maxSessions) ||
+			(s.maxBytes > 0 && s.curBytes.Load() > s.maxBytes)
+		if !over {
+			return
+		}
+		victim, vShard := s.lruSession(keepID)
+		if victim == nil {
+			return // nothing evictable left
+		}
+		vShard.mu.Lock()
+		// Re-check under the lock: a concurrent evictor may have won.
+		if _, still := vShard.sessions[victim.ID]; !still {
+			vShard.mu.Unlock()
+			continue
+		}
+		delete(vShard.sessions, victim.ID)
+		vShard.mu.Unlock()
+		vShard.evictions.Add(1)
+		s.curBytes.Add(-victim.footprint)
+	}
+}
+
+// lruSession scans every shard for the least recently used session other
+// than keepID.
+func (s *Server) lruSession(keepID string) (*Session, *shard) {
+	var (
+		victim *Session
+		vShard *shard
+		oldest int64
+	)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			if sess.ID == keepID {
+				continue
+			}
+			if lu := sess.lastUsed.Load(); victim == nil || lu < oldest {
+				victim, vShard, oldest = sess, sh, lu
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return victim, vShard
+}
+
+// removeSession drops a session by ID (v2 DELETE), returning whether it
+// existed.
+func (s *Server) removeSession(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		s.curBytes.Add(-sess.footprint)
+	}
+	return ok
+}
+
+// datasetFromRequest builds the dense dataset for a JSON training request.
+// The family name decides the task; the sparse family needs snapshot restore.
+func datasetFromRequest(family string, features [][]float64, labels []float64, classes int) (*dataset.Dataset, error) {
+	n := len(features)
 	if n == 0 {
 		return nil, fmt.Errorf("empty feature matrix")
 	}
-	m := len(req.Features[0])
+	m := len(features[0])
 	if m == 0 {
 		return nil, fmt.Errorf("zero-width feature matrix")
 	}
-	if len(req.Labels) != n {
-		return nil, fmt.Errorf("%d labels for %d rows", len(req.Labels), n)
+	if len(labels) != n {
+		return nil, fmt.Errorf("%d labels for %d rows", len(labels), n)
 	}
 	x := make([]float64, 0, n*m)
-	for i, row := range req.Features {
+	for i, row := range features {
 		if len(row) != m {
 			return nil, fmt.Errorf("row %d has %d features, want %d", i, len(row), m)
 		}
 		x = append(x, row...)
 	}
-	var task dataset.Task
-	classes := 0
-	switch req.Kind {
-	case "linear":
-		task = dataset.Regression
-	case "logistic":
-		task = dataset.BinaryClassification
+	task, err := taskForFamily(family)
+	if err != nil {
+		return nil, err
+	}
+	switch task {
+	case dataset.Regression:
+		classes = 0
+	case dataset.BinaryClassification:
 		classes = 2
-	case "multinomial":
-		task = dataset.MultiClassification
-		classes = req.Classes
-	default:
-		return nil, fmt.Errorf("unknown kind %q", req.Kind)
 	}
 	d := &dataset.Dataset{
 		Name:    "api",
 		Task:    task,
 		Classes: classes,
 		X:       mat.NewDenseData(n, m, x),
-		Y:       req.Labels,
+		Y:       labels,
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// taskForFamily resolves a family's label task from the priu registry, so
+// externally registered families are servable without service changes.
+func taskForFamily(family string) (dataset.Task, error) {
+	f, ok := priu.Lookup(family)
+	if !ok {
+		return 0, fmt.Errorf("unknown kind %q", family)
+	}
+	if f.Sparse {
+		return 0, fmt.Errorf("family %q trains on sparse input; create its sessions by restoring a snapshot", family)
+	}
+	return f.Task, nil
 }
 
 func (s *Server) session(id string) (*Session, bool) {
@@ -428,19 +593,39 @@ func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	resp, err := sess.applyDeletion(removed)
+	if err != nil {
+		sh.deleteErrors.Add(1)
+		status := http.StatusBadRequest
+		if errors.Is(err, errInternal) {
+			status = http.StatusInternalServerError
+		}
+		return DeleteResponse{}, status, err
+	}
+	return resp, http.StatusOK, nil
+}
+
+// errInternal marks server-side invariant failures (as opposed to invalid
+// client input), which v1 reports as 500.
+var errInternal = errors.New("internal error")
+
+// applyDeletion extends the session's cumulative removal log, runs the
+// incremental update and swaps in the new model. Callers hold sess.mu.
+func (sess *Session) applyDeletion(removed []int) (DeleteResponse, error) {
+	sess.touch()
 	// Deletions are cumulative within a session.
 	all := append(append([]int(nil), sess.deleted...), removed...)
 	start := time.Now()
 	updated, err := sess.upd.Update(all)
 	if err != nil {
-		sh.deleteErrors.Add(1)
-		return DeleteResponse{}, http.StatusBadRequest, err
+		return DeleteResponse{}, err
 	}
 	dt := time.Since(start)
 	cmp, err := metrics.Compare(updated, sess.model)
 	if err != nil {
-		sh.deleteErrors.Add(1)
-		return DeleteResponse{}, http.StatusInternalServerError, err
+		// The updated model disagreeing in shape with the cached one is a
+		// server-side invariant failure, not bad client input.
+		return DeleteResponse{}, fmt.Errorf("%w: comparing models: %v", errInternal, err)
 	}
 	sess.deleted = all
 	sess.model = updated
@@ -452,7 +637,7 @@ func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int
 		UpdateSeconds: dt.Seconds(),
 		TotalDeleted:  len(all),
 		CosineVsPrev:  cmp.Cosine,
-	}, http.StatusOK, nil
+	}, nil
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -466,6 +651,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	sess.touch()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	writeJSON(w, ModelResponse{
@@ -510,6 +696,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       par.Workers(),
+		ResidentBytes: s.curBytes.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -518,6 +705,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Trains:       sh.trains.Load(),
 			Deletes:      sh.deletes.Load(),
 			DeleteErrors: sh.deleteErrors.Load(),
+			Evictions:    sh.evictions.Load(),
 		}
 		sh.mu.RLock()
 		ss.Sessions = len(sh.sessions)
@@ -545,7 +733,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Trains += ss.Trains
 		resp.Deletes += ss.Deletes
 		resp.DeleteErrors += ss.DeleteErrors
+		resp.Evictions += ss.Evictions
 		resp.Shards = append(resp.Shards, ss)
 	}
 	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{
+		Version:       priu.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       par.Workers(),
+		Shards:        numShards,
+		Sessions:      s.sessionCount(),
+		ResidentBytes: s.curBytes.Load(),
+		MaxSessions:   s.maxSessions,
+		MaxBytes:      s.maxBytes,
+	})
 }

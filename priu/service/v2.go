@@ -1,0 +1,416 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"mime"
+	"net/http"
+	"time"
+
+	"repro/priu"
+)
+
+// The v2 API surface: REST session routing built directly on priu.Updater,
+// typed {"error":{"code","message"}} envelopes, snapshot import/export, and
+// a streaming deletions endpoint that applies NDJSON removal batches on one
+// connection and streams back per-batch parameter digests.
+
+// v2 error codes.
+const (
+	// ErrCodeBadRequest marks malformed JSON or invalid request shapes.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeNotFound marks unknown sessions or routes.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeInvalidRemovals marks empty, duplicate or out-of-range removal
+	// indices.
+	ErrCodeInvalidRemovals = "invalid_removals"
+	// ErrCodeBatchTooLarge marks a removal batch above the server's limit.
+	ErrCodeBatchTooLarge = "batch_too_large"
+	// ErrCodeCaptureFailed marks a failed train/capture.
+	ErrCodeCaptureFailed = "capture_failed"
+	// ErrCodeSnapshotUnsupported marks families without snapshot support.
+	ErrCodeSnapshotUnsupported = "snapshot_unsupported"
+	// ErrCodeUpdateFailed marks a failed incremental update.
+	ErrCodeUpdateFailed = "update_failed"
+)
+
+// APIError is the typed error payload of every v2 failure.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope wraps an APIError as the v2 wire format.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+func writeV2Error(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: APIError{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// CreateSessionRequest is the JSON body of POST /v2/sessions. Alternatively
+// the endpoint accepts Content-Type: application/octet-stream with a
+// priu snapshot (GET /v2/sessions/{id}/snapshot output) as the body.
+type CreateSessionRequest struct {
+	Family     string      `json:"family"`
+	Features   [][]float64 `json:"features"`
+	Labels     []float64   `json:"labels"`
+	Classes    int         `json:"classes,omitempty"`
+	Eta        float64     `json:"eta"`
+	Lambda     float64     `json:"lambda"`
+	BatchSize  int         `json:"batch_size"`
+	Iterations int         `json:"iterations"`
+	Seed       int64       `json:"seed"`
+	// Mode selects the provenance-cache representation: "auto" (default),
+	// "full" or "svd".
+	Mode string `json:"mode,omitempty"`
+	// Epsilon is the SVD coverage threshold (0 = default).
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// SessionResponse describes a session in v2 responses.
+type SessionResponse struct {
+	SessionID       string    `json:"session_id"`
+	Family          string    `json:"family"`
+	CreatedAt       time.Time `json:"created_at"`
+	Parameters      []float64 `json:"parameters"`
+	TotalDeleted    int       `json:"total_deleted"`
+	FootprintBytes  int64     `json:"footprint_bytes"`
+	Snapshottable   bool      `json:"snapshottable"`
+	CaptureSeconds  float64   `json:"capture_seconds,omitempty"`
+	RestoredFromSnp bool      `json:"restored_from_snapshot,omitempty"`
+}
+
+// DeletionBatch is one NDJSON line of POST /v2/sessions/{id}/deletions.
+type DeletionBatch struct {
+	Remove []int `json:"remove"`
+	// Parameters requests the full updated parameter vector in this batch's
+	// result line (the digest is always present). The ?parameters=all query
+	// flag requests them on every batch.
+	Parameters bool `json:"parameters,omitempty"`
+}
+
+// DeletionResult is the NDJSON response line for one applied batch.
+type DeletionResult struct {
+	Batch         int     `json:"batch"`
+	Removed       int     `json:"removed"`
+	TotalDeleted  int     `json:"total_deleted"`
+	UpdateSeconds float64 `json:"update_seconds"`
+	// Digest is an FNV-1a hash of the updated parameter vector — enough for
+	// a streaming client to detect convergence/changes without shipping the
+	// full parameters every batch.
+	Digest       string  `json:"digest"`
+	CosineVsPrev float64 `json:"cosine_vs_previous"`
+	// Parameters is only populated when the batch sets "parameters":true or
+	// the stream was opened with ?parameters=all.
+	Parameters []float64 `json:"parameters,omitempty"`
+}
+
+// mountV2 registers the v2 REST routes on the mux.
+func (s *Server) mountV2(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v2/sessions", s.handleV2CreateSession)
+	mux.HandleFunc("GET /v2/sessions/{id}", s.handleV2GetSession)
+	mux.HandleFunc("DELETE /v2/sessions/{id}", s.handleV2DeleteSession)
+	mux.HandleFunc("GET /v2/sessions/{id}/snapshot", s.handleV2Snapshot)
+	mux.HandleFunc("POST /v2/sessions/{id}/deletions", s.handleV2Deletions)
+	mux.HandleFunc("/v2/", func(w http.ResponseWriter, r *http.Request) {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "no such v2 route %s %s", r.Method, r.URL.Path)
+	})
+}
+
+func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
+	if mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); mt == "application/octet-stream" {
+		s.handleV2Restore(w, r)
+		return
+	}
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Family == "" {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "family is required (one of %v)", priu.Families())
+		return
+	}
+	if _, ok := priu.Lookup(req.Family); !ok {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "unknown family %q (registered: %v)", req.Family, priu.Families())
+		return
+	}
+	d, err := datasetFromRequest(req.Family, req.Features, req.Labels, req.Classes)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+		return
+	}
+	cfg := priu.Config{
+		Eta: req.Eta, Lambda: req.Lambda,
+		BatchSize: req.BatchSize, Iterations: req.Iterations, Seed: req.Seed,
+		Mode: mode, Epsilon: req.Epsilon,
+	}
+	start := time.Now()
+	upd, err := priu.TrainConfig(req.Family, d, cfg)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeCaptureFailed, "%v", err)
+		return
+	}
+	sess := s.addSession(req.Family, d, upd, nil, nil)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.v2SessionResponse(sess, time.Since(start).Seconds(), false))
+}
+
+// parseMode maps the wire cache-mode name to the library value.
+func parseMode(mode string) (priu.CacheMode, error) {
+	switch mode {
+	case "", "auto":
+		return priu.ModeAuto, nil
+	case "full":
+		return priu.ModeFull, nil
+	case "svd":
+		return priu.ModeSVD, nil
+	default:
+		return 0, fmt.Errorf("unknown cache mode %q (auto|full|svd)", mode)
+	}
+}
+
+// handleV2Restore creates a session from a streamed snapshot, replaying the
+// snapshot's deletion log so already-honored deletions stay deleted.
+func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
+	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(r.Body)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "restoring snapshot: %v", err)
+		return
+	}
+	var model *priu.Model
+	if len(deleted) > 0 {
+		model, err = upd.Update(deleted)
+		if err != nil {
+			writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "replaying snapshot deletion log: %v", err)
+			return
+		}
+	}
+	sess := s.addSession(family, ds, upd, deleted, model)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, s.v2SessionResponse(sess, 0, true))
+}
+
+// v2SessionResponse snapshots a session's public state. Callers must not
+// hold sess.mu.
+func (s *Server) v2SessionResponse(sess *Session, captureSeconds float64, restored bool) SessionResponse {
+	_, snapshottable := sess.upd.(priu.Snapshotter)
+	if f, ok := priu.Lookup(sess.Kind); !ok || f.Restore == nil {
+		snapshottable = false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return SessionResponse{
+		SessionID:       sess.ID,
+		Family:          sess.Kind,
+		CreatedAt:       sess.CreatedAt,
+		Parameters:      sess.model.Vec(),
+		TotalDeleted:    len(sess.deleted),
+		FootprintBytes:  sess.footprint,
+		Snapshottable:   snapshottable,
+		CaptureSeconds:  captureSeconds,
+		RestoredFromSnp: restored,
+	}
+}
+
+func (s *Server) handleV2GetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	sess.touch()
+	writeJSON(w, s.v2SessionResponse(sess, 0, false))
+}
+
+func (s *Server) handleV2DeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.removeSession(r.PathValue("id")) {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	sess.touch()
+	if _, ok := sess.upd.(priu.Snapshotter); !ok {
+		writeV2Error(w, http.StatusConflict, ErrCodeSnapshotUnsupported,
+			"family %q does not support snapshots", sess.Kind)
+		return
+	}
+	if f, ok := priu.Lookup(sess.Kind); !ok || f.Restore == nil {
+		writeV2Error(w, http.StatusConflict, ErrCodeSnapshotUnsupported,
+			"family %q cannot be restored from a snapshot", sess.Kind)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Priu-Family", sess.Kind)
+	// Provenance is immutable after capture, so only the deletion log needs
+	// the session lock; the log rides along so a restored session keeps
+	// honoring deletions applied here.
+	sess.mu.Lock()
+	deleted := append([]int(nil), sess.deleted...)
+	sess.mu.Unlock()
+	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.ds, sess.upd, deleted); err != nil {
+		// Headers are gone; the stream just terminates early. Log-free
+		// minimal handling: the client sees a truncated stream and the
+		// snapshot loader fails closed.
+		return
+	}
+}
+
+// handleV2Deletions streams removal batches on one connection: each request
+// NDJSON line {"remove":[...]} is validated, applied cumulatively to the
+// session, and answered with one NDJSON DeletionResult (or ErrorEnvelope)
+// line, flushed immediately. Invalid batches report an error line and do not
+// abort the stream — only a malformed (non-JSON) line does.
+func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.session(id)
+	if !ok {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
+		return
+	}
+	sess.touch()
+	paramMode := r.URL.Query().Get("parameters")
+	// Request and response are interleaved on one connection: without
+	// full-duplex mode the HTTP/1.x server drains the unread request body
+	// before the first response write, deadlocking against a client that
+	// waits for each response line before sending the next batch.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flush := func() { _ = rc.Flush() }
+	sh := s.shardFor(id)
+	dec := json.NewDecoder(r.Body)
+	for batchNo := 1; ; batchNo++ {
+		var batch DeletionBatch
+		if err := dec.Decode(&batch); err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			sh.deleteErrors.Add(1)
+			_ = enc.Encode(ErrorEnvelope{Error: APIError{
+				Code:    ErrCodeBadRequest,
+				Message: fmt.Sprintf("batch %d: malformed JSON: %v", batchNo, err),
+			}})
+			flush()
+			return // cannot resync a corrupt stream
+		}
+		sh.deletes.Add(1)
+		// Validation and application happen under one lock acquisition so a
+		// concurrent stream to the same session can't slip a duplicate
+		// through between the check and the apply; the deferred unlock keeps
+		// a panicking engine from wedging the session mutex.
+		resp, apiErr, err := func() (DeleteResponse, *APIError, error) {
+			sess.mu.Lock()
+			defer sess.mu.Unlock()
+			if apiErr := s.validateBatchLocked(sess, batch.Remove); apiErr != nil {
+				return DeleteResponse{}, apiErr, nil
+			}
+			r, e := sess.applyDeletion(batch.Remove)
+			return r, nil, e
+		}()
+		if apiErr != nil {
+			sh.deleteErrors.Add(1)
+			_ = enc.Encode(ErrorEnvelope{Error: *apiErr})
+			flush()
+			continue
+		}
+		if err != nil {
+			sh.deleteErrors.Add(1)
+			_ = enc.Encode(ErrorEnvelope{Error: APIError{
+				Code:    ErrCodeUpdateFailed,
+				Message: fmt.Sprintf("batch %d: %v", batchNo, err),
+			}})
+			flush()
+			continue
+		}
+		result := DeletionResult{
+			Batch:         batchNo,
+			Removed:       len(batch.Remove),
+			TotalDeleted:  resp.TotalDeleted,
+			UpdateSeconds: resp.UpdateSeconds,
+			Digest:        paramDigest(resp.Parameters),
+			CosineVsPrev:  resp.CosineVsPrev,
+		}
+		if paramMode == "all" || batch.Parameters {
+			result.Parameters = resp.Parameters
+		}
+		_ = enc.Encode(result)
+		flush()
+	}
+}
+
+// validateBatchLocked checks one removal batch against the session's bounds
+// and cumulative deletion log. Callers hold sess.mu.
+func (s *Server) validateBatchLocked(sess *Session, removed []int) *APIError {
+	if len(removed) == 0 {
+		return &APIError{Code: ErrCodeInvalidRemovals, Message: "empty removal set"}
+	}
+	if len(removed) > s.maxRemovals {
+		return &APIError{
+			Code:    ErrCodeBatchTooLarge,
+			Message: fmt.Sprintf("batch of %d removals exceeds the limit of %d", len(removed), s.maxRemovals),
+		}
+	}
+	n := sess.ds.N()
+	seen := make(map[int]bool, len(sess.deleted)+len(removed))
+	for _, i := range sess.deleted {
+		seen[i] = true
+	}
+	for _, i := range removed {
+		if i < 0 || i >= n {
+			return &APIError{
+				Code:    ErrCodeInvalidRemovals,
+				Message: fmt.Sprintf("removal index %d out of range [0,%d)", i, n),
+			}
+		}
+		if seen[i] {
+			return &APIError{
+				Code:    ErrCodeInvalidRemovals,
+				Message: fmt.Sprintf("removal index %d is duplicated or already deleted", i),
+			}
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// paramDigest hashes a parameter vector (FNV-1a over the float bits) into a
+// short hex token for streaming responses.
+func paramDigest(params []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range params {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

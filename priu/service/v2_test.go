@@ -1,0 +1,534 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServerOpts(t *testing.T, opts ...ServerOption) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// v2CreateBody adapts the v1 train-body generator to the v2 create shape.
+func v2CreateBody(t *testing.T, family string, n, m int, seed int64) CreateSessionRequest {
+	t.Helper()
+	kind := family
+	if strings.HasSuffix(family, "-opt") {
+		kind = strings.TrimSuffix(family, "-opt")
+	}
+	tb := trainBody(t, kind, n, m, seed)
+	return CreateSessionRequest{
+		Family: family, Features: tb.Features, Labels: tb.Labels, Classes: tb.Classes,
+		Eta: tb.Eta, Lambda: tb.Lambda, BatchSize: tb.BatchSize,
+		Iterations: tb.Iterations, Seed: tb.Seed,
+	}
+}
+
+func v2Create(t *testing.T, baseURL string, req CreateSessionRequest) SessionResponse {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v2/sessions", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session status %d", resp.StatusCode)
+	}
+	var sr SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func decodeEnvelope(t *testing.T, r io.Reader) ErrorEnvelope {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		t.Fatalf("decoding error envelope: %v", err)
+	}
+	return env
+}
+
+func TestV2SessionLifecycle(t *testing.T) {
+	ts := newTestServerOpts(t)
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear", 80, 4, 3))
+	if sr.Family != "linear" || len(sr.Parameters) != 4 || !sr.Snapshottable {
+		t.Fatalf("bad create response %+v", sr)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.SessionID != sr.SessionID || got.FootprintBytes <= 0 {
+		t.Fatalf("bad get response %+v", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sessions/"+sr.SessionID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+
+	gresp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete status %d", gresp.StatusCode)
+	}
+	if env := decodeEnvelope(t, gresp.Body); env.Error.Code != ErrCodeNotFound {
+		t.Fatalf("error code %q, want %q", env.Error.Code, ErrCodeNotFound)
+	}
+}
+
+func TestV2ErrorEnvelopes(t *testing.T) {
+	ts := newTestServerOpts(t)
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/v2/sessions", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeBadRequest || env.Error.Message == "" {
+		t.Fatalf("malformed JSON envelope %+v", env)
+	}
+	resp.Body.Close()
+
+	// Unknown family.
+	body := v2CreateBody(t, "linear", 40, 3, 5)
+	body.Family = "quantum"
+	resp = postJSON(t, ts.URL+"/v2/sessions", body, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown family status %d", resp.StatusCode)
+	}
+
+	// Unknown session on every /v2 session route.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v2/sessions/nope"},
+		{http.MethodDelete, "/v2/sessions/nope"},
+		{http.MethodGet, "/v2/sessions/nope/snapshot"},
+		{http.MethodPost, "/v2/sessions/nope/deletions"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, strings.NewReader("{}"))
+		presp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if presp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s status %d, want 404", probe.method, probe.path, presp.StatusCode)
+		}
+		if env := decodeEnvelope(t, presp.Body); env.Error.Code != ErrCodeNotFound {
+			t.Fatalf("%s %s error code %q", probe.method, probe.path, env.Error.Code)
+		}
+		presp.Body.Close()
+	}
+
+	// Unknown v2 route.
+	rresp, err := http.Get(ts.URL + "/v2/frobnicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route status %d", rresp.StatusCode)
+	}
+	if env := decodeEnvelope(t, rresp.Body); env.Error.Code != ErrCodeNotFound {
+		t.Fatalf("unknown route code %q", env.Error.Code)
+	}
+	rresp.Body.Close()
+
+	// v1 keeps its flat string error shape — the envelope is v2-only.
+	v1resp := postJSON(t, ts.URL+"/v1/delete", DeleteRequest{SessionID: "nope", Removed: []int{1}}, nil)
+	if v1resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("v1 unknown session status %d", v1resp.StatusCode)
+	}
+	v1resp2, err := http.Post(ts.URL+"/v1/delete", "application/json",
+		strings.NewReader(`{"session_id":"nope","removed":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.NewDecoder(v1resp2.Body).Decode(&flat); err != nil {
+		t.Fatal(err)
+	}
+	v1resp2.Body.Close()
+	if _, isString := flat["error"].(string); !isString {
+		t.Fatalf("v1 error shape changed: %v", flat)
+	}
+}
+
+// streamBatches drives POST /v2/sessions/{id}/deletions over one connection,
+// writing each batch only after the previous response line arrived.
+func streamBatches(t *testing.T, url string, batches []string) []string {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		done <- result{resp, err}
+	}()
+	if _, err := io.WriteString(pw, batches[0]+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	defer res.resp.Body.Close()
+	if res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("deletions stream status %d", res.resp.StatusCode)
+	}
+	reader := bufio.NewReader(res.resp.Body)
+	var lines []string
+	for i := range batches {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response line %d: %v", i+1, err)
+		}
+		lines = append(lines, strings.TrimSpace(line))
+		if i+1 < len(batches) {
+			if _, err := io.WriteString(pw, batches[i+1]+"\n"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pw.Close()
+	return lines
+}
+
+func TestV2StreamingDeletions(t *testing.T) {
+	ts := newTestServerOpts(t, WithMaxRemovalsPerBatch(5))
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "logistic", 120, 4, 7))
+	url := ts.URL + "/v2/sessions/" + sr.SessionID + "/deletions"
+
+	// Three valid batches plus one duplicate and one oversize, all on one
+	// connection, each answered before the next is sent.
+	lines := streamBatches(t, url, []string{
+		`{"remove":[1,2,3]}`,
+		`{"remove":[10,11]}`,
+		`{"remove":[2]}`,                 // already deleted → invalid_removals
+		`{"remove":[20,21,22,23,24,25]}`, // 6 > limit 5 → batch_too_large
+		`{"remove":[30],"parameters":true}`,
+	})
+	if len(lines) != 5 {
+		t.Fatalf("got %d response lines, want 5", len(lines))
+	}
+
+	var r1, r2, r5 DeletionResult
+	if err := json.Unmarshal([]byte(lines[0]), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Batch != 1 || r1.TotalDeleted != 3 || r1.Digest == "" {
+		t.Fatalf("batch 1 result %+v", r1)
+	}
+	if r2.Batch != 2 || r2.TotalDeleted != 5 {
+		t.Fatalf("batch 2 result %+v", r2)
+	}
+	if r1.Digest == r2.Digest {
+		t.Fatal("digests should change across batches")
+	}
+
+	var env ErrorEnvelope
+	if err := json.Unmarshal([]byte(lines[2]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != ErrCodeInvalidRemovals {
+		t.Fatalf("duplicate removal code %q", env.Error.Code)
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != ErrCodeBatchTooLarge {
+		t.Fatalf("oversize batch code %q", env.Error.Code)
+	}
+
+	// The stream survived both errors: batch 5 applied on the same
+	// connection, with the cumulative log intact.
+	if err := json.Unmarshal([]byte(lines[4]), &r5); err != nil {
+		t.Fatal(err)
+	}
+	if r5.Batch != 5 || r5.TotalDeleted != 6 {
+		t.Fatalf("batch 5 result %+v", r5)
+	}
+	if len(r5.Parameters) != 4 {
+		t.Fatalf("batch 5 with parameters:true returned %d parameters", len(r5.Parameters))
+	}
+	if len(r1.Parameters) != 0 {
+		t.Fatalf("batch 1 should not include parameters, got %d", len(r1.Parameters))
+	}
+
+	// Empty and out-of-range batches also produce typed errors.
+	lines = streamBatches(t, url, []string{`{"remove":[]}`, `{"remove":[999]}`})
+	for i, wantCode := range []string{ErrCodeInvalidRemovals, ErrCodeInvalidRemovals} {
+		if err := json.Unmarshal([]byte(lines[i]), &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Code != wantCode {
+			t.Fatalf("line %d code %q, want %q", i, env.Error.Code, wantCode)
+		}
+	}
+
+	// A malformed line terminates the stream with a bad_request envelope.
+	lines = streamBatches(t, url, []string{`{"remove": nope}`})
+	if err := json.Unmarshal([]byte(lines[0]), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != ErrCodeBadRequest {
+		t.Fatalf("malformed line code %q", env.Error.Code)
+	}
+}
+
+func TestV2SnapshotRoundTrip(t *testing.T) {
+	tsA := newTestServerOpts(t)
+	tsB := newTestServerOpts(t)
+	sr := v2Create(t, tsA.URL, v2CreateBody(t, "multinomial", 90, 4, 13))
+
+	// Apply a deletion before snapshotting: the log must ride along so the
+	// restored session keeps honoring it.
+	preLines := streamBatches(t, tsA.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{`{"remove":[7,8]}`})
+	var pre DeletionResult
+	if err := json.Unmarshal([]byte(preLines[0]), &pre); err != nil {
+		t.Fatal(err)
+	}
+
+	// Export a snapshot of the captured provenance.
+	snapResp, err := http.Get(tsA.URL + "/v2/sessions/" + sr.SessionID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapResp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", snapResp.StatusCode)
+	}
+	if got := snapResp.Header.Get("X-Priu-Family"); got != "multinomial" {
+		t.Fatalf("snapshot family header %q", got)
+	}
+	snap, err := io.ReadAll(snapResp.Body)
+	snapResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	// Restore on a fresh server.
+	restResp, err := http.Post(tsB.URL+"/v2/sessions", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored SessionResponse
+	if err := json.NewDecoder(restResp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	restResp.Body.Close()
+	if restResp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore status %d", restResp.StatusCode)
+	}
+	if restored.Family != "multinomial" || !restored.RestoredFromSnp {
+		t.Fatalf("restore response %+v", restored)
+	}
+	if restored.TotalDeleted != 2 {
+		t.Fatalf("restored session lost the deletion log: total_deleted = %d, want 2", restored.TotalDeleted)
+	}
+	if got := paramDigest(restored.Parameters); got != pre.Digest {
+		t.Fatalf("restored parameters digest %s, want post-deletion %s", got, pre.Digest)
+	}
+
+	// The restored session must produce the same further update as the
+	// original (cumulative on top of the replayed log).
+	removal := `{"remove":[3,17,42]}`
+	lineA := streamBatches(t, tsA.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{removal})
+	lineB := streamBatches(t, tsB.URL+"/v2/sessions/"+restored.SessionID+"/deletions", []string{removal})
+	var ra, rb DeletionResult
+	if err := json.Unmarshal([]byte(lineA[0]), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lineB[0]), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Digest != rb.Digest {
+		t.Fatalf("restored update digest %s differs from original %s", rb.Digest, ra.Digest)
+	}
+
+	// A corrupted snapshot fails closed (header/structure corruption; float
+	// payload bits are covered by the dataset fingerprint, not a checksum).
+	bad := append([]byte(nil), snap...)
+	bad[2] ^= 0xff
+	badResp, err := http.Post(tsB.URL+"/v2/sessions", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt snapshot status %d", badResp.StatusCode)
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	ts := newTestServerOpts(t, WithMaxSessions(2))
+	var ids []string
+	for i := 0; i < 2; i++ {
+		var tr TrainResponse
+		postJSON(t, ts.URL+"/v1/train", trainBody(t, "linear", 50, 3, int64(20+i)), &tr)
+		ids = append(ids, tr.SessionID)
+	}
+	// Touch the first session so the second becomes the LRU victim.
+	mresp, err := http.Get(ts.URL + "/v1/model/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+
+	var tr3 TrainResponse
+	postJSON(t, ts.URL+"/v1/train", trainBody(t, "linear", 50, 3, 23), &tr3)
+
+	if resp, _ := http.Get(ts.URL + "/v1/model/" + ids[1]); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("LRU session %s should be evicted, got status %d", ids[1], resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	for _, id := range []string{ids[0], tr3.SessionID} {
+		resp, err := http.Get(ts.URL + "/v1/model/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s should survive eviction, got %d", id, resp.StatusCode)
+		}
+	}
+
+	var stats StatsResponse
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Evictions != 1 {
+		t.Fatalf("stats evictions = %d, want 1", stats.Evictions)
+	}
+	if stats.Sessions != 2 {
+		t.Fatalf("stats sessions = %d, want 2", stats.Sessions)
+	}
+	if stats.ResidentBytes <= 0 {
+		t.Fatalf("resident bytes = %d", stats.ResidentBytes)
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	// A 1-byte budget forces every registration to evict all predecessors
+	// (the newest session itself is never evicted).
+	ts := newTestServerOpts(t, WithMaxBytes(1))
+	for i := 0; i < 3; i++ {
+		var tr TrainResponse
+		resp := postJSON(t, ts.URL+"/v1/train", trainBody(t, "linear", 40, 3, int64(30+i)), &tr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("train %d status %d", i, resp.StatusCode)
+		}
+	}
+	var stats StatsResponse
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Sessions != 1 {
+		t.Fatalf("sessions = %d, want 1", stats.Sessions)
+	}
+	if stats.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", stats.Evictions)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServerOpts(t, WithMaxSessions(100))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Version == "" || h.Workers < 1 || h.Shards != numShards || h.MaxSessions != 100 {
+		t.Fatalf("health response %+v", h)
+	}
+}
+
+func TestV2OptFamiliesServable(t *testing.T) {
+	// The registry makes the PrIU-opt families servable with zero service
+	// code: create one and verify snapshot is refused with a typed error.
+	ts := newTestServerOpts(t)
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear-opt", 60, 3, 17))
+	if sr.Snapshottable {
+		t.Fatal("linear-opt should not be snapshottable")
+	}
+	resp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot of linear-opt status %d, want 409", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeSnapshotUnsupported {
+		t.Fatalf("snapshot-unsupported code %q", env.Error.Code)
+	}
+	line := streamBatches(t, ts.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{`{"remove":[2,4]}`})
+	var dr DeletionResult
+	if err := json.Unmarshal([]byte(line[0]), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.TotalDeleted != 2 {
+		t.Fatalf("opt-family deletion result %+v", dr)
+	}
+}
