@@ -1,7 +1,7 @@
 GO ?= go
 SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build test race bench bench-guard bench-baseline fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline spill-smoke fmt fmt-check vet ci
 
 all: build
 
@@ -34,6 +34,14 @@ bench-baseline:
 	cat bench.out
 	$(GO) run ./cmd/benchguard -in bench.out -json BENCH_BASELINE.json -commit $(SHA)
 
+# Spill smoke: the tiered-store durability suite against a tmpdir store-dir —
+# kill/restart round trip (all seven families, bitwise-identical models,
+# deletion logs intact) and the evict→touch→restore races, under -race.
+spill-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestCrashRestartDurability|TestEvictTouchRestoreUnderLoad|TestTiered' \
+		./priu/service ./priu/store
+
 fmt:
 	gofmt -w .
 
@@ -45,4 +53,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race bench
+ci: build vet fmt-check race spill-smoke bench

@@ -2,16 +2,17 @@
 //
 // Usage:
 //
-//	priuserve -addr :8080 -workers 0 -max-sessions 0 -max-bytes 0
+//	priuserve -addr :8080 -workers 0 -max-sessions 0 -max-bytes 0 \
+//	          -store-dir /var/lib/priu -spill -drain-timeout 15s
 //
 // Endpoints (see priu/service for the full wire formats):
 //
 //	POST   /v1/train                   register data + hyperparameters
 //	POST   /v1/delete                  incremental removal (single or batch)
 //	GET    /v1/model/ID                fetch a session's current parameters
-//	GET    /v1/sessions                list sessions
-//	GET    /v1/stats                   per-shard and per-session counters
-//	POST   /v2/sessions                train, or restore a streamed snapshot
+//	GET    /v1/sessions                list sessions (resident and spilled)
+//	GET    /v1/stats                   per-shard, per-session and per-tier counters
+//	POST   /v2/sessions                train (dense or CSR), or restore a snapshot
 //	GET    /v2/sessions/{id}           session metadata + parameters
 //	DELETE /v2/sessions/{id}           drop a session
 //	GET    /v2/sessions/{id}/snapshot  export a self-contained snapshot
@@ -19,18 +20,33 @@
 //	GET    /healthz                    load-balancer probe
 //
 // -workers sets the kernel worker-pool parallelism (0 = GOMAXPROCS).
-// -max-sessions / -max-bytes bound the session store; when a registration
-// exceeds a budget the least recently used sessions are evicted (reported
-// in /v1/stats). 0 disables a budget.
+// -max-sessions / -max-bytes bound the resident tier; when a registration
+// exceeds a budget the least recently used sessions are evicted (reported in
+// /v1/stats). 0 disables a budget.
+//
+// -store-dir enables the tiered session store: evicted sessions spill to the
+// directory as priu session snapshots and lazily restore on the next touch,
+// SIGTERM/SIGINT snapshots every dirty resident session before exit, and a
+// restarted server re-indexes the directory — so a kill/restart loses no
+// session, model or deletion log. -spill=false keeps evictions dropping (the
+// pre-tiered behavior) while retaining shutdown/restart durability.
+// -drain-timeout bounds how long shutdown waits for in-flight requests
+// before snapshotting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/priu"
 	"repro/priu/service"
+	"repro/priu/store"
 )
 
 func main() {
@@ -39,16 +55,54 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max resident sessions before LRU eviction (0 = unbounded)")
 	maxBytes := flag.Int64("max-bytes", 0, "max resident session bytes (data + provenance) before LRU eviction (0 = unbounded)")
 	maxBatch := flag.Int("max-batch", 0, "max removals per v2 deletion batch (0 = default)")
+	storeDir := flag.String("store-dir", "", "spill directory for the tiered session store (empty = memory only)")
+	spill := flag.Bool("spill", true, "with -store-dir: spill evicted sessions to disk instead of dropping them")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests before the shutdown snapshot")
 	flag.Parse()
 	priu.SetWorkers(*workers)
+
+	mem := store.NewMemory(store.WithMaxSessions(*maxSessions), store.WithMaxBytes(*maxBytes))
+	var st store.Store = mem
+	if *storeDir != "" {
+		tiered, err := store.NewTiered(*storeDir, mem, store.WithSpillOnEvict(*spill))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = tiered
+	}
 	srv := service.NewServer(
+		service.WithStore(st),
 		service.WithMaxSessions(*maxSessions),
 		service.WithMaxBytes(*maxBytes),
 		service.WithMaxRemovalsPerBatch(*maxBatch),
 	)
-	log.Printf("priuserve %s listening on %s (%d workers, max-sessions=%d, max-bytes=%d)",
-		priu.Version, *addr, priu.Workers(), *maxSessions, *maxBytes)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	if n := st.Stats().Spilled; n > 0 {
+		log.Printf("priuserve: re-indexed %d spilled session(s) from %s", n, *storeDir)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("priuserve %s listening on %s (%d workers, max-sessions=%d, max-bytes=%d, store-dir=%q)",
+		priu.Version, *addr, priu.Workers(), *maxSessions, *maxBytes, *storeDir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// SIGTERM drain: stop accepting, let in-flight requests settle, then
+	// snapshot every dirty resident session so the next boot loses nothing.
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("priuserve: shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("priuserve: draining session store: %v", err)
+	}
+	log.Printf("priuserve: shutdown complete")
 }

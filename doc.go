@@ -41,4 +41,24 @@
 // Benchmark*Parallel in bench_parallel_test.go reports the measured
 // serial-vs-parallel speedup of each kernel, which CI archives per commit
 // and gates against BENCH_BASELINE.json via cmd/benchguard.
+//
+// # Tiered session store
+//
+// repro/priu/store extracts session storage from the service behind a Store
+// interface (Get/Put/Delete/Touch/Range/Stats) with two tiers: the sharded
+// in-memory LRU (store.Memory) and a spill-to-disk wrapper (store.Tiered,
+// priuserve -store-dir). The deletion guarantee the paper is about survives
+// every tier move: an evicted session spills as a self-contained session
+// snapshot — family, training data, cumulative deletion log, provenance —
+// written atomically (temp file + rename) under a content-addressed name;
+// the next touch restores it, replaying the deletion log, with singleflight
+// collapsing concurrent restores of the same cold session. SIGTERM snapshots
+// all dirty resident sessions and boot re-indexes the spill directory, so a
+// kill/restart serves every prior session with a bitwise-identical model and
+// every honored deletion still deleted. All seven engine families persist,
+// including the PrIU-opt variants, whose eigendecompositions are rebuilt
+// from the persisted stabilized coefficients on load (internal/core
+// persist_opt.go) in capture's exact accumulation order. The crash-recovery
+// suite (make spill-smoke) and BenchmarkSpillRestore (gated by benchguard)
+// keep the round trip honest.
 package repro

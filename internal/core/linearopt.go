@@ -26,6 +26,24 @@ type LinearOpt struct {
 // NewLinearOpt performs the offline phase of PrIU-opt: M, N and the
 // eigendecomposition of M.
 func NewLinearOpt(d *dataset.Dataset, cfg gbm.Config) (*LinearOpt, error) {
+	lo, err := newLinearOptState(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The no-removal update is the GD approximation of Minit over the full
+	// data — cheap (O(τm + m²)) and it gives the family a uniform Model().
+	model, err := lo.Update(nil)
+	if err != nil {
+		return nil, err
+	}
+	lo.model = model
+	return lo, nil
+}
+
+// newLinearOptState builds the eigen state (M = XᵀX eigendecomposed, N = XᵀY)
+// without the initial model — shared by capture and snapshot restore, which
+// rebuilds this cheap state from the dataset instead of serializing it.
+func newLinearOptState(d *dataset.Dataset, cfg gbm.Config) (*LinearOpt, error) {
 	if err := cfg.Validate(d.N()); err != nil {
 		return nil, err
 	}
@@ -37,15 +55,7 @@ func NewLinearOpt(d *dataset.Dataset, cfg gbm.Config) (*LinearOpt, error) {
 	if err != nil {
 		return nil, err
 	}
-	lo := &LinearOpt{cfg: cfg, data: d, eig: eig, n: d.X.MulVecT(d.Y)}
-	// The no-removal update is the GD approximation of Minit over the full
-	// data — cheap (O(τm + m²)) and it gives the family a uniform Model().
-	model, err := lo.Update(nil)
-	if err != nil {
-		return nil, err
-	}
-	lo.model = model
-	return lo, nil
+	return &LinearOpt{cfg: cfg, data: d, eig: eig, n: d.X.MulVecT(d.Y)}, nil
 }
 
 // Model returns the GD-approximation model trained over the full dataset

@@ -59,6 +59,13 @@ func init() {
 			}
 			return core.NewLinearOpt(d, cfg.gbm())
 		},
+		Restore: func(r io.Reader, ds TrainingSet) (Updater, error) {
+			d, err := denseOf(FamilyLinearOpt, ds)
+			if err != nil {
+				return nil, err
+			}
+			return core.LoadLinearOpt(r, d)
+		},
 		Retrain:   denseRetrain(FamilyLinearOpt, gbm.TrainLinear),
 		Retrainer: denseRetrainer(FamilyLinearOpt, gbm.TrainLinear),
 	})
@@ -98,6 +105,13 @@ func init() {
 			}
 			return core.CaptureLogisticOpt(d, cfg.gbm(), sched, lin, cfg.core())
 		},
+		Restore: func(r io.Reader, ds TrainingSet) (Updater, error) {
+			d, err := denseOf(FamilyLogisticOpt, ds)
+			if err != nil {
+				return nil, err
+			}
+			return core.LoadLogisticOpt(r, d)
+		},
 		Retrain:   denseRetrain(FamilyLogisticOpt, gbm.TrainLogistic),
 		Retrainer: denseRetrainer(FamilyLogisticOpt, gbm.TrainLogistic),
 	})
@@ -128,6 +142,13 @@ func init() {
 				return nil, err
 			}
 			return core.CaptureMultinomialOpt(d, cfg.gbm(), sched, cfg.core())
+		},
+		Restore: func(r io.Reader, ds TrainingSet) (Updater, error) {
+			d, err := denseOf(FamilyMultinomialOpt, ds)
+			if err != nil {
+				return nil, err
+			}
+			return core.LoadMultinomialOpt(r, d)
 		},
 		Retrain:   denseRetrain(FamilyMultinomialOpt, gbm.TrainMultinomial),
 		Retrainer: denseRetrainer(FamilyMultinomialOpt, gbm.TrainMultinomial),

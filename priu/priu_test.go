@@ -145,14 +145,18 @@ func TestCapabilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := lin.(Snapshotter); ok {
-		t.Error("linear-opt should not claim Snapshotter")
+	if _, ok := lin.(Snapshotter); !ok {
+		t.Error("linear-opt updater should implement Snapshotter")
+	}
+	if _, ok := opt.(Snapshotter); !ok {
+		t.Error("logistic-opt updater should implement Snapshotter")
 	}
 }
 
-// TestSnapshotRoundTrip is the acceptance check: all four snapshottable
-// families survive WriteTo → ReadFrom (via the full WriteSnapshot envelope)
-// with bitwise-identical Update output on a fixed removal set.
+// TestSnapshotRoundTrip is the acceptance check: all seven families survive
+// WriteTo → ReadFrom (via the full WriteSnapshot envelope) with
+// bitwise-identical Update output on a fixed removal set — the opt families
+// rebuild their eigenbases on load and must still agree to the last bit.
 func TestSnapshotRoundTrip(t *testing.T) {
 	testWorkers(t)
 	removal := []int{2, 7, 19, 42}
@@ -163,6 +167,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		{FamilyLinear, denseSet(t, FamilyLinear)},
 		{FamilyLogistic, denseSet(t, FamilyLogistic)},
 		{FamilyMultinomial, denseSet(t, FamilyMultinomial)},
+		{FamilyLinearOpt, denseSet(t, FamilyLinearOpt)},
+		{FamilyLogisticOpt, denseSet(t, FamilyLogisticOpt)},
+		{FamilyMultinomialOpt, denseSet(t, FamilyMultinomialOpt)},
 	}
 	sp, err := GenerateSparseBinary("t-snap-sp", 200, 400, 10, 21)
 	if err != nil {

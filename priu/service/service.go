@@ -5,11 +5,15 @@
 // priu.Updater — the service never touches concrete engine types, so any
 // registered family (including externally registered ones) is servable.
 //
-// The session store is hash-sharded: each shard owns an independent mutex and
-// session map plus its own atomic request counters, so traffic on different
-// sessions never contends on a global lock. An optional LRU eviction budget
-// (max sessions / max resident provenance bytes) bounds store growth;
-// evictions are reported in /v1/stats.
+// Session storage lives behind the priu/store.Store interface: the default
+// is the hash-sharded in-memory LRU tier, and cmd/priuserve wires in the
+// tiered store (-store-dir) that spills evicted sessions to disk as priu
+// session snapshots, lazily restores them on the next touch, and snapshots
+// dirty sessions on shutdown — so an LRU budget is a cache boundary and a
+// restart loses nothing. The handlers only ever Get/Put/Delete sessions; a
+// mutator that finds its session copy was evicted mid-flight re-fetches,
+// which transparently restores the session (deletion log replayed) from the
+// spill directory.
 //
 // Two API generations are mounted side by side:
 //
@@ -17,29 +21,27 @@
 //	  POST /v1/train     register data + hyperparameters, train with capture
 //	  POST /v1/delete    incrementally remove samples (single session or batch)
 //	  GET  /v1/model/ID  fetch a session's current parameters
-//	  GET  /v1/sessions  list sessions
-//	  GET  /v1/stats     per-shard and per-session counters
+//	  GET  /v1/sessions  list sessions (resident and spilled)
+//	  GET  /v1/stats     per-shard, per-session and per-tier counters
 //
 //	v2 (REST routing, typed {"error":{"code","message"}} envelopes, snapshots,
-//	streaming deletions — see v2.go)
-//	  POST   /v2/sessions                train, or restore from a snapshot
+//	CSR uploads, streaming deletions — see v2.go)
+//	  POST   /v2/sessions                train (dense or CSR), or restore a snapshot
 //	  GET    /v2/sessions/{id}           session metadata + parameters
 //	  DELETE /v2/sessions/{id}           drop a session
 //	  GET    /v2/sessions/{id}/snapshot  stream a self-contained snapshot
 //	  POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
 //
-//	GET /healthz           load-balancer probe (version, uptime, workers)
+//	GET /healthz           load-balancer probe (version, uptime, tiers)
 package service
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,68 +50,40 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/priu"
+	"repro/priu/store"
 )
 
-// Session is one registered model with its captured provenance.
-type Session struct {
-	ID        string
-	Kind      string // priu family name ("linear", "logistic", ...)
-	CreatedAt time.Time
+// Session aliases the store's session record: the service adds wire formats
+// and request accounting on top, storage placement belongs to priu/store.
+type Session = store.Session
 
-	mu      sync.Mutex
-	ds      priu.TrainingSet
-	upd     priu.Updater
-	model   *priu.Model // current model (after the latest deletion)
-	deleted []int       // cumulative deletion log
-
-	// footprint is the session's resident-memory charge (training data +
-	// provenance), fixed at registration.
-	footprint int64
-	// lastUsed is a unix-nano timestamp of the latest access (LRU clock).
-	lastUsed atomic.Int64
-
-	// Counters (guarded by mu) surfaced by /v1/stats.
-	updates           int64
-	lastUpdateSeconds float64
-}
-
-// touch advances the session's LRU clock.
-func (sess *Session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
-
-// numShards is the session-store shard count. Shard selection hashes the
-// session ID, so concurrent requests to different sessions rarely share a
-// lock; 16 shards keep contention negligible well past hundreds of
-// concurrent streams while the per-shard memory overhead stays trivial.
-const numShards = 16
-
-// shard is one lock domain of the session store.
-type shard struct {
-	mu       sync.RWMutex
-	sessions map[string]*Session
-
-	// Request counters: lock-free so the hot paths never take the shard
-	// lock just to bump a metric.
-	trains       atomic.Int64
-	deletes      atomic.Int64
-	deleteErrors atomic.Int64
-	evictions    atomic.Int64
-}
+// numShards mirrors the store's shard count for the /v1/stats layout.
+const numShards = store.NumShards
 
 // defaultMaxRemovalsPerBatch bounds one v2 deletion batch; oversize batches
 // are rejected with a typed error instead of stalling the update pool.
 const defaultMaxRemovalsPerBatch = 1 << 20
 
+// reqCounters are one shard's HTTP request counters (the store owns session
+// placement and eviction counters; the service owns request accounting).
+type reqCounters struct {
+	trains       atomic.Int64
+	deletes      atomic.Int64
+	deleteErrors atomic.Int64
+}
+
 // Server is the HTTP deletion service. The zero value is not usable; call
 // NewServer.
 type Server struct {
-	shards [numShards]shard
+	st     store.Store
+	reqs   [numShards]reqCounters
 	nextID atomic.Int64
 	start  time.Time
 
-	// Eviction budgets (0 = unbounded) and accounting.
+	// Budgets used when no explicit store is injected (and echoed by
+	// /healthz).
 	maxSessions int
 	maxBytes    int64
-	curBytes    atomic.Int64
 
 	// maxRemovals bounds one v2 deletion batch.
 	maxRemovals int
@@ -120,12 +94,13 @@ type ServerOption func(*Server)
 
 // WithMaxSessions bounds the number of resident sessions; the least recently
 // used session is evicted when a registration exceeds the budget (0 =
-// unbounded).
+// unbounded). Ignored when WithStore injects a pre-built store.
 func WithMaxSessions(n int) ServerOption { return func(s *Server) { s.maxSessions = n } }
 
 // WithMaxBytes bounds resident session memory (training data + provenance,
 // as charged by priu.Updater.FootprintBytes); least recently used sessions
 // are evicted when a registration exceeds the budget (0 = unbounded).
+// Ignored when WithStore injects a pre-built store.
 func WithMaxBytes(b int64) ServerOption { return func(s *Server) { s.maxBytes = b } }
 
 // WithMaxRemovalsPerBatch bounds the size of one v2 deletion batch.
@@ -137,16 +112,48 @@ func WithMaxRemovalsPerBatch(n int) ServerOption {
 	}
 }
 
-// NewServer returns an empty deletion service.
+// WithStore serves sessions from a pre-built store (e.g. store.NewTiered for
+// the spill-to-disk tier). Without it, NewServer builds an in-memory store
+// from the WithMaxSessions/WithMaxBytes budgets.
+func WithStore(st store.Store) ServerOption { return func(s *Server) { s.st = st } }
+
+// NewServer returns a deletion service. With an injected tiered store the
+// server picks up every session a previous process spilled: IDs continue
+// after the highest one found, and cold sessions restore on first touch.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{start: time.Now(), maxRemovals: defaultMaxRemovalsPerBatch}
-	for i := range s.shards {
-		s.shards[i].sessions = make(map[string]*Session)
-	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.st == nil {
+		s.st = store.NewMemory(store.WithMaxSessions(s.maxSessions), store.WithMaxBytes(s.maxBytes))
+	}
+	s.seedNextID()
 	return s
+}
+
+// Store returns the session store the server was built on (the shutdown path
+// closes it to drain dirty sessions).
+func (s *Server) Store() store.Store { return s.st }
+
+// seedNextID advances the ID counter past every session already in the store
+// (resident or spilled), so a restarted server never reissues an ID.
+func (s *Server) seedNextID() {
+	max := int64(0)
+	scan := func(id string) {
+		var n int64
+		if _, err := fmt.Sscanf(id, "sess-%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	s.st.Range(func(sess *Session) bool {
+		scan(sess.ID)
+		return true
+	})
+	for _, sp := range s.st.Stats().SpilledSessions {
+		scan(sp.ID)
+	}
+	s.nextID.Store(max)
 }
 
 // sessionIDLess orders generated "sess-N" IDs numerically (shorter numeric
@@ -157,13 +164,6 @@ func sessionIDLess(a, b string) bool {
 		return len(a) < len(b)
 	}
 	return a < b
-}
-
-// shardFor maps a session ID to its shard.
-func (s *Server) shardFor(id string) *shard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return &s.shards[h.Sum32()%numShards]
 }
 
 // TrainRequest registers a training job. Features is row-major n×m.
@@ -243,28 +243,37 @@ type SessionStats struct {
 	LastUpdateSeconds float64   `json:"last_update_seconds"`
 }
 
-// ShardStats is one shard's counters within /v1/stats.
+// ShardStats is one shard's counters within /v1/stats. Evictions counts only
+// budget (LRU) evictions; explicit DELETEs are reported separately.
 type ShardStats struct {
-	Shard        int            `json:"shard"`
-	Sessions     int            `json:"sessions"`
-	Trains       int64          `json:"trains"`
-	Deletes      int64          `json:"deletes"`
-	DeleteErrors int64          `json:"delete_errors"`
-	Evictions    int64          `json:"evictions"`
-	SessionStats []SessionStats `json:"session_stats,omitempty"`
+	Shard           int            `json:"shard"`
+	Sessions        int            `json:"sessions"`
+	Trains          int64          `json:"trains"`
+	Deletes         int64          `json:"deletes"`
+	DeleteErrors    int64          `json:"delete_errors"`
+	Evictions       int64          `json:"evictions"`
+	ExplicitDeletes int64          `json:"explicit_deletes"`
+	SessionStats    []SessionStats `json:"session_stats,omitempty"`
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. Sessions/ResidentBytes describe the
+// in-memory tier; Spilled/SpilledBytes/Spills/Restores describe the disk tier
+// (zero without -store-dir).
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Workers       int          `json:"workers"`
-	Sessions      int          `json:"sessions"`
-	Trains        int64        `json:"trains"`
-	Deletes       int64        `json:"deletes"`
-	DeleteErrors  int64        `json:"delete_errors"`
-	Evictions     int64        `json:"evictions"`
-	ResidentBytes int64        `json:"resident_bytes"`
-	Shards        []ShardStats `json:"shards"`
+	UptimeSeconds   float64      `json:"uptime_seconds"`
+	Workers         int          `json:"workers"`
+	Sessions        int          `json:"sessions"`
+	Trains          int64        `json:"trains"`
+	Deletes         int64        `json:"deletes"`
+	DeleteErrors    int64        `json:"delete_errors"`
+	Evictions       int64        `json:"evictions"`
+	ExplicitDeletes int64        `json:"explicit_deletes"`
+	ResidentBytes   int64        `json:"resident_bytes"`
+	Spilled         int          `json:"spilled"`
+	SpilledBytes    int64        `json:"spilled_bytes"`
+	Spills          int64        `json:"spills"`
+	Restores        int64        `json:"restores"`
+	Shards          []ShardStats `json:"shards"`
 }
 
 // HealthResponse is the /healthz payload for load-balancer probes.
@@ -277,6 +286,9 @@ type HealthResponse struct {
 	ResidentBytes int64   `json:"resident_bytes"`
 	MaxSessions   int     `json:"max_sessions,omitempty"`
 	MaxBytes      int64   `json:"max_bytes,omitempty"`
+	Spilled       int     `json:"spilled,omitempty"`
+	SpilledBytes  int64   `json:"spilled_bytes,omitempty"`
+	Restores      int64   `json:"restores,omitempty"`
 }
 
 // Handler returns the service's HTTP routes: the unchanged v1 surface, the
@@ -330,140 +342,32 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.addSession(req.Kind, d, upd, nil, nil)
+	// Put published the session; IDs are guessable, so a concurrent delete
+	// could already be mutating it — read the model under its lock.
+	sess.Mu.Lock()
+	params := sess.Model.Vec()
+	sess.Mu.Unlock()
 	writeJSON(w, TrainResponse{
 		SessionID:      sess.ID,
-		Parameters:     sess.model.Vec(),
+		Parameters:     params,
 		ProvenanceMB:   float64(upd.FootprintBytes()) / (1 << 20),
 		CaptureSeconds: time.Since(start).Seconds(),
 	})
 }
 
-// addSession registers an updater under a fresh session ID and enforces the
-// eviction budget. A non-empty deleted log (snapshot restore) comes with the
-// model that already reflects it.
+// addSession registers an updater under a fresh session ID; the store
+// enforces its eviction budget. A non-empty deleted log (snapshot restore)
+// comes with the model that already reflects it.
 func (s *Server) addSession(kind string, ds priu.TrainingSet, upd priu.Updater, deleted []int, model *priu.Model) *Session {
-	if model == nil {
-		model = upd.Model()
-	}
-	sess := &Session{
-		ID:        fmt.Sprintf("sess-%d", s.nextID.Add(1)),
-		Kind:      kind,
-		CreatedAt: time.Now(),
-		ds:        ds,
-		upd:       upd,
-		model:     model,
-		deleted:   deleted,
-		footprint: trainingSetBytes(ds) + upd.FootprintBytes(),
-	}
-	sess.touch()
-	sh := s.shardFor(sess.ID)
-	sh.mu.Lock()
-	sh.sessions[sess.ID] = sess
-	sh.mu.Unlock()
-	sh.trains.Add(1)
-	s.curBytes.Add(sess.footprint)
-	s.enforceBudget(sess.ID)
+	id := fmt.Sprintf("sess-%d", s.nextID.Add(1))
+	sess := store.NewSession(id, kind, ds, upd, model, deleted)
+	s.reqs[store.ShardIndex(id)].trains.Add(1)
+	s.st.Put(sess)
 	return sess
 }
 
-// trainingSetBytes charges a training set's resident memory for eviction
-// accounting.
-func trainingSetBytes(ds priu.TrainingSet) int64 {
-	switch d := ds.(type) {
-	case *dataset.Dataset:
-		return int64(d.N())*int64(d.M())*8 + int64(d.N())*8
-	case *dataset.SparseDataset:
-		return d.X.FootprintBytes() + int64(d.N())*8
-	default:
-		return 0
-	}
-}
-
-// sessionCount returns the number of resident sessions.
-func (s *Server) sessionCount() int {
-	total := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		total += len(sh.sessions)
-		sh.mu.RUnlock()
-	}
-	return total
-}
-
-// enforceBudget evicts least-recently-used sessions until the store is back
-// under the session-count and byte budgets. The session named keepID (the
-// one that triggered enforcement) is never evicted, so a single oversized
-// registration still lands.
-func (s *Server) enforceBudget(keepID string) {
-	if s.maxSessions <= 0 && s.maxBytes <= 0 {
-		return
-	}
-	for {
-		over := (s.maxSessions > 0 && s.sessionCount() > s.maxSessions) ||
-			(s.maxBytes > 0 && s.curBytes.Load() > s.maxBytes)
-		if !over {
-			return
-		}
-		victim, vShard := s.lruSession(keepID)
-		if victim == nil {
-			return // nothing evictable left
-		}
-		vShard.mu.Lock()
-		// Re-check under the lock: a concurrent evictor may have won.
-		if _, still := vShard.sessions[victim.ID]; !still {
-			vShard.mu.Unlock()
-			continue
-		}
-		delete(vShard.sessions, victim.ID)
-		vShard.mu.Unlock()
-		vShard.evictions.Add(1)
-		s.curBytes.Add(-victim.footprint)
-	}
-}
-
-// lruSession scans every shard for the least recently used session other
-// than keepID.
-func (s *Server) lruSession(keepID string) (*Session, *shard) {
-	var (
-		victim *Session
-		vShard *shard
-		oldest int64
-	)
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, sess := range sh.sessions {
-			if sess.ID == keepID {
-				continue
-			}
-			if lu := sess.lastUsed.Load(); victim == nil || lu < oldest {
-				victim, vShard, oldest = sess, sh, lu
-			}
-		}
-		sh.mu.RUnlock()
-	}
-	return victim, vShard
-}
-
-// removeSession drops a session by ID (v2 DELETE), returning whether it
-// existed.
-func (s *Server) removeSession(id string) bool {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	sess, ok := sh.sessions[id]
-	if ok {
-		delete(sh.sessions, id)
-	}
-	sh.mu.Unlock()
-	if ok {
-		s.curBytes.Add(-sess.footprint)
-	}
-	return ok
-}
-
 // datasetFromRequest builds the dense dataset for a JSON training request.
-// The family name decides the task; the sparse family needs snapshot restore.
+// The family name decides the task; sparse families use the v2 CSR shape.
 func datasetFromRequest(family string, features [][]float64, labels []float64, classes int) (*dataset.Dataset, error) {
 	n := len(features)
 	if n == 0 {
@@ -514,17 +418,9 @@ func taskForFamily(family string) (dataset.Task, error) {
 		return 0, fmt.Errorf("unknown kind %q", family)
 	}
 	if f.Sparse {
-		return 0, fmt.Errorf("family %q trains on sparse input; create its sessions by restoring a snapshot", family)
+		return 0, fmt.Errorf("family %q trains on sparse input; POST /v2/sessions with a CSR body or restore a snapshot", family)
 	}
 	return f.Task, nil
-}
-
-func (s *Server) session(id string) (*Session, bool) {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	sess, ok := sh.sessions[id]
-	return sess, ok
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -578,59 +474,75 @@ func (s *Server) handleBatchDelete(w http.ResponseWriter, batch []DeleteItem) {
 }
 
 // deleteOne applies one session's cumulative deletion and returns the
-// response, or the HTTP status to report and the error.
+// response, or the HTTP status to report and the error. If the session copy
+// it fetched was evicted before the lock was won, it re-fetches — which, on a
+// tiered store, restores the session from its spill file (deletion log
+// replayed) — so an eviction mid-request never loses an honored deletion.
 func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int, error) {
-	sh := s.shardFor(sessionID)
-	sh.deletes.Add(1)
-	sess, ok := s.session(sessionID)
-	if !ok {
-		sh.deleteErrors.Add(1)
-		return DeleteResponse{}, http.StatusNotFound, fmt.Errorf("unknown session %q", sessionID)
-	}
-	if len(removed) == 0 {
-		sh.deleteErrors.Add(1)
-		return DeleteResponse{}, http.StatusBadRequest, fmt.Errorf("empty removal set")
-	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	resp, err := sess.applyDeletion(removed)
-	if err != nil {
-		sh.deleteErrors.Add(1)
-		status := http.StatusBadRequest
-		if errors.Is(err, errInternal) {
-			status = http.StatusInternalServerError
+	rq := &s.reqs[store.ShardIndex(sessionID)]
+	rq.deletes.Add(1)
+	for {
+		sess, ok := s.st.Get(sessionID)
+		if !ok {
+			rq.deleteErrors.Add(1)
+			return DeleteResponse{}, http.StatusNotFound, fmt.Errorf("unknown session %q", sessionID)
 		}
-		return DeleteResponse{}, status, err
+		if len(removed) == 0 {
+			rq.deleteErrors.Add(1)
+			return DeleteResponse{}, http.StatusBadRequest, fmt.Errorf("empty removal set")
+		}
+		resp, err, retry := func() (DeleteResponse, error, bool) {
+			sess.Mu.Lock()
+			defer sess.Mu.Unlock()
+			if sess.GoneLocked() {
+				return DeleteResponse{}, nil, true
+			}
+			r, e := applyDeletionLocked(sess, removed)
+			return r, e, false
+		}()
+		if retry {
+			continue // evicted between Get and Lock; re-fetch (and restore)
+		}
+		if err != nil {
+			rq.deleteErrors.Add(1)
+			status := http.StatusBadRequest
+			if errors.Is(err, errInternal) {
+				status = http.StatusInternalServerError
+			}
+			return DeleteResponse{}, status, err
+		}
+		return resp, http.StatusOK, nil
 	}
-	return resp, http.StatusOK, nil
 }
 
 // errInternal marks server-side invariant failures (as opposed to invalid
 // client input), which v1 reports as 500.
 var errInternal = errors.New("internal error")
 
-// applyDeletion extends the session's cumulative removal log, runs the
-// incremental update and swaps in the new model. Callers hold sess.mu.
-func (sess *Session) applyDeletion(removed []int) (DeleteResponse, error) {
-	sess.touch()
+// applyDeletionLocked extends the session's cumulative removal log, runs the
+// incremental update and swaps in the new model. Callers hold sess.Mu and
+// have checked GoneLocked.
+func applyDeletionLocked(sess *Session, removed []int) (DeleteResponse, error) {
+	sess.Touch()
 	// Deletions are cumulative within a session.
-	all := append(append([]int(nil), sess.deleted...), removed...)
+	all := append(append([]int(nil), sess.Deleted...), removed...)
 	start := time.Now()
-	updated, err := sess.upd.Update(all)
+	updated, err := sess.Upd.Update(all)
 	if err != nil {
 		return DeleteResponse{}, err
 	}
 	dt := time.Since(start)
-	cmp, err := metrics.Compare(updated, sess.model)
+	cmp, err := metrics.Compare(updated, sess.Model)
 	if err != nil {
 		// The updated model disagreeing in shape with the cached one is a
 		// server-side invariant failure, not bad client input.
 		return DeleteResponse{}, fmt.Errorf("%w: comparing models: %v", errInternal, err)
 	}
-	sess.deleted = all
-	sess.model = updated
-	sess.updates++
-	sess.lastUpdateSeconds = dt.Seconds()
+	sess.Deleted = all
+	sess.Model = updated
+	sess.Updates++
+	sess.LastUpdateSeconds = dt.Seconds()
+	sess.MarkDirtyLocked()
 	return DeleteResponse{
 		SessionID:     sess.ID,
 		Parameters:    updated.Vec(),
@@ -646,19 +558,18 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/model/")
-	sess, ok := s.session(id)
+	sess, ok := s.st.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	sess.touch()
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	sess.Mu.Lock()
+	defer sess.Mu.Unlock()
 	writeJSON(w, ModelResponse{
 		SessionID:    sess.ID,
 		Kind:         sess.Kind,
-		Parameters:   sess.model.Vec(),
-		TotalDeleted: len(sess.deleted),
+		Parameters:   sess.Model.Vec(),
+		TotalDeleted: len(sess.Deleted),
 	})
 }
 
@@ -671,15 +582,20 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		ID        string    `json:"id"`
 		Kind      string    `json:"kind"`
 		CreatedAt time.Time `json:"created_at"`
+		Spilled   bool      `json:"spilled,omitempty"`
 	}
 	var out []row
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for _, sess := range sh.sessions {
-			out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+	seen := map[string]bool{}
+	s.st.Range(func(sess *Session) bool {
+		out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+		seen[sess.ID] = true
+		return true
+	})
+	// Spilled sessions are still servable (they restore on touch): list them.
+	for _, sp := range s.st.Stats().SpilledSessions {
+		if !seen[sp.ID] {
+			out = append(out, row{ID: sp.ID, Kind: sp.Kind, CreatedAt: sp.CreatedAt, Spilled: true})
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].ID, out[j].ID) })
 	if out == nil {
@@ -693,61 +609,71 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	st := s.st.Stats()
 	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Workers:       par.Workers(),
-		ResidentBytes: s.curBytes.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Workers:         par.Workers(),
+		Sessions:        st.Resident,
+		Evictions:       st.BudgetEvictions,
+		ExplicitDeletes: st.ExplicitDeletes,
+		ResidentBytes:   st.ResidentBytes,
+		Spilled:         st.Spilled,
+		SpilledBytes:    st.SpilledBytes,
+		Spills:          st.Spills,
+		Restores:        st.Restores,
 	}
-	for i := range s.shards {
-		sh := &s.shards[i]
+	perShard := make([][]SessionStats, numShards)
+	s.st.Range(func(sess *Session) bool {
+		sess.Mu.Lock()
+		ss := SessionStats{
+			SessionID:         sess.ID,
+			Kind:              sess.Kind,
+			CreatedAt:         sess.CreatedAt,
+			Updates:           sess.Updates,
+			TotalDeleted:      len(sess.Deleted),
+			LastUpdateSeconds: sess.LastUpdateSeconds,
+		}
+		sess.Mu.Unlock()
+		i := store.ShardIndex(sess.ID)
+		perShard[i] = append(perShard[i], ss)
+		return true
+	})
+	for i := 0; i < numShards; i++ {
+		rq := &s.reqs[i]
 		ss := ShardStats{
-			Shard:        i,
-			Trains:       sh.trains.Load(),
-			Deletes:      sh.deletes.Load(),
-			DeleteErrors: sh.deleteErrors.Load(),
-			Evictions:    sh.evictions.Load(),
-		}
-		sh.mu.RLock()
-		ss.Sessions = len(sh.sessions)
-		sessions := make([]*Session, 0, len(sh.sessions))
-		for _, sess := range sh.sessions {
-			sessions = append(sessions, sess)
-		}
-		sh.mu.RUnlock()
-		for _, sess := range sessions {
-			sess.mu.Lock()
-			ss.SessionStats = append(ss.SessionStats, SessionStats{
-				SessionID:         sess.ID,
-				Kind:              sess.Kind,
-				CreatedAt:         sess.CreatedAt,
-				Updates:           sess.updates,
-				TotalDeleted:      len(sess.deleted),
-				LastUpdateSeconds: sess.lastUpdateSeconds,
-			})
-			sess.mu.Unlock()
+			Shard:           i,
+			Sessions:        st.Shards[i].Sessions,
+			Trains:          rq.trains.Load(),
+			Deletes:         rq.deletes.Load(),
+			DeleteErrors:    rq.deleteErrors.Load(),
+			Evictions:       st.Shards[i].BudgetEvictions,
+			ExplicitDeletes: st.Shards[i].ExplicitDeletes,
+			SessionStats:    perShard[i],
 		}
 		sort.Slice(ss.SessionStats, func(a, b int) bool {
 			return sessionIDLess(ss.SessionStats[a].SessionID, ss.SessionStats[b].SessionID)
 		})
-		resp.Sessions += ss.Sessions
 		resp.Trains += ss.Trains
 		resp.Deletes += ss.Deletes
 		resp.DeleteErrors += ss.DeleteErrors
-		resp.Evictions += ss.Evictions
 		resp.Shards = append(resp.Shards, ss)
 	}
 	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
 	writeJSON(w, HealthResponse{
 		Version:       priu.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       par.Workers(),
 		Shards:        numShards,
-		Sessions:      s.sessionCount(),
-		ResidentBytes: s.curBytes.Load(),
+		Sessions:      st.Resident,
+		ResidentBytes: st.ResidentBytes,
 		MaxSessions:   s.maxSessions,
 		MaxBytes:      s.maxBytes,
+		Spilled:       st.Spilled,
+		SpilledBytes:  st.SpilledBytes,
+		Restores:      st.Restores,
 	})
 }

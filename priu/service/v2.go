@@ -12,13 +12,17 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/sparse"
 	"repro/priu"
+	"repro/priu/store"
 )
 
 // The v2 API surface: REST session routing built directly on priu.Updater,
-// typed {"error":{"code","message"}} envelopes, snapshot import/export, and
-// a streaming deletions endpoint that applies NDJSON removal batches on one
-// connection and streams back per-batch parameter digests.
+// typed {"error":{"code","message"}} envelopes, snapshot import/export, CSR
+// uploads for sparse families, and a streaming deletions endpoint that
+// applies NDJSON removal batches on one connection and streams back
+// per-batch parameter digests.
 
 // v2 error codes.
 const (
@@ -59,19 +63,28 @@ func writeV2Error(w http.ResponseWriter, status int, code, format string, args .
 	}})
 }
 
-// CreateSessionRequest is the JSON body of POST /v2/sessions. Alternatively
-// the endpoint accepts Content-Type: application/octet-stream with a
-// priu snapshot (GET /v2/sessions/{id}/snapshot output) as the body.
+// CreateSessionRequest is the JSON body of POST /v2/sessions. Dense families
+// take Features/Labels; sparse families take the CSR triple
+// Indptr/Indices/Values plus Cols and Labels. Alternatively the endpoint
+// accepts Content-Type: application/octet-stream with a priu snapshot
+// (GET /v2/sessions/{id}/snapshot output) as the body.
 type CreateSessionRequest struct {
-	Family     string      `json:"family"`
-	Features   [][]float64 `json:"features"`
-	Labels     []float64   `json:"labels"`
-	Classes    int         `json:"classes,omitempty"`
-	Eta        float64     `json:"eta"`
-	Lambda     float64     `json:"lambda"`
-	BatchSize  int         `json:"batch_size"`
-	Iterations int         `json:"iterations"`
-	Seed       int64       `json:"seed"`
+	Family   string      `json:"family"`
+	Features [][]float64 `json:"features,omitempty"`
+	Labels   []float64   `json:"labels"`
+	Classes  int         `json:"classes,omitempty"`
+	// CSR upload (sparse families): row pointers (len n+1), column indices
+	// and values (len nnz each), and the feature-space width.
+	Indptr  []int     `json:"indptr,omitempty"`
+	Indices []int     `json:"indices,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Cols    int       `json:"cols,omitempty"`
+
+	Eta        float64 `json:"eta"`
+	Lambda     float64 `json:"lambda"`
+	BatchSize  int     `json:"batch_size"`
+	Iterations int     `json:"iterations"`
+	Seed       int64   `json:"seed"`
 	// Mode selects the provenance-cache representation: "auto" (default),
 	// "full" or "svd".
 	Mode string `json:"mode,omitempty"`
@@ -143,11 +156,24 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "family is required (one of %v)", priu.Families())
 		return
 	}
-	if _, ok := priu.Lookup(req.Family); !ok {
+	f, ok := priu.Lookup(req.Family)
+	if !ok {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "unknown family %q (registered: %v)", req.Family, priu.Families())
 		return
 	}
-	d, err := datasetFromRequest(req.Family, req.Features, req.Labels, req.Classes)
+	var (
+		d   priu.TrainingSet
+		err error
+	)
+	if f.Sparse {
+		d, err = sparseDatasetFromRequest(f, &req)
+	} else {
+		if len(req.Indptr) > 0 || len(req.Values) > 0 {
+			err = fmt.Errorf("family %q trains on dense input; send features, not a CSR triple", req.Family)
+		} else {
+			d, err = datasetFromRequest(req.Family, req.Features, req.Labels, req.Classes)
+		}
+	}
 	if err != nil {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
@@ -171,6 +197,64 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 	sess := s.addSession(req.Family, d, upd, nil, nil)
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, s.v2SessionResponse(sess, time.Since(start).Seconds(), false))
+}
+
+// sparseDatasetFromRequest builds the CSR dataset for a sparse-family
+// training request from the indptr/indices/values triple.
+func sparseDatasetFromRequest(f priu.Family, req *CreateSessionRequest) (*dataset.SparseDataset, error) {
+	if len(req.Features) > 0 {
+		return nil, fmt.Errorf("family %q trains on sparse input; send indptr/indices/values, not dense features", f.Name)
+	}
+	if len(req.Indptr) < 2 {
+		return nil, fmt.Errorf("family %q needs a CSR body: indptr (len n+1), indices, values, cols and labels", f.Name)
+	}
+	n := len(req.Indptr) - 1
+	if req.Cols <= 0 {
+		return nil, fmt.Errorf("cols must be positive, got %d", req.Cols)
+	}
+	if len(req.Labels) != n {
+		return nil, fmt.Errorf("%d labels for %d CSR rows", len(req.Labels), n)
+	}
+	if req.Indptr[0] != 0 {
+		return nil, fmt.Errorf("indptr[0] must be 0, got %d", req.Indptr[0])
+	}
+	nnz := len(req.Values)
+	if len(req.Indices) != nnz {
+		return nil, fmt.Errorf("%d indices for %d values", len(req.Indices), nnz)
+	}
+	if req.Indptr[n] != nnz {
+		return nil, fmt.Errorf("indptr[%d] = %d does not match %d stored values", n, req.Indptr[n], nnz)
+	}
+	trips := make([]sparse.Triplet, 0, nnz)
+	for i := 0; i < n; i++ {
+		lo, hi := req.Indptr[i], req.Indptr[i+1]
+		if lo > hi || hi > nnz {
+			return nil, fmt.Errorf("indptr is not monotonic at row %d (%d > %d)", i, lo, hi)
+		}
+		for k := lo; k < hi; k++ {
+			trips = append(trips, sparse.Triplet{Row: i, Col: req.Indices[k], Val: req.Values[k]})
+		}
+	}
+	x, err := sparse.NewCSR(n, req.Cols, trips)
+	if err != nil {
+		return nil, err
+	}
+	classes := req.Classes
+	if f.Task == dataset.BinaryClassification {
+		classes = 2
+		for i, y := range req.Labels {
+			if y != 1 && y != -1 {
+				return nil, fmt.Errorf("label %d is %v, want ±1", i, y)
+			}
+		}
+	}
+	return &dataset.SparseDataset{
+		Name:    "api",
+		Task:    f.Task,
+		Classes: classes,
+		X:       x,
+		Y:       req.Labels,
+	}, nil
 }
 
 // parseMode maps the wire cache-mode name to the library value.
@@ -209,21 +293,18 @@ func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
 }
 
 // v2SessionResponse snapshots a session's public state. Callers must not
-// hold sess.mu.
+// hold sess.Mu.
 func (s *Server) v2SessionResponse(sess *Session, captureSeconds float64, restored bool) SessionResponse {
-	_, snapshottable := sess.upd.(priu.Snapshotter)
-	if f, ok := priu.Lookup(sess.Kind); !ok || f.Restore == nil {
-		snapshottable = false
-	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	snapshottable := store.Spillable(sess.Kind, sess.Upd)
+	sess.Mu.Lock()
+	defer sess.Mu.Unlock()
 	return SessionResponse{
 		SessionID:       sess.ID,
 		Family:          sess.Kind,
 		CreatedAt:       sess.CreatedAt,
-		Parameters:      sess.model.Vec(),
-		TotalDeleted:    len(sess.deleted),
-		FootprintBytes:  sess.footprint,
+		Parameters:      sess.Model.Vec(),
+		TotalDeleted:    len(sess.Deleted),
+		FootprintBytes:  sess.Footprint(),
 		Snapshottable:   snapshottable,
 		CaptureSeconds:  captureSeconds,
 		RestoredFromSnp: restored,
@@ -231,17 +312,16 @@ func (s *Server) v2SessionResponse(sess *Session, captureSeconds float64, restor
 }
 
 func (s *Server) handleV2GetSession(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
+	sess, ok := s.st.Get(r.PathValue("id"))
 	if !ok {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
-	sess.touch()
 	writeJSON(w, s.v2SessionResponse(sess, 0, false))
 }
 
 func (s *Server) handleV2DeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.removeSession(r.PathValue("id")) {
+	if !s.st.Delete(r.PathValue("id")) {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
@@ -249,20 +329,14 @@ func (s *Server) handleV2DeleteSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
+	sess, ok := s.st.Get(r.PathValue("id"))
 	if !ok {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
 		return
 	}
-	sess.touch()
-	if _, ok := sess.upd.(priu.Snapshotter); !ok {
+	if !store.Spillable(sess.Kind, sess.Upd) {
 		writeV2Error(w, http.StatusConflict, ErrCodeSnapshotUnsupported,
 			"family %q does not support snapshots", sess.Kind)
-		return
-	}
-	if f, ok := priu.Lookup(sess.Kind); !ok || f.Restore == nil {
-		writeV2Error(w, http.StatusConflict, ErrCodeSnapshotUnsupported,
-			"family %q cannot be restored from a snapshot", sess.Kind)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -270,10 +344,10 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 	// Provenance is immutable after capture, so only the deletion log needs
 	// the session lock; the log rides along so a restored session keeps
 	// honoring deletions applied here.
-	sess.mu.Lock()
-	deleted := append([]int(nil), sess.deleted...)
-	sess.mu.Unlock()
-	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.ds, sess.upd, deleted); err != nil {
+	sess.Mu.Lock()
+	deleted := append([]int(nil), sess.Deleted...)
+	sess.Mu.Unlock()
+	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, deleted); err != nil {
 		// Headers are gone; the stream just terminates early. Log-free
 		// minimal handling: the client sees a truncated stream and the
 		// snapshot loader fails closed.
@@ -281,19 +355,53 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// applyV2Batch validates and applies one removal batch against the current
+// authoritative copy of the session, re-fetching (which restores a spilled
+// session) whenever the copy it locked was evicted concurrently.
+func (s *Server) applyV2Batch(id string, removed []int) (DeleteResponse, *APIError, error) {
+	for {
+		sess, ok := s.st.Get(id)
+		if !ok {
+			return DeleteResponse{}, &APIError{
+				Code:    ErrCodeNotFound,
+				Message: fmt.Sprintf("unknown session %q", id),
+			}, nil
+		}
+		// Validation and application happen under one lock acquisition so a
+		// concurrent stream to the same session can't slip a duplicate
+		// through between the check and the apply; the deferred unlock keeps
+		// a panicking engine from wedging the session mutex.
+		resp, apiErr, err, retry := func() (DeleteResponse, *APIError, error, bool) {
+			sess.Mu.Lock()
+			defer sess.Mu.Unlock()
+			if sess.GoneLocked() {
+				return DeleteResponse{}, nil, nil, true
+			}
+			if apiErr := s.validateBatchLocked(sess, removed); apiErr != nil {
+				return DeleteResponse{}, apiErr, nil, false
+			}
+			r, e := applyDeletionLocked(sess, removed)
+			return r, nil, e, false
+		}()
+		if retry {
+			continue
+		}
+		return resp, apiErr, err
+	}
+}
+
 // handleV2Deletions streams removal batches on one connection: each request
 // NDJSON line {"remove":[...]} is validated, applied cumulatively to the
 // session, and answered with one NDJSON DeletionResult (or ErrorEnvelope)
 // line, flushed immediately. Invalid batches report an error line and do not
-// abort the stream — only a malformed (non-JSON) line does.
+// abort the stream — only a malformed (non-JSON) line or a session that
+// disappeared does.
 func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess, ok := s.session(id)
-	if !ok {
+	if _, ok := s.st.Get(id); !ok {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
 		return
 	}
-	sess.touch()
 	paramMode := r.URL.Query().Get("parameters")
 	// Request and response are interleaved on one connection: without
 	// full-duplex mode the HTTP/1.x server drains the unread request body
@@ -304,7 +412,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flush := func() { _ = rc.Flush() }
-	sh := s.shardFor(id)
+	rq := &s.reqs[store.ShardIndex(id)]
 	dec := json.NewDecoder(r.Body)
 	for batchNo := 1; ; batchNo++ {
 		var batch DeletionBatch
@@ -312,7 +420,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, io.EOF) {
 				return
 			}
-			sh.deleteErrors.Add(1)
+			rq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: APIError{
 				Code:    ErrCodeBadRequest,
 				Message: fmt.Sprintf("batch %d: malformed JSON: %v", batchNo, err),
@@ -320,28 +428,19 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 			flush()
 			return // cannot resync a corrupt stream
 		}
-		sh.deletes.Add(1)
-		// Validation and application happen under one lock acquisition so a
-		// concurrent stream to the same session can't slip a duplicate
-		// through between the check and the apply; the deferred unlock keeps
-		// a panicking engine from wedging the session mutex.
-		resp, apiErr, err := func() (DeleteResponse, *APIError, error) {
-			sess.mu.Lock()
-			defer sess.mu.Unlock()
-			if apiErr := s.validateBatchLocked(sess, batch.Remove); apiErr != nil {
-				return DeleteResponse{}, apiErr, nil
-			}
-			r, e := sess.applyDeletion(batch.Remove)
-			return r, nil, e
-		}()
+		rq.deletes.Add(1)
+		resp, apiErr, err := s.applyV2Batch(id, batch.Remove)
 		if apiErr != nil {
-			sh.deleteErrors.Add(1)
+			rq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: *apiErr})
 			flush()
+			if apiErr.Code == ErrCodeNotFound {
+				return // the session is gone; later batches cannot succeed
+			}
 			continue
 		}
 		if err != nil {
-			sh.deleteErrors.Add(1)
+			rq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: APIError{
 				Code:    ErrCodeUpdateFailed,
 				Message: fmt.Sprintf("batch %d: %v", batchNo, err),
@@ -366,7 +465,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 }
 
 // validateBatchLocked checks one removal batch against the session's bounds
-// and cumulative deletion log. Callers hold sess.mu.
+// and cumulative deletion log. Callers hold sess.Mu.
 func (s *Server) validateBatchLocked(sess *Session, removed []int) *APIError {
 	if len(removed) == 0 {
 		return &APIError{Code: ErrCodeInvalidRemovals, Message: "empty removal set"}
@@ -377,9 +476,9 @@ func (s *Server) validateBatchLocked(sess *Session, removed []int) *APIError {
 			Message: fmt.Sprintf("batch of %d removals exceeds the limit of %d", len(removed), s.maxRemovals),
 		}
 	}
-	n := sess.ds.N()
-	seen := make(map[int]bool, len(sess.deleted)+len(removed))
-	for _, i := range sess.deleted {
+	n := sess.DS.N()
+	seen := make(map[int]bool, len(sess.Deleted)+len(removed))
+	for _, i := range sess.Deleted {
 		seen[i] = true
 	}
 	for _, i := range removed {

@@ -506,22 +506,13 @@ func TestHealthz(t *testing.T) {
 
 func TestV2OptFamiliesServable(t *testing.T) {
 	// The registry makes the PrIU-opt families servable with zero service
-	// code: create one and verify snapshot is refused with a typed error.
+	// code, and since their eigen state persists (rebuilt on load) they are
+	// snapshottable like the base families: export one, restore it on a
+	// fresh server, and check the further update digests agree.
 	ts := newTestServerOpts(t)
 	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear-opt", 60, 3, 17))
-	if sr.Snapshottable {
-		t.Fatal("linear-opt should not be snapshottable")
-	}
-	resp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID + "/snapshot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("snapshot of linear-opt status %d, want 409", resp.StatusCode)
-	}
-	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeSnapshotUnsupported {
-		t.Fatalf("snapshot-unsupported code %q", env.Error.Code)
+	if !sr.Snapshottable {
+		t.Fatal("linear-opt should be snapshottable")
 	}
 	line := streamBatches(t, ts.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{`{"remove":[2,4]}`})
 	var dr DeletionResult
@@ -530,5 +521,84 @@ func TestV2OptFamiliesServable(t *testing.T) {
 	}
 	if dr.TotalDeleted != 2 {
 		t.Fatalf("opt-family deletion result %+v", dr)
+	}
+
+	snapResp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapResp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot of linear-opt status %d, want 200", snapResp.StatusCode)
+	}
+	snap, err := io.ReadAll(snapResp.Body)
+	snapResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tsB := newTestServerOpts(t)
+	restResp, err := http.Post(tsB.URL+"/v2/sessions", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored SessionResponse
+	if err := json.NewDecoder(restResp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	restResp.Body.Close()
+	if restResp.StatusCode != http.StatusCreated || restored.Family != "linear-opt" {
+		t.Fatalf("restore status %d response %+v", restResp.StatusCode, restored)
+	}
+	if restored.TotalDeleted != 2 {
+		t.Fatalf("restored opt session lost the deletion log: total_deleted = %d", restored.TotalDeleted)
+	}
+	removal := `{"remove":[7,9]}`
+	lineA := streamBatches(t, ts.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{removal})
+	lineB := streamBatches(t, tsB.URL+"/v2/sessions/"+restored.SessionID+"/deletions", []string{removal})
+	var ra, rb DeletionResult
+	if err := json.Unmarshal([]byte(lineA[0]), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lineB[0]), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Digest != rb.Digest {
+		t.Fatalf("restored opt update digest %s differs from original %s", rb.Digest, ra.Digest)
+	}
+}
+
+func TestV2SparseCSRUpload(t *testing.T) {
+	// A sparse-logistic session created from a CSR JSON body (no pre-built
+	// snapshot) must train, serve deletions, and export a snapshot.
+	ts := newTestServerOpts(t)
+	const cols = 30
+	sr := v2Create(t, ts.URL, csrCreateBody(t, 60, cols, 42))
+	if sr.Family != "sparse-logistic" || len(sr.Parameters) != cols || !sr.Snapshottable {
+		t.Fatalf("bad CSR create response %+v", sr)
+	}
+
+	line := streamBatches(t, ts.URL+"/v2/sessions/"+sr.SessionID+"/deletions", []string{`{"remove":[3,11]}`})
+	var dr DeletionResult
+	if err := json.Unmarshal([]byte(line[0]), &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.TotalDeleted != 2 {
+		t.Fatalf("CSR session deletion result %+v", dr)
+	}
+
+	// Malformed CSR shapes get typed errors.
+	bad := []CreateSessionRequest{
+		{Family: "sparse-logistic"}, // no CSR body
+		{Family: "sparse-logistic", Cols: cols, Indptr: []int{0, 2}, Indices: []int{1}, Values: []float64{1, 2}, Labels: []float64{1}},           // indices/values mismatch
+		{Family: "sparse-logistic", Cols: cols, Indptr: []int{0, 2, 1}, Indices: []int{1, 2}, Values: []float64{1, 2}, Labels: []float64{1, -1}}, // non-monotonic indptr
+		{Family: "sparse-logistic", Cols: 0, Indptr: []int{0, 1}, Indices: []int{0}, Values: []float64{1}, Labels: []float64{1}},                 // zero cols
+		{Family: "sparse-logistic", Cols: cols, Indptr: []int{0, 1}, Indices: []int{cols + 5}, Values: []float64{1}, Labels: []float64{1}},       // out-of-range column
+		{Family: "linear", Indptr: []int{0, 1}, Indices: []int{0}, Values: []float64{1}, Labels: []float64{1}},                                   // CSR body for a dense family
+	}
+	for i, b := range bad {
+		resp := postJSON(t, ts.URL+"/v2/sessions", b, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad CSR case %d: status %d, want 400", i, resp.StatusCode)
+		}
 	}
 }

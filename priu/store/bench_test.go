@@ -1,0 +1,72 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/priu"
+)
+
+// BenchmarkSpillRestore measures one full disk-tier round trip — spill a
+// dirty session (snapshot + atomic rename) and restore it (read, provenance
+// load, deletion-log replay) — and reports capture-time / round-trip-time as
+// a "speedup" metric: the factor by which restoring a session from the spill
+// directory beats re-capturing it from scratch. benchguard baselines the
+// metric, so a restore-latency regression of more than 20% fails CI.
+func BenchmarkSpillRestore(b *testing.B) {
+	d, err := priu.GenerateBinary("bench-spill", 400, 12, 0.8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []priu.Option{
+		priu.WithEta(5e-3), priu.WithLambda(0.05), priu.WithBatchSize(50),
+		priu.WithIterations(60), priu.WithSeed(7), priu.WithFullCaches(),
+	}
+	t0 := time.Now()
+	u, err := priu.Train("logistic", d, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	captureNs := time.Since(t0).Nanoseconds()
+
+	sess := NewSession("sess-bench", "logistic", d, u, nil, nil)
+	// A non-empty deletion log makes restore pay the replay it pays in
+	// production.
+	sess.Mu.Lock()
+	sess.Deleted = []int{3, 17, 91, 200}
+	m, err := sess.Upd.Update(sess.Deleted)
+	if err != nil {
+		sess.Mu.Unlock()
+		b.Fatal(err)
+	}
+	sess.Model = m
+	sess.Mu.Unlock()
+
+	ti, err := NewTiered(b.TempDir(), NewMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Mu.Lock()
+		sess.MarkDirtyLocked() // force a real rewrite each iteration
+		err := ti.spillLocked(sess)
+		sess.Mu.Unlock()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ti.mu.Lock()
+		e := ti.index[sess.ID]
+		ti.mu.Unlock()
+		if _, err := ti.restore(sess.ID, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		perOp := b.Elapsed().Nanoseconds() / int64(b.N)
+		if perOp > 0 {
+			b.ReportMetric(float64(captureNs)/float64(perOp), "speedup")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memShard is one lock domain of the in-memory tier.
+type memShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	// Counters are lock-free so hot paths never take the shard lock just to
+	// bump a metric.
+	budgetEvictions atomic.Int64
+	explicitDeletes atomic.Int64
+}
+
+// Memory is the hash-sharded in-memory tier with an optional LRU budget.
+// The zero value is not usable; call NewMemory.
+type Memory struct {
+	shards [NumShards]memShard
+
+	// Eviction budgets (0 = unbounded) and accounting.
+	maxSessions int
+	maxBytes    int64
+	curBytes    atomic.Int64
+
+	// onEvictLocked, when set (by Tiered), is called with the victim's Mu
+	// held after the victim left the map and before it is marked gone — the
+	// spill hook. It runs outside all shard locks.
+	onEvictLocked func(*Session)
+}
+
+// MemoryOption configures NewMemory.
+type MemoryOption func(*Memory)
+
+// WithMaxSessions bounds the number of resident sessions; the least recently
+// used session is evicted when a registration exceeds the budget (0 =
+// unbounded).
+func WithMaxSessions(n int) MemoryOption { return func(m *Memory) { m.maxSessions = n } }
+
+// WithMaxBytes bounds resident session memory (training data + provenance,
+// as charged by priu.Updater.FootprintBytes); least recently used sessions
+// are evicted when a registration exceeds the budget (0 = unbounded).
+func WithMaxBytes(b int64) MemoryOption { return func(m *Memory) { m.maxBytes = b } }
+
+// NewMemory returns an empty in-memory session store.
+func NewMemory(opts ...MemoryOption) *Memory {
+	m := &Memory{}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*Session)
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Put implements Store.
+func (m *Memory) Put(sess *Session) {
+	sh := &m.shards[ShardIndex(sess.ID)]
+	sess.Touch()
+	sh.mu.Lock()
+	sh.sessions[sess.ID] = sess
+	sh.mu.Unlock()
+	m.curBytes.Add(sess.footprint)
+	m.enforceBudget(sess.ID)
+}
+
+// Get implements Store.
+func (m *Memory) Get(id string) (*Session, bool) {
+	sh := &m.shards[ShardIndex(id)]
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if ok {
+		sess.Touch()
+	}
+	return sess, ok
+}
+
+// has reports residency without touching the LRU clock (used by the tiered
+// store's stats).
+func (m *Memory) has(id string) bool {
+	sh := &m.shards[ShardIndex(id)]
+	sh.mu.RLock()
+	_, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(id string) bool {
+	sh := &m.shards[ShardIndex(id)]
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sh.explicitDeletes.Add(1)
+	m.curBytes.Add(-sess.footprint)
+	sess.Mu.Lock()
+	sess.gone = true
+	sess.Mu.Unlock()
+	return true
+}
+
+// Touch implements Store.
+func (m *Memory) Touch(id string) bool {
+	_, ok := m.Get(id)
+	return ok
+}
+
+// drop removes a session without touching the explicit-delete counter — used
+// by the tiered store to undo a restore that raced a Delete.
+func (m *Memory) drop(id string) {
+	sh := &m.shards[ShardIndex(id)]
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	m.curBytes.Add(-sess.footprint)
+	sess.Mu.Lock()
+	sess.gone = true
+	sess.Mu.Unlock()
+}
+
+// Range implements Store. fn runs without any shard lock held, so it may
+// lock Session.Mu.
+func (m *Memory) Range(fn func(*Session) bool) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			sessions = append(sessions, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range sessions {
+			if !fn(sess) {
+				return
+			}
+		}
+	}
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	st := Stats{ResidentBytes: m.curBytes.Load()}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		st.Shards[i].Sessions = len(sh.sessions)
+		sh.mu.RUnlock()
+		st.Shards[i].BudgetEvictions = sh.budgetEvictions.Load()
+		st.Shards[i].ExplicitDeletes = sh.explicitDeletes.Load()
+		st.Resident += st.Shards[i].Sessions
+		st.BudgetEvictions += st.Shards[i].BudgetEvictions
+		st.ExplicitDeletes += st.Shards[i].ExplicitDeletes
+	}
+	return st
+}
+
+// Close implements Store (the in-memory tier has nothing to flush).
+func (m *Memory) Close() error { return nil }
+
+// sessionCount returns the number of resident sessions.
+func (m *Memory) sessionCount() int {
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		total += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// enforceBudget evicts least-recently-used sessions until the store is back
+// under the session-count and byte budgets. The session named keepID (the
+// one that triggered enforcement) is never evicted, so a single oversized
+// registration still lands.
+func (m *Memory) enforceBudget(keepID string) {
+	if m.maxSessions <= 0 && m.maxBytes <= 0 {
+		return
+	}
+	for {
+		over := (m.maxSessions > 0 && m.sessionCount() > m.maxSessions) ||
+			(m.maxBytes > 0 && m.curBytes.Load() > m.maxBytes)
+		if !over {
+			return
+		}
+		victim, vShard := m.lruSession(keepID)
+		if victim == nil {
+			return // nothing evictable left
+		}
+		// Spill (if tiered) BEFORE removing the session from the resident
+		// map, so a concurrent Get always finds it in at least one tier —
+		// never a window where the session is in neither. Spill and the gone
+		// flag share one Mu acquisition: an update serialized before the
+		// flag flips is in the spill file, an update that loses the lock
+		// race sees gone and re-fetches the restored copy — either way no
+		// honored deletion is lost. Mutators that re-fetch while the session
+		// is still briefly in the map just retry until the removal below
+		// lands.
+		victim.Mu.Lock()
+		if victim.gone {
+			victim.Mu.Unlock()
+			continue // a concurrent evictor or deleter won
+		}
+		if m.onEvictLocked != nil {
+			m.onEvictLocked(victim)
+		}
+		victim.gone = true
+		victim.Mu.Unlock()
+		vShard.mu.Lock()
+		// Re-check under the lock: a concurrent deleter may have won.
+		if _, still := vShard.sessions[victim.ID]; !still {
+			vShard.mu.Unlock()
+			continue
+		}
+		delete(vShard.sessions, victim.ID)
+		vShard.mu.Unlock()
+		vShard.budgetEvictions.Add(1)
+		m.curBytes.Add(-victim.footprint)
+	}
+}
+
+// lruSession scans every shard for the least recently used session other
+// than keepID.
+func (m *Memory) lruSession(keepID string) (*Session, *memShard) {
+	var (
+		victim *Session
+		vShard *memShard
+		oldest int64
+	)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			if sess.ID == keepID {
+				continue
+			}
+			if lu := sess.lastUsed.Load(); victim == nil || lu < oldest {
+				victim, vShard, oldest = sess, sh, lu
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return victim, vShard
+}

@@ -1,0 +1,199 @@
+// Package store is the session-storage layer of the PrIU deletion service:
+// it owns where a serving session (training set + captured provenance +
+// cumulative deletion log + current model) lives, while priu/service owns
+// only the HTTP wire formats on top of it.
+//
+// Two implementations are provided:
+//
+//   - Memory: the hash-sharded in-memory tier with per-shard locks and an
+//     optional LRU budget (max sessions / max resident bytes). Evictions
+//     drop sessions.
+//   - Tiered: wraps Memory with a disk tier. Evicted sessions are spilled as
+//     self-contained priu session snapshots into a content-addressed
+//     directory (atomic temp-file + rename), lazily restored on the next
+//     touch — replaying the deletion log so honored deletions stay deleted —
+//     with singleflight so concurrent touches of a cold session trigger
+//     exactly one restore. Close snapshots every dirty resident session, and
+//     NewTiered re-indexes the spill directory, so a kill/restart loses
+//     nothing.
+//
+// Mutators (the service's deletion handlers) hold Session.Mu while applying
+// an update and must re-fetch through Get when GoneLocked reports the copy
+// they hold was evicted or deleted concurrently: the spill happened under the
+// same lock, so the re-fetched (restored) session includes every previously
+// honored deletion.
+package store
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/priu"
+)
+
+// Session is one registered model with its captured provenance — the unit of
+// storage. HTTP-facing request counters stay in the service; everything here
+// is serving state that must survive tier moves.
+type Session struct {
+	ID        string
+	Kind      string // priu family name ("linear", "logistic", ...)
+	CreatedAt time.Time
+
+	// Mu guards the mutable serving state below.
+	Mu      sync.Mutex
+	DS      priu.TrainingSet
+	Upd     priu.Updater
+	Model   *priu.Model // current model (after the latest deletion)
+	Deleted []int       // cumulative deletion log
+
+	// Updates / LastUpdateSeconds are per-session stats counters (guarded by
+	// Mu); they ride along in spill files so restarts don't zero them.
+	Updates           int64
+	LastUpdateSeconds float64
+
+	// footprint is the session's resident-memory charge (training data +
+	// provenance), fixed at registration.
+	footprint int64
+	// lastUsed is a unix-nano timestamp of the latest access (LRU clock).
+	lastUsed atomic.Int64
+	// dirty marks state not yet reflected in the disk tier (guarded by Mu).
+	dirty bool
+	// gone marks a copy that was evicted or deleted from the store (guarded
+	// by Mu): mutators holding a gone session must re-fetch through Get.
+	gone bool
+}
+
+// NewSession builds a resident session. A nil model defaults to the updater's
+// initial model; a non-empty deletion log (snapshot restore) comes with the
+// model that already reflects it. New sessions start dirty: no disk tier has
+// seen them yet.
+func NewSession(id, kind string, ds priu.TrainingSet, upd priu.Updater, model *priu.Model, deleted []int) *Session {
+	if model == nil {
+		model = upd.Model()
+	}
+	sess := &Session{
+		ID:        id,
+		Kind:      kind,
+		CreatedAt: time.Now(),
+		DS:        ds,
+		Upd:       upd,
+		Model:     model,
+		Deleted:   deleted,
+		footprint: TrainingSetBytes(ds) + upd.FootprintBytes(),
+		dirty:     true,
+	}
+	sess.Touch()
+	return sess
+}
+
+// Touch advances the session's LRU clock.
+func (sess *Session) Touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
+
+// LastUsed returns the unix-nano timestamp of the latest access.
+func (sess *Session) LastUsed() int64 { return sess.lastUsed.Load() }
+
+// Footprint returns the session's resident-memory charge.
+func (sess *Session) Footprint() int64 { return sess.footprint }
+
+// MarkDirtyLocked flags serving state the disk tier hasn't seen. Callers hold
+// Mu.
+func (sess *Session) MarkDirtyLocked() { sess.dirty = true }
+
+// GoneLocked reports whether this copy was evicted or deleted from the store.
+// Callers hold Mu.
+func (sess *Session) GoneLocked() bool { return sess.gone }
+
+// TrainingSetBytes charges a training set's resident memory for eviction
+// accounting.
+func TrainingSetBytes(ds priu.TrainingSet) int64 {
+	switch d := ds.(type) {
+	case *dataset.Dataset:
+		return int64(d.N())*int64(d.M())*8 + int64(d.N())*8
+	case *dataset.SparseDataset:
+		return d.X.FootprintBytes() + int64(d.N())*8
+	default:
+		return 0
+	}
+}
+
+// NumShards is the in-memory tier's shard count. Shard selection hashes the
+// session ID, so concurrent requests to different sessions rarely share a
+// lock; 16 shards keep contention negligible well past hundreds of
+// concurrent streams while the per-shard memory overhead stays trivial.
+const NumShards = 16
+
+// ShardIndex maps a session ID to its shard, exported so the service can
+// align its per-shard request counters with the store's session placement.
+func ShardIndex(id string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % NumShards)
+}
+
+// ShardStats is one in-memory shard's view within Stats.
+type ShardStats struct {
+	// Sessions counts the shard's resident sessions.
+	Sessions int
+	// BudgetEvictions counts LRU evictions forced by the session/byte budget.
+	BudgetEvictions int64
+	// ExplicitDeletes counts sessions dropped by Delete.
+	ExplicitDeletes int64
+}
+
+// SpilledSession describes one disk-tier-only session (metadata comes from
+// the spill-file envelope, so listing does not restore anything).
+type SpilledSession struct {
+	ID        string
+	Kind      string
+	CreatedAt time.Time
+	Bytes     int64
+}
+
+// Stats is a point-in-time view of the store, split per tier. Budget
+// evictions and explicit deletes are separate counters: an eviction is a
+// budget decision (and, in the tiered store, a spill), a delete is a client
+// instruction to forget the session.
+type Stats struct {
+	// Resident / ResidentBytes describe the in-memory tier.
+	Resident      int
+	ResidentBytes int64
+	// BudgetEvictions / ExplicitDeletes aggregate the per-shard counters.
+	BudgetEvictions int64
+	ExplicitDeletes int64
+	// Disk-tier counters (zero for Memory).
+	Spilled      int
+	SpilledBytes int64
+	Spills       int64
+	Restores     int64
+	Unspillable  int64
+	// Shards is the per-shard breakdown of the in-memory tier.
+	Shards [NumShards]ShardStats
+	// SpilledSessions lists the disk-tier-only sessions.
+	SpilledSessions []SpilledSession
+}
+
+// Store is the session-storage abstraction the service is built on.
+type Store interface {
+	// Put registers a session and enforces any budget (which may evict — and
+	// in a tiered store spill — least-recently-used sessions, never sess
+	// itself).
+	Put(sess *Session)
+	// Get returns the session, restoring it from a colder tier if needed,
+	// and bumps its LRU clock.
+	Get(id string) (*Session, bool)
+	// Delete forgets the session in every tier, reporting whether it existed.
+	Delete(id string) bool
+	// Touch bumps the session's LRU clock (restoring it if cold), reporting
+	// whether it exists.
+	Touch(id string) bool
+	// Range calls fn for every resident session until fn returns false.
+	Range(fn func(*Session) bool)
+	// Stats returns a point-in-time view of every tier.
+	Stats() Stats
+	// Close flushes whatever durability the store offers (the tiered store
+	// snapshots all dirty resident sessions — the SIGTERM drain).
+	Close() error
+}

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/priu"
+)
+
+// trainSession builds a resident session on a small deterministic dataset.
+func trainSession(t testing.TB, id string, seed int64) *Session {
+	t.Helper()
+	d, err := priu.GenerateRegression("st-"+id, 60, 4, 0.05, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := priu.Train("linear", d,
+		priu.WithEta(0.01), priu.WithLambda(0.05), priu.WithBatchSize(15),
+		priu.WithIterations(20), priu.WithSeed(seed), priu.WithFullCaches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(id, "linear", d, u, nil, nil)
+}
+
+// applyDeletion mimics the service's mutation path: cumulative log + new
+// model + dirty flag, under Mu.
+func applyDeletion(t testing.TB, sess *Session, removed []int) []float64 {
+	t.Helper()
+	sess.Mu.Lock()
+	defer sess.Mu.Unlock()
+	all := append(append([]int(nil), sess.Deleted...), removed...)
+	m, err := sess.Upd.Update(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Deleted = all
+	sess.Model = m
+	sess.Updates++
+	sess.MarkDirtyLocked()
+	return m.Vec()
+}
+
+func TestMemoryBudgetAndCounterSplit(t *testing.T) {
+	m := NewMemory(WithMaxSessions(2))
+	a, b, c := trainSession(t, "sess-1", 1), trainSession(t, "sess-2", 2), trainSession(t, "sess-3", 3)
+	m.Put(a)
+	m.Put(b)
+	m.Touch("sess-1") // make sess-2 the LRU victim
+	m.Put(c)
+
+	if _, ok := m.Get("sess-2"); ok {
+		t.Fatal("LRU session should be evicted")
+	}
+	if _, ok := m.Get("sess-1"); !ok {
+		t.Fatal("touched session should survive")
+	}
+	if !m.Delete("sess-3") {
+		t.Fatal("explicit delete should succeed")
+	}
+	if m.Delete("sess-3") {
+		t.Fatal("second delete should report missing")
+	}
+	st := m.Stats()
+	if st.BudgetEvictions != 1 || st.ExplicitDeletes != 1 {
+		t.Fatalf("counter split wrong: budget=%d explicit=%d, want 1/1", st.BudgetEvictions, st.ExplicitDeletes)
+	}
+	if st.Resident != 1 {
+		t.Fatalf("resident = %d, want 1", st.Resident)
+	}
+	var sum int64
+	for _, sh := range st.Shards {
+		sum += sh.BudgetEvictions + sh.ExplicitDeletes
+	}
+	if sum != 2 {
+		t.Fatalf("per-shard counters sum to %d, want 2", sum)
+	}
+	// The evicted copy is flagged so a mutator holding it re-fetches.
+	b.Mu.Lock()
+	gone := b.GoneLocked()
+	b.Mu.Unlock()
+	if !gone {
+		t.Fatal("evicted session should be marked gone")
+	}
+}
+
+func TestTieredSpillRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trainSession(t, "sess-1", 11)
+	wantVec := applyDeletion(t, a, []int{3, 9})
+	ti.Put(a)
+	ti.Put(trainSession(t, "sess-2", 12)) // evicts and spills sess-1
+
+	st := ti.Stats()
+	if st.Spilled != 1 || st.Spills != 1 || st.SpilledBytes <= 0 {
+		t.Fatalf("spill stats %+v", st)
+	}
+	if len(st.SpilledSessions) != 1 || st.SpilledSessions[0].ID != "sess-1" {
+		t.Fatalf("spilled listing %+v", st.SpilledSessions)
+	}
+
+	got, ok := ti.Get("sess-1")
+	if !ok {
+		t.Fatal("cold session should restore on touch")
+	}
+	if got == a {
+		t.Fatal("restore should produce a fresh session object")
+	}
+	got.Mu.Lock()
+	vec := got.Model.Vec()
+	deleted := append([]int(nil), got.Deleted...)
+	updates := got.Updates
+	got.Mu.Unlock()
+	if len(deleted) != 2 || deleted[0] != 3 || deleted[1] != 9 {
+		t.Fatalf("restored deletion log %v", deleted)
+	}
+	if updates != 1 {
+		t.Fatalf("restored updates counter %d, want 1", updates)
+	}
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d: %v vs %v", i, vec[i], wantVec[i])
+		}
+	}
+	if ti.Stats().Restores != 1 {
+		t.Fatalf("restores = %d, want 1", ti.Stats().Restores)
+	}
+}
+
+// TestTieredConcurrentRestore hammers a cold session from many goroutines:
+// the singleflight must run exactly one restore and hand every caller the
+// same session object. Run under -race.
+func TestTieredConcurrentRestore(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trainSession(t, "sess-1", 21)
+	applyDeletion(t, a, []int{1, 2})
+	ti.Put(a)
+	ti.Put(trainSession(t, "sess-2", 22)) // spill sess-1
+
+	const touchers = 16
+	got := make([]*Session, touchers)
+	var wg sync.WaitGroup
+	for g := 0; g < touchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess, ok := ti.Get("sess-1")
+			if !ok {
+				t.Errorf("toucher %d: restore failed", g)
+				return
+			}
+			got[g] = sess
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for g := 1; g < touchers; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("touchers %d and 0 got different session objects", g)
+		}
+	}
+	if r := ti.Stats().Restores; r != 1 {
+		t.Fatalf("concurrent touches triggered %d restores, want exactly 1", r)
+	}
+}
+
+func TestTieredCloseDrainAndReboot(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trainSession(t, "sess-1", 31)
+	wantVec := applyDeletion(t, a, []int{5})
+	ti.Put(a)
+	// Never evicted — only the Close drain (the SIGTERM path) persists it.
+	if err := ti.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Leave a torn temp file; reboot must clean it up and ignore it.
+	if err := os.WriteFile(filepath.Join(dir, spillTmp+"dead"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ti2, err := NewTiered(dir, NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ti2.Stats()
+	if st.Spilled != 1 || st.Resident != 0 {
+		t.Fatalf("reboot stats %+v", st)
+	}
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("rebooted store should restore the drained session")
+	}
+	got.Mu.Lock()
+	vec := got.Model.Vec()
+	got.Mu.Unlock()
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("rebooted model differs at %d", i)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, spillTmp+"*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("temp files survived reboot: %v", files)
+	}
+}
+
+func TestTieredDeleteRemovesBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti.Put(trainSession(t, "sess-1", 41))
+	ti.Put(trainSession(t, "sess-2", 42)) // spill sess-1
+	if !ti.Delete("sess-1") {
+		t.Fatal("delete of a spilled session should succeed")
+	}
+	if _, ok := ti.Get("sess-1"); ok {
+		t.Fatal("deleted session must not restore")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "sess-1") {
+			t.Fatalf("spill file %s for deleted session survived", f)
+		}
+	}
+	if st := ti.Stats(); st.ExplicitDeletes != 1 {
+		t.Fatalf("explicit deletes = %d, want 1", st.ExplicitDeletes)
+	}
+}
+
+func TestTieredCleanReSpillSkipsWrite(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti.Put(trainSession(t, "sess-1", 51))
+	ti.Put(trainSession(t, "sess-2", 52)) // spill sess-1 (1 write)
+	if _, ok := ti.Get("sess-1"); !ok {   // restore (clean), spills sess-2
+		t.Fatal("restore failed")
+	}
+	if _, ok := ti.Get("sess-2"); !ok { // restore sess-2, re-evicts clean sess-1
+		t.Fatal("restore failed")
+	}
+	st := ti.Stats()
+	// sess-1 spilled once, sess-2 spilled once; the clean re-eviction of
+	// sess-1 must not rewrite its unchanged file.
+	if st.Spills != 2 {
+		t.Fatalf("spills = %d, want 2 (clean re-eviction must skip the write)", st.Spills)
+	}
+}
+
+func TestTieredStaleCopyNeverResurrects(t *testing.T) {
+	// With spilling disabled (or a failed spill), evicting a session whose
+	// state has moved past its disk copy must drop that copy: restoring it
+	// would silently undo honored deletions.
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)), WithSpillOnEvict(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trainSession(t, "sess-1", 61)
+	ti.Put(a)
+	if err := ti.Close(); err != nil { // drain: disk copy with 0 deletions
+		t.Fatal(err)
+	}
+	applyDeletion(t, a, []int{2, 4})      // disk copy is now stale
+	ti.Put(trainSession(t, "sess-2", 62)) // evicts dirty sess-1 without spilling
+
+	if _, ok := ti.Get("sess-1"); ok {
+		t.Fatal("stale disk copy resurrected a session past its persisted state")
+	}
+	if st := ti.Stats(); st.Spilled != 0 {
+		t.Fatalf("stale entry still indexed: %+v", st.SpilledSessions)
+	}
+
+	// A clean eviction under -spill=false keeps the (current) disk copy.
+	b := trainSession(t, "sess-3", 63)
+	ti.Put(b)
+	if err := ti.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ti.Put(trainSession(t, "sess-4", 64)) // evicts clean sess-3
+	if _, ok := ti.Get("sess-3"); !ok {
+		t.Fatal("clean eviction dropped a current disk copy")
+	}
+}
+
+func TestSessionIDsNeverCollideAcrossBoots(t *testing.T) {
+	// Guard the content-addressing assumption: two sessions with identical
+	// payloads still produce distinct spill files because the envelope
+	// carries the session ID.
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		ti.Put(trainSession(t, fmt.Sprintf("sess-%d", i), 7)) // same seed → same payload
+	}
+	if err := ti.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("%d spill files for 3 identical-payload sessions, want 3", len(files))
+	}
+}

@@ -1,0 +1,484 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binio"
+	"repro/priu"
+)
+
+// Spill-file envelope: a small header carrying the store-level identity and
+// counters that the priu session snapshot itself does not know about,
+// followed by the self-contained snapshot (family + dataset + deletion log +
+// provenance). Files are content-addressed — named by the SHA-256 of their
+// bytes — and written as temp-file + rename, so a crash mid-spill leaves at
+// worst an ignorable temp file, never a torn session.
+const (
+	spillMagic   = "PRSP"
+	spillVersion = 1
+	spillExt     = ".sess"
+	spillTmp     = "tmp-"
+
+	// maxSpillName bounds decoded ID/family strings in envelopes.
+	maxSpillName = 1 << 20
+)
+
+// spillEntry is the disk tier's index record for one session.
+type spillEntry struct {
+	path      string
+	bytes     int64
+	kind      string
+	createdAt time.Time
+}
+
+// flight is one in-progress restore; joiners wait on done.
+type flight struct {
+	done chan struct{}
+	sess *Session
+	ok   bool
+}
+
+// Tiered wraps the in-memory tier with a spill directory: evictions spill,
+// touches of cold sessions restore (singleflight), Close drains dirty
+// residents, and NewTiered re-indexes whatever a previous process left.
+type Tiered struct {
+	mem *Memory
+	dir string
+
+	mu      sync.Mutex
+	index   map[string]*spillEntry
+	flights map[string]*flight
+
+	spills        atomic.Int64
+	restores      atomic.Int64
+	spillErrors   atomic.Int64
+	restoreErrors atomic.Int64
+	unspillable   atomic.Int64
+}
+
+// NewTiered opens (creating if needed) the spill directory, re-indexes the
+// session files a previous process left there, and installs the spill hook on
+// mem's evictions. mem must be freshly constructed and not shared.
+func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating spill dir: %w", err)
+	}
+	t := &Tiered{
+		mem:     mem,
+		dir:     dir,
+		index:   make(map[string]*spillEntry),
+		flights: make(map[string]*flight),
+	}
+	spill := true
+	for _, opt := range opts {
+		opt(t, &spill)
+	}
+	if err := t.reindex(); err != nil {
+		return nil, err
+	}
+	mem.onEvictLocked = func(sess *Session) {
+		if spill {
+			if t.spillLocked(sess) == nil {
+				return
+			}
+		} else if !sess.dirty {
+			return // any disk copy is exactly this state; keep it restorable
+		}
+		// The session is leaving memory carrying state the disk tier does
+		// not have (spilling disabled, or the spill failed). A stale disk
+		// copy must not resurrect on the next touch — that would silently
+		// undo honored deletions — so drop it: the session is lost, exactly
+		// like a memory-only eviction.
+		t.invalidate(sess.ID)
+	}
+	return t, nil
+}
+
+// invalidate forgets a session's disk copy (stale relative to state that was
+// just lost with an eviction).
+func (t *Tiered) invalidate(id string) {
+	t.mu.Lock()
+	e, ok := t.index[id]
+	if ok {
+		delete(t.index, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		_ = os.Remove(e.path)
+	}
+}
+
+// TieredOption configures NewTiered.
+type TieredOption func(*Tiered, *bool)
+
+// WithSpillOnEvict controls whether budget evictions spill to disk (default
+// true). When disabled, evictions drop sessions as in the plain memory store
+// but Close still snapshots dirty residents, giving restart durability
+// without an eviction disk tier.
+func WithSpillOnEvict(enabled bool) TieredOption {
+	return func(_ *Tiered, spill *bool) { *spill = enabled }
+}
+
+// Spillable reports whether a session of this family/updater can be written
+// as a session snapshot and restored later.
+func Spillable(kind string, upd priu.Updater) bool {
+	if _, ok := upd.(priu.Snapshotter); !ok {
+		return false
+	}
+	f, ok := priu.Lookup(kind)
+	return ok && f.Restore != nil
+}
+
+// Put implements Store.
+func (t *Tiered) Put(sess *Session) { t.mem.Put(sess) }
+
+// Get implements Store: a resident hit is lock-free beyond the shard RLock;
+// a cold session is restored from its spill file exactly once, no matter how
+// many goroutines touch it concurrently.
+func (t *Tiered) Get(id string) (*Session, bool) {
+	if sess, ok := t.mem.Get(id); ok {
+		return sess, true
+	}
+	t.mu.Lock()
+	if f, inflight := t.flights[id]; inflight {
+		t.mu.Unlock()
+		<-f.done
+		return f.sess, f.ok
+	}
+	e, spilled := t.index[id]
+	if !spilled {
+		t.mu.Unlock()
+		// The session may have become resident between the miss and the
+		// index check (a racing restore that just published).
+		return t.mem.Get(id)
+	}
+	f := &flight{done: make(chan struct{})}
+	t.flights[id] = f
+	t.mu.Unlock()
+
+	// Leader path. Re-check residency first: a restore that completed
+	// between our memory miss and the flight registration already published
+	// the session (the index keeps its entry after a restore).
+	if sess, ok := t.mem.Get(id); ok {
+		f.sess, f.ok = sess, true
+	} else if sess, err := t.restore(id, e); err != nil {
+		t.restoreErrors.Add(1)
+	} else {
+		// A Delete that raced the restore removed the index entry; honor it
+		// instead of resurrecting the session.
+		t.mu.Lock()
+		_, still := t.index[id]
+		t.mu.Unlock()
+		if still {
+			f.sess, f.ok = sess, true
+		} else {
+			t.mem.drop(id)
+		}
+	}
+	t.mu.Lock()
+	delete(t.flights, id)
+	t.mu.Unlock()
+	close(f.done)
+	return f.sess, f.ok
+}
+
+// Delete implements Store: the session is forgotten in both tiers.
+func (t *Tiered) Delete(id string) bool {
+	resident := t.mem.Delete(id)
+	t.mu.Lock()
+	e, spilled := t.index[id]
+	if spilled {
+		delete(t.index, id)
+	}
+	t.mu.Unlock()
+	if spilled {
+		_ = os.Remove(e.path)
+		if !resident {
+			// Count the disk-only delete on the same shard the session
+			// would live on, keeping per-shard sums consistent.
+			t.mem.shards[ShardIndex(id)].explicitDeletes.Add(1)
+		}
+	}
+	return resident || spilled
+}
+
+// Touch implements Store: touching a cold session restores it ("the LRU
+// budget is a cache tier, not a cliff").
+func (t *Tiered) Touch(id string) bool {
+	_, ok := t.Get(id)
+	return ok
+}
+
+// Range implements Store (resident sessions only; spilled sessions are
+// listed by Stats without being restored).
+func (t *Tiered) Range(fn func(*Session) bool) { t.mem.Range(fn) }
+
+// Stats implements Store.
+func (t *Tiered) Stats() Stats {
+	st := t.mem.Stats()
+	st.Spills = t.spills.Load()
+	st.Restores = t.restores.Load()
+	st.Unspillable = t.unspillable.Load()
+	t.mu.Lock()
+	for id, e := range t.index {
+		if t.mem.has(id) {
+			continue // resident copy is authoritative; the file is a warm backup
+		}
+		st.Spilled++
+		st.SpilledBytes += e.bytes
+		st.SpilledSessions = append(st.SpilledSessions, SpilledSession{
+			ID: id, Kind: e.kind, CreatedAt: e.createdAt, Bytes: e.bytes,
+		})
+	}
+	t.mu.Unlock()
+	return st
+}
+
+// Close implements Store: the SIGTERM drain. Every dirty resident session is
+// snapshotted to the spill directory so the next process restores the exact
+// pre-shutdown state. Unspillable sessions are counted and skipped.
+func (t *Tiered) Close() error {
+	var firstErr error
+	t.mem.Range(func(sess *Session) bool {
+		sess.Mu.Lock()
+		err := t.spillLocked(sess)
+		sess.Mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return true
+	})
+	return firstErr
+}
+
+// spillLocked writes the session's current state to the disk tier. Callers
+// hold sess.Mu, so the snapshot is a consistent cut: any deletion applied
+// after it will either be re-applied by a mutator that sees the gone flag or
+// land in a later spill.
+func (t *Tiered) spillLocked(sess *Session) error {
+	if !sess.dirty {
+		t.mu.Lock()
+		_, onDisk := t.index[sess.ID]
+		t.mu.Unlock()
+		if onDisk {
+			return nil // clean and already on disk: nothing to write
+		}
+	}
+	if !Spillable(sess.Kind, sess.Upd) {
+		t.unspillable.Add(1)
+		return fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
+	}
+	path, size, err := t.writeSpillFile(sess)
+	if err != nil {
+		t.spillErrors.Add(1)
+		return err
+	}
+	t.spills.Add(1)
+	sess.dirty = false
+	t.mu.Lock()
+	old := t.index[sess.ID]
+	t.index[sess.ID] = &spillEntry{path: path, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt}
+	t.mu.Unlock()
+	if old != nil && old.path != path {
+		_ = os.Remove(old.path)
+	}
+	return nil
+}
+
+// writeSpillFile serializes the session to a temp file and renames it to its
+// content hash, returning the final path and size.
+func (t *Tiered) writeSpillFile(sess *Session) (string, int64, error) {
+	tmp, err := os.CreateTemp(t.dir, spillTmp+"*")
+	if err != nil {
+		return "", 0, fmt.Errorf("store: creating spill temp file: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	h := sha256.New()
+	w := io.MultiWriter(tmp, h)
+	bw := binio.NewWriter(w)
+	bw.Bytes([]byte(spillMagic))
+	bw.U64(spillVersion)
+	bw.Str(sess.ID)
+	bw.Str(sess.Kind)
+	bw.I64(sess.CreatedAt.UnixNano())
+	bw.I64(sess.Updates)
+	bw.F64(sess.LastUpdateSeconds)
+	if err := bw.Flush(); err != nil {
+		return "", 0, err
+	}
+	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, sess.Deleted); err != nil {
+		return "", 0, fmt.Errorf("store: snapshotting session %s: %w", sess.ID, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return "", 0, err
+	}
+	size, err := tmp.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return "", 0, err
+	}
+	tmpName := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		_ = os.Remove(tmpName)
+		return "", 0, err
+	}
+	tmp = nil
+	final := filepath.Join(t.dir, hex.EncodeToString(h.Sum(nil))[:32]+spillExt)
+	if err := os.Rename(tmpName, final); err != nil {
+		_ = os.Remove(tmpName)
+		return "", 0, fmt.Errorf("store: publishing spill file: %w", err)
+	}
+	return final, size, nil
+}
+
+// spillEnvelope is the decoded header of one spill file.
+type spillEnvelope struct {
+	id                string
+	kind              string
+	createdAt         time.Time
+	updates           int64
+	lastUpdateSeconds float64
+}
+
+// readSpillEnvelope decodes a spill file's header, returning the reader
+// positioned at the embedded session snapshot.
+func readSpillEnvelope(r io.Reader) (*binio.Reader, spillEnvelope, error) {
+	br := binio.NewReader(r)
+	var env spillEnvelope
+	if err := br.Magic(spillMagic); err != nil {
+		return nil, env, fmt.Errorf("store: %w", err)
+	}
+	if v := br.U64(); v != spillVersion {
+		return nil, env, fmt.Errorf("store: unsupported spill-file version %d", v)
+	}
+	env.id = br.Str(maxSpillName)
+	env.kind = br.Str(maxSpillName)
+	env.createdAt = time.Unix(0, br.I64())
+	env.updates = br.I64()
+	env.lastUpdateSeconds = br.F64()
+	if br.Err != nil {
+		return nil, env, br.Err
+	}
+	if env.id == "" {
+		return nil, env, fmt.Errorf("store: spill file has no session ID")
+	}
+	return br, env, nil
+}
+
+// restore rebuilds a session from its spill file and publishes it to the
+// in-memory tier. The snapshot's deletion log is replayed, so every honored
+// deletion stays deleted in the restored model.
+func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
+	f, err := os.Open(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening spill file for %s: %w", id, err)
+	}
+	defer f.Close()
+	br, env, err := readSpillEnvelope(f)
+	if err != nil {
+		return nil, err
+	}
+	if env.id != id {
+		return nil, fmt.Errorf("store: spill file %s holds session %s, want %s", e.path, env.id, id)
+	}
+	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(br.R)
+	if err != nil {
+		return nil, fmt.Errorf("store: restoring session %s: %w", id, err)
+	}
+	model := upd.Model()
+	if len(deleted) > 0 {
+		model, err = upd.Update(deleted)
+		if err != nil {
+			return nil, fmt.Errorf("store: replaying deletion log of %s: %w", id, err)
+		}
+	}
+	sess := &Session{
+		ID:                id,
+		Kind:              family,
+		CreatedAt:         env.createdAt,
+		DS:                ds,
+		Upd:               upd,
+		Model:             model,
+		Deleted:           deleted,
+		Updates:           env.updates,
+		LastUpdateSeconds: env.lastUpdateSeconds,
+		footprint:         TrainingSetBytes(ds) + upd.FootprintBytes(),
+		// Not dirty: the disk copy is exactly this state.
+	}
+	sess.Touch()
+	t.restores.Add(1)
+	t.mem.Put(sess)
+	return sess, nil
+}
+
+// reindex scans the spill directory on boot: temp files from interrupted
+// spills are removed, session files are indexed by the envelope header, and
+// when several files claim the same session (a crash between publishing a
+// new spill and unlinking the old one) the newest wins — decided primarily
+// by the envelope's monotonic per-session update counter, since file mtimes
+// can tie on coarse-timestamp filesystems, with mtime as the tiebreak.
+func (t *Tiered) reindex() error {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return fmt.Errorf("store: reading spill dir: %w", err)
+	}
+	type version struct {
+		updates int64
+		mtime   time.Time
+	}
+	newest := make(map[string]version)
+	for _, de := range entries {
+		name := de.Name()
+		path := filepath.Join(t.dir, name)
+		if strings.HasPrefix(name, spillTmp) {
+			_ = os.Remove(path)
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, spillExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		_, env, err := readSpillEnvelope(f)
+		f.Close()
+		if err != nil {
+			// Unreadable header: not one of ours (or torn by something other
+			// than our atomic writes); leave it alone but don't index it.
+			continue
+		}
+		v := version{updates: env.updates, mtime: info.ModTime()}
+		if prev, dup := t.index[env.id]; dup {
+			pv := newest[env.id]
+			older := v.updates < pv.updates ||
+				(v.updates == pv.updates && !v.mtime.After(pv.mtime))
+			if older {
+				_ = os.Remove(path)
+				continue
+			}
+			_ = os.Remove(prev.path)
+		}
+		newest[env.id] = v
+		t.index[env.id] = &spillEntry{path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt}
+	}
+	return nil
+}
