@@ -1,7 +1,7 @@
 GO ?= go
 SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build test race bench bench-guard bench-baseline spill-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke fmt fmt-check vet ci
 
 all: build
 
@@ -42,6 +42,14 @@ spill-smoke:
 		-run 'TestCrashRestartDurability|TestEvictTouchRestoreUnderLoad|TestTiered' \
 		./priu/service ./priu/store
 
+# Auth smoke: builds the real priuserve/priutrain/examples-client binaries,
+# starts an authenticated server (-auth required, tenant key file) and drives
+# it through priu/client — 401 on missing/unknown keys, 200 train→stream→
+# snapshot round trips from both CLIs, 429 on tenant quotas and stream rate
+# limits (with Retry-After resume), and a SIGHUP key rotation.
+auth-smoke:
+	$(GO) test -race -count=1 -run 'TestAuthSmoke' ./priu/client
+
 fmt:
 	gofmt -w .
 
@@ -53,4 +61,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race spill-smoke bench
+ci: build vet fmt-check race spill-smoke auth-smoke bench

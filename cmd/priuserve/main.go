@@ -3,21 +3,32 @@
 // Usage:
 //
 //	priuserve -addr :8080 -workers 0 -max-sessions 0 -max-bytes 0 \
-//	          -store-dir /var/lib/priu -spill -drain-timeout 15s
+//	          -store-dir /var/lib/priu -spill -drain-timeout 15s \
+//	          -auth required -auth-keys /etc/priu/keys.json
 //
 // Endpoints (see priu/service for the full wire formats):
 //
 //	POST   /v1/train                   register data + hyperparameters
 //	POST   /v1/delete                  incremental removal (single or batch)
 //	GET    /v1/model/ID                fetch a session's current parameters
-//	GET    /v1/sessions                list sessions (resident and spilled)
+//	GET    /v1/sessions                list the caller's sessions
 //	GET    /v1/stats                   per-shard, per-session and per-tier counters
 //	POST   /v2/sessions                train (dense or CSR), or restore a snapshot
+//	GET    /v2/sessions                list the caller's sessions
 //	GET    /v2/sessions/{id}           session metadata + parameters
-//	DELETE /v2/sessions/{id}           drop a session
+//	DELETE /v2/sessions/{id}           drop a session (and its spill file)
 //	GET    /v2/sessions/{id}/snapshot  export a self-contained snapshot
 //	POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
-//	GET    /healthz                    load-balancer probe
+//	GET    /v2/tenants/self/stats      the calling tenant's counters
+//	GET    /healthz                    load-balancer probe (never authenticated)
+//
+// -auth-keys names a JSON tenant key file (see service.TenantConfig):
+// "Authorization: Bearer" keys resolve to tenants, each with its own session
+// namespace, session/byte quota and deletion-stream rate limit. The file is
+// re-read on SIGHUP, so keys rotate and limits change without a restart.
+// -auth selects the mode: "off" ignores keys, "optional" (default) honors
+// keys but admits anonymous callers, "required" rejects everything without a
+// valid key (401) except /healthz.
 //
 // -workers sets the kernel worker-pool parallelism (0 = GOMAXPROCS).
 // -max-sessions / -max-bytes bound the resident tier; when a registration
@@ -40,6 +51,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -58,10 +70,32 @@ func main() {
 	storeDir := flag.String("store-dir", "", "spill directory for the tiered session store (empty = memory only)")
 	spill := flag.Bool("spill", true, "with -store-dir: spill evicted sessions to disk instead of dropping them")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests before the shutdown snapshot")
+	authMode := flag.String("auth", "optional", "API-key auth mode: off | optional | required")
+	authKeys := flag.String("auth-keys", "", "JSON tenant key file (hot-reloaded on SIGHUP)")
 	flag.Parse()
 	priu.SetWorkers(*workers)
 
-	mem := store.NewMemory(store.WithMaxSessions(*maxSessions), store.WithMaxBytes(*maxBytes))
+	mode, err := service.ParseAuthMode(*authMode)
+	if err != nil {
+		log.Fatalf("priuserve: %v", err)
+	}
+	var keyring *service.Keyring
+	if *authKeys != "" {
+		keyring, err = service.LoadKeyring(*authKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("priuserve: loaded %d tenant key(s) from %s", keyring.Len(), *authKeys)
+	}
+	if mode == service.AuthRequired && keyring == nil {
+		log.Fatal("priuserve: -auth required needs -auth-keys")
+	}
+
+	memOpts := []store.MemoryOption{store.WithMaxSessions(*maxSessions), store.WithMaxBytes(*maxBytes)}
+	if keyring != nil {
+		memOpts = append(memOpts, store.WithTenantLimits(keyring.Limits))
+	}
+	mem := store.NewMemory(memOpts...)
 	var st store.Store = mem
 	if *storeDir != "" {
 		tiered, err := store.NewTiered(*storeDir, mem, store.WithSpillOnEvict(*spill))
@@ -75,9 +109,27 @@ func main() {
 		service.WithMaxSessions(*maxSessions),
 		service.WithMaxBytes(*maxBytes),
 		service.WithMaxRemovalsPerBatch(*maxBatch),
+		service.WithAuth(mode, keyring),
 	)
 	if n := st.Stats().Spilled; n > 0 {
 		log.Printf("priuserve: re-indexed %d spilled session(s) from %s", n, *storeDir)
+	}
+
+	// SIGHUP hot-reloads the tenant key file: rotated keys and changed
+	// quotas/rate limits apply to the next request, no restart or dropped
+	// session required. A bad file keeps the previous keyring.
+	if keyring != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := keyring.Reload(); err != nil {
+					log.Printf("priuserve: SIGHUP reload failed (keeping previous keys): %v", err)
+					continue
+				}
+				log.Printf("priuserve: reloaded %d tenant key(s) from %s", keyring.Len(), *authKeys)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

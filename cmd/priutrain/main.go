@@ -7,15 +7,31 @@
 //
 //	priutrain -workload higgs -rate 0.01
 //	priutrain -workload sgemm-original -rate 0.001 -method PrIU-opt
+//
+// With -server the same workflow runs against a remote priuserve through the
+// priu/client SDK instead of in-process: the workload's data is uploaded to
+// POST /v2/sessions, the removals stream over the full-duplex NDJSON
+// deletions endpoint (digest-verified, with automatic retry when the
+// tenant's rate limit throttles a batch), and the session round-trips
+// through snapshot export + restore to prove the provenance survived:
+//
+//	priutrain -server http://localhost:8080 -api-key ak_live_acme \
+//	          -workload sgemm-original -scale 0.05 -rate 0.01
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"repro/priu"
 	"repro/priu/bench"
+	"repro/priu/client"
+	"repro/priu/service"
 )
 
 func main() {
@@ -24,6 +40,8 @@ func main() {
 		rate     = flag.Float64("rate", 0.01, "deletion rate in (0,1)")
 		method   = flag.String("method", "PrIU", "update method: PrIU | PrIU-opt")
 		scale    = flag.Float64("scale", 0.25, "workload scale factor in (0,1]")
+		server   = flag.String("server", "", "priuserve base URL; when set, run the workflow remotely through priu/client")
+		apiKey   = flag.String("api-key", "", "tenant API key for -server (Authorization: Bearer)")
 	)
 	flag.Parse()
 
@@ -39,6 +57,14 @@ func main() {
 	if m != bench.MethodPrIU && m != bench.MethodPrIUOpt {
 		fmt.Fprintf(os.Stderr, "priutrain: method must be PrIU or PrIU-opt\n")
 		os.Exit(2)
+	}
+
+	if *server != "" {
+		if err := runRemote(*server, *apiKey, wl.Scale(*scale), m, *rate); err != nil {
+			fmt.Fprintf(os.Stderr, "priutrain: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("preparing %s (scale %.2f): generating data, training, capturing provenance...\n", wl.ID, *scale)
@@ -75,4 +101,151 @@ func main() {
 	fmt.Printf("%-14s %12.4g %12.4g\n", "valid metric", baseMetric, updMetric)
 	fmt.Printf("\nspeed-up: %.2fx   model closeness: %s\n",
 		baseDt.Seconds()/dt.Seconds(), cmp)
+}
+
+// remoteCreateRequest builds the POST /v2/sessions body for a workload: the
+// generated training set (dense rows or the CSR triple) plus the workload's
+// hyperparameters.
+func remoteCreateRequest(wl bench.Workload, family string) (service.CreateSessionRequest, int, error) {
+	req := service.CreateSessionRequest{
+		Family:     family,
+		Eta:        wl.Cfg.Eta,
+		Lambda:     wl.Cfg.Lambda,
+		BatchSize:  wl.Cfg.BatchSize,
+		Iterations: wl.Cfg.Iterations,
+		Seed:       wl.Cfg.Seed,
+	}
+	dense, sp, err := wl.Generate()
+	if err != nil {
+		return req, 0, fmt.Errorf("generating workload data: %w", err)
+	}
+	if sp != nil {
+		n := sp.N()
+		req.Cols = sp.M()
+		req.Labels = sp.Y
+		req.Indptr = make([]int, 1, n+1)
+		for i := 0; i < n; i++ {
+			cols, vals := sp.X.Row(i)
+			req.Indices = append(req.Indices, cols...)
+			req.Values = append(req.Values, vals...)
+			req.Indptr = append(req.Indptr, len(req.Values))
+		}
+		return req, n, nil
+	}
+	n := dense.N()
+	if wl.Cfg.BatchSize > n {
+		req.BatchSize = n
+	}
+	req.Classes = dense.Classes
+	req.Labels = dense.Y
+	req.Features = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		req.Features[i] = dense.X.Row(i)
+	}
+	return req, n, nil
+}
+
+// runRemote drives the train → stream-deletions → snapshot → restore
+// workflow against a live priuserve through the client SDK.
+func runRemote(server, apiKey string, wl bench.Workload, m bench.Method, rate float64) error {
+	family, err := wl.Family()
+	if err != nil {
+		return err
+	}
+	if m == bench.MethodPrIUOpt {
+		family += "-opt"
+	}
+	if _, ok := priu.Lookup(family); !ok {
+		return fmt.Errorf("family %q is not registered (method %s on workload %s)", family, m, wl.ID)
+	}
+	ctx := context.Background()
+	cl := client.New(server, client.WithAPIKey(apiKey))
+	if h, err := cl.Health(ctx); err != nil {
+		return fmt.Errorf("probing %s: %w", server, err)
+	} else {
+		fmt.Printf("priuserve %s at %s (%d workers)\n", h.Version, server, h.Workers)
+	}
+
+	req, n, err := remoteCreateRequest(wl, family)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploading %s (n=%d) and capturing provenance server-side...\n", wl.ID, n)
+	start := time.Now()
+	sr, err := cl.CreateSession(ctx, req)
+	if err != nil {
+		return fmt.Errorf("creating session: %w", err)
+	}
+	fmt.Printf("session %s trained in %.2fs (provenance %.1f MB, snapshottable=%v)\n",
+		sr.SessionID, time.Since(start).Seconds(), float64(sr.FootprintBytes)/(1<<20), sr.Snapshottable)
+
+	// Deterministic removal pick, split into streaming batches.
+	k := int(float64(n) * rate)
+	if k < 1 {
+		k = 1
+	}
+	removed := rand.New(rand.NewSource(7)).Perm(n)[:k]
+	batches := splitBatches(removed, 4)
+	fmt.Printf("streaming %d removals in %d batches (digest-verified)...\n", k, len(batches))
+	st, err := cl.StreamDeletions(ctx, sr.SessionID, client.StreamVerifyDigests())
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var lastDigest string
+	for _, b := range batches {
+		res, err := st.SendWait(b) // waits out tenant rate limits
+		if err != nil {
+			return fmt.Errorf("streaming deletions: %w", err)
+		}
+		fmt.Printf("  batch %d: removed %d (total %d) in %.1fms, digest %s\n",
+			res.Batch, res.Removed, res.TotalDeleted, res.UpdateSeconds*1000, res.Digest)
+		lastDigest = res.Digest
+	}
+
+	// Snapshot round trip: export, restore as a second session, and check
+	// the restored model picks up exactly where the original left off.
+	var snap bytes.Buffer
+	if _, err := cl.SnapshotTo(ctx, sr.SessionID, &snap); err != nil {
+		return fmt.Errorf("exporting snapshot: %w", err)
+	}
+	restored, err := cl.RestoreSnapshot(ctx, &snap)
+	if err != nil {
+		return fmt.Errorf("restoring snapshot: %w", err)
+	}
+	if got := service.ParamDigest(restored.Parameters); got != lastDigest {
+		return fmt.Errorf("restored session digest %s does not match original %s", got, lastDigest)
+	}
+	fmt.Printf("snapshot round trip ok: %s restored as %s with matching digest %s\n",
+		sr.SessionID, restored.SessionID, lastDigest)
+
+	for _, id := range []string{sr.SessionID, restored.SessionID} {
+		if err := cl.DeleteSession(ctx, id); err != nil {
+			return fmt.Errorf("deleting session %s: %w", id, err)
+		}
+	}
+	if apiKey != "" {
+		ts, err := cl.TenantStats(ctx)
+		if err != nil {
+			return fmt.Errorf("fetching tenant stats: %w", err)
+		}
+		fmt.Printf("tenant %q: %d trains, %d rows deleted, %d rate-limited, %d quota rejections\n",
+			ts.Tenant, ts.Trains, ts.RowsDeleted, ts.RateLimited, ts.QuotaRejections)
+	}
+	return nil
+}
+
+// splitBatches partitions a removal set into up to k non-empty batches.
+func splitBatches(removed []int, k int) [][]int {
+	if k > len(removed) {
+		k = len(removed)
+	}
+	out := make([][]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(removed)/k, (i+1)*len(removed)/k
+		if lo < hi {
+			out = append(out, removed[lo:hi])
+		}
+	}
+	return out
 }

@@ -6,10 +6,12 @@
 // interface over every model family (train once with provenance capture,
 // then apply any deletion incrementally), functional options for
 // configuration, a by-name family registry, and self-contained snapshots.
-// repro/priu/service builds the versioned HTTP deletion service on it
-// (v1 + v2 with typed errors, snapshot import/export and NDJSON streaming
-// deletions), and repro/priu/bench reproduces the paper's evaluation.
-// Everything under internal/ is implementation detail.
+// repro/priu/service builds the versioned, multi-tenant HTTP deletion
+// service on it (v1 + v2 with typed errors, snapshot import/export and
+// NDJSON streaming deletions; API-key tenants with per-tenant quotas and
+// rate limits), repro/priu/client is the typed Go SDK for the /v2 surface,
+// and repro/priu/bench reproduces the paper's evaluation. Everything under
+// internal/ is implementation detail.
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
@@ -61,4 +63,25 @@
 // persist_opt.go) in capture's exact accumulation order. The crash-recovery
 // suite (make spill-smoke) and BenchmarkSpillRestore (gated by benchguard)
 // keep the round trip honest.
+//
+// # Multi-tenant API
+//
+// The service resolves "Authorization: Bearer" API keys to tenants through a
+// hot-reloadable JSON key file (priuserve -auth-keys, SIGHUP to reload;
+// constant-time key comparison over SHA-256 digests). Each tenant gets its
+// own session namespace — storage IDs are "tenant/sess-N", so tenants cannot
+// see, list, delete or snapshot each other's sessions, and the namespace
+// survives spills and restarts because it rides in the session ID — plus a
+// hard session/byte quota enforced atomically at registration (typed 429
+// "insufficient_quota"; the store's eviction budget stays a cache boundary,
+// never a quota bypass) and a token-bucket rate limit over deletion rows on
+// the streaming endpoint (typed "rate_limited" with retry_after_seconds, or
+// HTTP 429 + Retry-After when the bucket is empty at open). -auth selects
+// off/optional/required; anonymous callers under off/optional behave exactly
+// like the pre-tenant service. GET /v2/tenants/self/stats reports the
+// calling tenant's usage and counters. repro/priu/client wraps all of /v2 —
+// session CRUD, snapshot streaming, full-duplex deletions with server-digest
+// verification and Retry-After-aware SendWait — and `make auth-smoke` drives
+// a real authenticated priuserve through the SDK, cmd/priutrain -server and
+// examples/client end to end.
 package repro

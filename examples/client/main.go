@@ -1,0 +1,127 @@
+// Example client demonstrates the priu/client SDK against a live deletion
+// service: authenticate with a tenant API key, train a session from locally
+// generated data, stream deletion batches on one full-duplex connection
+// (verifying every server digest, and waiting out rate limits when the
+// tenant's token bucket throttles a batch), round-trip the session through
+// snapshot export + restore, and read the tenant's own usage counters.
+//
+// Run a server and point the example at it:
+//
+//	go run ./cmd/priuserve -addr :8080 -auth optional -auth-keys keys.json
+//	go run ./examples/client -addr http://localhost:8080 -key ak_demo_key
+//
+// Without -key the example runs as the anonymous tenant (allowed unless the
+// server uses -auth required).
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/priu/client"
+	"repro/priu/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "priuserve base URL")
+	key := flag.String("key", "", "tenant API key (empty = anonymous)")
+	flag.Parse()
+
+	ctx := context.Background()
+	cl := client.New(*addr, client.WithAPIKey(*key))
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		log.Fatalf("probing %s: %v", *addr, err)
+	}
+	fmt.Printf("connected: priuserve %s, %d workers, %d resident sessions\n", h.Version, h.Workers, h.Sessions)
+
+	// Train a small ridge-regression session from synthetic data.
+	const n, m = 240, 6
+	rng := rand.New(rand.NewSource(42))
+	truth := make([]float64, m)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	features := make([][]float64, n)
+	labels := make([]float64, n)
+	for i := range features {
+		row := make([]float64, m)
+		var dot float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * truth[j]
+		}
+		features[i] = row
+		labels[i] = dot + 0.05*rng.NormFloat64()
+	}
+	sr, err := cl.CreateSession(ctx, service.CreateSessionRequest{
+		Family: "linear", Features: features, Labels: labels,
+		Eta: 0.01, Lambda: 0.05, BatchSize: 32, Iterations: 60, Seed: 1,
+	})
+	if err != nil {
+		log.Fatalf("creating session: %v", err)
+	}
+	fmt.Printf("trained session %s (%d parameters, provenance %.1f KB)\n",
+		sr.SessionID, len(sr.Parameters), float64(sr.FootprintBytes)/1024)
+
+	// Stream three deletion batches on one connection. StreamVerifyDigests
+	// asks for the updated parameters each batch and checks them against the
+	// server's FNV-1a digest; SendWait sleeps out rate_limited rejections.
+	st, err := cl.StreamDeletions(ctx, sr.SessionID, client.StreamVerifyDigests())
+	if err != nil {
+		log.Fatalf("opening deletions stream: %v", err)
+	}
+	var lastDigest string
+	for _, batch := range [][]int{{1, 2, 3}, {10, 11}, {42}} {
+		res, err := st.SendWait(batch)
+		if err != nil {
+			log.Fatalf("streaming deletions: %v", err)
+		}
+		fmt.Printf("  batch %d: %d removed (total %d), digest %s verified\n",
+			res.Batch, res.Removed, res.TotalDeleted, res.Digest)
+		lastDigest = res.Digest
+	}
+	if err := st.Close(); err != nil {
+		log.Fatalf("closing stream: %v", err)
+	}
+
+	// Snapshot round trip: the restored session replays the deletion log, so
+	// its parameters hash to the same digest as the last streamed update.
+	var snap bytes.Buffer
+	if _, err := cl.SnapshotTo(ctx, sr.SessionID, &snap); err != nil {
+		log.Fatalf("exporting snapshot: %v", err)
+	}
+	restored, err := cl.RestoreSnapshot(ctx, &snap)
+	if err != nil {
+		log.Fatalf("restoring snapshot: %v", err)
+	}
+	if got := service.ParamDigest(restored.Parameters); got != lastDigest {
+		log.Fatalf("restored digest %s != streamed digest %s", got, lastDigest)
+	}
+	fmt.Printf("snapshot restored as %s with matching digest (%d deletions honored)\n",
+		restored.SessionID, restored.TotalDeleted)
+
+	sessions, err := cl.ListSessions(ctx)
+	if err != nil {
+		log.Fatalf("listing sessions: %v", err)
+	}
+	fmt.Printf("tenant sees %d session(s)\n", len(sessions))
+
+	for _, id := range []string{sr.SessionID, restored.SessionID} {
+		if err := cl.DeleteSession(ctx, id); err != nil {
+			log.Fatalf("deleting %s: %v", id, err)
+		}
+	}
+
+	ts, err := cl.TenantStats(ctx)
+	if err != nil {
+		log.Fatalf("tenant stats: %v", err)
+	}
+	fmt.Printf("tenant %q (authenticated=%v): %d trains, %d rows deleted, %d rate-limited\n",
+		ts.Tenant, ts.Authenticated, ts.Trains, ts.RowsDeleted, ts.RateLimited)
+}

@@ -52,6 +52,11 @@ type Workload struct {
 	Seed    int64
 }
 
+// Family returns the workload's base priu family name ("linear",
+// "logistic", ...), so CLIs can address a workload's model family over the
+// service API without duplicating the Kind mapping.
+func (w Workload) Family() (string, error) { return familyForKind(w.Kind) }
+
 // Workloads lists every configuration used by the experiments, mirroring
 // Table 2's rows (hyperparameters kept; n and τ scaled as documented in
 // EXPERIMENTS.md). Learning rates are adapted to the synthetic generators'

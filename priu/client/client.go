@@ -1,0 +1,296 @@
+// Package client is the typed Go SDK for the PrIU deletion service's /v2
+// API: session CRUD, snapshot export/restore streaming, the full-duplex
+// NDJSON deletions stream (with server-digest verification), and tenant
+// stats — all authenticated with the same "Authorization: Bearer" API keys
+// priu/service resolves to tenants.
+//
+//	cl := client.New("http://localhost:8080", client.WithAPIKey(key))
+//	sr, err := cl.CreateSession(ctx, service.CreateSessionRequest{...})
+//	st, err := cl.StreamDeletions(ctx, sr.SessionID, client.StreamVerifyDigests())
+//	res, err := st.Send([]int{3, 17, 256})
+//
+// Wire types are shared with repro/priu/service, so the SDK can never drift
+// from the server's formats. Every non-2xx response is decoded into
+// *APIError, carrying the typed v2 error code and, for rate-limited calls,
+// the server's Retry-After.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/priu/service"
+)
+
+// Client talks to one priu deletion service. It is safe for concurrent use.
+type Client struct {
+	base string
+	key  string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithAPIKey authenticates every request with the tenant API key.
+func WithAPIKey(key string) Option { return func(c *Client) { c.key = key } }
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the service at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx service response: the HTTP status, the typed v2
+// error code ("not_found", "insufficient_quota", "rate_limited", ...) and
+// message, and — when the server sent one — how long to wait before
+// retrying. Errors returned mid-stream by DeletionStream.Send carry a zero
+// Status (the stream itself is still HTTP 200).
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = "request failed"
+	}
+	if e.Status != 0 {
+		msg = fmt.Sprintf("%s (http %d)", msg, e.Status)
+	}
+	if e.Code != "" {
+		return fmt.Sprintf("priu: %s: %s", e.Code, msg)
+	}
+	return "priu: " + msg
+}
+
+// IsRateLimited reports whether err is a rate-limit rejection; callers
+// should wait RetryAfter and resend.
+func IsRateLimited(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeRateLimited
+}
+
+// IsQuota reports whether err is a tenant-quota rejection.
+func IsQuota(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeQuota
+}
+
+// IsNotFound reports whether err is an unknown-session (or route) error.
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeNotFound
+}
+
+// decodeError turns a non-2xx response into *APIError. It understands both
+// the v2 envelope and v1's flat {"error": "..."} shape.
+func decodeError(resp *http.Response) *APIError {
+	ae := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && len(env.Error) > 0 {
+		var typed service.APIError
+		if err := json.Unmarshal(env.Error, &typed); err == nil && typed.Code != "" {
+			ae.Code, ae.Message = typed.Code, typed.Message
+			if typed.RetryAfterSeconds > 0 {
+				ae.RetryAfter = time.Duration(typed.RetryAfterSeconds * float64(time.Second))
+			}
+			return ae
+		}
+		var flat string
+		if err := json.Unmarshal(env.Error, &flat); err == nil {
+			ae.Message = flat
+			return ae
+		}
+	}
+	ae.Message = strings.TrimSpace(string(body))
+	return ae
+}
+
+// streamAPIError maps an NDJSON error line into *APIError (Status 0: the
+// stream is still 200).
+func streamAPIError(e service.APIError) *APIError {
+	return &APIError{
+		Code:       e.Code,
+		Message:    e.Message,
+		RetryAfter: time.Duration(e.RetryAfterSeconds * float64(time.Second)),
+	}
+}
+
+// newRequest builds an authenticated request for a service path.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	return req, nil
+}
+
+// doJSON executes a request and decodes a 2xx JSON response into out.
+func (c *Client) doJSON(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession trains a new session (dense features or a CSR triple; see
+// service.CreateSessionRequest) and returns its metadata and initial
+// parameters.
+func (c *Client) CreateSession(ctx context.Context, req service.CreateSessionRequest) (*service.SessionResponse, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := c.newRequest(ctx, http.MethodPost, "/v2/sessions", strings.NewReader(string(buf)))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var sr service.SessionResponse
+	if err := c.doJSON(hreq, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// GetSession fetches a session's metadata and current parameters.
+func (c *Client) GetSession(ctx context.Context, id string) (*service.SessionResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/sessions/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var sr service.SessionResponse
+	if err := c.doJSON(req, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// ListSessions lists the calling tenant's sessions (resident and spilled).
+func (c *Client) ListSessions(ctx context.Context) ([]service.SessionInfo, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []service.SessionInfo
+	if err := c.doJSON(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteSession drops a session in every storage tier.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	req, err := c.newRequest(ctx, http.MethodDelete, "/v2/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, nil)
+}
+
+// Snapshot streams a session's self-contained snapshot (family + training
+// data + deletion log + provenance). The caller must Close the reader.
+func (c *Client) Snapshot(ctx context.Context, id string) (io.ReadCloser, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/sessions/"+id+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// SnapshotTo streams a session's snapshot into w, returning the byte count.
+func (c *Client) SnapshotTo(ctx context.Context, id string, w io.Writer) (int64, error) {
+	rc, err := c.Snapshot(ctx, id)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	return io.Copy(w, rc)
+}
+
+// RestoreSnapshot creates a session from snapshot bytes (a Snapshot stream,
+// possibly from another server), replaying its deletion log so honored
+// deletions stay deleted.
+func (c *Client) RestoreSnapshot(ctx context.Context, snapshot io.Reader) (*service.SessionResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v2/sessions", snapshot)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var sr service.SessionResponse
+	if err := c.doJSON(req, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// TenantStats fetches the calling tenant's usage, limits and counters.
+func (c *Client) TenantStats(ctx context.Context) (*service.TenantStatsResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/tenants/self/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var ts service.TenantStatsResponse
+	if err := c.doJSON(req, &ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// Health fetches the unauthenticated load-balancer probe.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var h service.HealthResponse
+	if err := c.doJSON(req, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,387 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/priu/service"
+	"repro/priu/store"
+)
+
+// newServer spins an in-process service with optional auth/tenants.
+func newServer(t *testing.T, opts ...service.ServerOption) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(service.NewServer(opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// authedServer builds a keyring-backed server with -auth=required semantics.
+func authedServer(t *testing.T, tenants ...service.TenantConfig) *httptest.Server {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	buf, err := json.Marshal(map[string]any{"tenants": tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	kr, err := service.LoadKeyring(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(t, service.WithAuth(service.AuthRequired, kr))
+}
+
+// denseRequest builds a small deterministic linear training request.
+func denseRequest(t *testing.T, n, m int, seed int64) service.CreateSessionRequest {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]float64, m)
+	for j := range truth {
+		truth[j] = rng.NormFloat64()
+	}
+	features := make([][]float64, n)
+	labels := make([]float64, n)
+	for i := range features {
+		row := make([]float64, m)
+		var dot float64
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			dot += row[j] * truth[j]
+		}
+		features[i] = row
+		labels[i] = dot + 0.05*rng.NormFloat64()
+	}
+	return service.CreateSessionRequest{
+		Family: "linear", Features: features, Labels: labels,
+		Eta: 0.01, Lambda: 0.05, BatchSize: 20, Iterations: 40, Seed: 1,
+	}
+}
+
+func TestClientSessionLifecycle(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	ctx := context.Background()
+
+	h, err := cl.Health(ctx)
+	if err != nil || h.Version == "" {
+		t.Fatalf("health: %v %+v", err, h)
+	}
+
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 80, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Family != "linear" || len(sr.Parameters) != 4 {
+		t.Fatalf("create response %+v", sr)
+	}
+
+	got, err := cl.GetSession(ctx, sr.SessionID)
+	if err != nil || got.SessionID != sr.SessionID {
+		t.Fatalf("get: %v %+v", err, got)
+	}
+
+	rows, err := cl.ListSessions(ctx)
+	if err != nil || len(rows) != 1 || rows[0].SessionID != sr.SessionID {
+		t.Fatalf("list: %v %+v", err, rows)
+	}
+
+	stats, err := cl.TenantStats(ctx)
+	if err != nil || stats.Trains != 1 || stats.Authenticated {
+		t.Fatalf("tenant stats: %v %+v", err, stats)
+	}
+
+	if err := cl.DeleteSession(ctx, sr.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.GetSession(ctx, sr.SessionID)
+	if !IsNotFound(err) {
+		t.Fatalf("get after delete: %v, want not_found APIError", err)
+	}
+	ae := err.(*APIError)
+	if ae.Status != 404 || ae.Code != service.ErrCodeNotFound {
+		t.Fatalf("APIError %+v", ae)
+	}
+}
+
+func TestClientStreamingDeletionsWithDigestVerification(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	ctx := context.Background()
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 120, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.StreamDeletions(ctx, sr.SessionID, StreamVerifyDigests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	total := 0
+	for i, batch := range [][]int{{1, 2, 3}, {10, 11}, {42}} {
+		res, err := st.Send(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+		total += len(batch)
+		if res.Batch != i+1 || res.TotalDeleted != total {
+			t.Fatalf("batch %d result %+v", i+1, res)
+		}
+		if len(res.Parameters) != 4 || res.Digest == "" {
+			t.Fatalf("batch %d missing verified parameters: %+v", i+1, res)
+		}
+	}
+
+	// Validation errors are typed and leave the stream usable.
+	_, err = st.Send([]int{1}) // duplicate
+	ae, ok := err.(*APIError)
+	if !ok || ae.Code != service.ErrCodeInvalidRemovals {
+		t.Fatalf("duplicate removal error %v", err)
+	}
+	res, err := st.Send([]int{55})
+	if err != nil || res.TotalDeleted != total+1 {
+		t.Fatalf("stream did not survive validation error: %v %+v", err, res)
+	}
+}
+
+func TestClientStreamUnknownSession(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	st, err := cl.StreamDeletions(context.Background(), "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.Send([]int{1})
+	if !IsNotFound(err) {
+		t.Fatalf("stream to unknown session: %v, want not_found", err)
+	}
+	// The error is sticky.
+	if _, err2 := st.Send([]int{2}); err2 == nil {
+		t.Fatal("send after stream death should fail")
+	}
+}
+
+func TestClientSnapshotRoundTrip(t *testing.T) {
+	tsA := newServer(t)
+	tsB := newServer(t)
+	ctx := context.Background()
+	clA, clB := New(tsA.URL), New(tsB.URL)
+
+	sr, err := clA.CreateSession(ctx, denseRequest(t, 90, 4, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := clA.StreamDeletions(ctx, sr.SessionID, StreamVerifyDigests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Send([]int{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	var snap bytes.Buffer
+	n, err := clA.SnapshotTo(ctx, sr.SessionID, &snap)
+	if err != nil || n <= 0 {
+		t.Fatalf("snapshot: %v (%d bytes)", err, n)
+	}
+	restored, err := clB.RestoreSnapshot(ctx, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalDeleted != 2 || !restored.RestoredFromSnp {
+		t.Fatalf("restored %+v", restored)
+	}
+	if got := service.ParamDigest(restored.Parameters); got != res.Digest {
+		t.Fatalf("restored digest %s, want %s", got, res.Digest)
+	}
+}
+
+func TestClientAuthAndQuotaErrors(t *testing.T) {
+	ts := authedServer(t,
+		service.TenantConfig{Name: "alice", Key: "ak_alice", MaxSessions: 1},
+		service.TenantConfig{Name: "bob", Key: "ak_bob"})
+	ctx := context.Background()
+
+	// Missing and wrong keys are typed 401s.
+	for _, cl := range []*Client{New(ts.URL), New(ts.URL, WithAPIKey("ak_wrong"))} {
+		_, err := cl.ListSessions(ctx)
+		ae, ok := err.(*APIError)
+		if !ok || ae.Status != 401 || ae.Code != service.ErrCodeUnauthorized {
+			t.Fatalf("unauthenticated list: %v", err)
+		}
+	}
+
+	alice := New(ts.URL, WithAPIKey("ak_alice"))
+	sr, err := alice.CreateSession(ctx, denseRequest(t, 60, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = alice.CreateSession(ctx, denseRequest(t, 60, 3, 2))
+	if !IsQuota(err) {
+		t.Fatalf("over-quota create: %v, want insufficient_quota", err)
+	}
+	if ae := err.(*APIError); ae.Status != 429 {
+		t.Fatalf("quota status %d, want 429", ae.Status)
+	}
+
+	// Tenants are isolated through the SDK too.
+	bob := New(ts.URL, WithAPIKey("ak_bob"))
+	if _, err := bob.GetSession(ctx, sr.SessionID); !IsNotFound(err) {
+		t.Fatalf("bob sees alice's session: %v", err)
+	}
+	rows, err := bob.ListSessions(ctx)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("bob's list: %v %+v", err, rows)
+	}
+
+	stats, err := alice.TenantStats(ctx)
+	if err != nil || stats.Tenant != "alice" || !stats.Authenticated || stats.QuotaRejections != 1 {
+		t.Fatalf("alice stats: %v %+v", err, stats)
+	}
+}
+
+func TestClientSendWaitRidesOutRateLimit(t *testing.T) {
+	ts := authedServer(t,
+		service.TenantConfig{Name: "alice", Key: "ak_alice", DeletionRowsPerSec: 40, Burst: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl := New(ts.URL, WithAPIKey("ak_alice"))
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 120, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.StreamDeletions(ctx, sr.SessionID, StreamVerifyDigests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// 3 batches × 4 rows against a 4-row burst at 40 rows/s: SendWait must
+	// absorb the rate_limited rejections and land every batch.
+	total := 0
+	for i, batch := range [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}} {
+		res, err := st.SendWait(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i+1, err)
+		}
+		total += len(batch)
+		if res.TotalDeleted != total {
+			t.Fatalf("batch %d result %+v", i+1, res)
+		}
+	}
+	stats, err := cl.TenantStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RateLimited == 0 {
+		t.Fatal("expected at least one rate_limited rejection")
+	}
+	if stats.RowsDeleted != int64(total) {
+		t.Fatalf("rows deleted %d, want %d", stats.RowsDeleted, total)
+	}
+}
+
+func TestClientSendWaitDoesNotSpinOnOpen429(t *testing.T) {
+	// A stream rejected at open with HTTP 429 is dead — SendWait must
+	// surface the error instead of sleeping and retrying the corpse forever.
+	ts := authedServer(t,
+		service.TenantConfig{Name: "alice", Key: "ak_alice", DeletionRowsPerSec: 2, Burst: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	cl := New(ts.URL, WithAPIKey("ak_alice"))
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the 1-row bucket on a first stream.
+	st1, err := cl.StreamDeletions(ctx, sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.Send([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+	// Open a second stream immediately: the server rejects it with 429.
+	st2, err := cl.StreamDeletions(ctx, sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := st2.SendWait([]int{2})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !IsRateLimited(err) {
+			t.Fatalf("open-429 SendWait error %v, want rate_limited APIError", err)
+		}
+		if err.(*APIError).Status != 429 {
+			t.Fatalf("open-429 status %d, want 429", err.(*APIError).Status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SendWait spun on a dead (open-429) stream instead of returning")
+	}
+}
+
+func TestClientQuotaCountsSpilledSessions(t *testing.T) {
+	// A spilled session still belongs to the tenant: with a tiered store and
+	// a resident budget of 1, a quota of 2 fills up even though only one
+	// session is in memory.
+	dir := t.TempDir()
+	path := filepath.Join(t.TempDir(), "keys.json")
+	buf, _ := json.Marshal(map[string]any{"tenants": []service.TenantConfig{
+		{Name: "alice", Key: "ak_alice", MaxSessions: 2},
+	}})
+	if err := os.WriteFile(path, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	kr, err := service.LoadKeyring(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := store.NewMemory(store.WithMaxSessions(1), store.WithTenantLimits(kr.Limits))
+	tiered, err := store.NewTiered(dir, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newServer(t, service.WithStore(tiered), service.WithAuth(service.AuthRequired, kr))
+	cl := New(ts.URL, WithAPIKey("ak_alice"))
+	ctx := context.Background()
+
+	a, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 2)); err != nil {
+		t.Fatal(err) // spills a
+	}
+	if _, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 3)); !IsQuota(err) {
+		t.Fatalf("third create with one spilled: %v, want insufficient_quota", err)
+	}
+	stats, err := cl.TenantStats(ctx)
+	if err != nil || stats.SpilledSessions != 1 || stats.ResidentSessions != 1 {
+		t.Fatalf("stats %v %+v", err, stats)
+	}
+	// The spilled session is still fully servable.
+	got, err := cl.GetSession(ctx, a.SessionID)
+	if err != nil || got.SessionID != a.SessionID {
+		t.Fatalf("spilled session get: %v %+v", err, got)
+	}
+}

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/priu/service"
+)
+
+// TestAuthSmoke is the end-to-end acceptance run behind `make auth-smoke`:
+// it builds the real priuserve, priutrain and examples/client binaries,
+// starts an authenticated server (-auth required) with per-tenant quotas and
+// rate limits, and drives it through the client SDK and both CLIs — 401 on
+// missing/unknown keys, 200 round trips, 429 on quota and rate limits, and a
+// SIGHUP key rotation.
+func TestAuthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("auth smoke builds and execs real binaries; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		path := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", path, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+		return path
+	}
+	serveBin := build("priuserve", "./cmd/priuserve")
+	trainBin := build("priutrain", "./cmd/priutrain")
+	exampleBin := build("example-client", "./examples/client")
+
+	// Tenant key file: alice has a tight session quota and a slow deletion
+	// stream; bob is unconstrained.
+	keyPath := filepath.Join(t.TempDir(), "keys.json")
+	writeKeys := func(tenants ...service.TenantConfig) {
+		t.Helper()
+		buf, err := json.Marshal(map[string]any{"tenants": tenants})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(keyPath, buf, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice := service.TenantConfig{Name: "alice", Key: "ak_alice", MaxSessions: 2, DeletionRowsPerSec: 20, Burst: 4}
+	bob := service.TenantConfig{Name: "bob", Key: "ak_bob"}
+	writeKeys(alice, bob)
+
+	// Pick a free port, then hand it to the server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := exec.Command(serveBin, "-addr", addr, "-auth", "required", "-auth-keys", keyPath)
+	var srvLog strings.Builder
+	srv.Stdout, srv.Stderr = &srvLog, &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if srv.Process != nil {
+			_ = srv.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() { _ = srv.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = srv.Process.Kill()
+			}
+		}
+		if t.Failed() {
+			t.Logf("priuserve log:\n%s", srvLog.String())
+		}
+	}()
+
+	base := "http://" + addr
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	// Wait for the server to come up (healthz needs no key even with
+	// -auth required).
+	probe := New(base)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := probe.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("priuserve never became healthy:\n%s", srvLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 401 paths: no key, then an unknown key.
+	if _, err := probe.ListSessions(ctx); err == nil || err.(*APIError).Status != 401 {
+		t.Fatalf("missing key: %v, want 401", err)
+	}
+	if _, err := New(base, WithAPIKey("ak_nope")).ListSessions(ctx); err == nil || err.(*APIError).Status != 401 {
+		t.Fatalf("unknown key: %v, want 401", err)
+	}
+
+	// 200 path through the SDK: create, stream with rate-limit waits,
+	// snapshot round trip, cleanup.
+	cl := New(base, WithAPIKey("ak_alice"))
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 100, 4, 5))
+	if err != nil {
+		t.Fatalf("alice create: %v", err)
+	}
+	st, err := cl.StreamDeletions(ctx, sr.SessionID, StreamVerifyDigests())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 4-row batches against a 4-row burst at 20 rows/s: the second is
+	// throttled (typed rate_limited with retry-after) and must succeed after
+	// waiting — the resume-after-Retry-After path.
+	if _, err := st.SendWait([]int{1, 2, 3, 4}); err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	if _, err := st.Send([]int{5, 6, 7, 8}); !IsRateLimited(err) {
+		t.Fatalf("batch 2 should be throttled, got %v", err)
+	}
+	res, err := st.SendWait([]int{5, 6, 7, 8})
+	if err != nil || res.TotalDeleted != 8 {
+		t.Fatalf("throttled batch after Retry-After: %v %+v", err, res)
+	}
+	st.Close()
+
+	// 429 quota path: alice's second session fills her quota, the third is
+	// rejected, and bob is unaffected.
+	if _, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 6)); err != nil {
+		t.Fatalf("alice second create: %v", err)
+	}
+	if _, err := cl.CreateSession(ctx, denseRequest(t, 60, 3, 7)); !IsQuota(err) {
+		t.Fatalf("alice third create: %v, want insufficient_quota", err)
+	}
+	stats, err := cl.TenantStats(ctx)
+	if err != nil || stats.Tenant != "alice" || stats.QuotaRejections < 1 || stats.RateLimited < 1 {
+		t.Fatalf("alice stats: %v %+v", err, stats)
+	}
+
+	// The example client completes its whole round trip as bob.
+	example := exec.Command(exampleBin, "-addr", base, "-key", "ak_bob")
+	if out, err := example.CombinedOutput(); err != nil {
+		t.Fatalf("examples/client: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "matching digest") {
+		t.Fatalf("examples/client output missing snapshot verification:\n%s", out)
+	}
+
+	// priutrain runs its remote train → stream → snapshot workflow as bob.
+	train := exec.Command(trainBin, "-server", base, "-api-key", "ak_bob",
+		"-workload", "sgemm-original", "-scale", "0.02", "-rate", "0.02")
+	if out, err := train.CombinedOutput(); err != nil {
+		t.Fatalf("priutrain -server: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "snapshot round trip ok") {
+		t.Fatalf("priutrain output missing snapshot round trip:\n%s", out)
+	}
+
+	// SIGHUP hot reload: add carol, rotate alice's key.
+	carol := service.TenantConfig{Name: "carol", Key: "ak_carol"}
+	alice.Key = "ak_alice_v2"
+	writeKeys(alice, bob, carol)
+	if err := srv.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := false
+	for wait := time.Now().Add(10 * time.Second); time.Now().Before(wait); {
+		if _, err := New(base, WithAPIKey("ak_carol")).ListSessions(ctx); err == nil {
+			reloaded = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !reloaded {
+		t.Fatalf("SIGHUP did not pick up the new tenant:\n%s", srvLog.String())
+	}
+	if _, err := New(base, WithAPIKey("ak_alice")).ListSessions(ctx); err == nil || err.(*APIError).Status != 401 {
+		t.Fatalf("rotated key still resolves: %v", err)
+	}
+	rotated := New(base, WithAPIKey("ak_alice_v2"))
+	rows, err := rotated.ListSessions(ctx)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("alice with rotated key: %v (%d sessions, want her 2)", err, len(rows))
+	}
+	fmt.Println("auth-smoke: 401/429/200 paths, SIGHUP rotation and CLI round trips all verified")
+}

@@ -1,0 +1,188 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/priu/service"
+)
+
+// StreamOption configures StreamDeletions.
+type StreamOption func(*DeletionStream)
+
+// StreamAllParameters asks the server for the full updated parameter vector
+// on every batch (the digest is always present).
+func StreamAllParameters() StreamOption { return func(st *DeletionStream) { st.allParams = true } }
+
+// StreamVerifyDigests requests parameters with every batch and verifies them
+// against the server-computed digest, failing the Send on any mismatch. This
+// is the end-to-end integrity check: the digest is an FNV-1a hash over the
+// exact float bits of the updated model.
+func StreamVerifyDigests() StreamOption { return func(st *DeletionStream) { st.verify = true } }
+
+// DeletionStream is one full-duplex NDJSON connection to
+// POST /v2/sessions/{id}/deletions: each Send writes one removal batch and
+// reads the server's result line for it. It is not safe for concurrent use —
+// the protocol is strictly request/response per batch on one connection.
+type DeletionStream struct {
+	ctx       context.Context
+	pw        *io.PipeWriter
+	enc       *json.Encoder
+	respCh    chan streamOpen
+	br        *bufio.Reader
+	resp      *http.Response
+	allParams bool
+	verify    bool
+	err       error // sticky: the stream is unusable once set
+}
+
+type streamOpen struct {
+	resp *http.Response
+	err  error
+}
+
+// StreamDeletions opens the deletions stream for a session. The connection
+// is established lazily: the server sends its response headers with the
+// first batch's result, so open errors (unknown session, missing key, an
+// exhausted rate limit) surface on the first Send.
+func (c *Client) StreamDeletions(ctx context.Context, id string, opts ...StreamOption) (*DeletionStream, error) {
+	st := &DeletionStream{ctx: ctx, respCh: make(chan streamOpen, 1)}
+	for _, opt := range opts {
+		opt(st)
+	}
+	pr, pw := io.Pipe()
+	st.pw = pw
+	st.enc = json.NewEncoder(pw)
+	path := "/v2/sessions/" + id + "/deletions"
+	if st.allParams || st.verify {
+		path += "?parameters=all"
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, pr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		resp, err := c.hc.Do(req)
+		st.respCh <- streamOpen{resp, err}
+	}()
+	return st, nil
+}
+
+// Send writes one removal batch and reads its result line. A *APIError with
+// code "rate_limited" (or "invalid_removals", "batch_too_large", ...) leaves
+// the stream open — wait RetryAfter and resend — while transport errors,
+// malformed-stream errors and "not_found" are sticky.
+func (st *DeletionStream) Send(remove []int) (*service.DeletionResult, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	batch := service.DeletionBatch{Remove: remove}
+	if err := st.enc.Encode(batch); err != nil {
+		st.err = fmt.Errorf("client: writing batch: %w", err)
+		return nil, st.err
+	}
+	if st.br == nil {
+		// First batch: the response (headers included) arrives only now.
+		select {
+		case open := <-st.respCh:
+			if open.err != nil {
+				st.err = open.err
+				return nil, st.err
+			}
+			if open.resp.StatusCode != http.StatusOK {
+				st.err = decodeError(open.resp)
+				open.resp.Body.Close()
+				return nil, st.err
+			}
+			st.resp = open.resp
+			st.br = bufio.NewReader(open.resp.Body)
+		case <-st.ctx.Done():
+			st.err = st.ctx.Err()
+			return nil, st.err
+		}
+	}
+	line, err := st.br.ReadBytes('\n')
+	if err != nil {
+		st.err = fmt.Errorf("client: reading result line: %w", err)
+		return nil, st.err
+	}
+	// A result line is either a DeletionResult or an error envelope.
+	var probe struct {
+		Error *service.APIError `json:"error"`
+		service.DeletionResult
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		st.err = fmt.Errorf("client: malformed result line: %w", err)
+		return nil, st.err
+	}
+	if probe.Error != nil {
+		ae := streamAPIError(*probe.Error)
+		if ae.Code == service.ErrCodeNotFound || ae.Code == service.ErrCodeBadRequest {
+			// The server terminates the stream after these.
+			st.err = ae
+		}
+		return nil, ae
+	}
+	res := probe.DeletionResult
+	if st.verify {
+		if len(res.Parameters) == 0 {
+			st.err = fmt.Errorf("client: digest verification requested but batch %d returned no parameters", res.Batch)
+			return nil, st.err
+		}
+		if got := service.ParamDigest(res.Parameters); got != res.Digest {
+			st.err = fmt.Errorf("client: batch %d parameter digest mismatch: computed %s, server sent %s",
+				res.Batch, got, res.Digest)
+			return nil, st.err
+		}
+	}
+	return &res, nil
+}
+
+// SendWait is Send, but when a batch is rate-limited mid-stream it sleeps
+// the server's Retry-After (bounded by the context) and resends until
+// admitted. A rate-limited rejection at stream open (HTTP 429) is NOT
+// retried — the server refused the connection, so the error is sticky and
+// the caller must wait and open a fresh stream.
+func (st *DeletionStream) SendWait(remove []int) (*service.DeletionResult, error) {
+	for {
+		res, err := st.Send(remove)
+		if err == nil || !IsRateLimited(err) || st.err != nil {
+			return res, err
+		}
+		wait := err.(*APIError).RetryAfter
+		if wait <= 0 {
+			wait = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(wait):
+		case <-st.ctx.Done():
+			return nil, st.ctx.Err()
+		}
+	}
+}
+
+// Close shuts the request side down and releases the connection. It is safe
+// after errors and safe to call twice.
+func (st *DeletionStream) Close() error {
+	_ = st.pw.Close()
+	if st.resp == nil {
+		// The open goroutine may still deliver a response; reap it without
+		// blocking on a server that never answered.
+		select {
+		case open := <-st.respCh:
+			if open.resp != nil {
+				open.resp.Body.Close()
+			}
+		default:
+		}
+		return nil
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(st.resp.Body, 1<<20))
+	return st.resp.Body.Close()
+}

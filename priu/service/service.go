@@ -27,12 +27,22 @@
 //	v2 (REST routing, typed {"error":{"code","message"}} envelopes, snapshots,
 //	CSR uploads, streaming deletions — see v2.go)
 //	  POST   /v2/sessions                train (dense or CSR), or restore a snapshot
+//	  GET    /v2/sessions                list the caller's sessions
 //	  GET    /v2/sessions/{id}           session metadata + parameters
-//	  DELETE /v2/sessions/{id}           drop a session
+//	  DELETE /v2/sessions/{id}           drop a session (and its spill file)
 //	  GET    /v2/sessions/{id}/snapshot  stream a self-contained snapshot
 //	  POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
+//	  GET    /v2/tenants/self/stats      the calling tenant's counters
 //
 //	GET /healthz           load-balancer probe (version, uptime, tiers)
+//
+// Both generations are tenant-aware (see auth.go): WithAuth installs an
+// API-key middleware that resolves "Authorization: Bearer" keys to tenants.
+// A tenant's sessions live in its own store namespace, its session/byte
+// quota is enforced at registration (typed 429), and its deletion streams
+// are rate-limited by a token bucket over removed rows. Unauthenticated
+// callers (AuthOff, or AuthOptional without a key) are the anonymous tenant,
+// whose wire behavior is exactly the pre-tenant service.
 package service
 
 import (
@@ -42,6 +52,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +83,17 @@ type reqCounters struct {
 	deleteErrors atomic.Int64
 }
 
+// tenantCounters are one tenant's HTTP request counters (storage placement
+// counters live in the store; these are request-side).
+type tenantCounters struct {
+	trains          atomic.Int64
+	deletes         atomic.Int64
+	deleteErrors    atomic.Int64
+	rowsDeleted     atomic.Int64
+	rateLimited     atomic.Int64
+	quotaRejections atomic.Int64
+}
+
 // Server is the HTTP deletion service. The zero value is not usable; call
 // NewServer.
 type Server struct {
@@ -80,6 +102,12 @@ type Server struct {
 	nextID atomic.Int64
 	start  time.Time
 
+	// Auth: mode plus the key→tenant resolver (nil keyring = no keys known).
+	authMode AuthMode
+	keyring  *Keyring
+	// tenantReqs maps tenant name → *tenantCounters.
+	tenantReqs sync.Map
+
 	// Budgets used when no explicit store is injected (and echoed by
 	// /healthz).
 	maxSessions int
@@ -87,6 +115,15 @@ type Server struct {
 
 	// maxRemovals bounds one v2 deletion batch.
 	maxRemovals int
+}
+
+// tc returns (creating if needed) a tenant's request counters.
+func (s *Server) tc(name string) *tenantCounters {
+	if v, ok := s.tenantReqs.Load(name); ok {
+		return v.(*tenantCounters)
+	}
+	v, _ := s.tenantReqs.LoadOrStore(name, &tenantCounters{})
+	return v.(*tenantCounters)
 }
 
 // ServerOption configures NewServer.
@@ -114,8 +151,20 @@ func WithMaxRemovalsPerBatch(n int) ServerOption {
 
 // WithStore serves sessions from a pre-built store (e.g. store.NewTiered for
 // the spill-to-disk tier). Without it, NewServer builds an in-memory store
-// from the WithMaxSessions/WithMaxBytes budgets.
+// from the WithMaxSessions/WithMaxBytes budgets. An injected store should be
+// built with store.WithTenantLimits(keyring.Limits) when WithAuth is used,
+// so tenant quotas are enforced atomically at registration.
 func WithStore(st store.Store) ServerOption { return func(s *Server) { s.st = st } }
+
+// WithAuth installs API-key authentication: keys resolve to tenants through
+// the keyring (nil = no keys known, which with AuthRequired rejects
+// everything but /healthz). See AuthMode for the modes.
+func WithAuth(mode AuthMode, k *Keyring) ServerOption {
+	return func(s *Server) {
+		s.authMode = mode
+		s.keyring = k
+	}
+}
 
 // NewServer returns a deletion service. With an injected tiered store the
 // server picks up every session a previous process spilled: IDs continue
@@ -126,7 +175,11 @@ func NewServer(opts ...ServerOption) *Server {
 		opt(s)
 	}
 	if s.st == nil {
-		s.st = store.NewMemory(store.WithMaxSessions(s.maxSessions), store.WithMaxBytes(s.maxBytes))
+		memOpts := []store.MemoryOption{store.WithMaxSessions(s.maxSessions), store.WithMaxBytes(s.maxBytes)}
+		if s.keyring != nil {
+			memOpts = append(memOpts, store.WithTenantLimits(s.keyring.Limits))
+		}
+		s.st = store.NewMemory(memOpts...)
 	}
 	s.seedNextID()
 	return s
@@ -137,12 +190,14 @@ func NewServer(opts ...ServerOption) *Server {
 func (s *Server) Store() store.Store { return s.st }
 
 // seedNextID advances the ID counter past every session already in the store
-// (resident or spilled), so a restarted server never reissues an ID.
+// (resident or spilled), so a restarted server never reissues an ID. The
+// counter is global across tenants; a session's storage ID is the wire ID
+// prefixed with its tenant's namespace.
 func (s *Server) seedNextID() {
 	max := int64(0)
 	scan := func(id string) {
 		var n int64
-		if _, err := fmt.Sscanf(id, "sess-%d", &n); err == nil && n > max {
+		if _, err := fmt.Sscanf(store.LocalID(id), "sess-%d", &n); err == nil && n > max {
 			max = n
 		}
 	}
@@ -165,6 +220,11 @@ func sessionIDLess(a, b string) bool {
 	}
 	return a < b
 }
+
+// validWireID rejects empty IDs and IDs that could escape the caller's
+// tenant namespace (a "/" in a client-supplied ID would address another
+// tenant's storage key).
+func validWireID(id string) bool { return id != "" && !strings.Contains(id, "/") }
 
 // TrainRequest registers a training job. Features is row-major n×m.
 type TrainRequest struct {
@@ -273,6 +333,7 @@ type StatsResponse struct {
 	SpilledBytes    int64        `json:"spilled_bytes"`
 	Spills          int64        `json:"spills"`
 	Restores        int64        `json:"restores"`
+	SpillDirBytes   int64        `json:"spill_dir_bytes,omitempty"`
 	Shards          []ShardStats `json:"shards"`
 }
 
@@ -289,10 +350,16 @@ type HealthResponse struct {
 	Spilled       int     `json:"spilled,omitempty"`
 	SpilledBytes  int64   `json:"spilled_bytes,omitempty"`
 	Restores      int64   `json:"restores,omitempty"`
+	// SpillDirBytes is the on-disk size of the spill directory (all files,
+	// including warm backups of resident sessions) — the disk-growth gauge.
+	SpillDirBytes int64 `json:"spill_dir_bytes,omitempty"`
+	// Tenants counts distinct tenants with stored sessions.
+	Tenants int `json:"tenants,omitempty"`
 }
 
-// Handler returns the service's HTTP routes: the unchanged v1 surface, the
-// v2 REST surface, and the health probe.
+// Handler returns the service's HTTP routes — the unchanged v1 surface, the
+// v2 REST surface and the health probe — wrapped in the tenant-resolution
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/train", s.handleTrain)
@@ -302,7 +369,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mountV2(mux)
-	return mux
+	return s.withAuth(mux)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -335,35 +402,75 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		Eta: req.Eta, Lambda: req.Lambda,
 		BatchSize: req.BatchSize, Iterations: req.Iterations, Seed: req.Seed,
 	}
+	ten := tenantFor(r)
+	if qe := s.admitSession(ten); qe != nil {
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeError(w, http.StatusTooManyRequests, "%v", qe)
+		return
+	}
 	start := time.Now()
 	upd, err := priu.TrainConfig(req.Kind, d, cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess := s.addSession(req.Kind, d, upd, nil, nil)
+	sess, err := s.addSession(ten, req.Kind, d, upd, nil, nil)
+	if err != nil {
+		// The store's atomic quota check caught a registration that raced
+		// past the admission pre-check.
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
 	// Put published the session; IDs are guessable, so a concurrent delete
 	// could already be mutating it — read the model under its lock.
 	sess.Mu.Lock()
 	params := sess.Model.Vec()
 	sess.Mu.Unlock()
 	writeJSON(w, TrainResponse{
-		SessionID:      sess.ID,
+		SessionID:      store.LocalID(sess.ID),
 		Parameters:     params,
 		ProvenanceMB:   float64(upd.FootprintBytes()) / (1 << 20),
 		CaptureSeconds: time.Since(start).Seconds(),
 	})
 }
 
-// addSession registers an updater under a fresh session ID; the store
-// enforces its eviction budget. A non-empty deleted log (snapshot restore)
-// comes with the model that already reflects it.
-func (s *Server) addSession(kind string, ds priu.TrainingSet, upd priu.Updater, deleted []int, model *priu.Model) *Session {
-	id := fmt.Sprintf("sess-%d", s.nextID.Add(1))
+// admitSession is the cheap pre-training quota check: it rejects before the
+// expensive capture when the tenant is already at its session quota (or over
+// its byte quota). The authoritative, race-free check is the store's at Put.
+func (s *Server) admitSession(ten *Tenant) *store.QuotaError {
+	if ten.MaxSessions <= 0 && ten.MaxBytes <= 0 {
+		return nil
+	}
+	u := s.st.TenantUsage(ten.Name)
+	if ten.MaxSessions > 0 && u.Sessions()+1 > ten.MaxSessions {
+		return &store.QuotaError{
+			Tenant: ten.Name, Dimension: "sessions",
+			Used: int64(u.Sessions() + 1), Limit: int64(ten.MaxSessions),
+		}
+	}
+	if ten.MaxBytes > 0 && u.Bytes() >= ten.MaxBytes {
+		return &store.QuotaError{
+			Tenant: ten.Name, Dimension: "bytes",
+			Used: u.Bytes(), Limit: ten.MaxBytes,
+		}
+	}
+	return nil
+}
+
+// addSession registers an updater under a fresh session ID in the tenant's
+// namespace; the store enforces the tenant quota atomically and its eviction
+// budget. A non-empty deleted log (snapshot restore) comes with the model
+// that already reflects it.
+func (s *Server) addSession(ten *Tenant, kind string, ds priu.TrainingSet, upd priu.Updater, deleted []int, model *priu.Model) (*Session, error) {
+	id := ten.storeID(fmt.Sprintf("sess-%d", s.nextID.Add(1)))
 	sess := store.NewSession(id, kind, ds, upd, model, deleted)
+	if err := s.st.Put(sess); err != nil {
+		return nil, err
+	}
 	s.reqs[store.ShardIndex(id)].trains.Add(1)
-	s.st.Put(sess)
-	return sess
+	s.tc(ten.Name).trains.Add(1)
+	return sess, nil
 }
 
 // datasetFromRequest builds the dense dataset for a JSON training request.
@@ -437,15 +544,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty delete request: set session_id/removed or batch")
 		return
 	}
+	ten := tenantFor(r)
 	if len(req.Batch) > 0 {
 		if req.SessionID != "" || len(req.Removed) > 0 {
 			writeError(w, http.StatusBadRequest, "set either session_id/removed or batch, not both")
 			return
 		}
-		s.handleBatchDelete(w, req.Batch)
+		s.handleBatchDelete(w, ten, req.Batch)
 		return
 	}
-	resp, status, err := s.deleteOne(req.SessionID, req.Removed)
+	resp, status, err := s.deleteOne(ten, req.SessionID, req.Removed)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
@@ -456,13 +564,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // handleBatchDelete executes the items concurrently on the shared worker
 // pool. Items targeting the same session serialize on that session's mutex;
 // everything else proceeds independently. Results keep request order.
-func (s *Server) handleBatchDelete(w http.ResponseWriter, batch []DeleteItem) {
+func (s *Server) handleBatchDelete(w http.ResponseWriter, ten *Tenant, batch []DeleteItem) {
 	results := make([]BatchDeleteResult, len(batch))
 	par.For(len(batch), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			item := batch[i]
 			results[i].SessionID = item.SessionID
-			resp, _, err := s.deleteOne(item.SessionID, item.Removed)
+			resp, _, err := s.deleteOne(ten, item.SessionID, item.Removed)
 			if err != nil {
 				results[i].Error = err.Error()
 				continue
@@ -474,21 +582,32 @@ func (s *Server) handleBatchDelete(w http.ResponseWriter, batch []DeleteItem) {
 }
 
 // deleteOne applies one session's cumulative deletion and returns the
-// response, or the HTTP status to report and the error. If the session copy
-// it fetched was evicted before the lock was won, it re-fetches — which, on a
+// response, or the HTTP status to report and the error. The wire session ID
+// is resolved inside the caller's tenant namespace. If the session copy it
+// fetched was evicted before the lock was won, it re-fetches — which, on a
 // tiered store, restores the session from its spill file (deletion log
 // replayed) — so an eviction mid-request never loses an honored deletion.
-func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int, error) {
-	rq := &s.reqs[store.ShardIndex(sessionID)]
+func (s *Server) deleteOne(ten *Tenant, sessionID string, removed []int) (DeleteResponse, int, error) {
+	storeID := ten.storeID(sessionID)
+	rq := &s.reqs[store.ShardIndex(storeID)]
+	tq := s.tc(ten.Name)
 	rq.deletes.Add(1)
+	tq.deletes.Add(1)
+	if !validWireID(sessionID) {
+		rq.deleteErrors.Add(1)
+		tq.deleteErrors.Add(1)
+		return DeleteResponse{}, http.StatusNotFound, fmt.Errorf("unknown session %q", sessionID)
+	}
 	for {
-		sess, ok := s.st.Get(sessionID)
+		sess, ok := s.st.Get(storeID)
 		if !ok {
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			return DeleteResponse{}, http.StatusNotFound, fmt.Errorf("unknown session %q", sessionID)
 		}
 		if len(removed) == 0 {
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			return DeleteResponse{}, http.StatusBadRequest, fmt.Errorf("empty removal set")
 		}
 		resp, err, retry := func() (DeleteResponse, error, bool) {
@@ -505,12 +624,14 @@ func (s *Server) deleteOne(sessionID string, removed []int) (DeleteResponse, int
 		}
 		if err != nil {
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			status := http.StatusBadRequest
 			if errors.Is(err, errInternal) {
 				status = http.StatusInternalServerError
 			}
 			return DeleteResponse{}, status, err
 		}
+		tq.rowsDeleted.Add(int64(len(removed)))
 		return resp, http.StatusOK, nil
 	}
 }
@@ -544,7 +665,7 @@ func applyDeletionLocked(sess *Session, removed []int) (DeleteResponse, error) {
 	sess.LastUpdateSeconds = dt.Seconds()
 	sess.MarkDirtyLocked()
 	return DeleteResponse{
-		SessionID:     sess.ID,
+		SessionID:     store.LocalID(sess.ID),
 		Parameters:    updated.Vec(),
 		UpdateSeconds: dt.Seconds(),
 		TotalDeleted:  len(all),
@@ -558,7 +679,14 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/model/")
-	sess, ok := s.st.Get(id)
+	ten := tenantFor(r)
+	var (
+		sess *Session
+		ok   bool
+	)
+	if validWireID(id) {
+		sess, ok = s.st.Get(ten.storeID(id))
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
@@ -566,7 +694,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	sess.Mu.Lock()
 	defer sess.Mu.Unlock()
 	writeJSON(w, ModelResponse{
-		SessionID:    sess.ID,
+		SessionID:    store.LocalID(sess.ID),
 		Kind:         sess.Kind,
 		Parameters:   sess.Model.Vec(),
 		TotalDeleted: len(sess.Deleted),
@@ -578,6 +706,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	ten := tenantFor(r)
 	type row struct {
 		ID        string    `json:"id"`
 		Kind      string    `json:"kind"`
@@ -586,15 +715,19 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	}
 	var out []row
 	seen := map[string]bool{}
+	// Listings are tenant-scoped: a caller sees only its own namespace.
 	s.st.Range(func(sess *Session) bool {
-		out = append(out, row{ID: sess.ID, Kind: sess.Kind, CreatedAt: sess.CreatedAt})
+		if store.TenantOf(sess.ID) != ten.Name {
+			return true
+		}
+		out = append(out, row{ID: store.LocalID(sess.ID), Kind: sess.Kind, CreatedAt: sess.CreatedAt})
 		seen[sess.ID] = true
 		return true
 	})
 	// Spilled sessions are still servable (they restore on touch): list them.
 	for _, sp := range s.st.Stats().SpilledSessions {
-		if !seen[sp.ID] {
-			out = append(out, row{ID: sp.ID, Kind: sp.Kind, CreatedAt: sp.CreatedAt, Spilled: true})
+		if store.TenantOf(sp.ID) == ten.Name && !seen[sp.ID] {
+			out = append(out, row{ID: store.LocalID(sp.ID), Kind: sp.Kind, CreatedAt: sp.CreatedAt, Spilled: true})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].ID, out[j].ID) })
@@ -621,12 +754,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpilledBytes:    st.SpilledBytes,
 		Spills:          st.Spills,
 		Restores:        st.Restores,
+		SpillDirBytes:   st.SpillDirBytes,
 	}
+	ten := tenantFor(r)
 	perShard := make([][]SessionStats, numShards)
+	// Global counters are service-wide; the per-session rows are scoped to
+	// the caller's tenant so one tenant cannot enumerate another's sessions.
 	s.st.Range(func(sess *Session) bool {
+		if store.TenantOf(sess.ID) != ten.Name {
+			return true
+		}
 		sess.Mu.Lock()
 		ss := SessionStats{
-			SessionID:         sess.ID,
+			SessionID:         store.LocalID(sess.ID),
 			Kind:              sess.Kind,
 			CreatedAt:         sess.CreatedAt,
 			Updates:           sess.Updates,
@@ -663,6 +803,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
+	tenants := 0
+	for name, ts := range st.Tenants {
+		if name != "" && ts.Resident+ts.Spilled > 0 {
+			tenants++
+		}
+	}
 	writeJSON(w, HealthResponse{
 		Version:       priu.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -675,5 +821,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Spilled:       st.Spilled,
 		SpilledBytes:  st.SpilledBytes,
 		Restores:      st.Restores,
+		SpillDirBytes: st.SpillDirBytes,
+		Tenants:       tenants,
 	})
 }

@@ -10,6 +10,9 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -20,9 +23,11 @@ import (
 
 // The v2 API surface: REST session routing built directly on priu.Updater,
 // typed {"error":{"code","message"}} envelopes, snapshot import/export, CSR
-// uploads for sparse families, and a streaming deletions endpoint that
-// applies NDJSON removal batches on one connection and streams back
-// per-batch parameter digests.
+// uploads for sparse families, tenant-scoped listings and stats, and a
+// streaming deletions endpoint that applies NDJSON removal batches on one
+// connection and streams back per-batch parameter digests. Every route
+// answers unknown methods with a typed 405 envelope carrying an Allow
+// header.
 
 // v2 error codes.
 const (
@@ -30,10 +35,23 @@ const (
 	ErrCodeBadRequest = "bad_request"
 	// ErrCodeNotFound marks unknown sessions or routes.
 	ErrCodeNotFound = "not_found"
+	// ErrCodeMethodNotAllowed marks a known route called with an unsupported
+	// HTTP method; the Allow header lists the supported ones.
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeUnauthorized marks a missing or unknown API key.
+	ErrCodeUnauthorized = "unauthorized"
+	// ErrCodeQuota marks a registration rejected because the tenant is at
+	// its session or byte quota.
+	ErrCodeQuota = "insufficient_quota"
+	// ErrCodeRateLimited marks a deletion batch rejected by the tenant's
+	// rate limit; retry_after_seconds (and, on HTTP 429 responses, the
+	// Retry-After header) say when to retry.
+	ErrCodeRateLimited = "rate_limited"
 	// ErrCodeInvalidRemovals marks empty, duplicate or out-of-range removal
 	// indices.
 	ErrCodeInvalidRemovals = "invalid_removals"
-	// ErrCodeBatchTooLarge marks a removal batch above the server's limit.
+	// ErrCodeBatchTooLarge marks a removal batch above the server's limit
+	// (or above the tenant's rate-limit burst, which no wait could admit).
 	ErrCodeBatchTooLarge = "batch_too_large"
 	// ErrCodeCaptureFailed marks a failed train/capture.
 	ErrCodeCaptureFailed = "capture_failed"
@@ -47,6 +65,9 @@ const (
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds accompanies rate_limited errors: how long until the
+	// rejected batch would be admitted.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // ErrorEnvelope wraps an APIError as the v2 wire format.
@@ -130,16 +151,65 @@ type DeletionResult struct {
 	Parameters []float64 `json:"parameters,omitempty"`
 }
 
+// routeV2 registers one v2 path with an explicit method table, so every
+// route answers unsupported methods with the typed 405 envelope and an Allow
+// header instead of falling through to a 404.
+func routeV2(mux *http.ServeMux, pattern string, methods map[string]http.HandlerFunc) {
+	allowed := make([]string, 0, len(methods))
+	for m := range methods {
+		allowed = append(allowed, m)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		h, ok := methods[r.Method]
+		if !ok && r.Method == http.MethodHead {
+			// HEAD rides on GET (net/http discards the body), matching the
+			// ServeMux method-pattern behavior this dispatch replaced.
+			h, ok = methods[http.MethodGet]
+		}
+		if ok {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		writeV2Error(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+			"method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow)
+	})
+}
+
 // mountV2 registers the v2 REST routes on the mux.
 func (s *Server) mountV2(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v2/sessions", s.handleV2CreateSession)
-	mux.HandleFunc("GET /v2/sessions/{id}", s.handleV2GetSession)
-	mux.HandleFunc("DELETE /v2/sessions/{id}", s.handleV2DeleteSession)
-	mux.HandleFunc("GET /v2/sessions/{id}/snapshot", s.handleV2Snapshot)
-	mux.HandleFunc("POST /v2/sessions/{id}/deletions", s.handleV2Deletions)
+	routeV2(mux, "/v2/sessions", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleV2CreateSession,
+		http.MethodGet:  s.handleV2ListSessions,
+	})
+	routeV2(mux, "/v2/sessions/{id}", map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleV2GetSession,
+		http.MethodDelete: s.handleV2DeleteSession,
+	})
+	routeV2(mux, "/v2/sessions/{id}/snapshot", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleV2Snapshot,
+	})
+	routeV2(mux, "/v2/sessions/{id}/deletions", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleV2Deletions,
+	})
+	routeV2(mux, "/v2/tenants/self/stats", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleV2TenantStats,
+	})
 	mux.HandleFunc("/v2/", func(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "no such v2 route %s %s", r.Method, r.URL.Path)
 	})
+}
+
+// v2Session resolves a wire session ID inside the caller's namespace.
+func (s *Server) v2Session(r *http.Request) (*Session, string, bool) {
+	id := r.PathValue("id")
+	if !validWireID(id) {
+		return nil, id, false
+	}
+	sess, ok := s.st.Get(tenantFor(r).storeID(id))
+	return sess, id, ok
 }
 
 func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
@@ -188,13 +258,24 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 		BatchSize: req.BatchSize, Iterations: req.Iterations, Seed: req.Seed,
 		Mode: mode, Epsilon: req.Epsilon,
 	}
+	ten := tenantFor(r)
+	if qe := s.admitSession(ten); qe != nil {
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", qe)
+		return
+	}
 	start := time.Now()
 	upd, err := priu.TrainConfig(req.Family, d, cfg)
 	if err != nil {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeCaptureFailed, "%v", err)
 		return
 	}
-	sess := s.addSession(req.Family, d, upd, nil, nil)
+	sess, err := s.addSession(ten, req.Family, d, upd, nil, nil)
+	if err != nil {
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", err)
+		return
+	}
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, s.v2SessionResponse(sess, time.Since(start).Seconds(), false))
 }
@@ -274,6 +355,12 @@ func parseMode(mode string) (priu.CacheMode, error) {
 // handleV2Restore creates a session from a streamed snapshot, replaying the
 // snapshot's deletion log so already-honored deletions stay deleted.
 func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
+	ten := tenantFor(r)
+	if qe := s.admitSession(ten); qe != nil {
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", qe)
+		return
+	}
 	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(r.Body)
 	if err != nil {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "restoring snapshot: %v", err)
@@ -287,7 +374,12 @@ func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess := s.addSession(family, ds, upd, deleted, model)
+	sess, err := s.addSession(ten, family, ds, upd, deleted, model)
+	if err != nil {
+		s.tc(ten.Name).quotaRejections.Add(1)
+		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", err)
+		return
+	}
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, s.v2SessionResponse(sess, 0, true))
 }
@@ -299,7 +391,7 @@ func (s *Server) v2SessionResponse(sess *Session, captureSeconds float64, restor
 	sess.Mu.Lock()
 	defer sess.Mu.Unlock()
 	return SessionResponse{
-		SessionID:       sess.ID,
+		SessionID:       store.LocalID(sess.ID),
 		Family:          sess.Kind,
 		CreatedAt:       sess.CreatedAt,
 		Parameters:      sess.Model.Vec(),
@@ -312,26 +404,58 @@ func (s *Server) v2SessionResponse(sess *Session, captureSeconds float64, restor
 }
 
 func (s *Server) handleV2GetSession(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.st.Get(r.PathValue("id"))
+	sess, id, ok := s.v2Session(r)
 	if !ok {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
 		return
 	}
 	writeJSON(w, s.v2SessionResponse(sess, 0, false))
 }
 
+// SessionInfo is one row of the GET /v2/sessions listing.
+type SessionInfo struct {
+	SessionID string    `json:"session_id"`
+	Family    string    `json:"family"`
+	CreatedAt time.Time `json:"created_at"`
+	// Spilled marks sessions currently only in the disk tier (they restore
+	// transparently on the next touch).
+	Spilled bool `json:"spilled,omitempty"`
+}
+
+func (s *Server) handleV2ListSessions(w http.ResponseWriter, r *http.Request) {
+	ten := tenantFor(r)
+	out := []SessionInfo{}
+	seen := map[string]bool{}
+	s.st.Range(func(sess *Session) bool {
+		if store.TenantOf(sess.ID) != ten.Name {
+			return true
+		}
+		out = append(out, SessionInfo{SessionID: store.LocalID(sess.ID), Family: sess.Kind, CreatedAt: sess.CreatedAt})
+		seen[sess.ID] = true
+		return true
+	})
+	for _, sp := range s.st.Stats().SpilledSessions {
+		if store.TenantOf(sp.ID) == ten.Name && !seen[sp.ID] {
+			out = append(out, SessionInfo{SessionID: store.LocalID(sp.ID), Family: sp.Kind, CreatedAt: sp.CreatedAt, Spilled: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].SessionID, out[j].SessionID) })
+	writeJSON(w, out)
+}
+
 func (s *Server) handleV2DeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.st.Delete(r.PathValue("id")) {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	if !validWireID(id) || !s.st.Delete(tenantFor(r).storeID(id)) {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.st.Get(r.PathValue("id"))
+	sess, id, ok := s.v2Session(r)
 	if !ok {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", r.PathValue("id"))
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
 		return
 	}
 	if !store.Spillable(sess.Kind, sess.Upd) {
@@ -357,14 +481,15 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 
 // applyV2Batch validates and applies one removal batch against the current
 // authoritative copy of the session, re-fetching (which restores a spilled
-// session) whenever the copy it locked was evicted concurrently.
-func (s *Server) applyV2Batch(id string, removed []int) (DeleteResponse, *APIError, error) {
+// session) whenever the copy it locked was evicted concurrently. id is the
+// storage ID; wireID is what error messages echo back to the caller.
+func (s *Server) applyV2Batch(id, wireID string, removed []int) (DeleteResponse, *APIError, error) {
 	for {
 		sess, ok := s.st.Get(id)
 		if !ok {
 			return DeleteResponse{}, &APIError{
 				Code:    ErrCodeNotFound,
-				Message: fmt.Sprintf("unknown session %q", id),
+				Message: fmt.Sprintf("unknown session %q", wireID),
 			}, nil
 		}
 		// Validation and application happen under one lock acquisition so a
@@ -391,28 +516,47 @@ func (s *Server) applyV2Batch(id string, removed []int) (DeleteResponse, *APIErr
 }
 
 // handleV2Deletions streams removal batches on one connection: each request
-// NDJSON line {"remove":[...]} is validated, applied cumulatively to the
-// session, and answered with one NDJSON DeletionResult (or ErrorEnvelope)
-// line, flushed immediately. Invalid batches report an error line and do not
-// abort the stream — only a malformed (non-JSON) line or a session that
-// disappeared does.
+// NDJSON line {"remove":[...]} is validated, charged against the tenant's
+// rate limit, applied cumulatively to the session, and answered with one
+// NDJSON DeletionResult (or ErrorEnvelope) line, flushed immediately.
+// Invalid or throttled batches report an error line and do not abort the
+// stream — a throttled client waits retry_after_seconds and resends — while
+// a malformed (non-JSON) line or a session that disappeared does.
 func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	// Full-duplex from the very first write: even the early error responses
+	// (404/429) must not wait for the server to drain an open-ended NDJSON
+	// request body — a client that streams its first batch and then blocks
+	// on the response would deadlock against the drain otherwise.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	ten := tenantFor(r)
+	wireID := r.PathValue("id")
+	if !validWireID(wireID) {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", wireID)
+		return
+	}
+	id := ten.storeID(wireID)
 	if _, ok := s.st.Get(id); !ok {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", id)
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", wireID)
+		return
+	}
+	// An already-exhausted bucket rejects the stream at open with a plain
+	// HTTP 429 + Retry-After, so a throttled client doesn't even hold a
+	// connection; once streaming, throttling is reported per batch.
+	if wait := ten.streamWait(); wait > 0 {
+		s.tc(ten.Name).rateLimited.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(wait.Seconds())+1))
+		writeV2Error(w, http.StatusTooManyRequests, ErrCodeRateLimited,
+			"tenant %q is over its deletion rate limit (%.4g rows/s); retry in %.2fs",
+			ten.Name, ten.DeletionRowsPerSec, wait.Seconds())
 		return
 	}
 	paramMode := r.URL.Query().Get("parameters")
-	// Request and response are interleaved on one connection: without
-	// full-duplex mode the HTTP/1.x server drains the unread request body
-	// before the first response write, deadlocking against a client that
-	// waits for each response line before sending the next batch.
-	rc := http.NewResponseController(w)
-	_ = rc.EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flush := func() { _ = rc.Flush() }
 	rq := &s.reqs[store.ShardIndex(id)]
+	tq := s.tc(ten.Name)
 	dec := json.NewDecoder(r.Body)
 	for batchNo := 1; ; batchNo++ {
 		var batch DeletionBatch
@@ -421,6 +565,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: APIError{
 				Code:    ErrCodeBadRequest,
 				Message: fmt.Sprintf("batch %d: malformed JSON: %v", batchNo, err),
@@ -428,10 +573,37 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 			flush()
 			return // cannot resync a corrupt stream
 		}
+		// Rate limiting precedes validation: a removal batch charges its row
+		// count whether or not it turns out valid, so a tenant cannot probe
+		// for free. A batch the bucket can never hold is a size error, not a
+		// wait; a throttled batch charges nothing and says when to retry.
+		if burst := ten.Capacity(); burst > 0 && float64(len(batch.Remove)) > burst {
+			tq.deleteErrors.Add(1)
+			_ = enc.Encode(ErrorEnvelope{Error: APIError{
+				Code: ErrCodeBatchTooLarge,
+				Message: fmt.Sprintf("batch %d: %d removals exceed tenant %q's rate-limit burst of %.0f rows",
+					batchNo, len(batch.Remove), ten.Name, burst),
+			}})
+			flush()
+			continue
+		}
+		if wait, ok := ten.takeRows(len(batch.Remove)); !ok {
+			tq.rateLimited.Add(1)
+			_ = enc.Encode(ErrorEnvelope{Error: APIError{
+				Code: ErrCodeRateLimited,
+				Message: fmt.Sprintf("batch %d: tenant %q is over its deletion rate limit (%.4g rows/s)",
+					batchNo, ten.Name, ten.DeletionRowsPerSec),
+				RetryAfterSeconds: wait.Seconds(),
+			}})
+			flush()
+			continue
+		}
 		rq.deletes.Add(1)
-		resp, apiErr, err := s.applyV2Batch(id, batch.Remove)
+		tq.deletes.Add(1)
+		resp, apiErr, err := s.applyV2Batch(id, wireID, batch.Remove)
 		if apiErr != nil {
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: *apiErr})
 			flush()
 			if apiErr.Code == ErrCodeNotFound {
@@ -441,6 +613,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			rq.deleteErrors.Add(1)
+			tq.deleteErrors.Add(1)
 			_ = enc.Encode(ErrorEnvelope{Error: APIError{
 				Code:    ErrCodeUpdateFailed,
 				Message: fmt.Sprintf("batch %d: %v", batchNo, err),
@@ -448,12 +621,13 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 			flush()
 			continue
 		}
+		tq.rowsDeleted.Add(int64(len(batch.Remove)))
 		result := DeletionResult{
 			Batch:         batchNo,
 			Removed:       len(batch.Remove),
 			TotalDeleted:  resp.TotalDeleted,
 			UpdateSeconds: resp.UpdateSeconds,
-			Digest:        paramDigest(resp.Parameters),
+			Digest:        ParamDigest(resp.Parameters),
 			CosineVsPrev:  resp.CosineVsPrev,
 		}
 		if paramMode == "all" || batch.Parameters {
@@ -462,6 +636,59 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(result)
 		flush()
 	}
+}
+
+// TenantStatsResponse is the GET /v2/tenants/self/stats payload: the calling
+// tenant's storage usage, configured limits and request counters.
+type TenantStatsResponse struct {
+	Tenant        string `json:"tenant"`
+	Authenticated bool   `json:"authenticated"`
+
+	ResidentSessions int   `json:"resident_sessions"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	SpilledSessions  int   `json:"spilled_sessions"`
+	SpilledBytes     int64 `json:"spilled_bytes"`
+
+	MaxSessions        int     `json:"max_sessions,omitempty"`
+	MaxBytes           int64   `json:"max_bytes,omitempty"`
+	DeletionRowsPerSec float64 `json:"deletion_rows_per_sec,omitempty"`
+	Burst              float64 `json:"burst,omitempty"`
+
+	Trains          int64 `json:"trains"`
+	Deletes         int64 `json:"deletes"`
+	DeleteErrors    int64 `json:"delete_errors"`
+	RowsDeleted     int64 `json:"rows_deleted"`
+	RateLimited     int64 `json:"rate_limited"`
+	QuotaRejections int64 `json:"quota_rejections"`
+	BudgetEvictions int64 `json:"budget_evictions"`
+	ExplicitDeletes int64 `json:"explicit_deletes"`
+}
+
+func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
+	ten := tenantFor(r)
+	u := s.st.TenantUsage(ten.Name)
+	st := s.st.Stats().Tenants[ten.Name]
+	tq := s.tc(ten.Name)
+	writeJSON(w, TenantStatsResponse{
+		Tenant:             ten.Name,
+		Authenticated:      ten.Authenticated(),
+		ResidentSessions:   u.Resident,
+		ResidentBytes:      u.ResidentBytes,
+		SpilledSessions:    u.Spilled,
+		SpilledBytes:       u.SpilledBytes,
+		MaxSessions:        ten.MaxSessions,
+		MaxBytes:           ten.MaxBytes,
+		DeletionRowsPerSec: ten.DeletionRowsPerSec,
+		Burst:              ten.Capacity(),
+		Trains:             tq.trains.Load(),
+		Deletes:            tq.deletes.Load(),
+		DeleteErrors:       tq.deleteErrors.Load(),
+		RowsDeleted:        tq.rowsDeleted.Load(),
+		RateLimited:        tq.rateLimited.Load(),
+		QuotaRejections:    tq.quotaRejections.Load(),
+		BudgetEvictions:    st.BudgetEvictions,
+		ExplicitDeletes:    st.ExplicitDeletes,
+	})
 }
 
 // validateBatchLocked checks one removal batch against the session's bounds
@@ -499,9 +726,10 @@ func (s *Server) validateBatchLocked(sess *Session, removed []int) *APIError {
 	return nil
 }
 
-// paramDigest hashes a parameter vector (FNV-1a over the float bits) into a
-// short hex token for streaming responses.
-func paramDigest(params []float64) string {
+// ParamDigest hashes a parameter vector (FNV-1a over the float bits) into a
+// short hex token for streaming responses. Exported so clients (priu/client)
+// can verify returned parameters against the digest the server computed.
+func ParamDigest(params []float64) string {
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, v := range params {

@@ -369,7 +369,7 @@ func TestV2SnapshotRoundTrip(t *testing.T) {
 	if restored.TotalDeleted != 2 {
 		t.Fatalf("restored session lost the deletion log: total_deleted = %d, want 2", restored.TotalDeleted)
 	}
-	if got := paramDigest(restored.Parameters); got != pre.Digest {
+	if got := ParamDigest(restored.Parameters); got != pre.Digest {
 		t.Fatalf("restored parameters digest %s, want post-deletion %s", got, pre.Digest)
 	}
 

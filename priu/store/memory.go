@@ -16,6 +16,22 @@ type memShard struct {
 	explicitDeletes atomic.Int64
 }
 
+// memTenant is one tenant's accounting entry (guarded by Memory.tmu).
+// resident/residentBytes track the in-memory tier; owned/ownedBytes track
+// the sessions the tenant owns across every tier — a spill moves a session
+// out of resident but not out of owned, so the quota check is a single
+// O(1) compare under one lock with no colder-tier scan (and no window where
+// a concurrent eviction hides a session from both tiers' counts).
+type memTenant struct {
+	resident        int
+	residentBytes   int64
+	owned           int
+	ownedBytes      int64
+	budgetEvictions int64
+	explicitDeletes int64
+	quotaRejections int64
+}
+
 // Memory is the hash-sharded in-memory tier with an optional LRU budget.
 // The zero value is not usable; call NewMemory.
 type Memory struct {
@@ -26,10 +42,19 @@ type Memory struct {
 	maxBytes    int64
 	curBytes    atomic.Int64
 
+	// limits resolves per-tenant quotas (nil = no tenant quotas). tmu guards
+	// the tenants map; quota check + reservation share one acquisition so
+	// concurrent registrations can never jointly overshoot a quota.
+	limits  LimitsFunc
+	tmu     sync.Mutex
+	tenants map[string]*memTenant
+
 	// onEvictLocked, when set (by Tiered), is called with the victim's Mu
 	// held after the victim left the map and before it is marked gone — the
-	// spill hook. It runs outside all shard locks.
-	onEvictLocked func(*Session)
+	// spill hook. It runs outside all shard locks and reports whether the
+	// session survives in a colder tier (true keeps the tenant's ownership
+	// charge; false releases it — the session is lost).
+	onEvictLocked func(*Session) bool
 }
 
 // MemoryOption configures NewMemory.
@@ -45,9 +70,15 @@ func WithMaxSessions(n int) MemoryOption { return func(m *Memory) { m.maxSession
 // are evicted when a registration exceeds the budget (0 = unbounded).
 func WithMaxBytes(b int64) MemoryOption { return func(m *Memory) { m.maxBytes = b } }
 
+// WithTenantLimits installs per-tenant quotas: Put rejects a registration
+// (with *QuotaError) when it would take the session's tenant over its limit.
+// The function is consulted on every registration, so hot-reloaded limits
+// apply immediately. The anonymous namespace ("") is never quota-checked.
+func WithTenantLimits(f LimitsFunc) MemoryOption { return func(m *Memory) { m.limits = f } }
+
 // NewMemory returns an empty in-memory session store.
 func NewMemory(opts ...MemoryOption) *Memory {
-	m := &Memory{}
+	m := &Memory{tenants: make(map[string]*memTenant)}
 	for i := range m.shards {
 		m.shards[i].sessions = make(map[string]*Session)
 	}
@@ -57,8 +88,79 @@ func NewMemory(opts ...MemoryOption) *Memory {
 	return m
 }
 
-// Put implements Store.
-func (m *Memory) Put(sess *Session) {
+// tenant returns (creating if needed) a tenant's accounting entry. Callers
+// hold tmu.
+func (m *Memory) tenant(name string) *memTenant {
+	tu, ok := m.tenants[name]
+	if !ok {
+		tu = &memTenant{}
+		m.tenants[name] = tu
+	}
+	return tu
+}
+
+// Put implements Store: the quota check and ownership reservation are one
+// atomic step under tmu, so concurrent registrations (and concurrent spills,
+// which never touch the owned counters) cannot jointly overshoot a quota.
+func (m *Memory) Put(sess *Session) error {
+	ten := TenantOf(sess.ID)
+	m.tmu.Lock()
+	tu := m.tenant(ten)
+	if m.limits != nil && ten != "" {
+		lim := m.limits(ten)
+		if lim.MaxSessions > 0 && tu.owned+1 > lim.MaxSessions {
+			tu.quotaRejections++
+			m.tmu.Unlock()
+			return &QuotaError{
+				Tenant: ten, Dimension: "sessions",
+				Used: int64(tu.owned + 1), Limit: int64(lim.MaxSessions),
+			}
+		}
+		if lim.MaxBytes > 0 && tu.ownedBytes+sess.footprint > lim.MaxBytes {
+			tu.quotaRejections++
+			m.tmu.Unlock()
+			return &QuotaError{
+				Tenant: ten, Dimension: "bytes",
+				Used: tu.ownedBytes + sess.footprint, Limit: lim.MaxBytes,
+			}
+		}
+	}
+	tu.owned++
+	tu.ownedBytes += sess.footprint
+	tu.resident++
+	tu.residentBytes += sess.footprint
+	m.tmu.Unlock()
+	m.insert(sess)
+	return nil
+}
+
+// putRestored publishes a session re-materialized from a colder tier. No
+// quota check and no ownership charge: the session already counts against
+// its tenant (it existed), only the resident-tier accounting moves.
+func (m *Memory) putRestored(sess *Session) {
+	ten := TenantOf(sess.ID)
+	m.tmu.Lock()
+	tu := m.tenant(ten)
+	tu.resident++
+	tu.residentBytes += sess.footprint
+	m.tmu.Unlock()
+	m.insert(sess)
+}
+
+// adjustOwned shifts a tenant's cross-tier ownership charge directly — the
+// tiered store uses it to seed reboot-indexed spill files and to settle
+// byte-charge drift on restores and disk-only deletes.
+func (m *Memory) adjustOwned(tenant string, dSessions int, dBytes int64) {
+	m.tmu.Lock()
+	tu := m.tenant(tenant)
+	tu.owned += dSessions
+	tu.ownedBytes += dBytes
+	m.tmu.Unlock()
+}
+
+// insert publishes an already-accounted session and enforces the global
+// budgets.
+func (m *Memory) insert(sess *Session) {
 	sh := &m.shards[ShardIndex(sess.ID)]
 	sess.Touch()
 	sh.mu.Lock()
@@ -66,6 +168,49 @@ func (m *Memory) Put(sess *Session) {
 	sh.mu.Unlock()
 	m.curBytes.Add(sess.footprint)
 	m.enforceBudget(sess.ID)
+}
+
+// Removal reasons for tenant accounting.
+const (
+	// removalEvict is a budget eviction; ownership is released only when the
+	// session did not survive to a colder tier.
+	removalEvict = iota
+	// removalDelete is an explicit Delete: the session is gone everywhere.
+	removalDelete
+	// removalDrop undoes a restore that raced a Delete: the resident copy
+	// leaves, but the ownership charge was already settled by the Delete.
+	removalDrop
+)
+
+// uncharge updates the owning tenant's accounting when a session leaves the
+// resident tier. preserved reports whether the session survives in a colder
+// tier (only meaningful for removalEvict).
+func (m *Memory) uncharge(sess *Session, reason int, preserved bool) {
+	m.tmu.Lock()
+	tu := m.tenant(TenantOf(sess.ID))
+	tu.resident--
+	tu.residentBytes -= sess.footprint
+	switch reason {
+	case removalEvict:
+		tu.budgetEvictions++
+		if !preserved {
+			tu.owned--
+			tu.ownedBytes -= sess.footprint
+		}
+	case removalDelete:
+		tu.explicitDeletes++
+		tu.owned--
+		tu.ownedBytes -= sess.footprint
+	}
+	m.tmu.Unlock()
+}
+
+// chargeExplicitDelete counts an explicit delete that removed no resident
+// copy (the tiered store's disk-only deletes) against the owning tenant.
+func (m *Memory) chargeExplicitDelete(tenant string) {
+	m.tmu.Lock()
+	m.tenant(tenant).explicitDeletes++
+	m.tmu.Unlock()
 }
 
 // Get implements Store.
@@ -104,6 +249,7 @@ func (m *Memory) Delete(id string) bool {
 	}
 	sh.explicitDeletes.Add(1)
 	m.curBytes.Add(-sess.footprint)
+	m.uncharge(sess, removalDelete, false)
 	sess.Mu.Lock()
 	sess.gone = true
 	sess.Mu.Unlock()
@@ -130,6 +276,7 @@ func (m *Memory) drop(id string) {
 		return
 	}
 	m.curBytes.Add(-sess.footprint)
+	m.uncharge(sess, removalDrop, false)
 	sess.Mu.Lock()
 	sess.gone = true
 	sess.Mu.Unlock()
@@ -168,7 +315,38 @@ func (m *Memory) Stats() Stats {
 		st.BudgetEvictions += st.Shards[i].BudgetEvictions
 		st.ExplicitDeletes += st.Shards[i].ExplicitDeletes
 	}
+	m.tmu.Lock()
+	st.Tenants = make(map[string]TenantStats, len(m.tenants))
+	for name, tu := range m.tenants {
+		st.Tenants[name] = TenantStats{
+			Resident:        tu.resident,
+			ResidentBytes:   tu.residentBytes,
+			Spilled:         tu.owned - tu.resident,
+			SpilledBytes:    tu.ownedBytes - tu.residentBytes,
+			BudgetEvictions: tu.budgetEvictions,
+			ExplicitDeletes: tu.explicitDeletes,
+			QuotaRejections: tu.quotaRejections,
+		}
+	}
+	m.tmu.Unlock()
 	return st
+}
+
+// TenantUsage implements Store. Spilled usage is derived from the ownership
+// counters (owned − resident), so the call is O(1) for both tiers.
+func (m *Memory) TenantUsage(tenant string) TenantUsage {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tu, ok := m.tenants[tenant]
+	if !ok {
+		return TenantUsage{}
+	}
+	return TenantUsage{
+		Resident:      tu.resident,
+		ResidentBytes: tu.residentBytes,
+		Spilled:       tu.owned - tu.resident,
+		SpilledBytes:  tu.ownedBytes - tu.residentBytes,
+	}
 }
 
 // Close implements Store (the in-memory tier has nothing to flush).
@@ -189,7 +367,7 @@ func (m *Memory) sessionCount() int {
 // enforceBudget evicts least-recently-used sessions until the store is back
 // under the session-count and byte budgets. The session named keepID (the
 // one that triggered enforcement) is never evicted, so a single oversized
-// registration still lands.
+// registration still lands. Evictions are charged to the victim's tenant.
 func (m *Memory) enforceBudget(keepID string) {
 	if m.maxSessions <= 0 && m.maxBytes <= 0 {
 		return
@@ -218,8 +396,9 @@ func (m *Memory) enforceBudget(keepID string) {
 			victim.Mu.Unlock()
 			continue // a concurrent evictor or deleter won
 		}
+		preserved := false
 		if m.onEvictLocked != nil {
-			m.onEvictLocked(victim)
+			preserved = m.onEvictLocked(victim)
 		}
 		victim.gone = true
 		victim.Mu.Unlock()
@@ -233,6 +412,7 @@ func (m *Memory) enforceBudget(keepID string) {
 		vShard.mu.Unlock()
 		vShard.budgetEvictions.Add(1)
 		m.curBytes.Add(-victim.footprint)
+		m.uncharge(victim, removalEvict, preserved)
 	}
 }
 

@@ -25,7 +25,9 @@
 package store
 
 import (
+	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,57 @@ import (
 	"repro/internal/dataset"
 	"repro/priu"
 )
+
+// Sessions are namespaced per tenant: the storage ID of a tenant-owned
+// session is "tenant/wire-id", while the anonymous tenant's sessions keep
+// their bare wire ID — so stores (and spill directories) written before
+// multi-tenancy remain valid, and the tenant of a session survives tier
+// moves and restarts without any envelope change.
+
+// TenantOf returns the tenant that owns a storage ID ("" for the anonymous
+// namespace).
+func TenantOf(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[:i]
+	}
+	return ""
+}
+
+// LocalID strips the tenant namespace from a storage ID, returning the wire
+// session ID the owning tenant sees.
+func LocalID(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// TenantLimits is one tenant's storage quota (0 = unlimited).
+type TenantLimits struct {
+	// MaxSessions bounds the tenant's owned sessions across every tier.
+	MaxSessions int
+	// MaxBytes bounds the tenant's owned session bytes across every tier.
+	MaxBytes int64
+}
+
+// LimitsFunc resolves a tenant's current quota. It is consulted on every
+// registration, so hot-reloaded key files take effect without a restart.
+type LimitsFunc func(tenant string) TenantLimits
+
+// QuotaError reports a Put rejected because the session's tenant is at its
+// quota. Unlike a global budget (which evicts), a tenant quota is a hard
+// admission limit: the tenant must delete sessions (or have its quota
+// raised) before registering more.
+type QuotaError struct {
+	Tenant    string
+	Dimension string // "sessions" or "bytes"
+	Used      int64  // usage across all tiers, including the rejected session
+	Limit     int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("store: tenant %q at its %s quota (%d of %d)", e.Tenant, e.Dimension, e.Used, e.Limit)
+}
 
 // Session is one registered model with its captured provenance — the unit of
 // storage. HTTP-facing request counters stay in the service; everything here
@@ -152,6 +205,33 @@ type SpilledSession struct {
 	Bytes     int64
 }
 
+// TenantStats is one tenant's view within Stats. The anonymous namespace
+// appears under the "" key.
+type TenantStats struct {
+	Resident        int
+	ResidentBytes   int64
+	Spilled         int
+	SpilledBytes    int64
+	BudgetEvictions int64
+	ExplicitDeletes int64
+	QuotaRejections int64
+}
+
+// TenantUsage is a tenant's live storage charge across tiers — the quantity
+// its quota is checked against.
+type TenantUsage struct {
+	Resident      int
+	ResidentBytes int64
+	Spilled       int
+	SpilledBytes  int64
+}
+
+// Sessions returns the tenant's owned session count across tiers.
+func (u TenantUsage) Sessions() int { return u.Resident + u.Spilled }
+
+// Bytes returns the tenant's owned session bytes across tiers.
+func (u TenantUsage) Bytes() int64 { return u.ResidentBytes + u.SpilledBytes }
+
 // Stats is a point-in-time view of the store, split per tier. Budget
 // evictions and explicit deletes are separate counters: an eviction is a
 // budget decision (and, in the tiered store, a spill), a delete is a client
@@ -169,18 +249,26 @@ type Stats struct {
 	Spills       int64
 	Restores     int64
 	Unspillable  int64
+	// SpillDirBytes is the on-disk size of the spill directory itself
+	// (every file, including temp files and files for sessions that also
+	// have a resident copy) — the disk-growth gauge. Zero for Memory.
+	SpillDirBytes int64
 	// Shards is the per-shard breakdown of the in-memory tier.
 	Shards [NumShards]ShardStats
 	// SpilledSessions lists the disk-tier-only sessions.
 	SpilledSessions []SpilledSession
+	// Tenants is the per-tenant breakdown ("" = the anonymous namespace).
+	Tenants map[string]TenantStats
 }
 
 // Store is the session-storage abstraction the service is built on.
 type Store interface {
 	// Put registers a session and enforces any budget (which may evict — and
 	// in a tiered store spill — least-recently-used sessions, never sess
-	// itself).
-	Put(sess *Session)
+	// itself). When the session's tenant is at its quota the registration is
+	// rejected with a *QuotaError and nothing is stored: a quota is a hard
+	// admission limit, a budget is a cache boundary.
+	Put(sess *Session) error
 	// Get returns the session, restoring it from a colder tier if needed,
 	// and bumps its LRU clock.
 	Get(id string) (*Session, bool)
@@ -193,6 +281,9 @@ type Store interface {
 	Range(fn func(*Session) bool)
 	// Stats returns a point-in-time view of every tier.
 	Stats() Stats
+	// TenantUsage returns one tenant's live storage charge across tiers —
+	// cheaper than Stats when only an admission check is needed.
+	TenantUsage(tenant string) TenantUsage
 	// Close flushes whatever durability the store offers (the tiered store
 	// snapshots all dirty resident sessions — the SIGTERM drain).
 	Close() error

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/priu"
@@ -337,5 +338,255 @@ func TestSessionIDsNeverCollideAcrossBoots(t *testing.T) {
 	}
 	if len(files) != 3 {
 		t.Fatalf("%d spill files for 3 identical-payload sessions, want 3", len(files))
+	}
+}
+
+func TestTenantHelpers(t *testing.T) {
+	cases := []struct{ id, tenant, local string }{
+		{"sess-1", "", "sess-1"},
+		{"acme/sess-2", "acme", "sess-2"},
+		{"a/b/sess-3", "a/b", "sess-3"}, // defensive: last separator wins
+	}
+	for _, c := range cases {
+		if got := TenantOf(c.id); got != c.tenant {
+			t.Fatalf("TenantOf(%q) = %q, want %q", c.id, got, c.tenant)
+		}
+		if got := LocalID(c.id); got != c.local {
+			t.Fatalf("LocalID(%q) = %q, want %q", c.id, got, c.local)
+		}
+	}
+}
+
+// limitsMap is a static LimitsFunc for tests.
+func limitsMap(m map[string]TenantLimits) LimitsFunc {
+	return func(tenant string) TenantLimits { return m[tenant] }
+}
+
+func TestMemoryTenantQuota(t *testing.T) {
+	m := NewMemory(WithTenantLimits(limitsMap(map[string]TenantLimits{
+		"acme": {MaxSessions: 2},
+	})))
+	if err := m.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(trainSession(t, "acme/sess-2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Put(trainSession(t, "acme/sess-3", 3))
+	qe, ok := err.(*QuotaError)
+	if !ok {
+		t.Fatalf("third Put error = %v, want *QuotaError", err)
+	}
+	if qe.Tenant != "acme" || qe.Dimension != "sessions" || qe.Limit != 2 {
+		t.Fatalf("quota error %+v", qe)
+	}
+	// Other tenants (and the anonymous namespace) are unaffected.
+	if err := m.Put(trainSession(t, "rival/sess-4", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(trainSession(t, "sess-5", 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if ts := st.Tenants["acme"]; ts.Resident != 2 || ts.QuotaRejections != 1 {
+		t.Fatalf("acme tenant stats %+v", ts)
+	}
+	if ts := st.Tenants["rival"]; ts.Resident != 1 {
+		t.Fatalf("rival tenant stats %+v", ts)
+	}
+	// An explicit delete frees quota.
+	if !m.Delete("acme/sess-1") {
+		t.Fatal("delete failed")
+	}
+	if err := m.Put(trainSession(t, "acme/sess-6", 6)); err != nil {
+		t.Fatalf("Put after freeing quota: %v", err)
+	}
+	if u := m.TenantUsage("acme"); u.Resident != 2 || u.ResidentBytes <= 0 {
+		t.Fatalf("acme usage %+v", u)
+	}
+}
+
+func TestMemoryTenantByteQuota(t *testing.T) {
+	one := trainSession(t, "probe/sess-0", 9)
+	fp := one.Footprint()
+	m := NewMemory(WithTenantLimits(limitsMap(map[string]TenantLimits{
+		"acme": {MaxBytes: fp + fp/2}, // room for one session, not two
+	})))
+	if err := m.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Put(trainSession(t, "acme/sess-2", 2))
+	qe, ok := err.(*QuotaError)
+	if !ok || qe.Dimension != "bytes" {
+		t.Fatalf("byte-quota Put error = %v, want bytes *QuotaError", err)
+	}
+}
+
+func TestMemoryEvictionChargedToOwningTenant(t *testing.T) {
+	m := NewMemory(WithMaxSessions(1))
+	if err := m.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(trainSession(t, "rival/sess-2", 2)); err != nil {
+		t.Fatal(err) // evicts acme's LRU session
+	}
+	st := m.Stats()
+	if ts := st.Tenants["acme"]; ts.Resident != 0 || ts.BudgetEvictions != 1 {
+		t.Fatalf("acme stats after cross-tenant eviction %+v", ts)
+	}
+	if ts := st.Tenants["rival"]; ts.Resident != 1 || ts.BudgetEvictions != 0 {
+		t.Fatalf("rival stats %+v", ts)
+	}
+}
+
+func TestTieredTenantQuotaCountsSpilled(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(
+		WithMaxSessions(1),
+		WithTenantLimits(limitsMap(map[string]TenantLimits{"acme": {MaxSessions: 2}})),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Put(trainSession(t, "acme/sess-2", 2)); err != nil {
+		t.Fatal(err) // spills sess-1; acme still owns both
+	}
+	if u := ti.TenantUsage("acme"); u.Resident != 1 || u.Spilled != 1 || u.SpilledBytes <= 0 {
+		t.Fatalf("acme usage across tiers %+v", u)
+	}
+	if _, ok := ti.Put(trainSession(t, "acme/sess-3", 3)).(*QuotaError); !ok {
+		t.Fatal("spilled sessions must count against the tenant quota")
+	}
+	// Restores bypass the quota: the session already counts.
+	if _, ok := ti.Get("acme/sess-1"); !ok {
+		t.Fatal("restore failed")
+	}
+	// Deleting a spilled session frees quota.
+	if _, ok := ti.Get("acme/sess-2"); !ok { // make sess-2 resident, sess-1 spills
+		t.Fatal("restore failed")
+	}
+	if !ti.Delete("acme/sess-1") {
+		t.Fatal("delete failed")
+	}
+	if err := ti.Put(trainSession(t, "acme/sess-3", 3)); err != nil {
+		t.Fatalf("Put after delete freed quota: %v", err)
+	}
+	st := ti.Stats()
+	if ts := st.Tenants["acme"]; ts.ExplicitDeletes != 1 {
+		t.Fatalf("acme stats %+v", ts)
+	}
+}
+
+func TestTieredSpillDirBytesGauge(t *testing.T) {
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Put(trainSession(t, "sess-1", 71)); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Stats().SpillDirBytes != 0 {
+		t.Fatal("empty spill dir should gauge 0")
+	}
+	if err := ti.Put(trainSession(t, "sess-2", 72)); err != nil {
+		t.Fatal(err) // spills sess-1
+	}
+	st := ti.Stats()
+	if st.SpillDirBytes <= 0 || st.SpillDirBytes < st.SpilledBytes {
+		t.Fatalf("spill dir gauge %d vs spilled bytes %d", st.SpillDirBytes, st.SpilledBytes)
+	}
+	// An explicit delete of the spilled session empties the directory.
+	if !ti.Delete("sess-1") {
+		t.Fatal("delete failed")
+	}
+	if got := ti.Stats().SpillDirBytes; got != 0 {
+		t.Fatalf("spill dir gauge %d after deleting the only spilled session, want 0", got)
+	}
+}
+
+func TestTieredRebootSeedsTenantOwnership(t *testing.T) {
+	// Spill files left by a previous process must count against their
+	// tenant's quota from boot, before any restore.
+	dir := t.TempDir()
+	lim := limitsMap(map[string]TenantLimits{"acme": {MaxSessions: 2}})
+	ti, err := NewTiered(dir, NewMemory(WithTenantLimits(lim)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Close(); err != nil { // drain sess-1 to disk
+		t.Fatal(err)
+	}
+
+	ti2, err := NewTiered(dir, NewMemory(WithTenantLimits(lim)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := ti2.TenantUsage("acme"); u.Sessions() != 1 || u.SpilledBytes <= 0 {
+		t.Fatalf("rebooted usage %+v, want 1 owned spilled session", u)
+	}
+	if err := ti2.Put(trainSession(t, "acme/sess-2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ti2.Put(trainSession(t, "acme/sess-3", 3)).(*QuotaError); !ok {
+		t.Fatal("rebooted spill file must count against the tenant quota")
+	}
+	// Restoring the rebooted session settles the byte charge to the true
+	// footprint without changing the session count.
+	if _, ok := ti2.Get("acme/sess-1"); !ok {
+		t.Fatal("restore failed")
+	}
+	fp := trainSession(t, "probe/sess-0", 1).Footprint()
+	if u := ti2.TenantUsage("acme"); u.Sessions() != 2 || u.Bytes() != 2*fp {
+		t.Fatalf("post-restore usage %+v, want 2 sessions / %d bytes", u, 2*fp)
+	}
+}
+
+// TestTieredConcurrentQuotaNeverOvershoots churns one tenant at its quota
+// with concurrent registrations while evictions spill its residents: the
+// ownership counters are the quota source of truth, so no interleaving of
+// Put and spill may admit more sessions than the quota. Run under -race.
+func TestTieredConcurrentQuotaNeverOvershoots(t *testing.T) {
+	const quota = 4
+	dir := t.TempDir()
+	ti, err := NewTiered(dir, NewMemory(
+		WithMaxSessions(1), // every Put evicts/spills the previous resident
+		WithTenantLimits(limitsMap(map[string]TenantLimits{"acme": {MaxSessions: quota}})),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, 12)
+	for i := range sessions {
+		sessions[i] = trainSession(t, fmt.Sprintf("acme/sess-%d", i+1), int64(i+1))
+	}
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for _, sess := range sessions {
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			if err := ti.Put(sess); err == nil {
+				admitted.Add(1)
+			} else if _, ok := err.(*QuotaError); !ok {
+				t.Errorf("unexpected Put error: %v", err)
+			}
+		}(sess)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := admitted.Load(); got != quota {
+		t.Fatalf("admitted %d sessions, want exactly %d", got, quota)
+	}
+	if u := ti.TenantUsage("acme"); u.Sessions() != quota {
+		t.Fatalf("owned usage %+v, want %d sessions", u, quota)
 	}
 }

@@ -38,6 +38,11 @@ type spillEntry struct {
 	bytes     int64
 	kind      string
 	createdAt time.Time
+	// charged is what the session's tenant ownership was billed for this
+	// session (guarded by Tiered.mu): the resident footprint when spilled by
+	// this process, the file size when seeded from a reboot reindex (the
+	// footprint isn't known without restoring). Restores settle the drift.
+	charged int64
 }
 
 // flight is one in-progress restore; joiners wait on done.
@@ -85,13 +90,25 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 	if err := t.reindex(); err != nil {
 		return nil, err
 	}
-	mem.onEvictLocked = func(sess *Session) {
+	// Seed the tenants' cross-tier ownership with what a previous process
+	// left on disk, so quotas count rebooted spill files from the first
+	// request. mem is freshly constructed (see above), so nothing double
+	// counts.
+	for id, e := range t.index {
+		mem.adjustOwned(TenantOf(id), 1, e.charged)
+	}
+	mem.onEvictLocked = func(sess *Session) bool {
 		if spill {
 			if t.spillLocked(sess) == nil {
-				return
+				return true // preserved: the spill file holds this state
 			}
 		} else if !sess.dirty {
-			return // any disk copy is exactly this state; keep it restorable
+			t.mu.Lock()
+			_, onDisk := t.index[sess.ID]
+			t.mu.Unlock()
+			if onDisk {
+				return true // any disk copy is exactly this state; keep it restorable
+			}
 		}
 		// The session is leaving memory carrying state the disk tier does
 		// not have (spilling disabled, or the spill failed). A stale disk
@@ -99,6 +116,7 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 		// undo honored deletions — so drop it: the session is lost, exactly
 		// like a memory-only eviction.
 		t.invalidate(sess.ID)
+		return false
 	}
 	return t, nil
 }
@@ -138,8 +156,14 @@ func Spillable(kind string, upd priu.Updater) bool {
 	return ok && f.Restore != nil
 }
 
-// Put implements Store.
-func (t *Tiered) Put(sess *Session) { t.mem.Put(sess) }
+// Put implements Store. The memory tier's ownership counters already span
+// both tiers (a spill moves a session out of resident but not out of
+// owned), so the quota check is the same single atomic compare: eviction to
+// disk never frees quota, only an explicit Delete does.
+func (t *Tiered) Put(sess *Session) error { return t.mem.Put(sess) }
+
+// TenantUsage implements Store.
+func (t *Tiered) TenantUsage(tenant string) TenantUsage { return t.mem.TenantUsage(tenant) }
 
 // Get implements Store: a resident hit is lock-free beyond the shard RLock;
 // a cold session is restored from its spill file exactly once, no matter how
@@ -201,11 +225,19 @@ func (t *Tiered) Delete(id string) bool {
 	}
 	t.mu.Unlock()
 	if spilled {
+		// Spill-file hygiene: an explicit DELETE forgets the session in
+		// every tier, including its on-disk snapshot — even when a resident
+		// copy also existed (the file would otherwise outlive the session
+		// until the next boot reindex).
 		_ = os.Remove(e.path)
 		if !resident {
 			// Count the disk-only delete on the same shard the session
-			// would live on, keeping per-shard sums consistent.
+			// would live on, keeping per-shard sums consistent, and release
+			// the tenant's ownership charge (the resident path did this in
+			// mem.Delete).
 			t.mem.shards[ShardIndex(id)].explicitDeletes.Add(1)
+			t.mem.chargeExplicitDelete(TenantOf(id))
+			t.mem.adjustOwned(TenantOf(id), -1, -e.charged)
 		}
 	}
 	return resident || spilled
@@ -238,8 +270,23 @@ func (t *Tiered) Stats() Stats {
 		st.SpilledSessions = append(st.SpilledSessions, SpilledSession{
 			ID: id, Kind: e.kind, CreatedAt: e.createdAt, Bytes: e.bytes,
 		})
+		// Per-tenant spilled usage comes from the memory tier's ownership
+		// counters (owned − resident), already in st.Tenants.
 	}
 	t.mu.Unlock()
+	// The spill-dir gauge counts what is actually on disk (warm backups and
+	// stray temp files included), so leaked files show up as growth even
+	// when the index looks clean.
+	if entries, err := os.ReadDir(t.dir); err == nil {
+		for _, de := range entries {
+			if de.IsDir() {
+				continue
+			}
+			if info, err := de.Info(); err == nil {
+				st.SpillDirBytes += info.Size()
+			}
+		}
+	}
 	return st
 }
 
@@ -286,7 +333,10 @@ func (t *Tiered) spillLocked(sess *Session) error {
 	sess.dirty = false
 	t.mu.Lock()
 	old := t.index[sess.ID]
-	t.index[sess.ID] = &spillEntry{path: path, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt}
+	t.index[sess.ID] = &spillEntry{
+		path: path, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
+		charged: sess.footprint,
+	}
 	t.mu.Unlock()
 	if old != nil && old.path != path {
 		_ = os.Remove(old.path)
@@ -421,7 +471,17 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 	}
 	sess.Touch()
 	t.restores.Add(1)
-	t.mem.Put(sess)
+	// No quota check on a restore: the session already counts against its
+	// tenant, only the resident-tier accounting moves. If the spill entry
+	// was seeded from a reboot (billed at file size), settle the ownership
+	// byte charge to the true resident footprint now that it is known.
+	t.mu.Lock()
+	if cur, ok := t.index[id]; ok && cur == e && e.charged != sess.footprint {
+		t.mem.adjustOwned(TenantOf(id), 0, sess.footprint-e.charged)
+		e.charged = sess.footprint
+	}
+	t.mu.Unlock()
+	t.mem.putRestored(sess)
 	return sess, nil
 }
 
@@ -478,7 +538,12 @@ func (t *Tiered) reindex() error {
 			_ = os.Remove(prev.path)
 		}
 		newest[env.id] = v
-		t.index[env.id] = &spillEntry{path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt}
+		t.index[env.id] = &spillEntry{
+			path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt,
+			// The resident footprint isn't known without restoring; bill the
+			// file size until the first restore settles the difference.
+			charged: info.Size(),
+		}
 	}
 	return nil
 }
