@@ -1,7 +1,18 @@
 GO ?= go
 SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke fmt fmt-check vet ci
+# Per-target fuzzing budget for fuzz-smoke (short on purpose: CI catches
+# crashes and regressions against the committed corpora, long runs happen
+# locally with FUZZTIME=5m etc.).
+FUZZTIME ?= 10s
+
+# Coverage watermarks (statement %). Set just under the measured coverage of
+# the storage and service layers; drop below = deleted tests or significant
+# untested code. Refresh deliberately when the floors move up.
+STORE_COVER_MIN ?= 85
+SERVICE_COVER_MIN ?= 81
+
+.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke fuzz-smoke cover fmt fmt-check vet ci
 
 all: build
 
@@ -42,6 +53,22 @@ spill-smoke:
 		-run 'TestCrashRestartDurability|TestEvictTouchRestoreUnderLoad|TestTiered' \
 		./priu/service ./priu/store
 
+# Fuzz smoke: each native fuzz target runs its committed seed corpus plus a
+# short random budget. One `go test -fuzz` invocation per target (the flag
+# must match exactly one fuzz function per package).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSessionSnapshot$$' -fuzztime $(FUZZTIME) ./priu
+	$(GO) test -run '^$$' -fuzz '^FuzzSpillEnvelope$$' -fuzztime $(FUZZTIME) ./priu/store
+	$(GO) test -run '^$$' -fuzz '^FuzzCSRUpload$$' -fuzztime $(FUZZTIME) ./priu/service
+
+# Coverage gate: the storage and service layers must stay above their
+# watermarks (cmd/covergate computes statement coverage from the profiles).
+cover:
+	$(GO) test -count=1 -coverprofile=cover_store.out ./priu/store
+	$(GO) test -count=1 -coverprofile=cover_service.out ./priu/service
+	$(GO) run ./cmd/covergate -profile cover_store.out -name priu/store -min $(STORE_COVER_MIN)
+	$(GO) run ./cmd/covergate -profile cover_service.out -name priu/service -min $(SERVICE_COVER_MIN)
+
 # Auth smoke: builds the real priuserve/priutrain/examples-client binaries,
 # starts an authenticated server (-auth required, tenant key file) and drives
 # it through priu/client — 401 on missing/unknown keys, 200 train→stream→
@@ -61,4 +88,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race spill-smoke auth-smoke bench
+ci: build vet fmt-check race spill-smoke auth-smoke fuzz-smoke cover bench

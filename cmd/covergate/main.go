@@ -1,0 +1,91 @@
+// Command covergate computes statement coverage from a Go cover profile and
+// fails when it drops below a floor — the regression gate behind `make
+// cover`. The floors are watermarks: set just under the measured coverage of
+// the packages they guard, so a PR that deletes tests (or lands significant
+// untested code) fails CI, while normal fluctuation passes.
+//
+// Usage:
+//
+//	go test -coverprofile=store.out ./priu/store
+//	covergate -profile store.out -min 80 -name priu/store
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// parseProfile sums covered and total statement counts from a cover profile
+// (mode line followed by "file:start,end numStmt count" records).
+func parseProfile(path string) (covered, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parsing statement count of %q: %w", line, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parsing hit count of %q: %w", line, err)
+		}
+		total += stmts
+		if count > 0 {
+			covered += stmts
+		}
+	}
+	return covered, total, sc.Err()
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "cover profile to evaluate")
+		min     = flag.Float64("min", 0, "minimum statement coverage percent")
+		name    = flag.String("name", "", "label printed for this gate (defaults to the profile path)")
+	)
+	flag.Parse()
+	if *profile == "" {
+		fmt.Fprintln(os.Stderr, "covergate: -profile is required")
+		os.Exit(2)
+	}
+	label := *name
+	if label == "" {
+		label = *profile
+	}
+	covered, total, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(2)
+	}
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "covergate: %s: profile covers no statements\n", label)
+		os.Exit(2)
+	}
+	pct := 100 * float64(covered) / float64(total)
+	status := "ok"
+	if pct < *min {
+		status = "BELOW FLOOR"
+	}
+	fmt.Printf("covergate: %-20s %6.1f%% of %d statements (floor %.1f%%) [%s]\n",
+		label, pct, total, *min, status)
+	if pct < *min {
+		os.Exit(1)
+	}
+}

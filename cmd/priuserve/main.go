@@ -3,7 +3,10 @@
 // Usage:
 //
 //	priuserve -addr :8080 -workers 0 -max-sessions 0 -max-bytes 0 \
-//	          -store-dir /var/lib/priu -spill -drain-timeout 15s \
+//	          -store-dir /var/lib/priu -spill -spill-max-bytes 0 \
+//	          -spill-queue 256 -spill-workers 1 \
+//	          -spill-gc-age 1h -spill-gc-interval 1m \
+//	          -drain-timeout 15s \
 //	          -auth required -auth-keys /etc/priu/keys.json
 //
 // Endpoints (see priu/service for the full wire formats):
@@ -42,7 +45,29 @@
 // session, model or deletion log. -spill=false keeps evictions dropping (the
 // pre-tiered behavior) while retaining shutdown/restart durability.
 // -drain-timeout bounds how long shutdown waits for in-flight requests
-// before snapshotting.
+// before snapshotting; the shutdown then stops the write-behind queue,
+// flushes its backlog, and only then drains stragglers, so everything the
+// queue accepted reaches disk exactly once.
+//
+// The spill tier is managed by a lifecycle manager:
+//
+//   - write-behind: a background queue (-spill-queue deep, -spill-workers
+//     wide) snapshots sessions eagerly as they are registered and mutated,
+//     so LRU evictions usually just drop the resident copy instead of
+//     paying snapshot IO on the evicting request's goroutine. A full queue
+//     falls back to the synchronous spill — never a lost session.
+//   - disk budget: -spill-max-bytes bounds the spill directory; when a new
+//     spill would exceed it, least-recently-used spill files are evicted
+//     (warm backups of dirty resident sessions first, then cold sessions —
+//     whose drop is counted as a disk_eviction in /v1/stats).
+//   - GC: every -spill-gc-interval, orphaned session files and stale temp
+//     files older than -spill-gc-age are removed and the spill_dir_bytes
+//     gauge is refreshed from the directory.
+//
+// Per-tenant "max_spill_bytes" caps in the -auth-keys file bound each
+// tenant's share of the spill volume: spills over the cap are rejected (the
+// eviction drops the session) and a tenant at its cap receives HTTP 507
+// spill_quota on new registrations until it deletes sessions.
 package main
 
 import (
@@ -69,6 +94,11 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max removals per v2 deletion batch (0 = default)")
 	storeDir := flag.String("store-dir", "", "spill directory for the tiered session store (empty = memory only)")
 	spill := flag.Bool("spill", true, "with -store-dir: spill evicted sessions to disk instead of dropping them")
+	spillMaxBytes := flag.Int64("spill-max-bytes", 0, "disk budget for the spill directory; LRU spill files are evicted to stay under it (0 = unbounded)")
+	spillQueue := flag.Int("spill-queue", 256, "write-behind queue depth for eager background snapshots (0 = synchronous spills only)")
+	spillWorkers := flag.Int("spill-workers", 1, "background snapshot workers draining the write-behind queue")
+	spillGCAge := flag.Duration("spill-gc-age", time.Hour, "age before an orphaned spill-directory file is garbage-collected")
+	spillGCInterval := flag.Duration("spill-gc-interval", time.Minute, "period of the spill-directory GC sweep (0 = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests before the shutdown snapshot")
 	authMode := flag.String("auth", "optional", "API-key auth mode: off | optional | required")
 	authKeys := flag.String("auth-keys", "", "JSON tenant key file (hot-reloaded on SIGHUP)")
@@ -98,7 +128,12 @@ func main() {
 	mem := store.NewMemory(memOpts...)
 	var st store.Store = mem
 	if *storeDir != "" {
-		tiered, err := store.NewTiered(*storeDir, mem, store.WithSpillOnEvict(*spill))
+		tiered, err := store.NewTiered(*storeDir, mem,
+			store.WithSpillOnEvict(*spill),
+			store.WithSpillMaxBytes(*spillMaxBytes),
+			store.WithWriteBehind(*spillQueue, *spillWorkers),
+			store.WithSpillGC(*spillGCAge, *spillGCInterval),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -64,6 +64,27 @@
 // suite (make spill-smoke) and BenchmarkSpillRestore (gated by benchguard)
 // keep the round trip honest.
 //
+// # Spill-tier lifecycle
+//
+// The disk tier is run by a lifecycle manager (priu/store/lifecycle.go):
+// a bounded write-behind queue snapshots sessions eagerly at registration
+// and after every applied deletion, so an LRU eviction usually finds its
+// victim clean-with-current-disk-copy and just drops the resident copy —
+// no spill IO under the victim's lock on the evicting request (backpressure
+// falls back to the synchronous spill; BenchmarkEvictLatency gates the win).
+// priuserve -spill-max-bytes bounds the spill directory with LRU file
+// eviction (dirty residents' warm backups first, then cold sessions — whose
+// drop is a counted disk_eviction), an age-based GC sweeps orphaned files,
+// and the spill_dir_bytes gauge is maintained incrementally from a boot-time
+// seed scan. Resident-tier evictions are fair-share across tenants (the
+// tenant furthest over its equal share of resident bytes loses its LRU
+// session), and per-tenant max_spill_bytes caps bound each tenant's disk
+// share (HTTP 507 "spill_quota" at the cap). The lifecycle is hardened by a
+// property/oracle churn suite and an injected-fault chaos suite in
+// priu/store, plus native fuzz targets (make fuzz-smoke) over the snapshot,
+// spill-envelope and CSR-upload decoders; make cover gates the storage and
+// service layers' statement coverage.
+//
 // # Multi-tenant API
 //
 // The service resolves "Authorization: Bearer" API keys to tenants through a

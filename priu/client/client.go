@@ -93,6 +93,14 @@ func IsQuota(err error) bool {
 	return ok && ae.Code == service.ErrCodeQuota
 }
 
+// IsSpillQuota reports whether err is a spill-byte-cap rejection (HTTP 507):
+// the tenant's on-disk spill usage must shrink — delete sessions — before
+// new registrations are admitted.
+func IsSpillQuota(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeSpillQuota
+}
+
 // IsNotFound reports whether err is an unknown-session (or route) error.
 func IsNotFound(err error) bool {
 	ae, ok := err.(*APIError)

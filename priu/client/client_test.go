@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -361,6 +363,7 @@ func TestClientQuotaCountsSpilledSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = tiered.Close() })
 	ts := newServer(t, service.WithStore(tiered), service.WithAuth(service.AuthRequired, kr))
 	cl := New(ts.URL, WithAPIKey("ak_alice"))
 	ctx := context.Background()
@@ -383,5 +386,28 @@ func TestClientQuotaCountsSpilledSessions(t *testing.T) {
 	got, err := cl.GetSession(ctx, a.SessionID)
 	if err != nil || got.SessionID != a.SessionID {
 		t.Fatalf("spilled session get: %v %+v", err, got)
+	}
+}
+
+// TestIsSpillQuota: a 507 spill_quota envelope decodes into *APIError and is
+// recognized by the predicate (and only by it).
+func TestIsSpillQuota(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInsufficientStorage)
+		_, _ = io.WriteString(w, `{"error":{"code":"spill_quota","message":"tenant over its spill-byte cap"}}`)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+	_, err := cl.CreateSession(context.Background(), service.CreateSessionRequest{Family: "linear"})
+	if !IsSpillQuota(err) {
+		t.Fatalf("IsSpillQuota(%v) = false, want true", err)
+	}
+	if IsQuota(err) || IsRateLimited(err) || IsNotFound(err) {
+		t.Fatalf("507 spill_quota matched an unrelated predicate: %v", err)
+	}
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusInsufficientStorage || ae.Code != service.ErrCodeSpillQuota {
+		t.Fatalf("decoded error %+v", err)
 	}
 }

@@ -1,0 +1,63 @@
+package priu
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedSnapshot builds one small valid session snapshot (the happy-path
+// seed the mutator perturbs).
+func fuzzSeedSnapshot(f *testing.F, family string, deleted []int) []byte {
+	f.Helper()
+	d, err := GenerateRegression("fuzz", 20, 3, 0.05, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	u, err := Train(family, d,
+		WithEta(0.01), WithLambda(0.05), WithBatchSize(10),
+		WithIterations(5), WithSeed(1), WithFullCaches())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSessionSnapshot(&buf, family, d, u, deleted); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSessionSnapshot hammers the session-snapshot decoder with mutated
+// streams: it must never panic or over-allocate, and whatever it accepts
+// must be a coherent session (registered family, non-nil training set and
+// updater, every deletion-log index in range). Seed corpus in
+// testdata/fuzz/FuzzReadSessionSnapshot.
+func FuzzReadSessionSnapshot(f *testing.F) {
+	valid := fuzzSeedSnapshot(f, "linear", []int{2, 7})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])  // truncated mid-provenance
+	f.Add(valid[:16])            // truncated mid-header
+	f.Add([]byte("PRSNgarbage")) // magic then junk
+	f.Add([]byte{})              // empty
+	corrupted := append([]byte(nil), valid...)
+	corrupted[7] ^= 0xff // flip a version/length byte
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		family, ds, u, deleted, err := ReadSessionSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if ds == nil || u == nil {
+			t.Fatalf("accepted snapshot with nil parts: ds=%v u=%v", ds, u)
+		}
+		if _, ok := Lookup(family); !ok {
+			t.Fatalf("accepted snapshot of unregistered family %q", family)
+		}
+		n := ds.N()
+		for _, idx := range deleted {
+			if idx < 0 || idx >= n {
+				t.Fatalf("accepted out-of-range deletion index %d (n=%d)", idx, n)
+			}
+		}
+	})
+}

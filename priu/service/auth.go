@@ -63,10 +63,14 @@ func ParseAuthMode(s string) (AuthMode, error) {
 // Zero-valued limits are unlimited. Burst defaults to one second's worth of
 // rows (at least 1) when a rate is set.
 type TenantConfig struct {
-	Name               string  `json:"name"`
-	Key                string  `json:"key"`
-	MaxSessions        int     `json:"max_sessions,omitempty"`
-	MaxBytes           int64   `json:"max_bytes,omitempty"`
+	Name        string `json:"name"`
+	Key         string `json:"key"`
+	MaxSessions int    `json:"max_sessions,omitempty"`
+	MaxBytes    int64  `json:"max_bytes,omitempty"`
+	// MaxSpillBytes caps the tenant's spill-file bytes on disk: spills over
+	// the cap are rejected (their eviction drops the session) and a tenant
+	// at the cap gets 507 spill_quota on new registrations.
+	MaxSpillBytes      int64   `json:"max_spill_bytes,omitempty"`
 	DeletionRowsPerSec float64 `json:"deletion_rows_per_sec,omitempty"`
 	Burst              float64 `json:"burst,omitempty"`
 }
@@ -77,6 +81,7 @@ type Tenant struct {
 	Name               string
 	MaxSessions        int
 	MaxBytes           int64
+	MaxSpillBytes      int64
 	DeletionRowsPerSec float64
 	Burst              float64
 
@@ -233,13 +238,14 @@ func (k *Keyring) Reload() error {
 			return fmt.Errorf("service: tenant %q reuses another tenant's key", tc.Name)
 		}
 		hashes[h] = true
-		if tc.MaxSessions < 0 || tc.MaxBytes < 0 || tc.DeletionRowsPerSec < 0 || tc.Burst < 0 {
+		if tc.MaxSessions < 0 || tc.MaxBytes < 0 || tc.MaxSpillBytes < 0 || tc.DeletionRowsPerSec < 0 || tc.Burst < 0 {
 			return fmt.Errorf("service: tenant %q has negative limits", tc.Name)
 		}
 		t := &Tenant{
 			Name:               tc.Name,
 			MaxSessions:        tc.MaxSessions,
 			MaxBytes:           tc.MaxBytes,
+			MaxSpillBytes:      tc.MaxSpillBytes,
 			DeletionRowsPerSec: tc.DeletionRowsPerSec,
 			Burst:              tc.Burst,
 			keyHash:            h,
@@ -298,7 +304,11 @@ func (k *Keyring) Limits(tenant string) store.TenantLimits {
 	defer k.mu.RUnlock()
 	for _, t := range k.tenants {
 		if t.Name == tenant {
-			return store.TenantLimits{MaxSessions: t.MaxSessions, MaxBytes: t.MaxBytes}
+			return store.TenantLimits{
+				MaxSessions:   t.MaxSessions,
+				MaxBytes:      t.MaxBytes,
+				MaxSpillBytes: t.MaxSpillBytes,
+			}
 		}
 	}
 	return store.TenantLimits{}

@@ -614,10 +614,12 @@ func TestV2ExplicitDeleteUnlinksSpillFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = tiered.Close() })
 	ts := newTestServerOpts(t, WithStore(tiered))
 
 	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear", 60, 3, 1))
-	v2Create(t, ts.URL, v2CreateBody(t, "linear", 60, 3, 2)) // evicts + spills sr
+	sr2 := v2Create(t, ts.URL, v2CreateBody(t, "linear", 60, 3, 2)) // evicts + spills sr
+	tiered.Flush()                                                  // settle the write-behind queue (sr2's warm backup)
 
 	var h HealthResponse
 	hresp, err := http.Get(ts.URL + "/healthz")
@@ -632,15 +634,21 @@ func TestV2ExplicitDeleteUnlinksSpillFile(t *testing.T) {
 		t.Fatalf("healthz before delete: spilled=%d spill_dir_bytes=%d", h.Spilled, h.SpillDirBytes)
 	}
 
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sessions/"+sr.SessionID, nil)
-	dresp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	// Delete both sessions: the spilled one and the resident one (whose
+	// eager write-behind snapshot is a warm backup on disk) — explicit
+	// deletes must reclaim every file either way.
+	for _, id := range []string{sr.SessionID, sr2.SessionID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sessions/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete session %s status %d", id, dresp.StatusCode)
+		}
 	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusNoContent {
-		t.Fatalf("delete spilled session status %d", dresp.StatusCode)
-	}
+	tiered.Flush()
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/priu"
+)
+
+// FuzzCSRUpload hammers the sparse-upload validator with arbitrary JSON
+// bodies: sparseDatasetFromRequest must never panic (no index out of range
+// on hostile indptr/indices) and every dataset it accepts must be coherent
+// with the request. Seed corpus in testdata/fuzz/FuzzCSRUpload.
+func FuzzCSRUpload(f *testing.F) {
+	add := func(v any) {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	// A valid 3-row CSR body.
+	add(CreateSessionRequest{
+		Family: "sparse-logistic", Cols: 5,
+		Indptr: []int{0, 2, 3, 4}, Indices: []int{0, 3, 1, 4},
+		Values: []float64{1, -2, 0.5, 3}, Labels: []float64{1, -1, 1},
+	})
+	// Classic hostile shapes.
+	add(CreateSessionRequest{Family: "sparse-logistic", Cols: 5,
+		Indptr: []int{0, 4, 2}, Indices: []int{0, 1}, Values: []float64{1, 2}, Labels: []float64{1, -1}})
+	add(CreateSessionRequest{Family: "sparse-logistic", Cols: -1,
+		Indptr: []int{0, 1}, Indices: []int{9}, Values: []float64{1}, Labels: []float64{1}})
+	add(CreateSessionRequest{Family: "sparse-logistic", Cols: 2,
+		Indptr: []int{0, 1}, Indices: []int{-7}, Values: []float64{1}, Labels: []float64{1}})
+	f.Add([]byte(`{"family":"sparse-logistic","indptr":[0,9007199254740993]}`))
+	f.Add([]byte(`{nope`))
+
+	sparseFam, ok := priu.Lookup("sparse-logistic")
+	if !ok {
+		f.Fatal("sparse-logistic family not registered")
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req CreateSessionRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		// Bound the work per input so the fuzzer explores shapes, not sizes.
+		if len(req.Indptr) > 1<<12 || len(req.Indices) > 1<<12 ||
+			len(req.Values) > 1<<12 || len(req.Labels) > 1<<12 {
+			return
+		}
+		d, err := sparseDatasetFromRequest(sparseFam, &req)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		rows, cols := d.X.Dims()
+		if rows != len(req.Indptr)-1 || cols != req.Cols {
+			t.Fatalf("accepted CSR with drifted dims %dx%d (indptr %d, cols %d)",
+				rows, cols, len(req.Indptr), req.Cols)
+		}
+		if len(d.Y) != rows {
+			t.Fatalf("accepted %d labels for %d rows", len(d.Y), rows)
+		}
+	})
+}

@@ -12,13 +12,17 @@ import (
 )
 
 // newTieredServer boots a server on a tiered store over dir, returning the
-// test server and the store (whose Close is the SIGTERM drain).
+// test server and the store (whose Close is the SIGTERM drain). The default
+// lifecycle applies: the write-behind queue snapshots sessions eagerly in
+// the background, so the crash suite exercises the async path. Close is
+// idempotent, so tests may also drain explicitly mid-test.
 func newTieredServer(t *testing.T, dir string, opts ...ServerOption) (*httptest.Server, store.Store) {
 	t.Helper()
 	ti, err := store.NewTiered(dir, store.NewMemory())
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = ti.Close() })
 	srv := NewServer(append(opts, WithStore(ti))...)
 	ts := httptest.NewServer(srv.Handler())
 	return ts, ti
@@ -212,6 +216,7 @@ func TestEvictTouchRestoreUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = ti.Close() })
 	ts2 := httptest.NewServer(NewServer(WithStore(ti)).Handler())
 	defer ts2.Close()
 

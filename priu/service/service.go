@@ -320,21 +320,31 @@ type ShardStats struct {
 // in-memory tier; Spilled/SpilledBytes/Spills/Restores describe the disk tier
 // (zero without -store-dir).
 type StatsResponse struct {
-	UptimeSeconds   float64      `json:"uptime_seconds"`
-	Workers         int          `json:"workers"`
-	Sessions        int          `json:"sessions"`
-	Trains          int64        `json:"trains"`
-	Deletes         int64        `json:"deletes"`
-	DeleteErrors    int64        `json:"delete_errors"`
-	Evictions       int64        `json:"evictions"`
-	ExplicitDeletes int64        `json:"explicit_deletes"`
-	ResidentBytes   int64        `json:"resident_bytes"`
-	Spilled         int          `json:"spilled"`
-	SpilledBytes    int64        `json:"spilled_bytes"`
-	Spills          int64        `json:"spills"`
-	Restores        int64        `json:"restores"`
-	SpillDirBytes   int64        `json:"spill_dir_bytes,omitempty"`
-	Shards          []ShardStats `json:"shards"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Workers         int     `json:"workers"`
+	Sessions        int     `json:"sessions"`
+	Trains          int64   `json:"trains"`
+	Deletes         int64   `json:"deletes"`
+	DeleteErrors    int64   `json:"delete_errors"`
+	Evictions       int64   `json:"evictions"`
+	ExplicitDeletes int64   `json:"explicit_deletes"`
+	ResidentBytes   int64   `json:"resident_bytes"`
+	Spilled         int     `json:"spilled"`
+	SpilledBytes    int64   `json:"spilled_bytes"`
+	Spills          int64   `json:"spills"`
+	Restores        int64   `json:"restores"`
+	SpillDirBytes   int64   `json:"spill_dir_bytes,omitempty"`
+	SpillMaxBytes   int64   `json:"spill_max_bytes,omitempty"`
+	// Lifecycle-manager counters: write-behind spills (subset of Spills
+	// performed off the request path), the queue's current backlog and its
+	// backpressure drops, disk-budget file evictions that dropped cold
+	// sessions, and age-based GC removals of orphaned files.
+	WriteBehindSpills int64        `json:"write_behind_spills,omitempty"`
+	SpillQueueDepth   int          `json:"spill_queue_depth,omitempty"`
+	SpillQueueFull    int64        `json:"spill_queue_full,omitempty"`
+	DiskEvictions     int64        `json:"disk_evictions,omitempty"`
+	GCRemovals        int64        `json:"gc_removals,omitempty"`
+	Shards            []ShardStats `json:"shards"`
 }
 
 // HealthResponse is the /healthz payload for load-balancer probes.
@@ -350,9 +360,16 @@ type HealthResponse struct {
 	Spilled       int     `json:"spilled,omitempty"`
 	SpilledBytes  int64   `json:"spilled_bytes,omitempty"`
 	Restores      int64   `json:"restores,omitempty"`
-	// SpillDirBytes is the on-disk size of the spill directory (all files,
-	// including warm backups of resident sessions) — the disk-growth gauge.
+	// SpillDirBytes is the on-disk size of the spill directory (indexed
+	// files plus scanned orphans) — the disk-growth gauge, maintained
+	// incrementally by the lifecycle manager rather than walked per probe.
 	SpillDirBytes int64 `json:"spill_dir_bytes,omitempty"`
+	// SpillMaxBytes echoes the -spill-max-bytes disk budget (0 = unbounded).
+	SpillMaxBytes int64 `json:"spill_max_bytes,omitempty"`
+	// SpillQueueDepth is the write-behind queue's current backlog;
+	// DiskEvictions counts cold sessions dropped by the disk budget.
+	SpillQueueDepth int   `json:"spill_queue_depth,omitempty"`
+	DiskEvictions   int64 `json:"disk_evictions,omitempty"`
 	// Tenants counts distinct tenants with stored sessions.
 	Tenants int `json:"tenants,omitempty"`
 }
@@ -405,7 +422,8 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	ten := tenantFor(r)
 	if qe := s.admitSession(ten); qe != nil {
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeError(w, http.StatusTooManyRequests, "%v", qe)
+		status, _ := quotaHTTP(qe)
+		writeError(w, status, "%v", qe)
 		return
 	}
 	start := time.Now()
@@ -419,7 +437,8 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		// The store's atomic quota check caught a registration that raced
 		// past the admission pre-check.
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		status, _ := quotaHTTP(err)
+		writeError(w, status, "%v", err)
 		return
 	}
 	// Put published the session; IDs are guessable, so a concurrent delete
@@ -437,9 +456,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 
 // admitSession is the cheap pre-training quota check: it rejects before the
 // expensive capture when the tenant is already at its session quota (or over
-// its byte quota). The authoritative, race-free check is the store's at Put.
+// its byte or spill-byte quota). The authoritative, race-free check is the
+// store's at Put.
 func (s *Server) admitSession(ten *Tenant) *store.QuotaError {
-	if ten.MaxSessions <= 0 && ten.MaxBytes <= 0 {
+	if ten.MaxSessions <= 0 && ten.MaxBytes <= 0 && ten.MaxSpillBytes <= 0 {
 		return nil
 	}
 	u := s.st.TenantUsage(ten.Name)
@@ -455,7 +475,24 @@ func (s *Server) admitSession(ten *Tenant) *store.QuotaError {
 			Used: u.Bytes(), Limit: ten.MaxBytes,
 		}
 	}
+	if ten.MaxSpillBytes > 0 && u.SpillFileBytes >= ten.MaxSpillBytes {
+		return &store.QuotaError{
+			Tenant: ten.Name, Dimension: store.DimensionSpillBytes,
+			Used: u.SpillFileBytes, Limit: ten.MaxSpillBytes,
+		}
+	}
 	return nil
+}
+
+// quotaHTTP maps a quota rejection to its HTTP status and v2 error code: the
+// spill-byte cap is a disk condition (507 spill_quota), every other
+// dimension a 429 insufficient_quota.
+func quotaHTTP(err error) (int, string) {
+	var qe *store.QuotaError
+	if errors.As(err, &qe) && qe.Dimension == store.DimensionSpillBytes {
+		return http.StatusInsufficientStorage, ErrCodeSpillQuota
+	}
+	return http.StatusTooManyRequests, ErrCodeQuota
 }
 
 // addSession registers an updater under a fresh session ID in the tenant's
@@ -744,17 +781,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.st.Stats()
 	resp := StatsResponse{
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Workers:         par.Workers(),
-		Sessions:        st.Resident,
-		Evictions:       st.BudgetEvictions,
-		ExplicitDeletes: st.ExplicitDeletes,
-		ResidentBytes:   st.ResidentBytes,
-		Spilled:         st.Spilled,
-		SpilledBytes:    st.SpilledBytes,
-		Spills:          st.Spills,
-		Restores:        st.Restores,
-		SpillDirBytes:   st.SpillDirBytes,
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Workers:           par.Workers(),
+		Sessions:          st.Resident,
+		Evictions:         st.BudgetEvictions,
+		ExplicitDeletes:   st.ExplicitDeletes,
+		ResidentBytes:     st.ResidentBytes,
+		Spilled:           st.Spilled,
+		SpilledBytes:      st.SpilledBytes,
+		Spills:            st.Spills,
+		Restores:          st.Restores,
+		SpillDirBytes:     st.SpillDirBytes,
+		SpillMaxBytes:     st.SpillMaxBytes,
+		WriteBehindSpills: st.WriteBehindSpills,
+		SpillQueueDepth:   st.SpillQueueDepth,
+		SpillQueueFull:    st.SpillQueueFull,
+		DiskEvictions:     st.DiskEvictions,
+		GCRemovals:        st.GCRemovals,
 	}
 	ten := tenantFor(r)
 	perShard := make([][]SessionStats, numShards)
@@ -810,18 +853,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, HealthResponse{
-		Version:       priu.Version,
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Workers:       par.Workers(),
-		Shards:        numShards,
-		Sessions:      st.Resident,
-		ResidentBytes: st.ResidentBytes,
-		MaxSessions:   s.maxSessions,
-		MaxBytes:      s.maxBytes,
-		Spilled:       st.Spilled,
-		SpilledBytes:  st.SpilledBytes,
-		Restores:      st.Restores,
-		SpillDirBytes: st.SpillDirBytes,
-		Tenants:       tenants,
+		Version:         priu.Version,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Workers:         par.Workers(),
+		Shards:          numShards,
+		Sessions:        st.Resident,
+		ResidentBytes:   st.ResidentBytes,
+		MaxSessions:     s.maxSessions,
+		MaxBytes:        s.maxBytes,
+		Spilled:         st.Spilled,
+		SpilledBytes:    st.SpilledBytes,
+		Restores:        st.Restores,
+		SpillDirBytes:   st.SpillDirBytes,
+		SpillMaxBytes:   st.SpillMaxBytes,
+		SpillQueueDepth: st.SpillQueueDepth,
+		DiskEvictions:   st.DiskEvictions,
+		Tenants:         tenants,
 	})
 }

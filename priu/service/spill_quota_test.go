@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+
+	"repro/priu/store"
+)
+
+// TestSpillQuota507 covers the typed spill-cap rejection end to end: a
+// tenant whose on-disk spill usage reaches its max_spill_bytes cap gets 507
+// Insufficient Storage with the spill_quota code on v2 (and the flat 507 on
+// v1) until it deletes sessions.
+func TestSpillQuota507(t *testing.T) {
+	dir := t.TempDir()
+	keyPath := writeKeyFile(t, TenantConfig{Name: "alice", Key: "ak_alice", MaxSpillBytes: 1 << 30})
+	kr, err := LoadKeyring(keyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := store.NewMemory(store.WithMaxSessions(1), store.WithTenantLimits(kr.Limits))
+	tiered, err := store.NewTiered(dir, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tiered.Close() })
+	ts := newTestServerOpts(t, WithStore(tiered), WithAuth(AuthRequired, kr))
+
+	do := func(method, path string, body any) *http.Response {
+		t.Helper()
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		req, err := http.NewRequest(method, ts.URL+path, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer ak_alice")
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Two sessions under a max-1 resident budget: the first spills, the
+	// second's eager snapshot becomes a warm backup. Under the huge cap both
+	// are admitted.
+	for seed := int64(1); seed <= 2; seed++ {
+		resp := do(http.MethodPost, "/v2/sessions", v2CreateBody(t, "linear", 60, 3, seed))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d status %d", seed, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	tiered.Flush()
+
+	resp := do(http.MethodGet, "/v2/tenants/self/stats", nil)
+	var tsr TenantStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tsr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tsr.SpillFileBytes <= 0 {
+		t.Fatalf("tenant spill usage %d, want > 0 after a spill", tsr.SpillFileBytes)
+	}
+	if tsr.MaxSpillBytes != 1<<30 {
+		t.Fatalf("tenant stats cap %d, want the configured 1<<30", tsr.MaxSpillBytes)
+	}
+
+	// Hot-reload the key file with the cap at the tenant's current usage:
+	// the next registration is a disk condition, not a rate one.
+	buf, err := json.Marshal(map[string]any{"tenants": []TenantConfig{
+		{Name: "alice", Key: "ak_alice", MaxSpillBytes: tsr.SpillFileBytes},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := kr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = do(http.MethodPost, "/v2/sessions", v2CreateBody(t, "linear", 60, 3, 3))
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("v2 create at the spill cap: status %d, want 507", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if env.Error.Code != ErrCodeSpillQuota {
+		t.Fatalf("v2 error code %q, want %q", env.Error.Code, ErrCodeSpillQuota)
+	}
+
+	// v1 reports the same condition in its flat error shape.
+	resp = do(http.MethodPost, "/v1/train", trainBody(t, "linear", 60, 3, 4))
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("v1 train at the spill cap: status %d, want 507", resp.StatusCode)
+	}
+	var flat map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if flat["error"] == "" {
+		t.Fatal("v1 507 must keep the flat error shape")
+	}
+
+	// Deleting a session frees disk; registrations are admitted again.
+	resp = do(http.MethodDelete, "/v2/sessions/sess-1", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = do(http.MethodPost, "/v2/sessions", v2CreateBody(t, "linear", 60, 3, 5))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after freeing disk: status %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

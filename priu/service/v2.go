@@ -43,6 +43,11 @@ const (
 	// ErrCodeQuota marks a registration rejected because the tenant is at
 	// its session or byte quota.
 	ErrCodeQuota = "insufficient_quota"
+	// ErrCodeSpillQuota marks a registration rejected because the tenant
+	// sits at its spill-byte cap: its disk-tier usage must shrink (delete
+	// sessions) before the store takes on more state. Reported as HTTP 507
+	// Insufficient Storage — a disk condition, not a request-rate one.
+	ErrCodeSpillQuota = "spill_quota"
 	// ErrCodeRateLimited marks a deletion batch rejected by the tenant's
 	// rate limit; retry_after_seconds (and, on HTTP 429 responses, the
 	// Retry-After header) say when to retry.
@@ -261,7 +266,8 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 	ten := tenantFor(r)
 	if qe := s.admitSession(ten); qe != nil {
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", qe)
+		status, code := quotaHTTP(qe)
+		writeV2Error(w, status, code, "%v", qe)
 		return
 	}
 	start := time.Now()
@@ -273,7 +279,8 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.addSession(ten, req.Family, d, upd, nil, nil)
 	if err != nil {
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", err)
+		status, code := quotaHTTP(err)
+		writeV2Error(w, status, code, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -358,7 +365,8 @@ func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
 	ten := tenantFor(r)
 	if qe := s.admitSession(ten); qe != nil {
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", qe)
+		status, code := quotaHTTP(qe)
+		writeV2Error(w, status, code, "%v", qe)
 		return
 	}
 	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(r.Body)
@@ -377,7 +385,8 @@ func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.addSession(ten, family, ds, upd, deleted, model)
 	if err != nil {
 		s.tc(ten.Name).quotaRejections.Add(1)
-		writeV2Error(w, http.StatusTooManyRequests, ErrCodeQuota, "%v", err)
+		status, code := quotaHTTP(err)
+		writeV2Error(w, status, code, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -526,18 +535,29 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 	// Full-duplex from the very first write: even the early error responses
 	// (404/429) must not wait for the server to drain an open-ended NDJSON
 	// request body — a client that streams its first batch and then blocks
-	// on the response would deadlock against the drain otherwise.
+	// on the response would deadlock against the drain otherwise. Those
+	// early errors also close the connection: the handler returns with the
+	// streamed body unread, and a keep-alive reuse would race net/http's
+	// leftover body read against the next request ("invalid concurrent
+	// Body.Read" panics).
 	rc := http.NewResponseController(w)
 	_ = rc.EnableFullDuplex()
+	earlyError := func(status int, headers map[string]string, code, format string, args ...any) {
+		w.Header().Set("Connection", "close")
+		for k, v := range headers {
+			w.Header().Set(k, v)
+		}
+		writeV2Error(w, status, code, format, args...)
+	}
 	ten := tenantFor(r)
 	wireID := r.PathValue("id")
 	if !validWireID(wireID) {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", wireID)
+		earlyError(http.StatusNotFound, nil, ErrCodeNotFound, "unknown session %q", wireID)
 		return
 	}
 	id := ten.storeID(wireID)
 	if _, ok := s.st.Get(id); !ok {
-		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown session %q", wireID)
+		earlyError(http.StatusNotFound, nil, ErrCodeNotFound, "unknown session %q", wireID)
 		return
 	}
 	// An already-exhausted bucket rejects the stream at open with a plain
@@ -545,8 +565,9 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 	// connection; once streaming, throttling is reported per batch.
 	if wait := ten.streamWait(); wait > 0 {
 		s.tc(ten.Name).rateLimited.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int(wait.Seconds())+1))
-		writeV2Error(w, http.StatusTooManyRequests, ErrCodeRateLimited,
+		earlyError(http.StatusTooManyRequests,
+			map[string]string{"Retry-After": strconv.Itoa(int(wait.Seconds()) + 1)},
+			ErrCodeRateLimited,
 			"tenant %q is over its deletion rate limit (%.4g rows/s); retry in %.2fs",
 			ten.Name, ten.DeletionRowsPerSec, wait.Seconds())
 		return
@@ -648,9 +669,13 @@ type TenantStatsResponse struct {
 	ResidentBytes    int64 `json:"resident_bytes"`
 	SpilledSessions  int   `json:"spilled_sessions"`
 	SpilledBytes     int64 `json:"spilled_bytes"`
+	// SpillFileBytes is the tenant's actual on-disk spill-file usage — the
+	// quantity its max_spill_bytes cap is checked against.
+	SpillFileBytes int64 `json:"spill_file_bytes,omitempty"`
 
 	MaxSessions        int     `json:"max_sessions,omitempty"`
 	MaxBytes           int64   `json:"max_bytes,omitempty"`
+	MaxSpillBytes      int64   `json:"max_spill_bytes,omitempty"`
 	DeletionRowsPerSec float64 `json:"deletion_rows_per_sec,omitempty"`
 	Burst              float64 `json:"burst,omitempty"`
 
@@ -662,6 +687,9 @@ type TenantStatsResponse struct {
 	QuotaRejections int64 `json:"quota_rejections"`
 	BudgetEvictions int64 `json:"budget_evictions"`
 	ExplicitDeletes int64 `json:"explicit_deletes"`
+	// DiskEvictions counts the tenant's cold sessions dropped by the global
+	// disk budget.
+	DiskEvictions int64 `json:"disk_evictions,omitempty"`
 }
 
 func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
@@ -676,8 +704,10 @@ func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
 		ResidentBytes:      u.ResidentBytes,
 		SpilledSessions:    u.Spilled,
 		SpilledBytes:       u.SpilledBytes,
+		SpillFileBytes:     u.SpillFileBytes,
 		MaxSessions:        ten.MaxSessions,
 		MaxBytes:           ten.MaxBytes,
+		MaxSpillBytes:      ten.MaxSpillBytes,
 		DeletionRowsPerSec: ten.DeletionRowsPerSec,
 		Burst:              ten.Capacity(),
 		Trains:             tq.trains.Load(),
@@ -688,6 +718,7 @@ func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
 		QuotaRejections:    tq.quotaRejections.Load(),
 		BudgetEvictions:    st.BudgetEvictions,
 		ExplicitDeletes:    st.ExplicitDeletes,
+		DiskEvictions:      st.DiskEvictions,
 	})
 }
 

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/binio"
+)
+
+// fuzzSeedEnvelope serializes one valid spill-file envelope header.
+func fuzzSeedEnvelope(id, kind string, updates int64) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Bytes([]byte(spillMagic))
+	bw.U64(spillVersion)
+	bw.Str(id)
+	bw.Str(kind)
+	bw.I64(time.Unix(0, 0).UnixNano())
+	bw.I64(updates)
+	bw.F64(0.25)
+	_ = bw.Flush()
+	return buf.Bytes()
+}
+
+// FuzzSpillEnvelope hammers the spill-file header decoder — the first thing
+// the boot reindex runs against every file in the directory, hostile or
+// torn. It must never panic, never allocate beyond the name bound, and only
+// accept envelopes with a session ID. Seed corpus in
+// testdata/fuzz/FuzzSpillEnvelope.
+func FuzzSpillEnvelope(f *testing.F) {
+	valid := fuzzSeedEnvelope("acme/sess-42", "linear", 7)
+	f.Add(valid)
+	f.Add(valid[:9])                         // truncated after magic+version
+	f.Add([]byte("PRSP"))                    // bare magic
+	f.Add([]byte{})                          // empty
+	f.Add(fuzzSeedEnvelope("", "linear", 0)) // missing ID: must be rejected
+	// A length claim far past the stream (bounded-alloc check).
+	var huge bytes.Buffer
+	bw := binio.NewWriter(&huge)
+	bw.Bytes([]byte(spillMagic))
+	bw.U64(spillVersion)
+	bw.U64(1 << 62) // absurd ID length
+	_ = bw.Flush()
+	f.Add(huge.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, env, err := readSpillEnvelope(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if env.id == "" {
+			t.Fatal("accepted envelope without a session ID")
+		}
+		if len(env.id) > maxSpillName || len(env.kind) > maxSpillName {
+			t.Fatalf("accepted oversized strings: id=%d kind=%d", len(env.id), len(env.kind))
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// The spill-tier lifecycle manager: the write-behind queue that snapshots
+// dirty sessions eagerly (so evictions drop resident copies instead of
+// paying file IO under the victim's lock), the disk-budget evictor that
+// keeps the spill directory under -spill-max-bytes, and the age-based GC
+// that sweeps orphaned leftovers. All state lives on Tiered; this file owns
+// the background machinery.
+
+// tmpFloor is the minimum age before the GC may touch a temp file: temps
+// younger than this may be an in-flight spill.
+const tmpFloor = time.Minute
+
+// armWriteBehind installs the dirty-notification hook on a session before it
+// is published, so every mutation (MarkDirtyLocked) schedules an eager
+// background snapshot. Harmless when write-behind is disabled.
+func (t *Tiered) armWriteBehind(sess *Session) {
+	if t.spillOnEvict && t.queueLen > 0 {
+		sess.notifyDirty = t.enqueueSpill
+	}
+}
+
+// enqueueSpill schedules a background snapshot of the session. It never
+// blocks (it is called under Session.Mu): when the queue is full the request
+// is dropped and counted — backpressure — and the eviction path's
+// synchronous fallback keeps the session safe. Duplicate requests for a
+// session already queued coalesce.
+func (t *Tiered) enqueueSpill(sess *Session) {
+	if t.queue == nil {
+		return
+	}
+	t.qmu.Lock()
+	if t.qClosed || t.pending[sess.ID] {
+		t.qmu.Unlock()
+		return
+	}
+	select {
+	case t.queue <- sess:
+		t.pending[sess.ID] = true
+		t.qmu.Unlock()
+	default:
+		t.qmu.Unlock()
+		t.queueFull.Add(1)
+	}
+}
+
+// queueDepth reports the write-behind backlog (queued + in-flight).
+func (t *Tiered) queueDepth() int {
+	t.qmu.Lock()
+	n := len(t.pending)
+	t.qmu.Unlock()
+	return n + int(t.inflight.Load())
+}
+
+// startLifecycle launches the write-behind workers and, when configured, the
+// GC sweep.
+func (t *Tiered) startLifecycle() {
+	if t.spillOnEvict && t.queueLen > 0 {
+		t.queue = make(chan *Session, t.queueLen)
+		for i := 0; i < t.workers; i++ {
+			t.wg.Add(1)
+			go t.spillWorker()
+		}
+	}
+	if t.gcInterval > 0 {
+		t.stopGC = make(chan struct{})
+		t.wg.Add(1)
+		go t.gcLoop(t.stopGC)
+	}
+}
+
+// stopLifecycle stops the GC sweep and closes the queue, then waits for the
+// workers to flush the remaining backlog — the drain ordering: everything
+// the queue accepted is on disk before Close snapshots stragglers.
+// Idempotent.
+func (t *Tiered) stopLifecycle() {
+	t.qmu.Lock()
+	if !t.qClosed {
+		t.qClosed = true
+		if t.stopGC != nil {
+			close(t.stopGC)
+		}
+		if t.queue != nil {
+			close(t.queue)
+		}
+	}
+	t.qmu.Unlock()
+	t.wg.Wait()
+}
+
+// spillWorker drains the write-behind queue: each dequeued session is
+// snapshotted under its own lock, off every request path. Sessions that
+// left the store (evicted with a synchronous spill, or deleted) are skipped
+// via the gone flag; clean sessions whose disk copy is current are a no-op
+// inside spillLocked.
+func (t *Tiered) spillWorker() {
+	defer t.wg.Done()
+	for sess := range t.queue {
+		t.inflight.Add(1)
+		t.qmu.Lock()
+		delete(t.pending, sess.ID)
+		t.qmu.Unlock()
+		sess.Mu.Lock()
+		if !sess.gone {
+			if wrote, err := t.spillLocked(sess); err == nil && wrote {
+				t.writeBehind.Add(1)
+			}
+		}
+		sess.Mu.Unlock()
+		t.inflight.Add(-1)
+	}
+}
+
+// Flush blocks until the write-behind queue has drained and no background
+// snapshot is in flight — a quiescence point for tests and for callers that
+// want eager durability without closing the store (Close flushes
+// implicitly).
+func (t *Tiered) Flush() {
+	for t.queueDepth() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// reserveDiskLocked admits size new spill-file bytes under the disk budget,
+// evicting least-recently-used spill files (never keepID's) until the new
+// file fits. It reports false — charging nothing — when the directory
+// cannot be shrunk enough. Callers hold t.mu.
+func (t *Tiered) reserveDiskLocked(size int64, keepID string) bool {
+	if t.maxDiskBytes > 0 {
+		for t.diskBytes+t.orphanBytes+size > t.maxDiskBytes {
+			if !t.evictSpillFileLocked(keepID) {
+				return false
+			}
+		}
+	}
+	t.diskBytes += size
+	return true
+}
+
+// evictSpillFileLocked removes one spill file to reclaim disk. Warm backups
+// of DIRTY resident sessions go first: their rewrite is already owed, so
+// dropping the stale file costs nothing. Clean residents' files are pinned
+// — a concurrent eviction may at any moment decide "clean and on disk →
+// drop the resident copy" on the strength of that file, so reclaiming it
+// could strand the session in zero tiers. After dirty warm backups come
+// disk-only files in LRU order, whose removal loses the session and is
+// charged to its tenant as a disk eviction. Callers hold t.mu.
+func (t *Tiered) evictSpillFileLocked(keepID string) bool {
+	var (
+		victimID string
+		victim   *spillEntry
+		warm     bool
+	)
+	for id, e := range t.index {
+		if id == keepID {
+			continue
+		}
+		if _, restoring := t.flights[id]; restoring {
+			continue // a restore is reading this file right now
+		}
+		sess, resident := t.mem.peek(id)
+		if resident && !sess.dirty.Load() {
+			continue // pinned: the eviction path relies on this file
+		}
+		better := victim == nil ||
+			(resident && !warm) ||
+			(resident == warm && e.lastUsed < victim.lastUsed)
+		if better {
+			victimID, victim, warm = id, e, resident
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	// Unlink BEFORE forgetting: if the disk refuses to give the bytes back
+	// (EACCES/EIO), dropping the session would forget state without
+	// reclaiming anything — and the caller's loop would then amplify one
+	// sick filesystem into mass session loss. Report no progress instead;
+	// the triggering spill fails and every session stays where it is. The
+	// unlink runs under t.mu by design: the budget-vs-gauge invariant needs
+	// the reclaim and the accounting to be one atomic step (a new restore
+	// flight for this id also can't register without t.mu), and unlinks are
+	// metadata ops — the full-file IO (snapshot writes) stays off this lock.
+	if err := os.Remove(victim.path); err != nil && !os.IsNotExist(err) {
+		return false
+	}
+	delete(t.index, victimID)
+	t.diskBytes -= victim.bytes
+	ten := TenantOf(victimID)
+	t.mem.adjustSpill(ten, -victim.bytes)
+	if !warm {
+		// The session existed only on disk: dropping its file forgets it.
+		// Release the tenant's ownership charge and make the loss visible.
+		t.mem.adjustOwned(ten, -1, -victim.charged)
+		t.mem.chargeDiskEviction(ten)
+		t.diskEvictions.Add(1)
+		if t.onDiskEvict != nil {
+			t.onDiskEvict(victimID)
+		}
+	}
+	return true
+}
+
+// gcLoop runs gcOnce every gcInterval until stop closes.
+func (t *Tiered) gcLoop(stop <-chan struct{}) {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.gcInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			t.gcOnce()
+		}
+	}
+}
+
+// gcOnce is one age-based GC sweep: orphaned session files (unindexed —
+// left by crashes, or by long-deleted sessions whose unlink failed) older
+// than gcAge and stale temp files are removed, the orphan-byte share of the
+// spill_dir_bytes gauge is refreshed from what remains, and the disk budget
+// is re-enforced in case orphans pushed the gauge over it.
+func (t *Tiered) gcOnce() {
+	entries, err := os.ReadDir(t.dir)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	tmpAge := t.gcAge
+	if tmpAge < tmpFloor {
+		tmpAge = tmpFloor
+	}
+	type fileInfo struct {
+		name string
+		size int64
+		age  time.Duration
+	}
+	var files []fileInfo
+	for _, de := range entries {
+		if de.IsDir() || strings.HasPrefix(de.Name(), spillTmp) {
+			// In-flight temps are fresh; stale ones are crash leftovers.
+			// Temps are never part of the gauge either way.
+			if !de.IsDir() {
+				if info, err := de.Info(); err == nil && now.Sub(info.ModTime()) >= tmpAge {
+					if t.faultAt("gc.unlink") == nil && os.Remove(filepath.Join(t.dir, de.Name())) == nil {
+						t.gcRemovals.Add(1)
+					}
+				}
+			}
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			files = append(files, fileInfo{de.Name(), info.Size(), now.Sub(info.ModTime())})
+		}
+	}
+	// Classify against the index and refresh the orphan gauge in one
+	// critical section, so a spill publishing concurrently is never treated
+	// as an orphan of the same sweep that counts its index entry.
+	t.mu.Lock()
+	indexed := make(map[string]bool, len(t.index))
+	for _, e := range t.index {
+		indexed[filepath.Base(e.path)] = true
+	}
+	var orphanBytes int64
+	var remove []string
+	for _, fi := range files {
+		if indexed[fi.name] {
+			continue
+		}
+		if strings.HasSuffix(fi.name, spillExt) && fi.age >= t.gcAge {
+			remove = append(remove, fi.name)
+			continue
+		}
+		orphanBytes += fi.size
+	}
+	t.orphanBytes = orphanBytes
+	if t.maxDiskBytes > 0 {
+		for t.diskBytes+t.orphanBytes > t.maxDiskBytes {
+			if !t.evictSpillFileLocked("") {
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	for _, name := range remove {
+		if t.faultAt("gc.unlink") == nil && os.Remove(filepath.Join(t.dir, name)) == nil {
+			t.gcRemovals.Add(1)
+		}
+	}
+}

@@ -30,6 +30,13 @@ type memTenant struct {
 	budgetEvictions int64
 	explicitDeletes int64
 	quotaRejections int64
+	// spillBytes is the tenant's on-disk spill-file usage, maintained by the
+	// tiered store as files are published and unlinked — the MaxSpillBytes
+	// cap dimension.
+	spillBytes int64
+	// diskEvictions counts the tenant's disk-only sessions dropped by the
+	// global disk budget.
+	diskEvictions int64
 }
 
 // Memory is the hash-sharded in-memory tier with an optional LRU budget.
@@ -124,6 +131,17 @@ func (m *Memory) Put(sess *Session) error {
 				Used: tu.ownedBytes + sess.footprint, Limit: lim.MaxBytes,
 			}
 		}
+		// A tenant sitting at its spill-byte cap cannot register more
+		// sessions: its disk usage must shrink (explicit deletes) before the
+		// store takes on state it may be unable to preserve.
+		if lim.MaxSpillBytes > 0 && tu.spillBytes >= lim.MaxSpillBytes {
+			tu.quotaRejections++
+			m.tmu.Unlock()
+			return &QuotaError{
+				Tenant: ten, Dimension: DimensionSpillBytes,
+				Used: tu.spillBytes, Limit: lim.MaxSpillBytes,
+			}
+		}
 	}
 	tu.owned++
 	tu.ownedBytes += sess.footprint
@@ -155,6 +173,43 @@ func (m *Memory) adjustOwned(tenant string, dSessions int, dBytes int64) {
 	tu := m.tenant(tenant)
 	tu.owned += dSessions
 	tu.ownedBytes += dBytes
+	m.tmu.Unlock()
+}
+
+// reserveSpill charges delta spill-file bytes against the tenant, enforcing
+// its MaxSpillBytes cap: a charge that would cross the cap is rejected with
+// a *QuotaError and nothing is charged. Negative deltas (file unlinks)
+// always succeed. The anonymous namespace is never capped.
+func (m *Memory) reserveSpill(tenant string, delta int64) error {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	tu := m.tenant(tenant)
+	if delta > 0 && m.limits != nil && tenant != "" {
+		if lim := m.limits(tenant); lim.MaxSpillBytes > 0 && tu.spillBytes+delta > lim.MaxSpillBytes {
+			return &QuotaError{
+				Tenant: tenant, Dimension: DimensionSpillBytes,
+				Used: tu.spillBytes + delta, Limit: lim.MaxSpillBytes,
+			}
+		}
+	}
+	tu.spillBytes += delta
+	return nil
+}
+
+// adjustSpill shifts a tenant's spill-file usage without a cap check — the
+// release path (unlinks) and the boot seed, which must account for what
+// already exists on disk.
+func (m *Memory) adjustSpill(tenant string, delta int64) {
+	m.tmu.Lock()
+	m.tenant(tenant).spillBytes += delta
+	m.tmu.Unlock()
+}
+
+// chargeDiskEviction counts a disk-budget drop of one of the tenant's
+// disk-only sessions.
+func (m *Memory) chargeDiskEviction(tenant string) {
+	m.tmu.Lock()
+	m.tenant(tenant).diskEvictions++
 	m.tmu.Unlock()
 }
 
@@ -225,13 +280,19 @@ func (m *Memory) Get(id string) (*Session, bool) {
 	return sess, ok
 }
 
-// has reports residency without touching the LRU clock (used by the tiered
-// store's stats).
-func (m *Memory) has(id string) bool {
+// peek returns a resident session without touching the LRU clock (used by
+// the tiered store's stats and disk-budget evictor).
+func (m *Memory) peek(id string) (*Session, bool) {
 	sh := &m.shards[ShardIndex(id)]
 	sh.mu.RLock()
-	_, ok := sh.sessions[id]
+	sess, ok := sh.sessions[id]
 	sh.mu.RUnlock()
+	return sess, ok
+}
+
+// has reports residency without touching the LRU clock.
+func (m *Memory) has(id string) bool {
+	_, ok := m.peek(id)
 	return ok
 }
 
@@ -326,6 +387,8 @@ func (m *Memory) Stats() Stats {
 			BudgetEvictions: tu.budgetEvictions,
 			ExplicitDeletes: tu.explicitDeletes,
 			QuotaRejections: tu.quotaRejections,
+			SpillFileBytes:  tu.spillBytes,
+			DiskEvictions:   tu.diskEvictions,
 		}
 	}
 	m.tmu.Unlock()
@@ -342,10 +405,11 @@ func (m *Memory) TenantUsage(tenant string) TenantUsage {
 		return TenantUsage{}
 	}
 	return TenantUsage{
-		Resident:      tu.resident,
-		ResidentBytes: tu.residentBytes,
-		Spilled:       tu.owned - tu.resident,
-		SpilledBytes:  tu.ownedBytes - tu.residentBytes,
+		Resident:       tu.resident,
+		ResidentBytes:  tu.residentBytes,
+		Spilled:        tu.owned - tu.resident,
+		SpilledBytes:   tu.ownedBytes - tu.residentBytes,
+		SpillFileBytes: tu.spillBytes,
 	}
 }
 
@@ -378,7 +442,7 @@ func (m *Memory) enforceBudget(keepID string) {
 		if !over {
 			return
 		}
-		victim, vShard := m.lruSession(keepID)
+		victim, vShard := m.pickVictim(keepID)
 		if victim == nil {
 			return // nothing evictable left
 		}
@@ -416,14 +480,22 @@ func (m *Memory) enforceBudget(keepID string) {
 	}
 }
 
-// lruSession scans every shard for the least recently used session other
-// than keepID.
-func (m *Memory) lruSession(keepID string) (*Session, *memShard) {
-	var (
-		victim *Session
-		vShard *memShard
-		oldest int64
-	)
+// victimCand is one eviction candidate found by the shard scan.
+type victimCand struct {
+	sess  *Session
+	shard *memShard
+	lu    int64
+}
+
+// pickVictim chooses the session to evict: with a single tenant resident it
+// is the plain global LRU session, with several it is fair-share — the
+// victim comes from the tenant furthest over its equal share of resident
+// bytes (LRU within that tenant), so one hot tenant churning registrations
+// cannot monopolize the resident tier by aging out everyone else's
+// sessions. The session named keepID is never picked.
+func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
+	var global victimCand
+	perTenant := map[string]victimCand{}
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.RLock()
@@ -431,11 +503,51 @@ func (m *Memory) lruSession(keepID string) (*Session, *memShard) {
 			if sess.ID == keepID {
 				continue
 			}
-			if lu := sess.lastUsed.Load(); victim == nil || lu < oldest {
-				victim, vShard, oldest = sess, sh, lu
+			lu := sess.lastUsed.Load()
+			if global.sess == nil || lu < global.lu {
+				global = victimCand{sess, sh, lu}
+			}
+			ten := TenantOf(sess.ID)
+			if c, ok := perTenant[ten]; !ok || lu < c.lu {
+				perTenant[ten] = victimCand{sess, sh, lu}
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	return victim, vShard
+	if len(perTenant) <= 1 {
+		return global.sess, global.shard
+	}
+	// Several tenants have evictable sessions: weight by resident working
+	// set. Fair share is an equal split of the candidates' total resident
+	// bytes; the tenant with the largest excess loses its LRU session, ties
+	// (e.g. perfectly balanced tenants) falling back to the global LRU.
+	m.tmu.Lock()
+	resident := make(map[string]int64, len(perTenant))
+	var total int64
+	for ten := range perTenant {
+		if tu, ok := m.tenants[ten]; ok {
+			resident[ten] = tu.residentBytes
+			total += tu.residentBytes
+		}
+	}
+	m.tmu.Unlock()
+	fair := total / int64(len(perTenant))
+	var (
+		best       victimCand
+		bestExcess int64
+	)
+	for ten, c := range perTenant {
+		excess := resident[ten] - fair
+		if excess <= 0 {
+			continue
+		}
+		if best.sess == nil || excess > bestExcess ||
+			(excess == bestExcess && c.lu < best.lu) {
+			best, bestExcess = c, excess
+		}
+	}
+	if best.sess == nil {
+		return global.sess, global.shard
+	}
+	return best.sess, best.shard
 }

@@ -66,6 +66,12 @@ type TenantLimits struct {
 	MaxSessions int
 	// MaxBytes bounds the tenant's owned session bytes across every tier.
 	MaxBytes int64
+	// MaxSpillBytes bounds the tenant's spill-file bytes on disk. A spill
+	// that would take the tenant over the cap is rejected (the eviction
+	// drops the session instead of writing), and while the tenant sits at
+	// or over the cap new registrations are rejected with a "spill_bytes"
+	// *QuotaError until it deletes sessions.
+	MaxSpillBytes int64
 }
 
 // LimitsFunc resolves a tenant's current quota. It is consulted on every
@@ -78,10 +84,15 @@ type LimitsFunc func(tenant string) TenantLimits
 // raised) before registering more.
 type QuotaError struct {
 	Tenant    string
-	Dimension string // "sessions" or "bytes"
+	Dimension string // "sessions", "bytes" or "spill_bytes"
 	Used      int64  // usage across all tiers, including the rejected session
 	Limit     int64
 }
+
+// DimensionSpillBytes is the QuotaError dimension of the per-tenant spill
+// byte cap — a disk-side limit, which services report as 507 Insufficient
+// Storage rather than 429.
+const DimensionSpillBytes = "spill_bytes"
 
 func (e *QuotaError) Error() string {
 	return fmt.Sprintf("store: tenant %q at its %s quota (%d of %d)", e.Tenant, e.Dimension, e.Used, e.Limit)
@@ -112,11 +123,19 @@ type Session struct {
 	footprint int64
 	// lastUsed is a unix-nano timestamp of the latest access (LRU clock).
 	lastUsed atomic.Int64
-	// dirty marks state not yet reflected in the disk tier (guarded by Mu).
-	dirty bool
+	// dirty marks state not yet reflected in the disk tier. Writes happen
+	// with Mu held (the mutation and the flag are one consistent cut); it is
+	// atomic so the disk-budget evictor can classify files without taking
+	// session locks under the index lock.
+	dirty atomic.Bool
 	// gone marks a copy that was evicted or deleted from the store (guarded
 	// by Mu): mutators holding a gone session must re-fetch through Get.
 	gone bool
+	// notifyDirty, when set (by the tiered store before the session is
+	// published), is called by MarkDirtyLocked with Mu held — the
+	// write-behind hook that schedules an eager background snapshot. It must
+	// never block.
+	notifyDirty func(*Session)
 }
 
 // NewSession builds a resident session. A nil model defaults to the updater's
@@ -136,8 +155,8 @@ func NewSession(id, kind string, ds priu.TrainingSet, upd priu.Updater, model *p
 		Model:     model,
 		Deleted:   deleted,
 		footprint: TrainingSetBytes(ds) + upd.FootprintBytes(),
-		dirty:     true,
 	}
+	sess.dirty.Store(true)
 	sess.Touch()
 	return sess
 }
@@ -151,9 +170,15 @@ func (sess *Session) LastUsed() int64 { return sess.lastUsed.Load() }
 // Footprint returns the session's resident-memory charge.
 func (sess *Session) Footprint() int64 { return sess.footprint }
 
-// MarkDirtyLocked flags serving state the disk tier hasn't seen. Callers hold
-// Mu.
-func (sess *Session) MarkDirtyLocked() { sess.dirty = true }
+// MarkDirtyLocked flags serving state the disk tier hasn't seen and, in a
+// tiered store, schedules a write-behind snapshot so the next eviction can
+// drop the resident copy instead of paying the spill IO. Callers hold Mu.
+func (sess *Session) MarkDirtyLocked() {
+	sess.dirty.Store(true)
+	if sess.notifyDirty != nil {
+		sess.notifyDirty(sess)
+	}
+}
 
 // GoneLocked reports whether this copy was evicted or deleted from the store.
 // Callers hold Mu.
@@ -215,6 +240,13 @@ type TenantStats struct {
 	BudgetEvictions int64
 	ExplicitDeletes int64
 	QuotaRejections int64
+	// SpillFileBytes is the tenant's actual on-disk spill-file usage — the
+	// quantity its MaxSpillBytes cap is checked against (file bytes, not the
+	// resident footprint SpilledBytes approximates).
+	SpillFileBytes int64
+	// DiskEvictions counts the tenant's disk-only sessions dropped by the
+	// global disk budget.
+	DiskEvictions int64
 }
 
 // TenantUsage is a tenant's live storage charge across tiers — the quantity
@@ -224,6 +256,9 @@ type TenantUsage struct {
 	ResidentBytes int64
 	Spilled       int
 	SpilledBytes  int64
+	// SpillFileBytes is the tenant's on-disk spill-file usage (the
+	// MaxSpillBytes cap dimension).
+	SpillFileBytes int64
 }
 
 // Sessions returns the tenant's owned session count across tiers.
@@ -249,10 +284,30 @@ type Stats struct {
 	Spills       int64
 	Restores     int64
 	Unspillable  int64
-	// SpillDirBytes is the on-disk size of the spill directory itself
-	// (every file, including temp files and files for sessions that also
-	// have a resident copy) — the disk-growth gauge. Zero for Memory.
+	// SpillDirBytes is the on-disk size of the spill directory — indexed
+	// spill files plus any orphaned leftovers — maintained incrementally by
+	// the lifecycle manager (seeded by a boot-time scan, refreshed on GC
+	// sweeps; in-flight temp files are excluded). Zero for Memory.
 	SpillDirBytes int64
+	// SpillMaxBytes echoes the configured disk budget (0 = unbounded).
+	SpillMaxBytes int64
+	// WriteBehindSpills counts spills performed by the background queue (a
+	// subset of Spills); the rest were synchronous — eviction fallbacks or
+	// the shutdown drain.
+	WriteBehindSpills int64
+	// SpillQueueDepth is the write-behind queue's current backlog
+	// (pending + in-flight snapshots).
+	SpillQueueDepth int
+	// SpillQueueFull counts write-behind enqueues dropped by backpressure
+	// (the eviction path falls back to a synchronous spill, so nothing is
+	// lost — this gauges how often the queue is saturated).
+	SpillQueueFull int64
+	// DiskEvictions counts disk-only sessions dropped to keep the spill
+	// directory under SpillMaxBytes.
+	DiskEvictions int64
+	// GCRemovals counts orphaned spill-directory files removed by the
+	// age-based GC.
+	GCRemovals int64
 	// Shards is the per-shard breakdown of the in-memory tier.
 	Shards [NumShards]ShardStats
 	// SpilledSessions lists the disk-tier-only sessions.

@@ -12,6 +12,19 @@ import (
 	"repro/priu"
 )
 
+// newTestTiered builds a tiered store whose lifecycle (write-behind workers,
+// GC) is stopped when the test ends, so background spills never race the
+// TempDir cleanup.
+func newTestTiered(t testing.TB, dir string, mem *Memory, opts ...TieredOption) *Tiered {
+	t.Helper()
+	ti, err := NewTiered(dir, mem, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ti.stopLifecycle)
+	return ti
+}
+
 // trainSession builds a resident session on a small deterministic dataset.
 func trainSession(t testing.TB, id string, seed int64) *Session {
 	t.Helper()
@@ -91,10 +104,9 @@ func TestMemoryBudgetAndCounterSplit(t *testing.T) {
 
 func TestTieredSpillRestoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Synchronous spills keep the exact Spills count deterministic; the
+	// write-behind path has its own tests below.
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)), WithWriteBehind(0, 0))
 	a := trainSession(t, "sess-1", 11)
 	wantVec := applyDeletion(t, a, []int{3, 9})
 	ti.Put(a)
@@ -141,10 +153,7 @@ func TestTieredSpillRestoreRoundTrip(t *testing.T) {
 // same session object. Run under -race.
 func TestTieredConcurrentRestore(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)))
 	a := trainSession(t, "sess-1", 21)
 	applyDeletion(t, a, []int{1, 2})
 	ti.Put(a)
@@ -181,10 +190,7 @@ func TestTieredConcurrentRestore(t *testing.T) {
 
 func TestTieredCloseDrainAndReboot(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory())
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory())
 	a := trainSession(t, "sess-1", 31)
 	wantVec := applyDeletion(t, a, []int{5})
 	ti.Put(a)
@@ -198,10 +204,7 @@ func TestTieredCloseDrainAndReboot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ti2, err := NewTiered(dir, NewMemory())
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti2 := newTestTiered(t, dir, NewMemory())
 	st := ti2.Stats()
 	if st.Spilled != 1 || st.Resident != 0 {
 		t.Fatalf("reboot stats %+v", st)
@@ -229,10 +232,7 @@ func TestTieredCloseDrainAndReboot(t *testing.T) {
 
 func TestTieredDeleteRemovesBothTiers(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)))
 	ti.Put(trainSession(t, "sess-1", 41))
 	ti.Put(trainSession(t, "sess-2", 42)) // spill sess-1
 	if !ti.Delete("sess-1") {
@@ -261,10 +261,7 @@ func TestTieredDeleteRemovesBothTiers(t *testing.T) {
 
 func TestTieredCleanReSpillSkipsWrite(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)))
 	ti.Put(trainSession(t, "sess-1", 51))
 	ti.Put(trainSession(t, "sess-2", 52)) // spill sess-1 (1 write)
 	if _, ok := ti.Get("sess-1"); !ok {   // restore (clean), spills sess-2
@@ -286,10 +283,7 @@ func TestTieredStaleCopyNeverResurrects(t *testing.T) {
 	// state has moved past its disk copy must drop that copy: restoring it
 	// would silently undo honored deletions.
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)), WithSpillOnEvict(false))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)), WithSpillOnEvict(false))
 	a := trainSession(t, "sess-1", 61)
 	ti.Put(a)
 	if err := ti.Close(); err != nil { // drain: disk copy with 0 deletions
@@ -322,10 +316,7 @@ func TestSessionIDsNeverCollideAcrossBoots(t *testing.T) {
 	// payloads still produce distinct spill files because the envelope
 	// carries the session ID.
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)))
 	for i := 1; i <= 3; i++ {
 		ti.Put(trainSession(t, fmt.Sprintf("sess-%d", i), 7)) // same seed → same payload
 	}
@@ -441,13 +432,10 @@ func TestMemoryEvictionChargedToOwningTenant(t *testing.T) {
 
 func TestTieredTenantQuotaCountsSpilled(t *testing.T) {
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(
+	ti := newTestTiered(t, dir, NewMemory(
 		WithMaxSessions(1),
 		WithTenantLimits(limitsMap(map[string]TenantLimits{"acme": {MaxSessions: 2}})),
 	))
-	if err != nil {
-		t.Fatal(err)
-	}
 	if err := ti.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -480,31 +468,80 @@ func TestTieredTenantQuotaCountsSpilled(t *testing.T) {
 	}
 }
 
-func TestTieredSpillDirBytesGauge(t *testing.T) {
-	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(WithMaxSessions(1)))
+// readDirBytes is the ground-truth directory scan the maintained
+// spill_dir_bytes counter replaced: the cross-check oracle.
+func readDirBytes(t testing.TB, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var total int64
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+func TestTieredSpillDirBytesGauge(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(WithMaxSessions(1)))
+	if ti.Stats().SpillDirBytes != 0 {
+		t.Fatal("empty spill dir should gauge 0")
 	}
 	if err := ti.Put(trainSession(t, "sess-1", 71)); err != nil {
 		t.Fatal(err)
 	}
-	if ti.Stats().SpillDirBytes != 0 {
-		t.Fatal("empty spill dir should gauge 0")
-	}
 	if err := ti.Put(trainSession(t, "sess-2", 72)); err != nil {
-		t.Fatal(err) // spills sess-1
+		t.Fatal(err) // evicts sess-1
 	}
+	ti.Flush() // both sessions eagerly snapshotted
 	st := ti.Stats()
 	if st.SpillDirBytes <= 0 || st.SpillDirBytes < st.SpilledBytes {
 		t.Fatalf("spill dir gauge %d vs spilled bytes %d", st.SpillDirBytes, st.SpilledBytes)
 	}
-	// An explicit delete of the spilled session empties the directory.
-	if !ti.Delete("sess-1") {
+	// The maintained counter must agree with a real directory walk (the
+	// cross-check for the per-request ReadDir it replaced).
+	if scan := readDirBytes(t, dir); st.SpillDirBytes != scan {
+		t.Fatalf("maintained gauge %d != directory scan %d", st.SpillDirBytes, scan)
+	}
+	// Explicit deletes of both sessions empty the directory and the gauge.
+	if !ti.Delete("sess-1") || !ti.Delete("sess-2") {
 		t.Fatal("delete failed")
 	}
 	if got := ti.Stats().SpillDirBytes; got != 0 {
-		t.Fatalf("spill dir gauge %d after deleting the only spilled session, want 0", got)
+		t.Fatalf("spill dir gauge %d after deleting every session, want 0", got)
+	}
+	if scan := readDirBytes(t, dir); scan != 0 {
+		t.Fatalf("directory scan %d after deleting every session, want 0", scan)
+	}
+}
+
+// TestTieredRebootSeedsGaugeFromScan covers the boot-time seed: a fresh
+// process must serve spill_dir_bytes from what the reindex scan found —
+// including unreadable orphans it refuses to index.
+func TestTieredRebootSeedsGaugeFromScan(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	ti.Put(trainSession(t, "sess-1", 73))
+	if err := ti.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan the reindex cannot parse still occupies disk.
+	orphan := []byte("not a spill file, but bytes on disk all the same")
+	if err := os.WriteFile(filepath.Join(dir, "junk"+spillExt), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ti2 := newTestTiered(t, dir, NewMemory())
+	if got, scan := ti2.Stats().SpillDirBytes, readDirBytes(t, dir); got != scan {
+		t.Fatalf("rebooted gauge %d != directory scan %d", got, scan)
 	}
 }
 
@@ -513,10 +550,7 @@ func TestTieredRebootSeedsTenantOwnership(t *testing.T) {
 	// tenant's quota from boot, before any restore.
 	dir := t.TempDir()
 	lim := limitsMap(map[string]TenantLimits{"acme": {MaxSessions: 2}})
-	ti, err := NewTiered(dir, NewMemory(WithTenantLimits(lim)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti := newTestTiered(t, dir, NewMemory(WithTenantLimits(lim)))
 	if err := ti.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -524,10 +558,7 @@ func TestTieredRebootSeedsTenantOwnership(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ti2, err := NewTiered(dir, NewMemory(WithTenantLimits(lim)))
-	if err != nil {
-		t.Fatal(err)
-	}
+	ti2 := newTestTiered(t, dir, NewMemory(WithTenantLimits(lim)))
 	if u := ti2.TenantUsage("acme"); u.Sessions() != 1 || u.SpilledBytes <= 0 {
 		t.Fatalf("rebooted usage %+v, want 1 owned spilled session", u)
 	}
@@ -555,13 +586,10 @@ func TestTieredRebootSeedsTenantOwnership(t *testing.T) {
 func TestTieredConcurrentQuotaNeverOvershoots(t *testing.T) {
 	const quota = 4
 	dir := t.TempDir()
-	ti, err := NewTiered(dir, NewMemory(
+	ti := newTestTiered(t, dir, NewMemory(
 		WithMaxSessions(1), // every Put evicts/spills the previous resident
 		WithTenantLimits(limitsMap(map[string]TenantLimits{"acme": {MaxSessions: quota}})),
 	))
-	if err != nil {
-		t.Fatal(err)
-	}
 	sessions := make([]*Session, 12)
 	for i := range sessions {
 		sessions[i] = trainSession(t, fmt.Sprintf("acme/sess-%d", i+1), int64(i+1))

@@ -43,6 +43,10 @@ type spillEntry struct {
 	// this process, the file size when seeded from a reboot reindex (the
 	// footprint isn't known without restoring). Restores settle the drift.
 	charged int64
+	// lastUsed is a unix-nano LRU clock for the disk-budget file evictor:
+	// bumped when the file is written and when the session restores from it
+	// (mtime at boot). Guarded by Tiered.mu.
+	lastUsed int64
 }
 
 // flight is one in-progress restore; joiners wait on done.
@@ -54,55 +58,182 @@ type flight struct {
 
 // Tiered wraps the in-memory tier with a spill directory: evictions spill,
 // touches of cold sessions restore (singleflight), Close drains dirty
-// residents, and NewTiered re-indexes whatever a previous process left.
+// residents, and NewTiered re-indexes whatever a previous process left. Its
+// lifecycle manager (lifecycle.go) keeps the disk tier bounded and off the
+// hot path: a write-behind queue snapshots dirty sessions eagerly so most
+// evictions just drop the resident copy, a disk budget evicts
+// least-recently-used spill files, and an age-based GC sweeps orphaned
+// leftovers.
 type Tiered struct {
 	mem *Memory
 	dir string
 
+	// Lifecycle configuration (fixed after NewTiered).
+	spillOnEvict bool
+	maxDiskBytes int64
+	queueLen     int
+	workers      int
+	gcAge        time.Duration
+	gcInterval   time.Duration
+
 	mu      sync.Mutex
 	index   map[string]*spillEntry
 	flights map[string]*flight
+	// diskBytes is the total size of indexed spill files; orphanBytes is
+	// what else the boot scan / GC sweeps found in the directory (crash
+	// leftovers — in-flight temp files are excluded). Their sum is the
+	// served spill_dir_bytes gauge, and the disk budget bounds it. Both are
+	// guarded by mu.
+	diskBytes   int64
+	orphanBytes int64
+
+	// Write-behind queue state (lifecycle.go).
+	qmu      sync.Mutex
+	queue    chan *Session
+	pending  map[string]bool
+	qClosed  bool
+	inflight atomic.Int64
+	stopGC   chan struct{}
+	wg       sync.WaitGroup
 
 	spills        atomic.Int64
 	restores      atomic.Int64
 	spillErrors   atomic.Int64
 	restoreErrors atomic.Int64
 	unspillable   atomic.Int64
+	writeBehind   atomic.Int64
+	queueFull     atomic.Int64
+	diskEvictions atomic.Int64
+	gcRemovals    atomic.Int64
+
+	// fault, when set (tests only), is consulted at named crash points
+	// inside spill/GC/drain; a non-nil return aborts the operation exactly
+	// where a crash would, leaving on-disk state as a kill there would.
+	fault func(point string) error
+	// onDiskEvict, when set (tests only), observes disk-budget drops of
+	// disk-only sessions; onEvictLost observes evictions that could not
+	// preserve their victim (spilling disabled or the spill failed). These
+	// are the only paths that lose a session by design, and both fire
+	// before the loss is observable through Get.
+	onDiskEvict func(id string)
+	onEvictLost func(id string)
+}
+
+// faultAt consults the injected crash-point hook (nil outside tests).
+func (t *Tiered) faultAt(point string) error {
+	if t.fault == nil {
+		return nil
+	}
+	return t.fault(point)
+}
+
+// removeSpillFile unlinks a de-indexed spill file, keeping the disk gauge
+// honest when the unlink fails (or a fault skips it): the file still
+// occupies disk, so its bytes move to the orphan share — where the
+// age-based GC will reclaim them — instead of vanishing from the books.
+// Callers must not hold t.mu.
+func (t *Tiered) removeSpillFile(path string, bytes int64, faultPoint string) {
+	if t.faultAt(faultPoint) == nil {
+		if err := os.Remove(path); err == nil || os.IsNotExist(err) {
+			return
+		}
+	}
+	t.mu.Lock()
+	t.orphanBytes += bytes
+	t.mu.Unlock()
+}
+
+// TieredOption configures NewTiered.
+type TieredOption func(*Tiered)
+
+// WithSpillOnEvict controls whether budget evictions spill to disk (default
+// true). When disabled, evictions drop sessions as in the plain memory store
+// (and the write-behind queue is idle) but Close still snapshots dirty
+// residents, giving restart durability without an eviction disk tier.
+func WithSpillOnEvict(enabled bool) TieredOption {
+	return func(t *Tiered) { t.spillOnEvict = enabled }
+}
+
+// WithSpillMaxBytes bounds the spill directory (0 = unbounded): when a new
+// spill would take the indexed-plus-orphaned file bytes over the budget,
+// least-recently-used spill files are evicted first — warm backups of
+// resident sessions before disk-only sessions, whose drop loses the session
+// and is counted in DiskEvictions.
+func WithSpillMaxBytes(b int64) TieredOption {
+	return func(t *Tiered) { t.maxDiskBytes = b }
+}
+
+// WithWriteBehind sizes the eager-spill queue (default 256 deep, 1 worker).
+// A zero queue length disables write-behind entirely: every spill happens
+// synchronously on the evicting goroutine, the pre-lifecycle behavior.
+func WithWriteBehind(queueLen, workers int) TieredOption {
+	return func(t *Tiered) {
+		t.queueLen = queueLen
+		if workers > 0 {
+			t.workers = workers
+		}
+	}
+}
+
+// WithSpillGC runs the age-based spill-directory GC every interval: orphaned
+// session files (unindexed — typically left by crashes or failed unlinks of
+// long-deleted sessions) and stale temp files older than age are removed,
+// and the orphan-byte gauge is refreshed. A zero interval disables the
+// background sweep (gcOnce can still be driven directly).
+func WithSpillGC(age, interval time.Duration) TieredOption {
+	return func(t *Tiered) {
+		if age > 0 {
+			t.gcAge = age
+		}
+		t.gcInterval = interval
+	}
 }
 
 // NewTiered opens (creating if needed) the spill directory, re-indexes the
-// session files a previous process left there, and installs the spill hook on
-// mem's evictions. mem must be freshly constructed and not shared.
+// session files a previous process left there, installs the spill hook on
+// mem's evictions, and starts the lifecycle manager (write-behind workers
+// and, when configured, the GC sweep). mem must be freshly constructed and
+// not shared.
 func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating spill dir: %w", err)
 	}
 	t := &Tiered{
-		mem:     mem,
-		dir:     dir,
-		index:   make(map[string]*spillEntry),
-		flights: make(map[string]*flight),
+		mem:          mem,
+		dir:          dir,
+		index:        make(map[string]*spillEntry),
+		flights:      make(map[string]*flight),
+		pending:      make(map[string]bool),
+		spillOnEvict: true,
+		queueLen:     256,
+		workers:      1,
+		gcAge:        time.Hour,
 	}
-	spill := true
 	for _, opt := range opts {
-		opt(t, &spill)
+		opt(t)
 	}
 	if err := t.reindex(); err != nil {
 		return nil, err
 	}
-	// Seed the tenants' cross-tier ownership with what a previous process
-	// left on disk, so quotas count rebooted spill files from the first
-	// request. mem is freshly constructed (see above), so nothing double
-	// counts.
+	// Seed the tenants' cross-tier ownership and spill-file usage with what
+	// a previous process left on disk, so quotas and spill caps count
+	// rebooted spill files from the first request. mem is freshly
+	// constructed (see above), so nothing double counts.
 	for id, e := range t.index {
 		mem.adjustOwned(TenantOf(id), 1, e.charged)
+		mem.adjustSpill(TenantOf(id), e.bytes)
 	}
 	mem.onEvictLocked = func(sess *Session) bool {
-		if spill {
-			if t.spillLocked(sess) == nil {
+		if t.spillOnEvict {
+			// The write-behind queue usually got here first: a clean session
+			// with a current disk copy is preserved by just dropping the
+			// resident copy — no file IO under the victim's lock. The
+			// synchronous spill is the fallback (dirty victim, queue
+			// backlog, or write-behind disabled).
+			if _, err := t.spillLocked(sess); err == nil {
 				return true // preserved: the spill file holds this state
 			}
-		} else if !sess.dirty {
+		} else if !sess.dirty.Load() {
 			t.mu.Lock()
 			_, onDisk := t.index[sess.ID]
 			t.mu.Unlock()
@@ -115,9 +246,13 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 		// copy must not resurrect on the next touch — that would silently
 		// undo honored deletions — so drop it: the session is lost, exactly
 		// like a memory-only eviction.
+		if t.onEvictLost != nil {
+			t.onEvictLost(sess.ID)
+		}
 		t.invalidate(sess.ID)
 		return false
 	}
+	t.startLifecycle()
 	return t, nil
 }
 
@@ -128,22 +263,13 @@ func (t *Tiered) invalidate(id string) {
 	e, ok := t.index[id]
 	if ok {
 		delete(t.index, id)
+		t.diskBytes -= e.bytes
 	}
 	t.mu.Unlock()
 	if ok {
-		_ = os.Remove(e.path)
+		t.removeSpillFile(e.path, e.bytes, "invalidate.unlink")
+		t.mem.adjustSpill(TenantOf(id), -e.bytes)
 	}
-}
-
-// TieredOption configures NewTiered.
-type TieredOption func(*Tiered, *bool)
-
-// WithSpillOnEvict controls whether budget evictions spill to disk (default
-// true). When disabled, evictions drop sessions as in the plain memory store
-// but Close still snapshots dirty residents, giving restart durability
-// without an eviction disk tier.
-func WithSpillOnEvict(enabled bool) TieredOption {
-	return func(_ *Tiered, spill *bool) { *spill = enabled }
 }
 
 // Spillable reports whether a session of this family/updater can be written
@@ -159,8 +285,17 @@ func Spillable(kind string, upd priu.Updater) bool {
 // Put implements Store. The memory tier's ownership counters already span
 // both tiers (a spill moves a session out of resident but not out of
 // owned), so the quota check is the same single atomic compare: eviction to
-// disk never frees quota, only an explicit Delete does.
-func (t *Tiered) Put(sess *Session) error { return t.mem.Put(sess) }
+// disk never frees quota, only an explicit Delete does. The accepted session
+// is scheduled for an eager write-behind snapshot so the eviction that later
+// targets it can drop instead of write.
+func (t *Tiered) Put(sess *Session) error {
+	t.armWriteBehind(sess)
+	if err := t.mem.Put(sess); err != nil {
+		return err
+	}
+	t.enqueueSpill(sess)
+	return nil
+}
 
 // TenantUsage implements Store.
 func (t *Tiered) TenantUsage(tenant string) TenantUsage { return t.mem.TenantUsage(tenant) }
@@ -187,6 +322,10 @@ func (t *Tiered) Get(id string) (*Session, bool) {
 	}
 	f := &flight{done: make(chan struct{})}
 	t.flights[id] = f
+	// The file is about to be read: bump its LRU clock so the disk-budget
+	// evictor (which also skips any id with an in-flight restore) treats it
+	// as hot, not as the coldest file on disk.
+	e.lastUsed = time.Now().UnixNano()
 	t.mu.Unlock()
 
 	// Leader path. Re-check residency first: a restore that completed
@@ -197,8 +336,8 @@ func (t *Tiered) Get(id string) (*Session, bool) {
 	} else if sess, err := t.restore(id, e); err != nil {
 		t.restoreErrors.Add(1)
 	} else {
-		// A Delete that raced the restore removed the index entry; honor it
-		// instead of resurrecting the session.
+		// A Delete (or disk-budget eviction) that raced the restore removed
+		// the index entry; honor it instead of resurrecting the session.
 		t.mu.Lock()
 		_, still := t.index[id]
 		t.mu.Unlock()
@@ -222,14 +361,16 @@ func (t *Tiered) Delete(id string) bool {
 	e, spilled := t.index[id]
 	if spilled {
 		delete(t.index, id)
+		t.diskBytes -= e.bytes
 	}
 	t.mu.Unlock()
 	if spilled {
 		// Spill-file hygiene: an explicit DELETE forgets the session in
 		// every tier, including its on-disk snapshot — even when a resident
 		// copy also existed (the file would otherwise outlive the session
-		// until the next boot reindex).
-		_ = os.Remove(e.path)
+		// until the age-based GC or the next boot reindex).
+		t.removeSpillFile(e.path, e.bytes, "delete.unlink")
+		t.mem.adjustSpill(TenantOf(id), -e.bytes)
 		if !resident {
 			// Count the disk-only delete on the same shard the session
 			// would live on, keeping per-shard sums consistent, and release
@@ -254,13 +395,23 @@ func (t *Tiered) Touch(id string) bool {
 // listed by Stats without being restored).
 func (t *Tiered) Range(fn func(*Session) bool) { t.mem.Range(fn) }
 
-// Stats implements Store.
+// Stats implements Store. SpillDirBytes is served from the lifecycle
+// manager's maintained counters (indexed files + scanned orphans) — no
+// per-request directory walk; the boot reindex seeds it and GC sweeps
+// refresh the orphan share.
 func (t *Tiered) Stats() Stats {
 	st := t.mem.Stats()
 	st.Spills = t.spills.Load()
 	st.Restores = t.restores.Load()
 	st.Unspillable = t.unspillable.Load()
+	st.SpillMaxBytes = t.maxDiskBytes
+	st.WriteBehindSpills = t.writeBehind.Load()
+	st.SpillQueueFull = t.queueFull.Load()
+	st.DiskEvictions = t.diskEvictions.Load()
+	st.GCRemovals = t.gcRemovals.Load()
+	st.SpillQueueDepth = t.queueDepth()
 	t.mu.Lock()
+	st.SpillDirBytes = t.diskBytes + t.orphanBytes
 	for id, e := range t.index {
 		if t.mem.has(id) {
 			continue // resident copy is authoritative; the file is a warm backup
@@ -274,30 +425,32 @@ func (t *Tiered) Stats() Stats {
 		// counters (owned − resident), already in st.Tenants.
 	}
 	t.mu.Unlock()
-	// The spill-dir gauge counts what is actually on disk (warm backups and
-	// stray temp files included), so leaked files show up as growth even
-	// when the index looks clean.
-	if entries, err := os.ReadDir(t.dir); err == nil {
-		for _, de := range entries {
-			if de.IsDir() {
-				continue
-			}
-			if info, err := de.Info(); err == nil {
-				st.SpillDirBytes += info.Size()
-			}
-		}
-	}
 	return st
 }
 
-// Close implements Store: the SIGTERM drain. Every dirty resident session is
-// snapshotted to the spill directory so the next process restores the exact
-// pre-shutdown state. Unspillable sessions are counted and skipped.
+// Close implements Store: the SIGTERM drain, ordered after the write-behind
+// queue. The GC sweep stops, the queue is closed and its backlog flushed by
+// the workers, and then every dirty resident session is snapshotted to the
+// spill directory so the next process restores the exact pre-shutdown
+// state. Unspillable sessions are counted and skipped.
 func (t *Tiered) Close() error {
+	t.stopLifecycle()
 	var firstErr error
 	t.mem.Range(func(sess *Session) bool {
+		if t.faultAt("drain.session") != nil {
+			return false // simulated crash mid-drain
+		}
 		sess.Mu.Lock()
-		err := t.spillLocked(sess)
+		_, err := t.spillLocked(sess)
+		if err != nil {
+			// The session's current state could not be persisted (cap, full
+			// disk, IO error). Any older disk copy is now stale relative to
+			// honored deletions — the next boot must not resurrect it, so
+			// drop it, exactly like the eviction path does. The session's
+			// state dies with this process either way; losing it entirely
+			// beats silently undoing acknowledged deletions.
+			t.invalidate(sess.ID)
+		}
 		sess.Mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -307,56 +460,109 @@ func (t *Tiered) Close() error {
 	return firstErr
 }
 
-// spillLocked writes the session's current state to the disk tier. Callers
-// hold sess.Mu, so the snapshot is a consistent cut: any deletion applied
-// after it will either be re-applied by a mutator that sees the gone flag or
-// land in a later spill.
-func (t *Tiered) spillLocked(sess *Session) error {
-	if !sess.dirty {
+// spillLocked writes the session's current state to the disk tier,
+// reporting whether a file was actually written (clean sessions with a
+// current disk copy are skipped). Callers hold sess.Mu, so the snapshot is
+// a consistent cut: any deletion applied after it will either be re-applied
+// by a mutator that sees the gone flag or land in a later spill.
+//
+// Publishing enforces the storage bounds in order: the tenant's spill-byte
+// cap (a *QuotaError rejection drops the write), then the global disk
+// budget (evicting LRU spill files to make room), then the atomic rename.
+func (t *Tiered) spillLocked(sess *Session) (bool, error) {
+	if !sess.dirty.Load() {
 		t.mu.Lock()
 		_, onDisk := t.index[sess.ID]
 		t.mu.Unlock()
 		if onDisk {
-			return nil // clean and already on disk: nothing to write
+			// Clean and already on disk: nothing to write. The disk-budget
+			// evictor never reclaims a clean session's file (only dirty
+			// ones, whose rewrite is already owed), so the copy this
+			// decision relies on cannot vanish underneath it.
+			return false, nil
 		}
 	}
 	if !Spillable(sess.Kind, sess.Upd) {
 		t.unspillable.Add(1)
-		return fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
+		return false, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
 	}
-	path, size, err := t.writeSpillFile(sess)
+	tmpName, size, sum, err := t.writeSpillTemp(sess)
 	if err != nil {
 		t.spillErrors.Add(1)
-		return err
+		return false, err
 	}
-	t.spills.Add(1)
-	sess.dirty = false
+	ten := TenantOf(sess.ID)
+	final := filepath.Join(t.dir, hex.EncodeToString(sum)[:32]+spillExt)
+	// Reserve and publish in one critical section. The session's existing
+	// file (if any) is replaced, so both the tenant cap and the disk budget
+	// are charged the byte DELTA against it — a same-size rewrite near the
+	// cap never spuriously fails (the brief both-files window between the
+	// rename and the old-file unlink is tolerated like in-flight temps).
 	t.mu.Lock()
 	old := t.index[sess.ID]
+	var oldBytes int64
+	if old != nil {
+		oldBytes = old.bytes
+	}
+	delta := size - oldBytes
+	if err := t.mem.reserveSpill(ten, delta); err != nil {
+		t.mu.Unlock()
+		_ = os.Remove(tmpName)
+		t.spillErrors.Add(1)
+		return false, err
+	}
+	if !t.reserveDiskLocked(delta, sess.ID) {
+		budget := t.maxDiskBytes
+		t.mu.Unlock()
+		t.mem.adjustSpill(ten, -delta)
+		_ = os.Remove(tmpName)
+		t.spillErrors.Add(1)
+		return false, fmt.Errorf("store: spilling %s: %d bytes cannot fit the %d-byte disk budget", sess.ID, size, budget)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		t.diskBytes -= delta
+		t.mu.Unlock()
+		t.mem.adjustSpill(ten, -delta)
+		_ = os.Remove(tmpName)
+		t.spillErrors.Add(1)
+		return false, fmt.Errorf("store: publishing spill file: %w", err)
+	}
 	t.index[sess.ID] = &spillEntry{
-		path: path, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
-		charged: sess.footprint,
+		path: final, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
+		charged: sess.footprint, lastUsed: time.Now().UnixNano(),
 	}
+	// Clear dirty inside the same critical section that published the entry:
+	// the disk-budget evictor classifies files by this flag under t.mu, and
+	// must never observe the fresh file still marked dirty — it could
+	// reclaim it while a concurrent eviction concludes "preserved".
+	sess.dirty.Store(false)
 	t.mu.Unlock()
-	if old != nil && old.path != path {
-		_ = os.Remove(old.path)
+	if old != nil && old.path != final {
+		// When the content hash (and so the path) is identical the rename
+		// already overwrote the old file in place.
+		t.removeSpillFile(old.path, oldBytes, "spill.unlink-old")
 	}
-	return nil
+	t.spills.Add(1)
+	return true, nil
 }
 
-// writeSpillFile serializes the session to a temp file and renames it to its
-// content hash, returning the final path and size.
-func (t *Tiered) writeSpillFile(sess *Session) (string, int64, error) {
+// writeSpillTemp serializes the session to a temp file in the spill
+// directory, returning its path, size and content hash. The caller owns the
+// temp file (rename or remove).
+func (t *Tiered) writeSpillTemp(sess *Session) (string, int64, []byte, error) {
+	if err := t.faultAt("spill.create-temp"); err != nil {
+		return "", 0, nil, err
+	}
 	tmp, err := os.CreateTemp(t.dir, spillTmp+"*")
 	if err != nil {
-		return "", 0, fmt.Errorf("store: creating spill temp file: %w", err)
+		return "", 0, nil, fmt.Errorf("store: creating spill temp file: %w", err)
 	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			_ = os.Remove(tmp.Name())
-		}
-	}()
+	tmpName := tmp.Name()
+	fail := func(err error) (string, int64, []byte, error) {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return "", 0, nil, err
+	}
 	h := sha256.New()
 	w := io.MultiWriter(tmp, h)
 	bw := binio.NewWriter(w)
@@ -368,31 +574,29 @@ func (t *Tiered) writeSpillFile(sess *Session) (string, int64, error) {
 	bw.I64(sess.Updates)
 	bw.F64(sess.LastUpdateSeconds)
 	if err := bw.Flush(); err != nil {
-		return "", 0, err
+		return fail(err)
 	}
 	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, sess.Deleted); err != nil {
-		return "", 0, fmt.Errorf("store: snapshotting session %s: %w", sess.ID, err)
+		return fail(fmt.Errorf("store: snapshotting session %s: %w", sess.ID, err))
 	}
 	if err := tmp.Sync(); err != nil {
-		return "", 0, err
+		return fail(err)
 	}
 	size, err := tmp.Seek(0, io.SeekCurrent)
 	if err != nil {
-		return "", 0, err
+		return fail(err)
 	}
-	tmpName := tmp.Name()
+	if err := t.faultAt("spill.after-temp"); err != nil {
+		// Simulated crash after the temp write: the file stays behind, as a
+		// real kill would leave it, for reindex/GC to clean up.
+		tmp.Close()
+		return "", 0, nil, err
+	}
 	if err := tmp.Close(); err != nil {
-		tmp = nil
 		_ = os.Remove(tmpName)
-		return "", 0, err
+		return "", 0, nil, err
 	}
-	tmp = nil
-	final := filepath.Join(t.dir, hex.EncodeToString(h.Sum(nil))[:32]+spillExt)
-	if err := os.Rename(tmpName, final); err != nil {
-		_ = os.Remove(tmpName)
-		return "", 0, fmt.Errorf("store: publishing spill file: %w", err)
-	}
-	return final, size, nil
+	return tmpName, size, h.Sum(nil), nil
 }
 
 // spillEnvelope is the decoded header of one spill file.
@@ -470,15 +674,19 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 		// Not dirty: the disk copy is exactly this state.
 	}
 	sess.Touch()
+	t.armWriteBehind(sess)
 	t.restores.Add(1)
 	// No quota check on a restore: the session already counts against its
 	// tenant, only the resident-tier accounting moves. If the spill entry
 	// was seeded from a reboot (billed at file size), settle the ownership
 	// byte charge to the true resident footprint now that it is known.
 	t.mu.Lock()
-	if cur, ok := t.index[id]; ok && cur == e && e.charged != sess.footprint {
-		t.mem.adjustOwned(TenantOf(id), 0, sess.footprint-e.charged)
-		e.charged = sess.footprint
+	if cur, ok := t.index[id]; ok && cur == e {
+		if e.charged != sess.footprint {
+			t.mem.adjustOwned(TenantOf(id), 0, sess.footprint-e.charged)
+			e.charged = sess.footprint
+		}
+		e.lastUsed = time.Now().UnixNano()
 	}
 	t.mu.Unlock()
 	t.mem.putRestored(sess)
@@ -490,7 +698,9 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 // when several files claim the same session (a crash between publishing a
 // new spill and unlinking the old one) the newest wins — decided primarily
 // by the envelope's monotonic per-session update counter, since file mtimes
-// can tie on coarse-timestamp filesystems, with mtime as the tiebreak.
+// can tie on coarse-timestamp filesystems, with mtime as the tiebreak. The
+// scan also seeds the maintained spill_dir_bytes gauge (indexed files plus
+// whatever unreadable leftovers remain for GC).
 func (t *Tiered) reindex() error {
 	entries, err := os.ReadDir(t.dir)
 	if err != nil {
@@ -501,6 +711,7 @@ func (t *Tiered) reindex() error {
 		mtime   time.Time
 	}
 	newest := make(map[string]version)
+	var orphanBytes int64
 	for _, de := range entries {
 		name := de.Name()
 		path := filepath.Join(t.dir, name)
@@ -508,22 +719,29 @@ func (t *Tiered) reindex() error {
 			_ = os.Remove(path)
 			continue
 		}
-		if de.IsDir() || !strings.HasSuffix(name, spillExt) {
+		if de.IsDir() {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
 			continue
 		}
+		if !strings.HasSuffix(name, spillExt) {
+			orphanBytes += info.Size()
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
+			orphanBytes += info.Size()
 			continue
 		}
 		_, env, err := readSpillEnvelope(f)
 		f.Close()
 		if err != nil {
 			// Unreadable header: not one of ours (or torn by something other
-			// than our atomic writes); leave it alone but don't index it.
+			// than our atomic writes); don't index it — the age-based GC
+			// will sweep it once it is old enough.
+			orphanBytes += info.Size()
 			continue
 		}
 		v := version{updates: env.updates, mtime: info.ModTime()}
@@ -536,14 +754,18 @@ func (t *Tiered) reindex() error {
 				continue
 			}
 			_ = os.Remove(prev.path)
+			t.diskBytes -= prev.bytes
 		}
 		newest[env.id] = v
 		t.index[env.id] = &spillEntry{
 			path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt,
 			// The resident footprint isn't known without restoring; bill the
 			// file size until the first restore settles the difference.
-			charged: info.Size(),
+			charged:  info.Size(),
+			lastUsed: info.ModTime().UnixNano(),
 		}
+		t.diskBytes += info.Size()
 	}
+	t.orphanBytes = orphanBytes
 	return nil
 }
