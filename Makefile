@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STORE_COVER_MIN ?= 85
 SERVICE_COVER_MIN ?= 81
 
-.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke fuzz-smoke cover fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke whatif-smoke fuzz-smoke cover fmt fmt-check vet ci
 
 all: build
 
@@ -77,6 +77,14 @@ cover:
 auth-smoke:
 	$(GO) test -race -count=1 -run 'TestAuthSmoke' ./priu/client
 
+# What-if smoke: builds and starts the real priuserve, previews overlapping
+# candidate deletion sets through the SDK (prefix-tree cache hits > 0), then
+# commits one candidate on a snapshot clone and checks the committed digest is
+# bitwise identical to the what-if prediction — live session untouched — and
+# runs priutrain's -whatif preview-then-commit mode against the same server.
+whatif-smoke:
+	$(GO) test -race -count=1 -run 'TestWhatIfSmoke' ./priu/client
+
 fmt:
 	gofmt -w .
 
@@ -88,4 +96,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race spill-smoke auth-smoke fuzz-smoke cover bench
+ci: build vet fmt-check race spill-smoke auth-smoke whatif-smoke fuzz-smoke cover bench

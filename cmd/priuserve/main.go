@@ -7,21 +7,25 @@
 //	          -spill-queue 256 -spill-workers 1 \
 //	          -spill-gc-age 1h -spill-gc-interval 1m \
 //	          -drain-timeout 15s \
+//	          -whatif-workers 0 -whatif-limit 8 \
 //	          -auth required -auth-keys /etc/priu/keys.json
 //
-// Endpoints (see priu/service for the full wire formats):
+// Endpoints (see priu/service for the full wire formats; the v1 rows are
+// deprecated and carry Deprecation/Sunset headers pointing at /v2/meta):
 //
-//	POST   /v1/train                   register data + hyperparameters
-//	POST   /v1/delete                  incremental removal (single or batch)
-//	GET    /v1/model/ID                fetch a session's current parameters
-//	GET    /v1/sessions                list the caller's sessions
-//	GET    /v1/stats                   per-shard, per-session and per-tier counters
+//	POST   /v1/train                   register data + hyperparameters (deprecated)
+//	POST   /v1/delete                  incremental removal (deprecated)
+//	GET    /v1/model/ID                fetch a session's current parameters (deprecated)
+//	GET    /v1/sessions                list the caller's sessions (deprecated)
+//	GET    /v1/stats                   per-shard, per-session and per-tier counters (deprecated)
 //	POST   /v2/sessions                train (dense or CSR), or restore a snapshot
-//	GET    /v2/sessions                list the caller's sessions
+//	GET    /v2/sessions                list the caller's sessions (paginated: ?limit=&cursor=)
 //	GET    /v2/sessions/{id}           session metadata + parameters
 //	DELETE /v2/sessions/{id}           drop a session (and its spill file)
 //	GET    /v2/sessions/{id}/snapshot  export a self-contained snapshot
 //	POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
+//	POST   /v2/sessions/{id}/whatif    evaluate candidate deletion sets without committing
+//	GET    /v2/meta                    version, features and limits descriptor
 //	GET    /v2/tenants/self/stats      the calling tenant's counters
 //	GET    /healthz                    load-balancer probe (never authenticated)
 //
@@ -68,6 +72,12 @@
 // tenant's share of the spill volume: spills over the cap are rejected (the
 // eviction drops the session) and a tenant at its cap receives HTTP 507
 // spill_quota on new registrations until it deletes sessions.
+//
+// The what-if plane (POST /v2/sessions/{id}/whatif) evaluates candidate
+// deletion sets against a session's provenance without committing anything.
+// -whatif-workers bounds the parallelism of one batch's prefix-tree
+// evaluation (0 = GOMAXPROCS); -whatif-limit caps concurrent what-if
+// requests per tenant (0 = unlimited), the excess receiving a typed 429.
 package main
 
 import (
@@ -100,6 +110,8 @@ func main() {
 	spillGCAge := flag.Duration("spill-gc-age", time.Hour, "age before an orphaned spill-directory file is garbage-collected")
 	spillGCInterval := flag.Duration("spill-gc-interval", time.Minute, "period of the spill-directory GC sweep (0 = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests before the shutdown snapshot")
+	whatifWorkers := flag.Int("whatif-workers", 0, "parallel evaluators per what-if batch (0 = GOMAXPROCS)")
+	whatifLimit := flag.Int("whatif-limit", 8, "max concurrent what-if requests per tenant (0 = unlimited)")
 	authMode := flag.String("auth", "optional", "API-key auth mode: off | optional | required")
 	authKeys := flag.String("auth-keys", "", "JSON tenant key file (hot-reloaded on SIGHUP)")
 	flag.Parse()
@@ -144,6 +156,8 @@ func main() {
 		service.WithMaxSessions(*maxSessions),
 		service.WithMaxBytes(*maxBytes),
 		service.WithMaxRemovalsPerBatch(*maxBatch),
+		service.WithWhatIfWorkers(*whatifWorkers),
+		service.WithWhatIfLimit(*whatifLimit),
 		service.WithAuth(mode, keyring),
 	)
 	if n := st.Stats().Spilled; n > 0 {

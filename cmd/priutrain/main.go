@@ -17,6 +17,16 @@
 //
 //	priutrain -server http://localhost:8080 -api-key ak_live_acme \
 //	          -workload sgemm-original -scale 0.05 -rate 0.01
+//
+// With -whatif (remote only) the workflow previews deletions before
+// committing: the removal pick is expanded into overlapping candidate sets,
+// evaluated in one POST /v2/sessions/{id}/whatif batch (the server shares
+// work between sets through a prefix tree — the cache-hit count is printed),
+// and then the first candidate is actually committed and its digest checked
+// against the what-if prediction:
+//
+//	priutrain -server http://localhost:8080 -whatif \
+//	          -workload sgemm-original -scale 0.05 -rate 0.01
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"repro/priu"
@@ -42,6 +53,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "workload scale factor in (0,1]")
 		server   = flag.String("server", "", "priuserve base URL; when set, run the workflow remotely through priu/client")
 		apiKey   = flag.String("api-key", "", "tenant API key for -server (Authorization: Bearer)")
+		whatif   = flag.Bool("whatif", false, "with -server: preview the removal through /v2 what-if before committing it")
 	)
 	flag.Parse()
 
@@ -60,11 +72,19 @@ func main() {
 	}
 
 	if *server != "" {
-		if err := runRemote(*server, *apiKey, wl.Scale(*scale), m, *rate); err != nil {
+		run := runRemote
+		if *whatif {
+			run = runRemoteWhatIf
+		}
+		if err := run(*server, *apiKey, wl.Scale(*scale), m, *rate); err != nil {
 			fmt.Fprintf(os.Stderr, "priutrain: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *whatif {
+		fmt.Fprintf(os.Stderr, "priutrain: -whatif requires -server\n")
+		os.Exit(2)
 	}
 
 	fmt.Printf("preparing %s (scale %.2f): generating data, training, capturing provenance...\n", wl.ID, *scale)
@@ -232,6 +252,95 @@ func runRemote(server, apiKey string, wl bench.Workload, m bench.Method, rate fl
 		fmt.Printf("tenant %q: %d trains, %d rows deleted, %d rate-limited, %d quota rejections\n",
 			ts.Tenant, ts.Trains, ts.RowsDeleted, ts.RateLimited, ts.QuotaRejections)
 	}
+	return nil
+}
+
+// runRemoteWhatIf drives the preview-then-commit workflow: train remotely,
+// evaluate overlapping candidate deletion sets through the what-if endpoint
+// (no state committed), then actually commit one candidate and verify the
+// server's committed digest matches the what-if prediction bit for bit.
+func runRemoteWhatIf(server, apiKey string, wl bench.Workload, m bench.Method, rate float64) error {
+	family, err := wl.Family()
+	if err != nil {
+		return err
+	}
+	if m == bench.MethodPrIUOpt {
+		family += "-opt"
+	}
+	if _, ok := priu.Lookup(family); !ok {
+		return fmt.Errorf("family %q is not registered (method %s on workload %s)", family, m, wl.ID)
+	}
+	ctx := context.Background()
+	cl := client.New(server, client.WithAPIKey(apiKey))
+	if h, err := cl.Health(ctx); err != nil {
+		return fmt.Errorf("probing %s: %w", server, err)
+	} else {
+		fmt.Printf("priuserve %s at %s (%d workers)\n", h.Version, server, h.Workers)
+	}
+
+	req, n, err := remoteCreateRequest(wl, family)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploading %s (n=%d) and capturing provenance server-side...\n", wl.ID, n)
+	sr, err := cl.CreateSession(ctx, req)
+	if err != nil {
+		return fmt.Errorf("creating session: %w", err)
+	}
+	defer cl.DeleteSession(ctx, sr.SessionID)
+
+	// Overlapping candidates over one deterministic pick, ascending so the
+	// committed batch below applies removals in the same order the what-if
+	// plane evaluates them: a half-size prefix, the full set (reusing the
+	// prefix in the server's tree), and the prefix again (pure cache hit).
+	k := int(float64(n) * rate)
+	if k < 2 {
+		k = 2
+	}
+	full := rand.New(rand.NewSource(7)).Perm(n)[:k]
+	sort.Ints(full)
+	half := full[:k/2]
+	sets := [][]int{half, full, half}
+	fmt.Printf("previewing %d candidate deletion sets (%d/%d/%d rows) without committing...\n",
+		len(sets), len(half), len(full), len(half))
+	rep, err := cl.WhatIf(ctx, sr.SessionID, sets)
+	if err != nil {
+		return fmt.Errorf("what-if batch: %w", err)
+	}
+	for i, oc := range rep.Outcomes {
+		if oc.Err != nil {
+			return fmt.Errorf("what-if set %d: %w", i, oc.Err)
+		}
+		fmt.Printf("  set %d: %d rows → digest %s (l2 %.3g, %d sign flips) in %.1fms\n",
+			i, oc.Result.RowsRemoved, oc.Result.Digest,
+			oc.Result.Delta.L2Distance, oc.Result.Delta.SignFlips, oc.Result.EvalSeconds*1000)
+	}
+	fmt.Printf("what-if summary: %d sets, %d evaluated, %d prefix-tree cache hits, incremental=%v\n",
+		rep.Summary.Sets, rep.Summary.Evaluated, rep.Summary.CacheHits, rep.Summary.Incremental)
+	if rep.Summary.CacheHits == 0 {
+		return fmt.Errorf("overlapping candidate sets produced no prefix-tree cache hits")
+	}
+	if d0, d2 := rep.Outcomes[0].Result.Digest, rep.Outcomes[2].Result.Digest; d0 != d2 {
+		return fmt.Errorf("duplicate candidate digests diverged: %s vs %s", d0, d2)
+	}
+
+	// Commit the full candidate as one batch and hold the server to its
+	// prediction.
+	st, err := cl.StreamDeletions(ctx, sr.SessionID)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	res, err := st.SendWait(full)
+	if err != nil {
+		return fmt.Errorf("committing previewed set: %w", err)
+	}
+	want := rep.Outcomes[1].Result.Digest
+	if res.Digest != want {
+		return fmt.Errorf("committed digest %s does not match what-if prediction %s", res.Digest, want)
+	}
+	fmt.Printf("whatif commit verified: committed %d rows, digest %s matches the preview\n",
+		res.TotalDeleted, res.Digest)
 	return nil
 }
 

@@ -105,4 +105,29 @@
 // verification and Retry-After-aware SendWait — and `make auth-smoke` drives
 // a real authenticated priuserve through the SDK, cmd/priutrain -server and
 // examples/client end to end.
+//
+// # What-if query plane
+//
+// POST /v2/sessions/{id}/whatif turns the provenance capture into a query
+// surface: a batch of candidate deletion sets (JSON body, or an interactive
+// NDJSON stream) is evaluated against clone-on-read state forked from the
+// session — never the session's own updater, deletion log or spill file —
+// and answered per set with the hypothetical parameter digest and metric
+// deltas versus the live model, bitwise identical to committing the same
+// sorted set. The priu.WhatIfer capability (internal/core whatif.go) gives
+// the opt families a forkable incremental cursor (Apply folds one removed
+// row into the partial sums, Eval rolls the eigenbasis recurrences);
+// families without the capability fall back to pure replay, same answers.
+// priu.WhatIfPlanner arranges each batch as a prefix tree over deletion IDs
+// — overlapping sets apply their shared prefix once and fork, duplicates
+// memoize — and fans leaf evaluations onto the worker pool (priuserve
+// -whatif-workers), with a per-tenant concurrency cap (-whatif-limit, typed
+// 429 "whatif_limited"). Sessions are pinned into the resident tier for the
+// duration of what-if and snapshot-export streams so the LRU evictor cannot
+// spill them mid-read. GET /v2/meta describes the server (version, families,
+// feature flags, limits), /v1 responses carry Deprecation/Sunset headers,
+// and both session listings paginate (?limit=&cursor=). The SDK exposes
+// WhatIf/StreamWhatIf and an auto-paginating session iterator;
+// `make whatif-smoke` gates digest-faithfulness end to end and
+// BenchmarkWhatIfBatch gates the prefix-sharing speedup via benchguard.
 package repro

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -211,18 +212,104 @@ func (c *Client) GetSession(ctx context.Context, id string) (*service.SessionRes
 	return &sr, nil
 }
 
-// ListSessions lists the calling tenant's sessions (resident and spilled).
-func (c *Client) ListSessions(ctx context.Context) ([]service.SessionInfo, error) {
-	req, err := c.newRequest(ctx, http.MethodGet, "/v2/sessions", nil)
+// ListSessionsPage fetches one page of the calling tenant's sessions.
+// limit <= 0 asks for everything in one page; cursor resumes after the last
+// session ID of the previous page. NextCursor is empty on the final page.
+func (c *Client) ListSessionsPage(ctx context.Context, limit int, cursor string) (*service.SessionListResponse, error) {
+	path := "/v2/sessions"
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
-	var out []service.SessionInfo
-	if err := c.doJSON(req, &out); err != nil {
+	var page service.SessionListResponse
+	if err := c.doJSON(req, &page); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return &page, nil
 }
+
+// ListSessions lists all of the calling tenant's sessions (resident and
+// spilled), transparently following pagination cursors.
+func (c *Client) ListSessions(ctx context.Context) ([]service.SessionInfo, error) {
+	var out []service.SessionInfo
+	it := c.Sessions(ctx, 0)
+	for it.Next() {
+		out = append(out, it.Session())
+	}
+	return out, it.Err()
+}
+
+// Sessions returns an iterator over the tenant's sessions that fetches pages
+// of pageSize lazily (pageSize <= 0 uses one unpaged request). Typical use:
+//
+//	it := cl.Sessions(ctx, 100)
+//	for it.Next() {
+//		si := it.Session()
+//		...
+//	}
+//	if err := it.Err(); err != nil { ... }
+func (c *Client) Sessions(ctx context.Context, pageSize int) *SessionIterator {
+	return &SessionIterator{c: c, ctx: ctx, pageSize: pageSize}
+}
+
+// SessionIterator walks a paginated session listing. It is not safe for
+// concurrent use.
+type SessionIterator struct {
+	c        *Client
+	ctx      context.Context
+	pageSize int
+	page     []service.SessionInfo
+	idx      int
+	cursor   string
+	done     bool
+	err      error
+}
+
+// Next advances to the next session, fetching the next page when the current
+// one is exhausted. It returns false at the end of the listing or on error.
+func (it *SessionIterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.idx+1 < len(it.page) {
+		it.idx++
+		return true
+	}
+	if it.done && it.page != nil {
+		return false
+	}
+	page, err := it.c.ListSessionsPage(it.ctx, it.pageSize, it.cursor)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.page, it.idx = page.Sessions, 0
+	it.cursor = page.NextCursor
+	it.done = page.NextCursor == ""
+	if len(it.page) == 0 {
+		if it.done {
+			return false
+		}
+		return it.Next()
+	}
+	return true
+}
+
+// Session returns the current session; valid only after a true Next.
+func (it *SessionIterator) Session() service.SessionInfo { return it.page[it.idx] }
+
+// Err returns the first error the iterator hit, if any.
+func (it *SessionIterator) Err() error { return it.err }
 
 // DeleteSession drops a session in every storage tier.
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
@@ -288,6 +375,21 @@ func (c *Client) TenantStats(ctx context.Context) (*service.TenantStatsResponse,
 		return nil, err
 	}
 	return &ts, nil
+}
+
+// Meta fetches the server's capability descriptor: version, trainable
+// families, feature flags (auth mode, spill tier, what-if plane) and
+// effective limits.
+func (c *Client) Meta(ctx context.Context) (*service.MetaResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/meta", nil)
+	if err != nil {
+		return nil, err
+	}
+	var m service.MetaResponse
+	if err := c.doJSON(req, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // Health fetches the unauthenticated load-balancer probe.

@@ -1,0 +1,251 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/priu/service"
+)
+
+// IsWhatIfLimited reports whether err is a per-tenant concurrent-what-if
+// rejection (HTTP 429, code "whatif_limited"); wait RetryAfter and retry.
+func IsWhatIfLimited(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeWhatIfLimited
+}
+
+// IsGone reports whether err marks a session deleted out from under an
+// in-flight what-if stream.
+func IsGone(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeGone
+}
+
+// WhatIfOption configures WhatIf and StreamWhatIf.
+type WhatIfOption func(*whatIfConfig)
+
+type whatIfConfig struct {
+	allParams bool
+}
+
+// WhatIfAllParameters asks the server for the full hypothetical parameter
+// vector with every evaluated set (the digest is always present).
+func WhatIfAllParameters() WhatIfOption { return func(c *whatIfConfig) { c.allParams = true } }
+
+// WhatIfOutcome is one candidate set's evaluation: either Result (the set was
+// evaluated) or Err (it failed validation or evaluation) is non-nil.
+type WhatIfOutcome struct {
+	Result *service.WhatIfSetResult
+	Err    *APIError
+}
+
+// WhatIfReport is a completed what-if batch: per-set outcomes in request
+// order plus the server's summary line (cache hits, incremental flag).
+type WhatIfReport struct {
+	Outcomes []WhatIfOutcome
+	Summary  service.WhatIfSummary
+}
+
+// whatIfLine is the union of the three NDJSON line shapes the what-if
+// endpoint emits: an error envelope, a per-set result, or the summary.
+type whatIfLine struct {
+	Error *service.APIError `json:"error"`
+	service.WhatIfSetResult
+	service.WhatIfSummary
+}
+
+// WhatIf evaluates a batch of candidate deletion sets against a session
+// without committing anything: each set is answered with the hypothetical
+// parameter digest and metric deltas versus the live model. Overlapping sets
+// share work server-side through a prefix tree, so batching related
+// candidates is much cheaper than separate calls.
+func (c *Client) WhatIf(ctx context.Context, id string, sets [][]int, opts ...WhatIfOption) (*WhatIfReport, error) {
+	var cfg whatIfConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	body, err := json.Marshal(service.WhatIfRequest{Sets: sets, Parameters: cfg.allParams})
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v2/sessions/"+id+"/whatif", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	rep := &WhatIfReport{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var line whatIfLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("client: malformed what-if line: %w", err)
+		}
+		switch {
+		case line.Error != nil:
+			rep.Outcomes = append(rep.Outcomes, WhatIfOutcome{Err: streamAPIError(*line.Error)})
+		case line.Summary:
+			rep.Summary = line.WhatIfSummary
+		default:
+			res := line.WhatIfSetResult
+			rep.Outcomes = append(rep.Outcomes, WhatIfOutcome{Result: &res})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading what-if stream: %w", err)
+	}
+	if !rep.Summary.Summary {
+		return nil, fmt.Errorf("client: what-if stream ended without a summary line")
+	}
+	return rep, nil
+}
+
+// WhatIfStream is one full-duplex NDJSON connection to
+// POST /v2/sessions/{id}/whatif: each Eval submits one candidate deletion set
+// and reads its hypothetical result. The server keeps the prefix tree alive
+// across the connection, so later sets sharing a prefix with earlier ones are
+// answered from cache. The stream holds one of the tenant's concurrent
+// what-if slots until closed. Not safe for concurrent use.
+type WhatIfStream struct {
+	ctx     context.Context
+	pw      *io.PipeWriter
+	enc     *json.Encoder
+	respCh  chan streamOpen
+	br      *bufio.Reader
+	resp    *http.Response
+	summary *service.WhatIfSummary
+	err     error // sticky: the stream is unusable once set
+}
+
+// StreamWhatIf opens an interactive what-if stream for a session. Like
+// StreamDeletions, the connection is lazy — open errors (unknown session,
+// "whatif_limited") surface on the first Eval.
+func (c *Client) StreamWhatIf(ctx context.Context, id string, opts ...WhatIfOption) (*WhatIfStream, error) {
+	var cfg whatIfConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	st := &WhatIfStream{ctx: ctx, respCh: make(chan streamOpen, 1)}
+	pr, pw := io.Pipe()
+	st.pw = pw
+	st.enc = json.NewEncoder(pw)
+	path := "/v2/sessions/" + id + "/whatif"
+	if cfg.allParams {
+		path += "?parameters=all"
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, pr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		resp, err := c.hc.Do(req)
+		st.respCh <- streamOpen{resp, err}
+	}()
+	return st, nil
+}
+
+// Eval submits one candidate deletion set and reads its result. Validation
+// errors ("invalid_removals", "batch_too_large") are typed and leave the
+// stream usable; "gone" (session deleted mid-stream), transport errors and
+// malformed lines are sticky.
+func (st *WhatIfStream) Eval(remove []int) (*service.WhatIfSetResult, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if err := st.enc.Encode(service.WhatIfSet{Remove: remove}); err != nil {
+		st.err = fmt.Errorf("client: writing what-if set: %w", err)
+		return nil, st.err
+	}
+	if st.br == nil {
+		select {
+		case open := <-st.respCh:
+			if open.err != nil {
+				st.err = open.err
+				return nil, st.err
+			}
+			if open.resp.StatusCode != http.StatusOK {
+				st.err = decodeError(open.resp)
+				open.resp.Body.Close()
+				return nil, st.err
+			}
+			st.resp = open.resp
+			st.br = bufio.NewReader(open.resp.Body)
+		case <-st.ctx.Done():
+			st.err = st.ctx.Err()
+			return nil, st.err
+		}
+	}
+	line, err := st.br.ReadBytes('\n')
+	if err != nil {
+		st.err = fmt.Errorf("client: reading what-if result line: %w", err)
+		return nil, st.err
+	}
+	var probe whatIfLine
+	if err := json.Unmarshal(line, &probe); err != nil {
+		st.err = fmt.Errorf("client: malformed what-if result line: %w", err)
+		return nil, st.err
+	}
+	if probe.Error != nil {
+		ae := streamAPIError(*probe.Error)
+		if ae.Code == service.ErrCodeGone || ae.Code == service.ErrCodeBadRequest {
+			// The server terminates the stream after these.
+			st.err = ae
+		}
+		return nil, ae
+	}
+	res := probe.WhatIfSetResult
+	return &res, nil
+}
+
+// Close ends the stream and returns the server's summary line (sets seen,
+// evaluations, prefix-tree cache hits) when the stream completed normally.
+// Safe after errors and safe to call twice.
+func (st *WhatIfStream) Close() (*service.WhatIfSummary, error) {
+	_ = st.pw.Close()
+	if st.summary != nil {
+		return st.summary, nil
+	}
+	if st.resp == nil {
+		select {
+		case open := <-st.respCh:
+			if open.resp != nil {
+				open.resp.Body.Close()
+			}
+		default:
+		}
+		return nil, st.err
+	}
+	defer st.resp.Body.Close()
+	if st.err == nil && st.br != nil {
+		// The server answers EOF with its summary line.
+		for {
+			line, err := st.br.ReadBytes('\n')
+			if len(bytes.TrimSpace(line)) > 0 {
+				var probe whatIfLine
+				if jerr := json.Unmarshal(line, &probe); jerr == nil && probe.Summary {
+					st.summary = &probe.WhatIfSummary
+					return st.summary, nil
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("client: what-if stream closed without a summary: %w", err)
+			}
+		}
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(st.resp.Body, 1<<20))
+	return nil, st.err
+}

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/priu/service"
+)
+
+// TestWhatIfSmoke is the end-to-end acceptance run behind `make whatif-smoke`:
+// it builds and starts the real priuserve, previews overlapping candidate
+// deletion sets through the SDK's what-if batch (asserting the server's
+// prefix tree actually shared work between them), then commits one candidate
+// on a snapshot clone and checks the committed digest is bitwise identical to
+// the what-if prediction — with the live session untouched throughout.
+// Finally priutrain's -whatif mode runs the same preview-then-commit loop
+// from the CLI.
+func TestWhatIfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whatif smoke builds and execs real binaries; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		path := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", path, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+		return path
+	}
+	serveBin := build("priuserve", "./cmd/priuserve")
+	trainBin := build("priutrain", "./cmd/priutrain")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := exec.Command(serveBin, "-addr", addr, "-whatif-workers", "2", "-whatif-limit", "4")
+	var srvLog strings.Builder
+	srv.Stdout, srv.Stderr = &srvLog, &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if srv.Process != nil {
+			_ = srv.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() { _ = srv.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = srv.Process.Kill()
+			}
+		}
+		if t.Failed() {
+			t.Logf("priuserve log:\n%s", srvLog.String())
+		}
+	}()
+
+	base := "http://" + addr
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	cl := New(base)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := cl.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("priuserve never became healthy:\n%s", srvLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The meta descriptor advertises the what-if plane and the flag values.
+	meta, err := cl.Meta(ctx)
+	if err != nil || !meta.Features.WhatIf {
+		t.Fatalf("meta: %v %+v", err, meta)
+	}
+	if meta.Limits.WhatIfWorkers != 2 || meta.Limits.WhatIfConcurrent != 4 {
+		t.Fatalf("meta limits %+v do not reflect the flags", meta.Limits)
+	}
+
+	// Preview overlapping candidates on an optimized-family session.
+	sr, err := cl.CreateSession(ctx, optRequest(t, 150, 5, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDigest := service.ParamDigest(sr.Parameters)
+	sets := [][]int{{4, 33, 70}, {4, 33, 70, 101}, {4, 33, 90}, {4, 33, 70}}
+	rep, err := cl.WhatIf(ctx, sr.SessionID, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Evaluated != 4 || rep.Summary.Errors != 0 || !rep.Summary.Incremental {
+		t.Fatalf("summary %+v", rep.Summary)
+	}
+	if rep.Summary.CacheHits == 0 {
+		t.Fatal("overlapping sets produced no prefix-tree cache hits")
+	}
+	for i, oc := range rep.Outcomes {
+		if oc.Err != nil {
+			t.Fatalf("set %d: %v", i, oc.Err)
+		}
+	}
+	if d0, d3 := rep.Outcomes[0].Result.Digest, rep.Outcomes[3].Result.Digest; d0 != d3 {
+		t.Fatalf("duplicate candidate digests diverged: %s vs %s", d0, d3)
+	}
+
+	// Commit the superset candidate on a snapshot clone, in one ascending
+	// batch — exactly the order the what-if plane evaluated it in — and hold
+	// the server to its prediction.
+	var snap bytes.Buffer
+	if _, err := cl.SnapshotTo(ctx, sr.SessionID, &snap); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := cl.RestoreSnapshot(ctx, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.StreamDeletions(ctx, clone.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.SendWait([]int{4, 33, 70, 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if want := rep.Outcomes[1].Result.Digest; res.Digest != want {
+		t.Fatalf("committed digest %s != what-if prediction %s", res.Digest, want)
+	}
+
+	// The live session never moved.
+	got, err := cl.GetSession(ctx, sr.SessionID)
+	if err != nil || got.TotalDeleted != 0 {
+		t.Fatalf("live session after previews: %v %+v", err, got)
+	}
+	if service.ParamDigest(got.Parameters) != liveDigest {
+		t.Fatal("what-if previews mutated the live parameters")
+	}
+
+	// priutrain's preview-then-commit mode against the same server.
+	train := exec.Command(trainBin, "-server", base, "-whatif",
+		"-workload", "sgemm-original", "-method", "PrIU-opt", "-scale", "0.02", "-rate", "0.02")
+	if out, err := train.CombinedOutput(); err != nil {
+		t.Fatalf("priutrain -whatif: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "whatif commit verified") {
+		t.Fatalf("priutrain -whatif output missing commit verification:\n%s", out)
+	}
+	fmt.Println("whatif-smoke: prefix-tree sharing, digest-faithful previews and CLI round trip all verified")
+}

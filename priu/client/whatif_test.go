@@ -1,0 +1,214 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"repro/priu/service"
+)
+
+// optRequest is denseRequest retargeted at the optimized linear family, so
+// the server answers what-ifs incrementally instead of by replay.
+func optRequest(t *testing.T, n, m int, seed int64) service.CreateSessionRequest {
+	t.Helper()
+	req := denseRequest(t, n, m, seed)
+	req.Family = "linear-opt"
+	return req
+}
+
+func TestClientWhatIfBatch(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	ctx := context.Background()
+	sr, err := cl.CreateSession(ctx, optRequest(t, 100, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overlapping candidates: prefix, superset, duplicate prefix — plus one
+	// invalid set mixed in. The invalid set must come back as a typed error
+	// without poisoning its neighbors.
+	sets := [][]int{{3, 17}, {3, 17, 42}, {3, 17}, {9, 9}}
+	rep, err := cl.WhatIf(ctx, sr.SessionID, sets, WhatIfAllParameters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 4 {
+		t.Fatalf("outcomes %d, want 4", len(rep.Outcomes))
+	}
+	for i := 0; i < 3; i++ {
+		oc := rep.Outcomes[i]
+		if oc.Err != nil || oc.Result == nil {
+			t.Fatalf("set %d: %+v", i, oc)
+		}
+		if oc.Result.Set != i+1 || oc.Result.RowsRemoved != len(sets[i]) || oc.Result.TotalDeleted != len(sets[i]) {
+			t.Fatalf("set %d result %+v", i, oc.Result)
+		}
+		if oc.Result.Digest == "" || len(oc.Result.Parameters) != 4 {
+			t.Fatalf("set %d missing digest/parameters: %+v", i, oc.Result)
+		}
+		if got := service.ParamDigest(oc.Result.Parameters); got != oc.Result.Digest {
+			t.Fatalf("set %d digest %s does not cover parameters (%s)", i, oc.Result.Digest, got)
+		}
+	}
+	if d0, d2 := rep.Outcomes[0].Result.Digest, rep.Outcomes[2].Result.Digest; d0 != d2 {
+		t.Fatalf("duplicate sets diverged: %s vs %s", d0, d2)
+	}
+	bad := rep.Outcomes[3]
+	if bad.Err == nil || bad.Err.Code != service.ErrCodeInvalidRemovals {
+		t.Fatalf("invalid set outcome %+v", bad)
+	}
+	if rep.Summary.Sets != 4 || rep.Summary.Evaluated != 3 || rep.Summary.Errors != 1 {
+		t.Fatalf("summary %+v", rep.Summary)
+	}
+	if !rep.Summary.Incremental || rep.Summary.CacheHits == 0 {
+		t.Fatalf("summary %+v, want incremental with cache hits", rep.Summary)
+	}
+
+	// Nothing was committed.
+	got, err := cl.GetSession(ctx, sr.SessionID)
+	if err != nil || got.TotalDeleted != 0 {
+		t.Fatalf("live session after what-ifs: %v %+v", err, got)
+	}
+
+	// Unknown session: typed 404 before any stream starts.
+	if _, err := cl.WhatIf(ctx, "nope", [][]int{{1}}); !IsNotFound(err) {
+		t.Fatalf("what-if on unknown session: %v", err)
+	}
+}
+
+func TestClientWhatIfStream(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	ctx := context.Background()
+	sr, err := cl.CreateSession(ctx, optRequest(t, 100, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.StreamWhatIf(ctx, sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := st.Eval([]int{2, 8})
+	if err != nil || r1.RowsRemoved != 2 {
+		t.Fatalf("eval 1: %v %+v", err, r1)
+	}
+	// Validation errors leave the stream usable.
+	if _, err := st.Eval([]int{2, 2}); err == nil || err.(*APIError).Code != service.ErrCodeInvalidRemovals {
+		t.Fatalf("duplicate-row eval: %v", err)
+	}
+	r2, err := st.Eval([]int{2, 8, 20})
+	if err != nil || r2.TotalDeleted != 3 {
+		t.Fatalf("eval 2 after validation error: %v %+v", err, r2)
+	}
+	sum, err := st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sets != 3 || sum.Evaluated != 2 || sum.Errors != 1 || sum.CacheHits == 0 {
+		t.Fatalf("stream summary %+v", sum)
+	}
+	// Close twice is safe and idempotent.
+	if again, err := st.Close(); err != nil || again.Sets != 3 {
+		t.Fatalf("second close: %v %+v", err, again)
+	}
+}
+
+func TestClientWhatIfGoneAndLimited(t *testing.T) {
+	ts := newServer(t, service.WithWhatIfLimit(1))
+	cl := New(ts.URL)
+	ctx := context.Background()
+	sr, err := cl.CreateSession(ctx, optRequest(t, 80, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the tenant's only what-if slot open on a stream...
+	st, err := cl.StreamWhatIf(ctx, sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Eval([]int{1}); err != nil {
+		t.Fatal(err)
+	}
+	// ...so a second request is rejected with the typed 429.
+	_, err = cl.WhatIf(ctx, sr.SessionID, [][]int{{2}})
+	if !IsWhatIfLimited(err) {
+		t.Fatalf("over-limit what-if: %v, want whatif_limited", err)
+	}
+	if ae := err.(*APIError); ae.Status != 429 || ae.RetryAfter <= 0 {
+		t.Fatalf("whatif_limited envelope %+v", ae)
+	}
+
+	// Deleting the session under the open stream turns the next Eval into a
+	// sticky typed "gone".
+	if err := cl.DeleteSession(ctx, sr.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Eval([]int{3})
+	if !IsGone(err) {
+		t.Fatalf("eval after delete: %v, want gone", err)
+	}
+	if _, err := st.Eval([]int{4}); !IsGone(err) {
+		t.Fatalf("gone must be sticky, got %v", err)
+	}
+	if _, err := st.Close(); !IsGone(err) {
+		t.Fatalf("close after gone: %v", err)
+	}
+}
+
+func TestClientSessionPagination(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL)
+	ctx := context.Background()
+	want := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		sr, err := cl.CreateSession(ctx, denseRequest(t, 40, 3, int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[sr.SessionID] = true
+	}
+
+	// One explicit page.
+	page, err := cl.ListSessionsPage(ctx, 2, "")
+	if err != nil || len(page.Sessions) != 2 || page.NextCursor == "" {
+		t.Fatalf("first page: %v %+v", err, page)
+	}
+
+	// The iterator walks every page exactly once.
+	it := cl.Sessions(ctx, 2)
+	var seen []string
+	for it.Next() {
+		seen = append(seen, it.Session().SessionID)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("iterator saw %d sessions, want 5", len(seen))
+	}
+	uniq := make(map[string]bool)
+	for _, id := range seen {
+		if uniq[id] {
+			t.Fatalf("iterator repeated session %s", id)
+		}
+		uniq[id] = true
+		if !want[id] {
+			t.Fatalf("iterator surfaced unknown session %s", id)
+		}
+	}
+
+	// ListSessions auto-paginates to the same set.
+	rows, err := cl.ListSessions(ctx)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("ListSessions: %v (%d rows)", err, len(rows))
+	}
+
+	// Meta round-trips through the SDK too.
+	meta, err := cl.Meta(ctx)
+	if err != nil || !meta.Features.WhatIf || meta.Version == "" {
+		t.Fatalf("meta: %v %+v", err, meta)
+	}
+}

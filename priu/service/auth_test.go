@@ -208,13 +208,13 @@ func TestTenantIsolation(t *testing.T) {
 		want int
 	}{{"ak_bob", 0}, {"ak_alice", 1}} {
 		lresp := doAuthed(t, http.MethodGet, ts.URL+"/v2/sessions", c.key, nil, "")
-		var rows []SessionInfo
-		if err := json.NewDecoder(lresp.Body).Decode(&rows); err != nil {
+		var page SessionListResponse
+		if err := json.NewDecoder(lresp.Body).Decode(&page); err != nil {
 			t.Fatal(err)
 		}
 		lresp.Body.Close()
-		if len(rows) != c.want {
-			t.Fatalf("%s sees %d sessions, want %d", c.key, len(rows), c.want)
+		if len(page.Sessions) != c.want {
+			t.Fatalf("%s sees %d sessions, want %d", c.key, len(page.Sessions), c.want)
 		}
 	}
 

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"net/http"
+
+	"repro/priu"
+	"repro/priu/store"
+)
+
+// GET /v2/meta: server capability discovery — version, registered model
+// families, which optional features this deployment enables (auth mode,
+// disk spill tier, what-if plane) and the request limits a client should
+// shape its traffic to. Clients probe it once instead of feature-detecting
+// endpoint by endpoint; the v1 Deprecation/Sunset headers point here.
+
+// String renders the auth mode for /v2/meta.
+func (m AuthMode) String() string {
+	switch m {
+	case AuthOptional:
+		return "optional"
+	case AuthRequired:
+		return "required"
+	default:
+		return "off"
+	}
+}
+
+// v1Sunset is the advertised retirement date of the /v1 surface (an RFC 9110
+// HTTP-date, carried in the Sunset header of every v1 response).
+const v1Sunset = "Thu, 01 Jul 2027 00:00:00 GMT"
+
+// deprecateV1 marks a v1 response as deprecated: Deprecation (RFC 9745),
+// Sunset (RFC 8594) and a successor-version link to the v2 discovery
+// endpoint. The v1 bodies are unchanged — existing callers keep working
+// until the sunset date.
+func deprecateV1(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", v1Sunset)
+		w.Header().Set("Link", `</v2/meta>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// MetaFeatures reports which optional subsystems the deployment enables.
+type MetaFeatures struct {
+	// AuthMode is "off", "optional" or "required".
+	AuthMode string `json:"auth_mode"`
+	// Spill reports whether evicted sessions survive in a disk tier
+	// (-store-dir) instead of being dropped.
+	Spill bool `json:"spill"`
+	// WhatIf reports the what-if query plane
+	// (POST /v2/sessions/{id}/whatif).
+	WhatIf bool `json:"whatif"`
+}
+
+// MetaLimits reports the request limits callers should shape traffic to.
+type MetaLimits struct {
+	MaxSessions         int   `json:"max_sessions,omitempty"`
+	MaxBytes            int64 `json:"max_bytes,omitempty"`
+	MaxRemovalsPerBatch int   `json:"max_removals_per_batch"`
+	// WhatIfWorkers is the per-batch what-if evaluation fan-out (0 = the
+	// shared worker-pool width).
+	WhatIfWorkers int `json:"whatif_workers,omitempty"`
+	// WhatIfConcurrent caps one tenant's concurrent what-if streams (0 =
+	// uncapped).
+	WhatIfConcurrent int `json:"whatif_concurrent_per_tenant,omitempty"`
+}
+
+// MetaV1 describes the deprecated v1 surface's retirement schedule.
+type MetaV1 struct {
+	Deprecated bool   `json:"deprecated"`
+	Sunset     string `json:"sunset"`
+}
+
+// MetaResponse is the GET /v2/meta payload.
+type MetaResponse struct {
+	Version  string       `json:"version"`
+	Families []string     `json:"families"`
+	Features MetaFeatures `json:"features"`
+	Limits   MetaLimits   `json:"limits"`
+	V1       MetaV1       `json:"v1"`
+}
+
+func (s *Server) handleV2Meta(w http.ResponseWriter, r *http.Request) {
+	_, tiered := s.st.(*store.Tiered)
+	writeJSON(w, MetaResponse{
+		Version:  priu.Version,
+		Families: priu.Families(),
+		Features: MetaFeatures{
+			AuthMode: s.authMode.String(),
+			Spill:    tiered,
+			WhatIf:   true,
+		},
+		Limits: MetaLimits{
+			MaxSessions:         s.maxSessions,
+			MaxBytes:            s.maxBytes,
+			MaxRemovalsPerBatch: s.maxRemovals,
+			WhatIfWorkers:       s.whatifWorkers,
+			WhatIfConcurrent:    s.whatifLimit,
+		},
+		V1: MetaV1{Deprecated: true, Sunset: v1Sunset},
+	})
+}

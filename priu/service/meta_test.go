@@ -1,0 +1,231 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestV2Meta(t *testing.T) {
+	ts := newTestServerOpts(t, WithMaxSessions(5), WithWhatIfWorkers(3), WithWhatIfLimit(2))
+	resp, err := http.Get(ts.URL + "/v2/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta status %d", resp.StatusCode)
+	}
+	var meta MetaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version == "" || len(meta.Families) == 0 {
+		t.Fatalf("bad meta %+v", meta)
+	}
+	if meta.Features.AuthMode != "off" || meta.Features.Spill || !meta.Features.WhatIf {
+		t.Fatalf("features %+v, want auth off / no spill / whatif on", meta.Features)
+	}
+	if meta.Limits.MaxSessions != 5 || meta.Limits.WhatIfWorkers != 3 || meta.Limits.WhatIfConcurrent != 2 {
+		t.Fatalf("limits %+v", meta.Limits)
+	}
+	if meta.Limits.MaxRemovalsPerBatch <= 0 {
+		t.Fatal("max_removals_per_batch must be positive")
+	}
+	if !meta.V1.Deprecated || meta.V1.Sunset == "" {
+		t.Fatalf("v1 schedule %+v", meta.V1)
+	}
+}
+
+// TestV1DeprecationHeaders: every v1 response carries the deprecation trio;
+// v2 responses carry none of it.
+func TestV1DeprecationHeaders(t *testing.T) {
+	ts := newTestServerOpts(t)
+	for _, path := range []string{"/v1/sessions", "/v1/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatalf("%s: missing Deprecation header", path)
+		}
+		if resp.Header.Get("Sunset") != v1Sunset {
+			t.Fatalf("%s: Sunset = %q, want %q", path, resp.Header.Get("Sunset"), v1Sunset)
+		}
+		if link := resp.Header.Get("Link"); link != `</v2/meta>; rel="successor-version"` {
+			t.Fatalf("%s: Link = %q", path, link)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v2/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" || resp.Header.Get("Sunset") != "" {
+		t.Fatal("v2 responses must not carry deprecation headers")
+	}
+}
+
+// TestV2SessionListPagination walks a 5-session listing in pages of 2 and
+// checks stable order, cursor resumption and terminal next_cursor.
+func TestV2SessionListPagination(t *testing.T) {
+	ts := newTestServerOpts(t)
+	want := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		sr := v2Create(t, ts.URL, v2CreateBody(t, "linear", 40, 3, int64(i+1)))
+		want = append(want, sr.SessionID)
+	}
+
+	listPage := func(query string) SessionListResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v2/sessions" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list %q status %d", query, resp.StatusCode)
+		}
+		var page SessionListResponse
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	// Unpaged: everything, no next_cursor, ascending ID order.
+	full := listPage("")
+	if len(full.Sessions) != 5 || full.NextCursor != "" {
+		t.Fatalf("unpaged listing: %d rows, cursor %q", len(full.Sessions), full.NextCursor)
+	}
+	for i, si := range full.Sessions {
+		if si.SessionID != want[i] {
+			t.Fatalf("row %d = %s, want %s (stable order)", i, si.SessionID, want[i])
+		}
+	}
+
+	// Paged walk: 2 + 2 + 1.
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		q := "?limit=2"
+		if cursor != "" {
+			q += "&cursor=" + cursor
+		}
+		page := listPage(q)
+		if len(page.Sessions) > 2 {
+			t.Fatalf("page of %d rows exceeds limit 2", len(page.Sessions))
+		}
+		for _, si := range page.Sessions {
+			got = append(got, si.SessionID)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if pages != 3 || len(got) != 5 {
+		t.Fatalf("walked %d pages / %d rows, want 3 / 5", pages, len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("paged row %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+
+	// A cursor past the end yields an empty terminal page.
+	tail := listPage("?limit=2&cursor=" + want[4])
+	if len(tail.Sessions) != 0 || tail.NextCursor != "" {
+		t.Fatalf("past-the-end page: %+v", tail)
+	}
+
+	// Invalid limit: typed 400.
+	resp, err := http.Get(ts.URL + "/v2/sessions?limit=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeBadRequest {
+		t.Fatalf("bad limit code %q", env.Error.Code)
+	}
+}
+
+// TestV1SessionsPagination: /v1/sessions keeps its bare-array shape for
+// existing callers and switches to the envelope only when the caller passes
+// paging parameters.
+func TestV1SessionsPagination(t *testing.T) {
+	ts := newTestServerOpts(t)
+	for i := 0; i < 3; i++ {
+		v2Create(t, ts.URL, v2CreateBody(t, "linear", 40, 3, int64(i+1)))
+	}
+
+	// Bare array without paging parameters (the pre-pagination wire shape).
+	resp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bare []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bare); err != nil {
+		t.Fatalf("v1 unpaged listing is no longer a bare array: %v", err)
+	}
+	resp.Body.Close()
+	if len(bare) != 3 {
+		t.Fatalf("v1 listing has %d rows, want 3", len(bare))
+	}
+
+	// Envelope with ?limit=.
+	resp, err = http.Get(ts.URL + "/v1/sessions?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Sessions []struct {
+			ID string `json:"id"`
+		} `json:"sessions"`
+		NextCursor string `json:"next_cursor"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(page.Sessions) != 2 || page.NextCursor != page.Sessions[1].ID {
+		t.Fatalf("v1 page %+v", page)
+	}
+
+	// Second page completes the walk.
+	resp, err = http.Get(ts.URL + "/v1/sessions?limit=2&cursor=" + page.NextCursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page2 struct {
+		Sessions []struct {
+			ID string `json:"id"`
+		} `json:"sessions"`
+		NextCursor string `json:"next_cursor"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(page2.Sessions) != 1 || page2.NextCursor != "" {
+		t.Fatalf("v1 second page %+v", page2)
+	}
+
+	// Invalid limit: flat v1 400.
+	resp, err = http.Get(ts.URL + "/v1/sessions?limit=-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad v1 limit status %d", resp.StatusCode)
+	}
+}

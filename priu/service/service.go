@@ -17,22 +17,25 @@
 //
 // Two API generations are mounted side by side:
 //
-//	v1 (stable, unchanged wire format)
+//	v1 (deprecated: every response carries Deprecation/Sunset headers and a
+//	successor-version link to /v2/meta; wire formats unchanged until sunset)
 //	  POST /v1/train     register data + hyperparameters, train with capture
 //	  POST /v1/delete    incrementally remove samples (single session or batch)
 //	  GET  /v1/model/ID  fetch a session's current parameters
-//	  GET  /v1/sessions  list sessions (resident and spilled)
+//	  GET  /v1/sessions  list sessions (?limit=&cursor= opts into pagination)
 //	  GET  /v1/stats     per-shard, per-session and per-tier counters
 //
 //	v2 (REST routing, typed {"error":{"code","message"}} envelopes, snapshots,
-//	CSR uploads, streaming deletions — see v2.go)
+//	CSR uploads, streaming deletions, what-if previews — see v2.go, whatif.go)
 //	  POST   /v2/sessions                train (dense or CSR), or restore a snapshot
-//	  GET    /v2/sessions                list the caller's sessions
+//	  GET    /v2/sessions                paginated listing ({"sessions","next_cursor"})
 //	  GET    /v2/sessions/{id}           session metadata + parameters
 //	  DELETE /v2/sessions/{id}           drop a session (and its spill file)
 //	  GET    /v2/sessions/{id}/snapshot  stream a self-contained snapshot
 //	  POST   /v2/sessions/{id}/deletions NDJSON stream of removal batches
+//	  POST   /v2/sessions/{id}/whatif    evaluate candidate deletion sets without committing
 //	  GET    /v2/tenants/self/stats      the calling tenant's counters
+//	  GET    /v2/meta                    version, enabled features, limits
 //
 //	GET /healthz           load-balancer probe (version, uptime, tiers)
 //
@@ -92,6 +95,12 @@ type tenantCounters struct {
 	rowsDeleted     atomic.Int64
 	rateLimited     atomic.Int64
 	quotaRejections atomic.Int64
+	// What-if plane: completed streams, evaluated sets, in-flight streams
+	// (the concurrency-limit gauge) and limit rejections.
+	whatifs       atomic.Int64
+	whatifSets    atomic.Int64
+	whatifActive  atomic.Int64
+	whatifLimited atomic.Int64
 }
 
 // Server is the HTTP deletion service. The zero value is not usable; call
@@ -115,6 +124,14 @@ type Server struct {
 
 	// maxRemovals bounds one v2 deletion batch.
 	maxRemovals int
+
+	// What-if plane (see whatif.go): per-batch evaluation fan-out, the
+	// per-tenant concurrent-stream cap, and the service-wide gauges.
+	whatifWorkers   int
+	whatifLimit     int
+	whatifs         atomic.Int64
+	whatifSets      atomic.Int64
+	whatifCacheHits atomic.Int64
 }
 
 // tc returns (creating if needed) a tenant's request counters.
@@ -170,7 +187,7 @@ func WithAuth(mode AuthMode, k *Keyring) ServerOption {
 // server picks up every session a previous process spilled: IDs continue
 // after the highest one found, and cold sessions restore on first touch.
 func NewServer(opts ...ServerOption) *Server {
-	s := &Server{start: time.Now(), maxRemovals: defaultMaxRemovalsPerBatch}
+	s := &Server{start: time.Now(), maxRemovals: defaultMaxRemovalsPerBatch, whatifLimit: defaultWhatIfLimit}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -339,12 +356,18 @@ type StatsResponse struct {
 	// performed off the request path), the queue's current backlog and its
 	// backpressure drops, disk-budget file evictions that dropped cold
 	// sessions, and age-based GC removals of orphaned files.
-	WriteBehindSpills int64        `json:"write_behind_spills,omitempty"`
-	SpillQueueDepth   int          `json:"spill_queue_depth,omitempty"`
-	SpillQueueFull    int64        `json:"spill_queue_full,omitempty"`
-	DiskEvictions     int64        `json:"disk_evictions,omitempty"`
-	GCRemovals        int64        `json:"gc_removals,omitempty"`
-	Shards            []ShardStats `json:"shards"`
+	WriteBehindSpills int64 `json:"write_behind_spills,omitempty"`
+	SpillQueueDepth   int   `json:"spill_queue_depth,omitempty"`
+	SpillQueueFull    int64 `json:"spill_queue_full,omitempty"`
+	DiskEvictions     int64 `json:"disk_evictions,omitempty"`
+	GCRemovals        int64 `json:"gc_removals,omitempty"`
+	// What-if plane gauges: streams served, candidate sets evaluated, and
+	// prefix-tree cache hits (shared-prefix rows the planners did not
+	// re-apply).
+	WhatIfs         int64        `json:"whatifs,omitempty"`
+	WhatIfSets      int64        `json:"whatif_sets,omitempty"`
+	WhatIfCacheHits int64        `json:"whatif_cache_hits,omitempty"`
+	Shards          []ShardStats `json:"shards"`
 }
 
 // HealthResponse is the /healthz payload for load-balancer probes.
@@ -374,16 +397,17 @@ type HealthResponse struct {
 	Tenants int `json:"tenants,omitempty"`
 }
 
-// Handler returns the service's HTTP routes — the unchanged v1 surface, the
-// v2 REST surface and the health probe — wrapped in the tenant-resolution
-// middleware.
+// Handler returns the service's HTTP routes — the v1 surface (deprecated;
+// every response carries Deprecation/Sunset headers pointing at /v2/meta),
+// the v2 REST surface and the health probe — wrapped in the
+// tenant-resolution middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/train", s.handleTrain)
-	mux.HandleFunc("/v1/delete", s.handleDelete)
-	mux.HandleFunc("/v1/model/", s.handleModel)
-	mux.HandleFunc("/v1/sessions", s.handleSessions)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/train", deprecateV1(s.handleTrain))
+	mux.HandleFunc("/v1/delete", deprecateV1(s.handleDelete))
+	mux.HandleFunc("/v1/model/", deprecateV1(s.handleModel))
+	mux.HandleFunc("/v1/sessions", deprecateV1(s.handleSessions))
+	mux.HandleFunc("/v1/stats", deprecateV1(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mountV2(mux)
 	return s.withAuth(mux)
@@ -750,28 +774,28 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		CreatedAt time.Time `json:"created_at"`
 		Spilled   bool      `json:"spilled,omitempty"`
 	}
-	var out []row
-	seen := map[string]bool{}
-	// Listings are tenant-scoped: a caller sees only its own namespace.
-	s.st.Range(func(sess *Session) bool {
-		if store.TenantOf(sess.ID) != ten.Name {
-			return true
-		}
-		out = append(out, row{ID: store.LocalID(sess.ID), Kind: sess.Kind, CreatedAt: sess.CreatedAt})
-		seen[sess.ID] = true
-		return true
-	})
-	// Spilled sessions are still servable (they restore on touch): list them.
-	for _, sp := range s.st.Stats().SpilledSessions {
-		if store.TenantOf(sp.ID) == ten.Name && !seen[sp.ID] {
-			out = append(out, row{ID: store.LocalID(sp.ID), Kind: sp.Kind, CreatedAt: sp.CreatedAt, Spilled: true})
-		}
+	p, err := parsePageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].ID, out[j].ID) })
-	if out == nil {
-		out = []row{}
+	// Listings are tenant-scoped (a caller sees only its own namespace) and
+	// include spilled sessions, which are still servable: they restore on
+	// touch.
+	out := make([]row, 0)
+	for _, si := range s.listSessions(ten) {
+		out = append(out, row{ID: si.SessionID, Kind: si.Family, CreatedAt: si.CreatedAt, Spilled: si.Spilled})
 	}
-	writeJSON(w, out)
+	if !p.paged {
+		// The pre-pagination wire shape, unchanged for existing callers.
+		writeJSON(w, out)
+		return
+	}
+	lo, hi, next := pageWindow(len(out), func(i int) string { return out[i].ID }, p)
+	writeJSON(w, struct {
+		Sessions   []row  `json:"sessions"`
+		NextCursor string `json:"next_cursor,omitempty"`
+	}{Sessions: out[lo:hi], NextCursor: next})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -798,6 +822,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpillQueueFull:    st.SpillQueueFull,
 		DiskEvictions:     st.DiskEvictions,
 		GCRemovals:        st.GCRemovals,
+		WhatIfs:           s.whatifs.Load(),
+		WhatIfSets:        s.whatifSets.Load(),
+		WhatIfCacheHits:   s.whatifCacheHits.Load(),
 	}
 	ten := tenantFor(r)
 	perShard := make([][]SessionStats, numShards)

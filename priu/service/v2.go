@@ -199,8 +199,14 @@ func (s *Server) mountV2(mux *http.ServeMux) {
 	routeV2(mux, "/v2/sessions/{id}/deletions", map[string]http.HandlerFunc{
 		http.MethodPost: s.handleV2Deletions,
 	})
+	routeV2(mux, "/v2/sessions/{id}/whatif", map[string]http.HandlerFunc{
+		http.MethodPost: s.handleV2WhatIf,
+	})
 	routeV2(mux, "/v2/tenants/self/stats", map[string]http.HandlerFunc{
 		http.MethodGet: s.handleV2TenantStats,
+	})
+	routeV2(mux, "/v2/meta", map[string]http.HandlerFunc{
+		http.MethodGet: s.handleV2Meta,
 	})
 	mux.HandleFunc("/v2/", func(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "no such v2 route %s %s", r.Method, r.URL.Path)
@@ -431,8 +437,66 @@ type SessionInfo struct {
 	Spilled bool `json:"spilled,omitempty"`
 }
 
-func (s *Server) handleV2ListSessions(w http.ResponseWriter, r *http.Request) {
-	ten := tenantFor(r)
+// SessionListResponse is the GET /v2/sessions envelope. NextCursor, when
+// set, resumes the listing after the last returned session (pass it back as
+// ?cursor=); an absent NextCursor means the listing is complete.
+type SessionListResponse struct {
+	Sessions   []SessionInfo `json:"sessions"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// pageParams are the ?limit= / ?cursor= listing parameters shared by the v1
+// and v2 session listings.
+type pageParams struct {
+	limit  int
+	cursor string
+	// paged reports whether any paging parameter was present — the v1
+	// listing only switches to the envelope shape when the caller opts in.
+	paged bool
+}
+
+// parsePageParams reads the paging query parameters.
+func parsePageParams(r *http.Request) (pageParams, error) {
+	q := r.URL.Query()
+	var p pageParams
+	if q.Has("limit") {
+		p.paged = true
+		n, err := strconv.Atoi(q.Get("limit"))
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("limit must be a positive integer, got %q", q.Get("limit"))
+		}
+		p.limit = n
+	}
+	if q.Has("cursor") {
+		p.paged = true
+		p.cursor = q.Get("cursor")
+	}
+	return p, nil
+}
+
+// pageWindow computes the [lo,hi) window of a listing already sorted by
+// sessionIDLess, resuming strictly after the cursor, plus the next cursor
+// ("" when nothing follows). The cursor is an ID, not an offset, so pages
+// stay stable while sessions are created or deleted between requests.
+func pageWindow(n int, idAt func(i int) string, p pageParams) (int, int, string) {
+	lo := 0
+	if p.cursor != "" {
+		lo = sort.Search(n, func(i int) bool { return sessionIDLess(p.cursor, idAt(i)) })
+	}
+	hi := n
+	if p.limit > 0 && lo+p.limit < n {
+		hi = lo + p.limit
+	}
+	next := ""
+	if hi < n && hi > lo {
+		next = idAt(hi - 1)
+	}
+	return lo, hi, next
+}
+
+// listSessions builds the caller's full sorted session listing (resident and
+// spilled rows merged).
+func (s *Server) listSessions(ten *Tenant) []SessionInfo {
 	out := []SessionInfo{}
 	seen := map[string]bool{}
 	s.st.Range(func(sess *Session) bool {
@@ -449,7 +513,18 @@ func (s *Server) handleV2ListSessions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].SessionID, out[j].SessionID) })
-	writeJSON(w, out)
+	return out
+}
+
+func (s *Server) handleV2ListSessions(w http.ResponseWriter, r *http.Request) {
+	p, err := parsePageParams(r)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+		return
+	}
+	out := s.listSessions(tenantFor(r))
+	lo, hi, next := pageWindow(len(out), func(i int) string { return out[i].SessionID }, p)
+	writeJSON(w, SessionListResponse{Sessions: out[lo:hi], NextCursor: next})
 }
 
 func (s *Server) handleV2DeleteSession(w http.ResponseWriter, r *http.Request) {
@@ -472,6 +547,10 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 			"family %q does not support snapshots", sess.Kind)
 		return
 	}
+	// Pin for the export duration: a slow download must not have its session
+	// (or the session's spill file) evicted out from under the stream.
+	sess.Pin()
+	defer sess.Unpin()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Priu-Family", sess.Kind)
 	// Provenance is immutable after capture, so only the deletion log needs
@@ -690,6 +769,12 @@ type TenantStatsResponse struct {
 	// DiskEvictions counts the tenant's cold sessions dropped by the global
 	// disk budget.
 	DiskEvictions int64 `json:"disk_evictions,omitempty"`
+	// What-if plane: streams served, candidate sets evaluated, streams
+	// currently in flight, and concurrency-limit rejections.
+	WhatIfs       int64 `json:"whatifs,omitempty"`
+	WhatIfSets    int64 `json:"whatif_sets,omitempty"`
+	WhatIfActive  int64 `json:"whatif_active,omitempty"`
+	WhatIfLimited int64 `json:"whatif_limited,omitempty"`
 }
 
 func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
@@ -719,6 +804,10 @@ func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
 		BudgetEvictions:    st.BudgetEvictions,
 		ExplicitDeletes:    st.ExplicitDeletes,
 		DiskEvictions:      st.DiskEvictions,
+		WhatIfs:            tq.whatifs.Load(),
+		WhatIfSets:         tq.whatifSets.Load(),
+		WhatIfActive:       tq.whatifActive.Load(),
+		WhatIfLimited:      tq.whatifLimited.Load(),
 	})
 }
 

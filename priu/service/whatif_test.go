@@ -1,0 +1,580 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// whatifLine is the union of every NDJSON line shape a what-if stream can
+// produce: a per-set result, a per-set error envelope, or the trailing
+// summary (their JSON fields do not overlap).
+type whatifLine struct {
+	Error *APIError `json:"error"`
+
+	Set          int       `json:"set"`
+	RowsRemoved  int       `json:"rows_removed"`
+	TotalDeleted int       `json:"total_deleted"`
+	EvalSeconds  float64   `json:"eval_seconds"`
+	Digest       string    `json:"digest"`
+	Parameters   []float64 `json:"parameters"`
+
+	Summary     bool  `json:"summary"`
+	Sets        int   `json:"sets"`
+	Evaluated   int   `json:"evaluated"`
+	Errors      int   `json:"errors"`
+	CacheHits   int64 `json:"cache_hits"`
+	Incremental bool  `json:"incremental"`
+}
+
+// whatifBatch POSTs one JSON what-if batch and decodes the full NDJSON
+// response: per-set lines in request order, then the summary.
+func whatifBatch(t *testing.T, baseURL, sessionID string, req WhatIfRequest) ([]whatifLine, whatifLine) {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v2/sessions/"+sessionID+"/whatif", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif status %d", resp.StatusCode)
+	}
+	var lines []whatifLine
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ln whatifLine
+		if err := dec.Decode(&ln); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		lines = append(lines, ln)
+	}
+	if len(lines) != len(req.Sets)+1 {
+		t.Fatalf("got %d lines for %d sets (want sets+summary)", len(lines), len(req.Sets))
+	}
+	last := lines[len(lines)-1]
+	if !last.Summary {
+		t.Fatalf("last line is not the summary: %+v", last)
+	}
+	return lines[:len(lines)-1], last
+}
+
+// v1Delete commits one removal batch through /v1/delete and returns the
+// updated parameters.
+func v1Delete(t *testing.T, baseURL, sessionID string, removed []int) []float64 {
+	t.Helper()
+	body, _ := json.Marshal(DeleteRequest{SessionID: sessionID, Removed: removed})
+	resp, err := http.Post(baseURL+"/v1/delete", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 delete status %d", resp.StatusCode)
+	}
+	var dr DeleteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	return dr.Parameters
+}
+
+func getSession(t *testing.T, baseURL, id string) SessionResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get session status %d", resp.StatusCode)
+	}
+	var sr SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestV2WhatIfBatchBitwise: a what-if batch's digests are bitwise-identical
+// to actually committing the same sets on identically trained sessions, the
+// shared-prefix planner reports cache hits, and the live session is
+// untouched.
+func TestV2WhatIfBatchBitwise(t *testing.T) {
+	ts := newTestServerOpts(t)
+	body := v2CreateBody(t, "linear-opt", 120, 5, 3)
+	sr := v2Create(t, ts.URL, body)
+	liveDigest := ParamDigest(sr.Parameters)
+
+	sets := [][]int{
+		{3, 17, 42},
+		{3, 17, 42, 60}, // extends the first: full prefix reuse
+		{3, 17, 55},     // diverges after {3, 17}
+		{3, 17, 42},     // duplicate: memoized
+	}
+	results, summary := whatifBatch(t, ts.URL, sr.SessionID, WhatIfRequest{Sets: sets})
+	if !summary.Incremental {
+		t.Fatal("linear-opt should evaluate on the incremental cursor")
+	}
+	if summary.Evaluated != 4 || summary.Errors != 0 {
+		t.Fatalf("summary %+v, want 4 evaluated / 0 errors", summary)
+	}
+	if summary.CacheHits < 8 {
+		t.Fatalf("cache hits = %d, want >= 8 (shared prefixes reused)", summary.CacheHits)
+	}
+	if results[0].Digest != results[3].Digest {
+		t.Fatal("duplicate set produced a different digest")
+	}
+	for i, r := range results {
+		if r.RowsRemoved != len(sets[i]) || r.TotalDeleted != len(sets[i]) {
+			t.Fatalf("set %d: rows_removed=%d total_deleted=%d, want %d", i, r.RowsRemoved, r.TotalDeleted, len(sets[i]))
+		}
+	}
+
+	// Commit each distinct set on a separate, identically trained session:
+	// the committed parameters must hash to the what-if digest exactly.
+	for _, i := range []int{0, 1, 2} {
+		clone := v2Create(t, ts.URL, body)
+		committed := v1Delete(t, ts.URL, clone.SessionID, sets[i])
+		if got := ParamDigest(committed); got != results[i].Digest {
+			t.Fatalf("set %d: committed digest %s != what-if digest %s", i, got, results[i].Digest)
+		}
+	}
+
+	// The live session is untouched: no deletions recorded, parameters
+	// bit-for-bit what training produced.
+	after := getSession(t, ts.URL, sr.SessionID)
+	if after.TotalDeleted != 0 {
+		t.Fatalf("live session total_deleted = %d after what-ifs, want 0", after.TotalDeleted)
+	}
+	if got := ParamDigest(after.Parameters); got != liveDigest {
+		t.Fatalf("live parameters changed: %s != %s", got, liveDigest)
+	}
+
+	// Stats gauges moved.
+	st := getStats(t, ts.URL)
+	if st.WhatIfs < 1 || st.WhatIfSets < 4 || st.WhatIfCacheHits < 8 {
+		t.Fatalf("whatif gauges %d/%d/%d, want >=1/>=4/>=8", st.WhatIfs, st.WhatIfSets, st.WhatIfCacheHits)
+	}
+}
+
+func getStats(t *testing.T, baseURL string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestV2WhatIfOnTopOfCommittedDeletions: candidates evaluate on top of the
+// session's committed log, matching a clone that commits the sorted union as
+// one batch.
+func TestV2WhatIfOnTopOfCommittedDeletions(t *testing.T) {
+	ts := newTestServerOpts(t)
+	body := v2CreateBody(t, "linear-opt", 100, 4, 9)
+	sr := v2Create(t, ts.URL, body)
+	v1Delete(t, ts.URL, sr.SessionID, []int{0, 1, 2})
+
+	results, _ := whatifBatch(t, ts.URL, sr.SessionID, WhatIfRequest{Sets: [][]int{{7, 30}}})
+	if results[0].Error != nil {
+		t.Fatalf("whatif error: %+v", results[0].Error)
+	}
+	if results[0].TotalDeleted != 5 {
+		t.Fatalf("total_deleted = %d, want 5 (3 committed + 2 candidate)", results[0].TotalDeleted)
+	}
+	clone := v2Create(t, ts.URL, body)
+	committed := v1Delete(t, ts.URL, clone.SessionID, []int{0, 1, 2, 7, 30})
+	if got := ParamDigest(committed); got != results[0].Digest {
+		t.Fatalf("committed-union digest %s != what-if digest %s", got, results[0].Digest)
+	}
+	if after := getSession(t, ts.URL, sr.SessionID); after.TotalDeleted != 3 {
+		t.Fatalf("live log grew to %d, want 3", after.TotalDeleted)
+	}
+}
+
+// TestV2WhatIfErrorPaths: unknown sessions, malformed bodies, and invalid
+// sets (empty, duplicate, out-of-range, already-deleted) report typed errors;
+// per-set errors do not abort the stream.
+func TestV2WhatIfErrorPaths(t *testing.T) {
+	ts := newTestServerOpts(t)
+
+	// Unknown session: typed 404 before any streaming.
+	resp, err := http.Post(ts.URL+"/v2/sessions/nope/whatif", "application/json", strings.NewReader(`{"sets":[[1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session status %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeNotFound {
+		t.Fatalf("error code %q, want %q", env.Error.Code, ErrCodeNotFound)
+	}
+	resp.Body.Close()
+
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear", 60, 3, 4))
+	v1Delete(t, ts.URL, sr.SessionID, []int{9})
+
+	// Malformed body: typed 400.
+	resp, err = http.Post(ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeBadRequest {
+		t.Fatalf("error code %q, want %q", env.Error.Code, ErrCodeBadRequest)
+	}
+	resp.Body.Close()
+
+	// No sets at all: typed 400.
+	resp, err = http.Post(ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", "application/json", strings.NewReader(`{"sets":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-sets status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Invalid sets report per-set errors; the valid set still evaluates.
+	results, summary := whatifBatch(t, ts.URL, sr.SessionID, WhatIfRequest{Sets: [][]int{
+		{},       // empty
+		{5, 5},   // duplicate within the set
+		{100000}, // out of range
+		{9},      // already committed
+		{3, 7},   // valid
+	}})
+	for i, wantCode := range []string{ErrCodeInvalidRemovals, ErrCodeInvalidRemovals, ErrCodeInvalidRemovals, ErrCodeInvalidRemovals, ""} {
+		if wantCode == "" {
+			if results[i].Error != nil {
+				t.Fatalf("set %d: unexpected error %+v", i, results[i].Error)
+			}
+			continue
+		}
+		if results[i].Error == nil || results[i].Error.Code != wantCode {
+			t.Fatalf("set %d: error %+v, want code %q", i, results[i].Error, wantCode)
+		}
+	}
+	if summary.Evaluated != 1 || summary.Errors != 4 {
+		t.Fatalf("summary %+v, want 1 evaluated / 4 errors", summary)
+	}
+
+	// Wrong method: typed 405 with Allow.
+	gresp, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID + "/whatif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed || gresp.Header.Get("Allow") != "POST" {
+		t.Fatalf("GET whatif: status %d allow %q", gresp.StatusCode, gresp.Header.Get("Allow"))
+	}
+}
+
+// TestV2WhatIfStreamingAndGone: NDJSON mode answers set by set on one
+// connection, keeps the prefix tree across lines, and terminates with a typed
+// "gone" line when the session is deleted mid-stream.
+func TestV2WhatIfStreamingAndGone(t *testing.T) {
+	ts := newTestServerOpts(t)
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear-opt", 90, 4, 5))
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type opened struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan opened, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		done <- opened{resp, err}
+	}()
+	if _, err := io.WriteString(pw, `{"remove":[2,8]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	open := <-done
+	if open.err != nil {
+		t.Fatal(open.err)
+	}
+	defer open.resp.Body.Close()
+	if open.resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif stream status %d", open.resp.StatusCode)
+	}
+	br := bufio.NewReader(open.resp.Body)
+	readLine := func() whatifLine {
+		t.Helper()
+		raw, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ln whatifLine
+		if err := json.Unmarshal([]byte(raw), &ln); err != nil {
+			t.Fatal(err)
+		}
+		return ln
+	}
+	first := readLine()
+	if first.Error != nil || first.Digest == "" {
+		t.Fatalf("first set: %+v", first)
+	}
+	// A second overlapping set on the same connection reuses the tree.
+	if _, err := io.WriteString(pw, `{"remove":[2,8,20]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	second := readLine()
+	if second.Error != nil || second.TotalDeleted != 3 {
+		t.Fatalf("second set: %+v", second)
+	}
+
+	// Delete the session out from under the stream: the next set reports the
+	// typed "gone" code and the stream ends with the summary.
+	dreq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/sessions/"+sr.SessionID, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("mid-stream delete status %d", dresp.StatusCode)
+	}
+	if _, err := io.WriteString(pw, `{"remove":[30]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	goneLine := readLine()
+	if goneLine.Error == nil || goneLine.Error.Code != ErrCodeGone {
+		t.Fatalf("after delete: %+v, want code %q", goneLine, ErrCodeGone)
+	}
+	summary := readLine()
+	if !summary.Summary || summary.CacheHits < 2 {
+		t.Fatalf("summary %+v, want summary line with >=2 cache hits", summary)
+	}
+	pw.Close()
+}
+
+// TestV2WhatIfConcurrencyLimit: a tenant over its concurrent-what-if cap gets
+// a typed 429 and can proceed once the in-flight stream finishes.
+func TestV2WhatIfConcurrencyLimit(t *testing.T) {
+	ts := newTestServerOpts(t, WithWhatIfLimit(1))
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear", 60, 3, 6))
+
+	// Hold one NDJSON stream open (it occupies the tenant's single slot for
+	// the whole connection).
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type opened struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan opened, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		done <- opened{resp, err}
+	}()
+	if _, err := io.WriteString(pw, `{"remove":[1]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	open := <-done
+	if open.err != nil {
+		t.Fatal(open.err)
+	}
+	if open.resp.StatusCode != http.StatusOK {
+		t.Fatalf("first stream status %d", open.resp.StatusCode)
+	}
+	br := bufio.NewReader(open.resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second what-if while the first is open: typed 429.
+	resp, err := http.Post(ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", "application/json", strings.NewReader(`{"sets":[[2]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-limit response missing Retry-After")
+	}
+	if env := decodeEnvelope(t, resp.Body); env.Error.Code != ErrCodeWhatIfLimited {
+		t.Fatalf("error code %q, want %q", env.Error.Code, ErrCodeWhatIfLimited)
+	}
+	resp.Body.Close()
+
+	// Release the slot; the next what-if is admitted.
+	pw.Close()
+	io.Copy(io.Discard, br)
+	open.resp.Body.Close()
+	if _, summary := whatifBatch(t, ts.URL, sr.SessionID, WhatIfRequest{Sets: [][]int{{2}}}); summary.Evaluated != 1 {
+		t.Fatalf("post-release summary %+v", summary)
+	}
+
+	st := tenantStats(t, ts.URL)
+	if st.WhatIfLimited < 1 {
+		t.Fatalf("whatif_limited = %d, want >= 1", st.WhatIfLimited)
+	}
+}
+
+func tenantStats(t *testing.T, baseURL string) TenantStatsResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v2/tenants/self/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st TenantStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestV2WhatIfPropertyLiveUntouched is the randomized property test: 100
+// what-if evaluations from concurrent streams leave the live session's
+// parameters, digest and deletion log bit-for-bit unchanged, and a spot-check
+// set matches committing the same union on a snapshot-cloned session.
+func TestV2WhatIfPropertyLiveUntouched(t *testing.T) {
+	ts := newTestServerOpts(t)
+	sr := v2Create(t, ts.URL, v2CreateBody(t, "linear-opt", 100, 4, 11))
+	// A committed baseline with the lowest ids keeps the cumulative log
+	// ascending, so union digests are comparable against one-batch commits.
+	v1Delete(t, ts.URL, sr.SessionID, []int{0, 1, 2})
+	before := getSession(t, ts.URL, sr.SessionID)
+	beforeDigest := ParamDigest(before.Parameters)
+
+	// Clone the session through the snapshot plane before the what-ifs: the
+	// clone's committed log replays to the same state.
+	snap, err := http.Get(ts.URL + "/v2/sessions/" + sr.SessionID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(snap.Body)
+	snap.Body.Close()
+	if err != nil || snap.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot export: status %d err %v", snap.StatusCode, err)
+	}
+	rresp, err := http.Post(ts.URL+"/v2/sessions", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clone SessionResponse
+	if err := json.NewDecoder(rresp.Body).Decode(&clone); err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+
+	const (
+		goroutines = 4
+		perG       = 25
+	)
+	type sample struct {
+		candidate []int
+		digest    string
+	}
+	samples := make([]sample, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			for k := 0; k < perG; k++ {
+				picked := map[int]bool{}
+				for len(picked) < 1+rng.Intn(3) {
+					picked[3+rng.Intn(97)] = true // ids above the committed log
+				}
+				candidate := make([]int, 0, len(picked))
+				for id := range picked {
+					candidate = append(candidate, id)
+				}
+				sort.Ints(candidate)
+				body, _ := json.Marshal(WhatIfRequest{Sets: [][]int{candidate}})
+				resp, err := http.Post(ts.URL+"/v2/sessions/"+sr.SessionID+"/whatif", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dec := json.NewDecoder(resp.Body)
+				var res, summary whatifLine
+				if err := dec.Decode(&res); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				_ = dec.Decode(&summary)
+				resp.Body.Close()
+				if res.Error != nil {
+					t.Errorf("goroutine %d set %v: %+v", g, candidate, res.Error)
+					return
+				}
+				samples[g] = sample{candidate, res.Digest}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Live session: parameters and log bit-for-bit unchanged after 100
+	// what-ifs.
+	after := getSession(t, ts.URL, sr.SessionID)
+	if after.TotalDeleted != before.TotalDeleted {
+		t.Fatalf("deletion log moved: %d -> %d", before.TotalDeleted, after.TotalDeleted)
+	}
+	if got := ParamDigest(after.Parameters); got != beforeDigest {
+		t.Fatalf("live parameters changed under what-ifs: %s != %s", got, beforeDigest)
+	}
+
+	// Spot-check: committing one sampled candidate on the clone reproduces
+	// the what-if digest exactly.
+	s := samples[0]
+	committed := v1Delete(t, ts.URL, clone.SessionID, s.candidate)
+	if got := ParamDigest(committed); got != s.digest {
+		t.Fatalf("clone-committed digest %s != what-if digest %s for %v", got, s.digest, s.candidate)
+	}
+}
+
+// TestV2WhatIfFallbackFamily: a family without the incremental capability
+// still answers what-ifs (pure replay), flagged in the summary.
+func TestV2WhatIfFallbackFamily(t *testing.T) {
+	ts := newTestServerOpts(t)
+	body := v2CreateBody(t, "logistic", 80, 4, 7)
+	sr := v2Create(t, ts.URL, body)
+	results, summary := whatifBatch(t, ts.URL, sr.SessionID, WhatIfRequest{Sets: [][]int{{4, 40}}})
+	if summary.Incremental {
+		t.Fatal("base logistic should report the replay fallback")
+	}
+	clone := v2Create(t, ts.URL, body)
+	committed := v1Delete(t, ts.URL, clone.SessionID, []int{4, 40})
+	if got := ParamDigest(committed); got != results[0].Digest {
+		t.Fatalf("replay digest %s != committed %s", got, results[0].Digest)
+	}
+}

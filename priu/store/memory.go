@@ -492,7 +492,10 @@ type victimCand struct {
 // victim comes from the tenant furthest over its equal share of resident
 // bytes (LRU within that tenant), so one hot tenant churning registrations
 // cannot monopolize the resident tier by aging out everyone else's
-// sessions. The session named keepID is never picked.
+// sessions. The session named keepID is never picked, nor is any session
+// pinned by a long-running read — when everything evictable is pinned,
+// enforcement stops and the budget is temporarily exceeded rather than
+// dropping state under an active stream.
 func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
 	var global victimCand
 	perTenant := map[string]victimCand{}
@@ -502,6 +505,9 @@ func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
 		for _, sess := range sh.sessions {
 			if sess.ID == keepID {
 				continue
+			}
+			if sess.Pinned() {
+				continue // a long-running read holds it resident
 			}
 			lu := sess.lastUsed.Load()
 			if global.sess == nil || lu < global.lu {

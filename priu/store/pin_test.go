@@ -1,0 +1,53 @@
+package store
+
+import "testing"
+
+func TestPinnedSessionSurvivesBudgetEviction(t *testing.T) {
+	m := NewMemory(WithMaxSessions(2))
+	a, b, c := trainSession(t, "sess-1", 1), trainSession(t, "sess-2", 2), trainSession(t, "sess-3", 3)
+	m.Put(a)
+	m.Put(b)
+	m.Touch("sess-1") // sess-2 would be the LRU victim...
+	b.Pin()
+	defer b.Unpin()
+	m.Put(c) // ...but it is pinned, so sess-1 is evicted instead
+
+	if _, ok := m.Get("sess-2"); !ok {
+		t.Fatal("pinned session must survive budget eviction")
+	}
+	if _, ok := m.Get("sess-1"); ok {
+		t.Fatal("unpinned LRU session should have been evicted instead")
+	}
+
+	// With everything pinned, enforcement gives up (budget temporarily
+	// exceeded) rather than dropping state under an active reader.
+	b2, _ := m.Get("sess-2")
+	c2, _ := m.Get("sess-3")
+	b2.Pin()
+	c2.Pin()
+	defer b2.Unpin()
+	defer c2.Unpin()
+	d := trainSession(t, "sess-4", 4)
+	d.Pin()
+	defer d.Unpin()
+	if err := m.Put(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"sess-2", "sess-3", "sess-4"} {
+		if _, ok := m.Get(id); !ok {
+			t.Fatalf("session %s dropped while pinned", id)
+		}
+	}
+	if got := m.Stats().Resident; got != 3 {
+		t.Fatalf("resident = %d, want 3 (budget exceeded while pinned)", got)
+	}
+
+	// An explicit Delete ignores pins: the client's instruction to forget
+	// the session wins over an in-flight read.
+	if !m.Delete("sess-2") {
+		t.Fatal("explicit delete of a pinned session must succeed")
+	}
+	if _, ok := m.Get("sess-2"); ok {
+		t.Fatal("deleted session should be gone despite the pin")
+	}
+}

@@ -131,6 +131,13 @@ type Session struct {
 	// gone marks a copy that was evicted or deleted from the store (guarded
 	// by Mu): mutators holding a gone session must re-fetch through Get.
 	gone bool
+	// pins counts long-running readers (what-if evaluations, snapshot
+	// exports) holding the session in the resident tier: the budget evictor
+	// skips pinned sessions, and residency in turn pins the session's clean
+	// spill file against the disk-budget evictor — so neither tier drops
+	// state under an active stream. Explicit Delete ignores pins: a client
+	// instruction to forget the session wins over an in-flight read.
+	pins atomic.Int32
 	// notifyDirty, when set (by the tiered store before the session is
 	// published), is called by MarkDirtyLocked with Mu held — the
 	// write-behind hook that schedules an eager background snapshot. It must
@@ -183,6 +190,16 @@ func (sess *Session) MarkDirtyLocked() {
 // GoneLocked reports whether this copy was evicted or deleted from the store.
 // Callers hold Mu.
 func (sess *Session) GoneLocked() bool { return sess.gone }
+
+// Pin marks a long-running read in flight: the budget evictor will not pick
+// the session while pinned. Pair every Pin with an Unpin (defer it).
+func (sess *Session) Pin() { sess.pins.Add(1) }
+
+// Unpin releases one Pin.
+func (sess *Session) Unpin() { sess.pins.Add(-1) }
+
+// Pinned reports whether any long-running read holds the session resident.
+func (sess *Session) Pinned() bool { return sess.pins.Load() > 0 }
 
 // TrainingSetBytes charges a training set's resident memory for eviction
 // accounting.

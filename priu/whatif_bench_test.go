@@ -1,0 +1,80 @@
+package priu
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkWhatIfBatch measures the what-if planner's shared-prefix tree
+// against the naive alternative — k independent incremental replays, one per
+// candidate set. The candidates share a long common prefix (the realistic
+// "variations on one deletion request" shape), which the planner applies once
+// and forks, so the reported "speedup" metric is the planner's win over
+// evaluating each set from scratch. Gated by benchguard via
+// BENCH_BASELINE.json.
+func BenchmarkWhatIfBatch(b *testing.B) {
+	prev := Workers()
+	SetWorkers(1) // 1-core floor: the speedup must come from sharing, not parallelism
+	b.Cleanup(func() { SetWorkers(prev) })
+
+	// 48 features: every candidate set (28 rows) stays under Δn < m, the
+	// regime the opt families answer incrementally.
+	d, err := GenerateRegression("b-whatif", 400, 48, 0.1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := Train(FamilyLinearOpt, d,
+		WithEta(5e-3), WithLambda(0.05), WithBatchSize(50),
+		WithIterations(25), WithSeed(11), WithLinearizerCells(50_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// 8 candidate sets: a 24-row shared prefix plus a distinct 4-row tail
+	// each, ascending so every set walks the same trie path first.
+	const k, prefixLen, tailLen = 8, 24, 4
+	prefix := make([]int, prefixLen)
+	for i := range prefix {
+		prefix[i] = i * 3 // 0, 3, ..., 69
+	}
+	sets := make([][]int, k)
+	for s := range sets {
+		set := make([]int, 0, prefixLen+tailLen)
+		set = append(set, prefix...)
+		for j := 0; j < tailLen; j++ {
+			set = append(set, 100+s*tailLen+j)
+		}
+		sets[s] = set
+	}
+
+	// Baseline: each set evaluated independently — exactly what k separate
+	// what-if calls (or a planner-less server) would cost.
+	const reps = 3
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, set := range sets {
+			if _, err := u.Update(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	baselineNs := time.Since(start).Nanoseconds() / reps
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewWhatIfPlanner(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range p.EvalBatch(sets, 1) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Nanoseconds() / int64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(baselineNs)/float64(perOp), "speedup")
+	}
+}
