@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STORE_COVER_MIN ?= 85
 SERVICE_COVER_MIN ?= 81
 
-.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke whatif-smoke fuzz-smoke cover fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover fmt fmt-check vet ci
 
 all: build
 
@@ -85,6 +85,15 @@ auth-smoke:
 whatif-smoke:
 	$(GO) test -race -count=1 -run 'TestWhatIfSmoke' ./priu/client
 
+# Fleet smoke: builds the real priuserve/priublob binaries, starts one blob
+# server plus three replicas wired into a fleet (-node/-peers/-blob), creates
+# sessions and streams deletions through non-owner nodes (redirects/proxying),
+# SIGKILLs one replica, and checks every session — including the dead node's —
+# is served by the survivors with bitwise-identical parameters, acknowledged
+# deletions stay deleted, and the degraded fleet still accepts new sessions.
+fleet-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetSmoke' ./priu/client
+
 fmt:
 	gofmt -w .
 
@@ -96,4 +105,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race spill-smoke auth-smoke whatif-smoke fuzz-smoke cover bench
+ci: build vet fmt-check race spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover bench

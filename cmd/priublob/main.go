@@ -1,0 +1,69 @@
+// Command priublob runs the shared blob tier of a priuserve fleet: a small
+// HTTP object server over a directory, speaking the store.BlobStore wire
+// protocol (see store.HTTPBlob).
+//
+// Usage:
+//
+//	priublob -addr :8090 -dir /var/lib/priublob
+//
+// Endpoints:
+//
+//	PUT    /blob?key=K     store the request body under K
+//	GET    /blob?key=K     fetch K (404 when absent)
+//	DELETE /blob?key=K     remove K (idempotent)
+//	GET    /blobs?prefix=P list stored objects
+//	GET    /healthz        liveness probe
+//
+// Objects are written temp-file + rename, so concurrent readers (and a crash
+// mid-put) never observe a torn object. Keys are opaque strings — priuserve
+// replicas use session storage IDs — escaped into flat file names.
+//
+// Point every replica's -blob flag at this server and the local spill
+// directories become read-through/write-behind caches of it: any replica can
+// restore any session, which is what lets the fleet survive a node loss.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/priu/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	dir := flag.String("dir", "", "object directory (required)")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("priublob: -dir is required")
+	}
+	bs, err := store.NewFSBlob(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: store.BlobHandler(bs)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("priublob listening on %s (dir=%s)", *addr, *dir)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("priublob: shutdown: %v", err)
+	}
+	log.Printf("priublob: shutdown complete")
+}

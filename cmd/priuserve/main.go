@@ -8,7 +8,10 @@
 //	          -spill-gc-age 1h -spill-gc-interval 1m \
 //	          -drain-timeout 15s \
 //	          -whatif-workers 0 -whatif-limit 8 \
-//	          -auth required -auth-keys /etc/priu/keys.json
+//	          -auth required -auth-keys /etc/priu/keys.json \
+//	          -blob http://blob:8090 \
+//	          -node http://a:8080 -peers http://a:8080,http://b:8080 \
+//	          -probe-interval 3s
 //
 // Endpoints (see priu/service for the full wire formats; the v1 rows are
 // deprecated and carry Deprecation/Sunset headers pointing at /v2/meta):
@@ -78,6 +81,25 @@
 // -whatif-workers bounds the parallelism of one batch's prefix-tree
 // evaluation (0 = GOMAXPROCS); -whatif-limit caps concurrent what-if
 // requests per tenant (0 = unlimited), the excess receiving a typed 429.
+//
+// Fleet flags (see priu/service's "Distributed operation" and cmd/priublob):
+//
+//   - -blob URL slots a shared blob tier (a priublob server) under the spill
+//     directory: spills are pushed write-behind into the blob store and the
+//     local spill dir becomes a read-through cache, so a node's disk can be
+//     lost without losing sessions. Requires -store-dir; a blob store that
+//     is unreachable at boot fails startup rather than serving a degraded
+//     view.
+//   - -node URL is this replica's public base URL; -peers is the static
+//     comma-separated member list (every replica passes the same list,
+//     itself included). Together they enable fleet routing: rendezvous-hash
+//     placement over session IDs, 307 redirects / transparent stream
+//     proxying to owners, and peer handoff through the blob tier when
+//     membership changes. A fleet should share one -blob store — without it
+//     a dead node's sessions are unreachable until it returns.
+//   - -probe-interval sets the peer liveness-probe cadence: unresponsive
+//     peers are demoted from the placement ring (their keys re-home to
+//     survivors) and re-admitted when probes succeed again.
 package main
 
 import (
@@ -88,10 +110,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/priu"
+	"repro/priu/cluster"
 	"repro/priu/service"
 	"repro/priu/store"
 )
@@ -114,6 +138,10 @@ func main() {
 	whatifLimit := flag.Int("whatif-limit", 8, "max concurrent what-if requests per tenant (0 = unlimited)")
 	authMode := flag.String("auth", "optional", "API-key auth mode: off | optional | required")
 	authKeys := flag.String("auth-keys", "", "JSON tenant key file (hot-reloaded on SIGHUP)")
+	blob := flag.String("blob", "", "shared blob spill tier: a priublob base URL (http://...) or a local directory; requires -store-dir")
+	node := flag.String("node", "", "this replica's advertised base URL (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated advertised base URLs of every fleet replica (enables consistent-hash routing)")
+	probeInterval := flag.Duration("probe-interval", 3*time.Second, "fleet liveness-probe period (0 = probe only on request failures)")
 	flag.Parse()
 	priu.SetWorkers(*workers)
 
@@ -139,19 +167,36 @@ func main() {
 	}
 	mem := store.NewMemory(memOpts...)
 	var st store.Store = mem
+	if *blob != "" && *storeDir == "" {
+		log.Fatal("priuserve: -blob needs -store-dir (the local spill directory is the blob tier's cache)")
+	}
 	if *storeDir != "" {
-		tiered, err := store.NewTiered(*storeDir, mem,
+		tieredOpts := []store.TieredOption{
 			store.WithSpillOnEvict(*spill),
 			store.WithSpillMaxBytes(*spillMaxBytes),
 			store.WithWriteBehind(*spillQueue, *spillWorkers),
 			store.WithSpillGC(*spillGCAge, *spillGCInterval),
-		)
+		}
+		if *blob != "" {
+			var bs store.BlobStore
+			if strings.HasPrefix(*blob, "http://") || strings.HasPrefix(*blob, "https://") {
+				bs = store.NewHTTPBlob(*blob, nil)
+			} else {
+				fsb, err := store.NewFSBlob(*blob)
+				if err != nil {
+					log.Fatal(err)
+				}
+				bs = fsb
+			}
+			tieredOpts = append(tieredOpts, store.WithBlobStore(bs))
+		}
+		tiered, err := store.NewTiered(*storeDir, mem, tieredOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		st = tiered
 	}
-	srv := service.NewServer(
+	srvOpts := []service.ServerOption{
 		service.WithStore(st),
 		service.WithMaxSessions(*maxSessions),
 		service.WithMaxBytes(*maxBytes),
@@ -159,7 +204,37 @@ func main() {
 		service.WithWhatIfWorkers(*whatifWorkers),
 		service.WithWhatIfLimit(*whatifLimit),
 		service.WithAuth(mode, keyring),
-	)
+	}
+	var member *cluster.Membership
+	if *peers != "" {
+		if *node == "" {
+			log.Fatal("priuserve: -peers needs -node (this replica's advertised base URL)")
+		}
+		if *blob == "" {
+			log.Print("priuserve: WARNING: -peers without -blob — sessions cannot hand off across replicas; a node loss loses its sessions")
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		member, err = cluster.New(cluster.Config{
+			Self:          strings.TrimRight(*node, "/"),
+			Peers:         list,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer member.Close()
+		srvOpts = append(srvOpts, service.WithCluster(member))
+	}
+	srv := service.NewServer(srvOpts...)
+	if member != nil {
+		log.Printf("priuserve: fleet member %s of %d replicas (ring v%d)", member.Self(), len(member.Peers()), member.Ring().Version())
+	}
 	if n := st.Stats().Spilled; n > 0 {
 		log.Printf("priuserve: re-indexed %d spilled session(s) from %s", n, *storeDir)
 	}

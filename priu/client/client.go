@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -29,11 +30,14 @@ import (
 	"repro/priu/service"
 )
 
-// Client talks to one priu deletion service. It is safe for concurrent use.
+// Client talks to one priu deletion service — or, with WithPeers, to a
+// replica fleet. It is safe for concurrent use.
 type Client struct {
-	base string
-	key  string
-	hc   *http.Client
+	base    string
+	peers   []string
+	retries int
+	key     string
+	hc      *http.Client
 }
 
 // Option configures New.
@@ -43,14 +47,48 @@ type Option func(*Client)
 func WithAPIKey(key string) Option { return func(c *Client) { c.key = key } }
 
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles). The default is http.DefaultClient.
+// transports, test doubles). The default follows the fleet's 307 ownership
+// redirects with the API key re-attached (Go strips Authorization across
+// hosts); a substituted client is used as-is.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithPeers supplies the other replicas of a priuserve fleet. Requests that
+// fail at the transport level — or with a transient 502 peer_unavailable /
+// 503 resident_pressure — are retried against the next replica with jittered
+// backoff, so a node loss costs a retry, not an error. Streams
+// (StreamDeletions, Snapshot bodies in flight) are not replayed.
+func WithPeers(urls ...string) Option {
+	return func(c *Client) {
+		for _, u := range urls {
+			c.peers = append(c.peers, strings.TrimRight(u, "/"))
+		}
+	}
+}
+
+// WithRetries sets the total attempt count for retryable requests (default:
+// one attempt per configured base URL, twice around the fleet).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
 // New returns a client for the service at baseURL (e.g. "http://host:8080").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/")}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.hc == nil {
+		// A fleet member answers requests for sessions it doesn't own with
+		// a 307 to the owner. net/http drops Authorization when following a
+		// redirect to a different host, so the default client re-attaches it
+		// (fleet peers share one trust domain — the same key file).
+		c.hc = &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) >= 10 {
+				return fmt.Errorf("client: stopped after 10 redirects")
+			}
+			if c.key != "" {
+				req.Header.Set("Authorization", "Bearer "+c.key)
+			}
+			return nil
+		}}
 	}
 	return c
 }
@@ -108,6 +146,22 @@ func IsNotFound(err error) bool {
 	return ok && ae.Code == service.ErrCodeNotFound
 }
 
+// IsResidentPressure reports whether err is a transient 503: the server's
+// resident tier is at budget with every evictable session pinned. Wait
+// RetryAfter and resend (the fleet-aware retry loop does this itself).
+func IsResidentPressure(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodeResidentPressure
+}
+
+// IsPeerUnavailable reports whether err is a fleet forward that failed
+// because the session's owning replica did not answer; retrying reaches the
+// failed-over owner.
+func IsPeerUnavailable(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == service.ErrCodePeerUnavailable
+}
+
 // decodeError turns a non-2xx response into *APIError. It understands both
 // the v2 envelope and v1's flat {"error": "..."} shape.
 func decodeError(resp *http.Response) *APIError {
@@ -162,9 +216,81 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	return req, nil
 }
 
+// retarget points a cloned request at another replica's base URL.
+func retarget(req *http.Request, base string) error {
+	u, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("client: bad replica URL %q: %w", base, err)
+	}
+	req.URL.Scheme = u.Scheme
+	req.URL.Host = u.Host
+	req.Host = ""
+	return nil
+}
+
+// doRetry executes a request, retrying transport errors and transient
+// rejections (502 peer_unavailable, 503 resident_pressure) across the
+// configured replica set with jittered backoff — honoring a server
+// Retry-After when one was sent. Requests whose bodies cannot be replayed
+// (GetBody unset on a non-nil body) are executed exactly once.
+func (c *Client) doRetry(req *http.Request) (*http.Response, error) {
+	bases := append([]string{c.base}, c.peers...)
+	attempts := c.retries
+	if attempts <= 0 {
+		attempts = 2 * len(bases)
+	}
+	if attempts == 1 || (req.Body != nil && req.GetBody == nil) {
+		return c.hc.Do(req)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		r2 := req.Clone(req.Context())
+		if err := retarget(r2, bases[i%len(bases)]); err != nil {
+			return nil, err
+		}
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			r2.Body = body
+		}
+		resp, err := c.hc.Do(r2)
+		retryAfter := time.Duration(0)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable:
+			ae := decodeError(resp)
+			resp.Body.Close()
+			lastErr, retryAfter = ae, ae.RetryAfter
+		default:
+			return resp, nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		// Jittered exponential backoff, 25–75ms doubling per round, capped
+		// at 1s; a server-sent Retry-After (capped at 2s) wins when longer.
+		wait := time.Duration(float64(50*time.Millisecond) * float64(int(1)<<uint(i%8)) * (0.5 + rand.Float64()*0.5))
+		if wait > time.Second {
+			wait = time.Second
+		}
+		if retryAfter > wait {
+			wait = min(retryAfter, 2*time.Second)
+		}
+		select {
+		case <-time.After(wait):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return nil, lastErr
+}
+
 // doJSON executes a request and decodes a 2xx JSON response into out.
 func (c *Client) doJSON(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+	resp, err := c.doRetry(req)
 	if err != nil {
 		return err
 	}
@@ -327,7 +453,7 @@ func (c *Client) Snapshot(ctx context.Context, id string) (io.ReadCloser, error)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.doRetry(req)
 	if err != nil {
 		return nil, err
 	}

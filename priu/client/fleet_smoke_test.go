@@ -1,0 +1,319 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/priu/service"
+)
+
+// TestFleetSmoke is the end-to-end acceptance run behind `make fleet-smoke`:
+// it builds the real priuserve and priublob binaries, starts one blob server
+// and three replicas wired into a fleet (-node/-peers/-blob), creates
+// sessions through different nodes, verifies cross-node routing, streams
+// deletions through non-owners, then SIGKILLs one replica and asserts every
+// session — including the dead node's — is served by the survivors with
+// bitwise-identical parameters, and that a pre-kill deletion stays deleted.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke builds and execs real binaries; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		path := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", path, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+		return path
+	}
+	serveBin := build("priuserve", "./cmd/priuserve")
+	blobBin := build("priublob", "./cmd/priublob")
+
+	freePort := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+
+	// One process group: blob server first, then the three replicas.
+	type proc struct {
+		cmd  *exec.Cmd
+		log  *strings.Builder
+		dead bool
+	}
+	var procs []*proc
+	start := func(path string, args ...string) *proc {
+		p := &proc{cmd: exec.Command(path, args...), log: &strings.Builder{}}
+		p.cmd.Stdout, p.cmd.Stderr = p.log, p.log
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+		return p
+	}
+	defer func() {
+		for _, p := range procs {
+			if p.dead || p.cmd.Process == nil {
+				continue
+			}
+			_ = p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+		for _, p := range procs {
+			if p.dead || p.cmd.Process == nil {
+				continue
+			}
+			done := make(chan struct{})
+			go func(p *proc) { _ = p.cmd.Wait(); close(done) }(p)
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				_ = p.cmd.Process.Kill()
+			}
+		}
+		if t.Failed() {
+			for i, p := range procs {
+				t.Logf("process %d log:\n%s", i, p.log.String())
+			}
+		}
+	}()
+
+	blobAddr := freePort()
+	start(blobBin, "-addr", blobAddr, "-dir", t.TempDir())
+	// Replicas fail fast when the blob tier is unreachable at boot, so the
+	// blob server must be up before they start.
+	{
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			res, err := http.Get("http://" + blobAddr + "/healthz")
+			if err == nil {
+				res.Body.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("blob server never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	const n = 3
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = "http://" + freePort()
+	}
+	peers := strings.Join(urls, ",")
+	replicas := make([]*proc, n)
+	for i := range urls {
+		replicas[i] = start(serveBin,
+			"-addr", strings.TrimPrefix(urls[i], "http://"),
+			"-store-dir", t.TempDir(),
+			"-blob", "http://"+blobAddr,
+			"-node", urls[i],
+			"-peers", peers,
+			"-probe-interval", "250ms",
+		)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	waitHealthy := func(base string) {
+		t.Helper()
+		cl := New(base)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			if _, err := cl.Health(ctx); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never became healthy", base)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	for _, u := range urls {
+		waitHealthy(u)
+	}
+
+	// The fleet advertises itself: features + full cluster block.
+	meta, err := New(urls[0]).Meta(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Features.Fleet || !meta.Features.Blob || meta.Cluster == nil ||
+		len(meta.Cluster.Peers) != n || len(meta.Cluster.Alive) != n {
+		t.Fatalf("fleet meta: %+v (cluster %+v)", meta.Features, meta.Cluster)
+	}
+
+	// Create sessions round-robin across the replicas. Every operation after
+	// the create deliberately goes through a DIFFERENT node, so each
+	// lifecycle leg exercises the fleet routing.
+	type tracked struct {
+		id     string
+		home   int // index of the creating (owning) replica
+		params []float64
+	}
+	var sessions []tracked
+	for k := 0; k < 6; k++ {
+		home := k % n
+		sr, err := New(urls[home]).CreateSession(ctx, denseRequest(t, 80, 4, int64(k+1)))
+		if err != nil {
+			t.Fatalf("create via node %d: %v", home, err)
+		}
+		// Cross-node read: the next node redirects to the owner.
+		got, err := New(urls[(home+1)%n]).GetSession(ctx, sr.SessionID)
+		if err != nil || got.SessionID != sr.SessionID {
+			t.Fatalf("cross-node read of %s: %v", sr.SessionID, err)
+		}
+		// Cross-node deletion stream: proxied to the owner.
+		st, err := New(urls[(home+2)%n]).StreamDeletions(ctx, sr.SessionID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err := st.SendWait([]int{k + 1, k + 11}); err != nil || res.TotalDeleted != 2 {
+			t.Fatalf("cross-node deletions for %s: %v", sr.SessionID, err)
+		}
+		st.Close()
+		// Record the post-deletion parameters through a third path.
+		fin, err := New(urls[(home+1)%n]).GetSession(ctx, sr.SessionID)
+		if err != nil || fin.TotalDeleted != 2 {
+			t.Fatalf("post-deletion read of %s: %v", sr.SessionID, err)
+		}
+		sessions = append(sessions, tracked{id: sr.SessionID, home: home, params: fin.Parameters})
+	}
+
+	// A deletion issued before the kill must stay deleted after it: remove
+	// one of the doomed node's sessions through a peer.
+	var doomed []tracked
+	var deletedID string
+	for _, s := range sessions {
+		if s.home != 0 {
+			continue
+		}
+		if deletedID == "" {
+			if err := New(urls[1]).DeleteSession(ctx, s.id); err != nil {
+				t.Fatalf("pre-kill delete of %s: %v", s.id, err)
+			}
+			deletedID = s.id
+			continue
+		}
+		doomed = append(doomed, s)
+	}
+	if deletedID == "" || len(doomed) == 0 {
+		t.Fatalf("node 0 owns too few sessions to run the kill scenario: %+v", sessions)
+	}
+
+	// Wait until every replica has certified its current state into the blob
+	// tier (write-behind queues drained, every resident session blob-backed)
+	// — the durability condition under which a node loss is survivable.
+	for i, u := range urls {
+		cl := New(u)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			h, err := cl.Health(ctx)
+			if err == nil && h.SpillQueueDepth == 0 && h.BlobSessions >= h.Sessions {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never certified its sessions into the blob tier: %+v (err %v)", i, h, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Kill replica 0 outright — no drain, no goodbye.
+	if err := replicas[0].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = replicas[0].cmd.Wait()
+	replicas[0].dead = true
+
+	// Every session is served by the survivors — the dead node's from the
+	// blob tier — with parameters bitwise-identical to the pre-kill reads.
+	// The survivor client fails over between the two remaining nodes.
+	survivor := New(urls[1], WithPeers(urls[2]), WithRetries(4))
+	waitGet := func(id string) *service.SessionResponse {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			sr, err := survivor.GetSession(ctx, id)
+			if err == nil {
+				return sr
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("session %s unreachable after node kill: %v", id, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	for _, s := range sessions {
+		if s.id == deletedID {
+			continue
+		}
+		got := waitGet(s.id)
+		if len(got.Parameters) != len(s.params) {
+			t.Fatalf("session %s: parameter count changed across node kill", s.id)
+		}
+		for j := range got.Parameters {
+			if got.Parameters[j] != s.params[j] {
+				t.Fatalf("session %s: parameter %d differs after node kill: %v vs %v",
+					s.id, j, got.Parameters[j], s.params[j])
+			}
+		}
+	}
+
+	// The acknowledged deletion never resurrects through the blob tier.
+	{
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			_, err := survivor.GetSession(ctx, deletedID)
+			if IsNotFound(err) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("deleted session %s: want not_found from survivors, got %v", deletedID, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// The degraded fleet still accepts new sessions and reflects the loss.
+	post, err := survivor.CreateSession(ctx, denseRequest(t, 60, 4, 99))
+	if err != nil {
+		t.Fatalf("create on degraded fleet: %v", err)
+	}
+	if _, err := New(urls[2]).GetSession(ctx, post.SessionID); err != nil {
+		t.Fatalf("cross-node read on degraded fleet: %v", err)
+	}
+	{
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h, err := New(urls[2]).Health(ctx)
+			if err == nil && h.FleetAlive == n-1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("survivor never demoted the killed node: %+v (err %v)", h, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Println("fleet-smoke: cross-node routing, streamed deletions, node kill and blob-tier recovery all verified")
+}

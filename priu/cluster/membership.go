@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config configures a Membership.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.7:8080").
+	// It must appear in Peers (it is added if missing) and is always alive.
+	Self string
+	// Peers is the static member list: every replica's advertised base URL,
+	// identical on every node (gossip membership is a follow-on; see
+	// ROADMAP).
+	Peers []string
+	// ProbeInterval is how often dead-looking peers are probed and alive
+	// ones re-checked. Zero disables the background prober (the ring then
+	// only changes through ReportFailure).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one liveness probe (default 2s).
+	ProbeTimeout time.Duration
+	// Probe overrides the liveness check (tests). The default issues
+	// GET <addr>/healthz and treats any HTTP response as alive.
+	Probe func(ctx context.Context, addr string) bool
+	// OnChange, when set, is called (on the prober goroutine, or the
+	// ReportFailure caller) with each new ring after the alive set changes —
+	// the server hooks its peer handoff here.
+	OnChange func(*Ring)
+}
+
+// Membership tracks which peers are alive and exposes the current placement
+// Ring. Liveness is local observation (probes + reported request failures),
+// not consensus: two nodes may briefly disagree on the alive set, which the
+// service's single-hop forwarding guard tolerates.
+type Membership struct {
+	self          string
+	peers         []string
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	probe         func(ctx context.Context, addr string) bool
+	onChange      func(*Ring)
+
+	mu      sync.RWMutex
+	alive   map[string]bool
+	ring    *Ring
+	version uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Membership from the static member list and starts the
+// background prober (when ProbeInterval > 0). All peers start presumed
+// alive; the first probe round demotes unreachable ones.
+func New(cfg Config) (*Membership, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	peers := append([]string(nil), cfg.Peers...)
+	hasSelf := false
+	for _, p := range peers {
+		if p == cfg.Self {
+			hasSelf = true
+			break
+		}
+	}
+	if !hasSelf {
+		peers = append(peers, cfg.Self)
+	}
+	sort.Strings(peers)
+	m := &Membership{
+		self:          cfg.Self,
+		peers:         peers,
+		probeInterval: cfg.ProbeInterval,
+		probeTimeout:  cfg.ProbeTimeout,
+		probe:         cfg.Probe,
+		onChange:      cfg.OnChange,
+		alive:         make(map[string]bool, len(peers)),
+		stop:          make(chan struct{}),
+	}
+	if m.probeTimeout <= 0 {
+		m.probeTimeout = 2 * time.Second
+	}
+	if m.probe == nil {
+		m.probe = httpProbe
+	}
+	for _, p := range peers {
+		m.alive[p] = true
+	}
+	m.version = 1
+	m.ring = NewRing(m.version, peers)
+	if m.probeInterval > 0 {
+		m.wg.Add(1)
+		go m.probeLoop()
+	}
+	return m, nil
+}
+
+// httpProbe is the default liveness check: any HTTP response from /healthz
+// counts (the fleet only needs "process up and serving", not "healthy by its
+// own standards").
+func httpProbe(ctx context.Context, addr string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return true
+}
+
+// Self returns this node's advertised base URL.
+func (m *Membership) Self() string { return m.self }
+
+// SetOnChange installs (or replaces) the membership-change hook after
+// construction — the server wires its peer handoff here, since the server is
+// built after the membership it joins.
+func (m *Membership) SetOnChange(fn func(*Ring)) {
+	m.mu.Lock()
+	m.onChange = fn
+	m.mu.Unlock()
+}
+
+// Peers returns the configured member list (alive or not).
+func (m *Membership) Peers() []string { return m.peers }
+
+// Ring returns the current placement epoch.
+func (m *Membership) Ring() *Ring {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring
+}
+
+// Alive returns the currently-alive members (sorted).
+func (m *Membership) Alive() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring.Nodes()
+}
+
+// Owner returns the alive node owning key and whether that node is this one.
+func (m *Membership) Owner(key string) (addr string, self bool) {
+	r := m.Ring()
+	owner, ok := r.Owner(key)
+	if !ok {
+		return m.self, true
+	}
+	return owner, owner == m.self
+}
+
+// ReportFailure marks a peer dead immediately — the request path calls this
+// when a forward to the peer fails at the transport level, so failover does
+// not wait for the next probe tick. The prober re-adds the peer when it
+// answers again.
+func (m *Membership) ReportFailure(addr string) {
+	if addr == m.self {
+		return
+	}
+	m.setAlive(addr, false)
+}
+
+// setAlive records one observation, rebuilding the ring (and firing
+// OnChange) when it changes the alive set.
+func (m *Membership) setAlive(addr string, up bool) {
+	m.mu.Lock()
+	cur, known := m.alive[addr]
+	if !known || cur == up {
+		m.mu.Unlock()
+		return
+	}
+	m.alive[addr] = up
+	m.version++
+	nodes := make([]string, 0, len(m.alive))
+	for p, ok := range m.alive {
+		if ok {
+			nodes = append(nodes, p)
+		}
+	}
+	ring := NewRing(m.version, nodes)
+	m.ring = ring
+	onChange := m.onChange
+	m.mu.Unlock()
+	if onChange != nil {
+		onChange(ring)
+	}
+}
+
+// probeLoop re-checks every peer each interval.
+func (m *Membership) probeLoop() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.probeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.probeOnce()
+		}
+	}
+}
+
+// probeOnce probes every peer (except self) once, concurrently.
+func (m *Membership) probeOnce() {
+	var wg sync.WaitGroup
+	for _, p := range m.peers {
+		if p == m.self {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), m.probeTimeout)
+			defer cancel()
+			m.setAlive(addr, m.probe(ctx, addr))
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Close stops the background prober.
+func (m *Membership) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}

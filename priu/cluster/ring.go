@@ -1,0 +1,89 @@
+// Package cluster is the fleet layer of the PrIU deletion service: N
+// priuserve replicas with a static member list, consistent-hash session
+// placement, and liveness-probe membership. Placement uses rendezvous
+// (highest-random-weight) hashing over session storage IDs, so every node
+// computes the same owner from the same alive set with no coordination, and
+// a membership change moves only the sessions whose highest-weight node
+// changed — the minimal-disruption property that makes peer handoff cheap.
+//
+// Durability is the store's job, not this package's: replicas share a blob
+// spill tier (store.WithBlobStore), so ownership is purely a routing
+// convention — any node CAN serve any session from the shared tier; the ring
+// just makes exactly one node do so at a time.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is one immutable placement epoch: a version counter and the set of
+// alive nodes. Build a new Ring on every membership change (Membership does
+// this); never mutate one in place.
+type Ring struct {
+	version uint64
+	nodes   []string
+}
+
+// NewRing builds a placement epoch over the given nodes (copied, sorted,
+// deduplicated).
+func NewRing(version uint64, nodes []string) *Ring {
+	sorted := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	return &Ring{version: version, nodes: sorted}
+}
+
+// Version returns the ring's epoch counter.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Nodes returns the alive node set (sorted; callers must not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// weight is the rendezvous score of (node, key): a 64-bit FNV-1a over both
+// (separator so ("ab","c") and ("a","bc") never collide) pushed through a
+// 64-bit avalanche finalizer. The finalizer is load-bearing: raw FNV-1a
+// keeps bytes written early in the high bits, so with a common key suffix
+// the node prefix alone would decide the comparison and one node would win
+// nearly every key.
+func weight(node, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the node that owns key — the highest-random-weight member —
+// and false when the ring is empty. Deterministic: every node with the same
+// alive set computes the same owner, and removing a node reassigns only the
+// keys it owned (each key's other weights are untouched).
+func (r *Ring) Owner(key string) (string, bool) {
+	var (
+		best  string
+		bestW uint64
+		found bool
+	)
+	for _, n := range r.nodes {
+		w := weight(n, key)
+		// Ties (astronomically rare) break toward the lexicographically
+		// smaller node, which the sorted iteration order provides.
+		if !found || w > bestW {
+			best, bestW, found = n, w, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOwnerDeterministicAcrossNodeOrder(t *testing.T) {
+	a := NewRing(1, []string{"http://n1", "http://n2", "http://n3"})
+	b := NewRing(7, []string{"http://n3", "http://n1", "http://n2", "http://n2"})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("acme/sess-%d", i)
+		oa, oka := a.Owner(key)
+		ob, okb := b.Owner(key)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("owner(%q) differs across construction order: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(1, nil).Owner("k"); ok {
+		t.Fatal("empty ring must report no owner")
+	}
+	one := NewRing(1, []string{"http://solo"})
+	if o, ok := one.Owner("k"); !ok || o != "http://solo" {
+		t.Fatalf("single-node ring owner = %q, %v", o, ok)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3"}
+	r := NewRing(1, nodes)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("sess-%d", i))
+		counts[o]++
+	}
+	for _, n := range nodes {
+		// A grossly uneven split (outside [1/6, 1/2] for 3 nodes) means the
+		// hash is broken, not unlucky.
+		if counts[n] < keys/6 || counts[n] > keys/2 {
+			t.Fatalf("unbalanced placement: %v", counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruptionOnNodeLoss(t *testing.T) {
+	full := NewRing(1, []string{"http://n1", "http://n2", "http://n3"})
+	degraded := NewRing(2, []string{"http://n1", "http://n3"})
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sess-%d", i)
+		before, _ := full.Owner(key)
+		after, _ := degraded.Owner(key)
+		if before != "http://n2" && before != after {
+			// Rendezvous: removing n2 must only reassign n2's keys.
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("losing a node moved no keys at all")
+	}
+	if moved > 2*keys/3 {
+		t.Fatalf("losing one of three nodes moved %d/%d keys", moved, keys)
+	}
+}
+
+func TestMembershipReportFailureAndRecovery(t *testing.T) {
+	var mu sync.Mutex
+	up := map[string]bool{"http://n1": true, "http://n2": true}
+	probe := func(_ context.Context, addr string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return up[addr]
+	}
+	changes := make(chan *Ring, 8)
+	m, err := New(Config{
+		Self:     "http://n1",
+		Peers:    []string{"http://n1", "http://n2"},
+		Probe:    probe,
+		OnChange: func(r *Ring) { changes <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if got := m.Alive(); len(got) != 2 {
+		t.Fatalf("initial alive = %v, want both presumed up", got)
+	}
+	if v := m.Ring().Version(); v != 1 {
+		t.Fatalf("initial ring version = %d, want 1", v)
+	}
+
+	// A request-path failure demotes immediately and fires the hook.
+	m.ReportFailure("http://n2")
+	select {
+	case r := <-changes:
+		if len(r.Nodes()) != 1 || r.Nodes()[0] != "http://n1" {
+			t.Fatalf("post-failure ring = %v", r.Nodes())
+		}
+		if r.Version() != 2 {
+			t.Fatalf("post-failure ring version = %d, want 2", r.Version())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ReportFailure never fired OnChange")
+	}
+	if addr, self := m.Owner("anything"); !self || addr != "http://n1" {
+		t.Fatalf("sole survivor should own every key, got %q self=%v", addr, self)
+	}
+	// Redundant reports change nothing.
+	m.ReportFailure("http://n2")
+	select {
+	case r := <-changes:
+		t.Fatalf("repeated failure report rebuilt the ring: %v", r.Nodes())
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Self is never demoted.
+	m.ReportFailure("http://n1")
+	if got := m.Alive(); len(got) != 1 || got[0] != "http://n1" {
+		t.Fatalf("self was demoted: %v", got)
+	}
+
+	// A probe round revives the peer.
+	m.probeOnce()
+	select {
+	case r := <-changes:
+		if len(r.Nodes()) != 2 {
+			t.Fatalf("post-recovery ring = %v", r.Nodes())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("probe recovery never fired OnChange")
+	}
+}
+
+func TestMembershipAddsSelfAndRequiresIt(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without Self should fail")
+	}
+	m, err := New(Config{Self: "http://n1", Peers: []string{"http://n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	peers := m.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v, want self appended", peers)
+	}
+	// Unknown nodes are ignored, not adopted.
+	m.setAlive("http://stranger", true)
+	if got := m.Alive(); len(got) != 2 {
+		t.Fatalf("alive = %v after stranger report", got)
+	}
+}
+
+func TestMembershipSetOnChange(t *testing.T) {
+	m, err := New(Config{Self: "http://n1", Peers: []string{"http://n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	fired := make(chan uint64, 1)
+	m.SetOnChange(func(r *Ring) { fired <- r.Version() })
+	m.ReportFailure("http://n2")
+	select {
+	case v := <-fired:
+		if v != 2 {
+			t.Fatalf("hook saw ring v%d, want v2", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SetOnChange hook never fired")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"strings"
@@ -63,8 +65,14 @@ func ParseAuthMode(s string) (AuthMode, error) {
 // Zero-valued limits are unlimited. Burst defaults to one second's worth of
 // rows (at least 1) when a rate is set.
 type TenantConfig struct {
-	Name        string `json:"name"`
-	Key         string `json:"key"`
+	Name string `json:"name"`
+	// Key is the plaintext API key. Prefer KeySHA256: plaintext entries
+	// still resolve but are warned about at load, since anyone who reads
+	// the key file can impersonate the tenant.
+	Key string `json:"key,omitempty"`
+	// KeySHA256 is the at-rest form: the lowercase hex SHA-256 of the API
+	// key (64 characters). Exactly one of Key and KeySHA256 must be set.
+	KeySHA256   string `json:"key_sha256,omitempty"`
 	MaxSessions int    `json:"max_sessions,omitempty"`
 	MaxBytes    int64  `json:"max_bytes,omitempty"`
 	// MaxSpillBytes caps the tenant's spill-file bytes on disk: spills over
@@ -222,9 +230,10 @@ func (k *Keyring) Reload() error {
 	names := map[string]bool{}
 	hashes := map[[sha256.Size]byte]bool{}
 	tenants := make([]*Tenant, 0, len(file.Tenants))
+	var plaintext []string
 	for i, tc := range file.Tenants {
-		if tc.Name == "" || tc.Key == "" {
-			return fmt.Errorf("service: key file tenant %d: name and key are required", i)
+		if tc.Name == "" {
+			return fmt.Errorf("service: key file tenant %d: name is required", i)
 		}
 		if strings.ContainsAny(tc.Name, "/ \t\n") {
 			return fmt.Errorf("service: tenant name %q may not contain '/' or whitespace", tc.Name)
@@ -233,7 +242,22 @@ func (k *Keyring) Reload() error {
 			return fmt.Errorf("service: tenant %q appears twice in the key file", tc.Name)
 		}
 		names[tc.Name] = true
-		h := sha256.Sum256([]byte(tc.Key))
+		var h [sha256.Size]byte
+		switch {
+		case tc.Key != "" && tc.KeySHA256 != "":
+			return fmt.Errorf("service: tenant %q sets both key and key_sha256; pick one", tc.Name)
+		case tc.KeySHA256 != "":
+			raw, err := hex.DecodeString(strings.ToLower(tc.KeySHA256))
+			if err != nil || len(raw) != sha256.Size {
+				return fmt.Errorf("service: tenant %q: key_sha256 must be 64 hex characters (the SHA-256 of the key)", tc.Name)
+			}
+			copy(h[:], raw)
+		case tc.Key != "":
+			h = sha256.Sum256([]byte(tc.Key))
+			plaintext = append(plaintext, tc.Name)
+		default:
+			return fmt.Errorf("service: tenant %q: key or key_sha256 is required", tc.Name)
+		}
 		if hashes[h] {
 			return fmt.Errorf("service: tenant %q reuses another tenant's key", tc.Name)
 		}
@@ -270,6 +294,11 @@ func (k *Keyring) Reload() error {
 		}
 	}
 	k.tenants = tenants
+	// Resolution only ever compares digests, so plaintext entries buy
+	// nothing but exposure; nudge operators toward the hashed form.
+	for _, name := range plaintext {
+		log.Printf("service: tenant %q stores a plaintext api key in %s; replace \"key\" with \"key_sha256\" (hex SHA-256 of the key)", name, k.path)
+	}
 	return nil
 }
 

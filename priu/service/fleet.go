@@ -1,0 +1,338 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+
+	"repro/priu/cluster"
+	"repro/priu/store"
+)
+
+// The fleet layer: N priuserve replicas share a blob spill tier
+// (store.WithBlobStore) and agree on session placement through rendezvous
+// hashing over (tenant-namespaced) session IDs. Each replica serves the
+// sessions it owns and routes everything else to the owner — a 307 redirect
+// for body-less requests, a transparent streaming proxy for the NDJSON
+// deletion and what-if streams (whose piped request bodies cannot be
+// replayed through a redirect), and a scatter-gather split for v1 batch
+// deletes that mix owners. Session IDs minted by a fleet member carry a
+// node-derived suffix so concurrently-creating replicas never collide, and a
+// membership change triggers a handoff: sessions this node no longer owns are
+// certified into the blob tier and forgotten locally, for the new owner to
+// restore lazily on first touch.
+
+// fleetHopHeader marks a request already forwarded once by a fleet member.
+// The receiver serves it locally no matter what its own ring says, so two
+// nodes that briefly disagree on the alive set degrade to one extra hop
+// instead of a redirect loop.
+const fleetHopHeader = "X-Priu-Fleet-Hop"
+
+// WithCluster joins the server to a replica fleet: requests for sessions
+// owned by other members are routed to them, session IDs are minted
+// fleet-unique, and membership changes hand non-owned sessions off through
+// the shared blob tier. The store should be a tiered store built with
+// store.WithBlobStore so any replica can restore any session.
+func WithCluster(m *cluster.Membership) ServerOption {
+	return func(s *Server) { s.cluster = m }
+}
+
+// nodeSuffix derives the 4-hex-digit session-ID suffix from a node's
+// advertised URL, so IDs minted by different replicas never collide even
+// when their counters agree.
+func nodeSuffix(addr string) string {
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return fmt.Sprintf("%04x", h.Sum32()&0xffff)
+}
+
+// newSessionID mints the storage ID for a new session. A fleet member loops
+// until it draws an ID it owns, so a session is always created on its owner
+// and no cross-node create forwarding is needed; with N replicas the loop
+// terminates in N expected draws.
+func (s *Server) newSessionID(ten *Tenant) string {
+	if s.cluster == nil {
+		return ten.storeID(fmt.Sprintf("sess-%d", s.nextID.Add(1)))
+	}
+	var id string
+	for i := 0; i < 4096; i++ {
+		id = ten.storeID(fmt.Sprintf("sess-%d-%s", s.nextID.Add(1), s.nodeSuffix))
+		if _, self := s.cluster.Owner(id); self {
+			return id
+		}
+	}
+	// 4096 consecutive foreign draws cannot happen on a healthy ring; keep
+	// the last ID and serve it locally — the next handoff migrates it.
+	return id
+}
+
+// fleetSessionRoute extracts the wire session ID a request addresses, and
+// whether the route streams its request body (and so must be proxied rather
+// than redirected). Routes that address no single session return "".
+func fleetSessionRoute(r *http.Request) (wireID string, stream bool) {
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/v2/sessions/"); ok {
+		id, sub, _ := strings.Cut(rest, "/")
+		return id, sub == "deletions" || sub == "whatif"
+	}
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/model/"); ok {
+		return rest, false
+	}
+	return "", false
+}
+
+// withFleet wraps the route mux with ownership routing. It runs inside the
+// auth middleware (tenant resolution decides the storage ID being placed)
+// and outside the mux (routing must happen before a local handler touches
+// the store, or a read-through would adopt a session this node doesn't own).
+func (s *Server) withFleet(next http.Handler) http.Handler {
+	if s.cluster == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(fleetHopHeader) != "" {
+			next.ServeHTTP(w, r) // single-hop guard: never forward twice
+			return
+		}
+		wireID, stream := fleetSessionRoute(r)
+		if wireID == "" {
+			if r.URL.Path == "/v1/delete" && r.Method == http.MethodPost {
+				s.fleetV1Delete(w, r, next)
+				return
+			}
+			// Creation, listings, stats, meta, health: always local.
+			next.ServeHTTP(w, r)
+			return
+		}
+		owner, self := s.cluster.Owner(tenantFor(r).storeID(wireID))
+		if self {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if stream {
+			s.proxyTo(w, r, owner)
+			return
+		}
+		// Body-less (or replayable) request: hand the client the owner's
+		// address and let it re-issue. Go clients follow 307 transparently.
+		s.fleetRedirects.Add(1)
+		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+}
+
+// proxyTo streams a request to the owning peer and its response back,
+// flushing every write so NDJSON result lines reach the client as the owner
+// emits them. A transport-level failure demotes the peer immediately
+// (failover does not wait for the next probe) and reports a typed 502.
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string) {
+	target, err := url.Parse(owner)
+	if err != nil {
+		writeV2Error(w, http.StatusBadGateway, ErrCodePeerUnavailable,
+			"session owner %q is not a valid peer URL: %v", owner, err)
+		return
+	}
+	s.fleetProxied.Add(1)
+	// The deletions stream is full-duplex: the owner answers each batch
+	// while the client is still streaming the next, so the inbound side
+	// must allow concurrent body reads and response writes too.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	rp := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(target)
+			pr.Out.Header.Set(fleetHopHeader, s.cluster.Self())
+		},
+		FlushInterval: -1,
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			s.cluster.ReportFailure(owner)
+			writeV2Error(w, http.StatusBadGateway, ErrCodePeerUnavailable,
+				"forwarding to session owner %s: %v", owner, err)
+		},
+	}
+	rp.ServeHTTP(w, r)
+}
+
+// fleetV1Delete routes POST /v1/delete, whose body (not the path) names the
+// target sessions. Single-session requests go to their owner whole; batch
+// requests are split per owner and the per-item results merged back in
+// request order, so one request may fan out across the fleet. Item failures
+// (including an unreachable owner) stay per-item, as in the local batch path.
+func (s *Server) fleetV1Delete(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<28))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var req DeleteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	ten := tenantFor(r)
+	if len(req.Batch) == 0 {
+		if req.SessionID != "" {
+			if owner, self := s.cluster.Owner(ten.storeID(req.SessionID)); !self {
+				s.forwardV1Delete(w, r, owner, body)
+				return
+			}
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		next.ServeHTTP(w, r)
+		return
+	}
+	if req.SessionID != "" || len(req.Removed) > 0 {
+		writeError(w, http.StatusBadRequest, "set either session_id/removed or batch, not both")
+		return
+	}
+	// Scatter: group item indices by owning node ("" = this one).
+	groups := map[string][]int{}
+	for i, item := range req.Batch {
+		owner, self := s.cluster.Owner(ten.storeID(item.SessionID))
+		if self {
+			owner = ""
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	results := make([]BatchDeleteResult, len(req.Batch))
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		if owner == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			sub := make([]DeleteItem, len(idxs))
+			for j, i := range idxs {
+				sub[j] = req.Batch[i]
+			}
+			part, err := s.peerV1Delete(r, owner, DeleteRequest{Batch: sub})
+			for j, i := range idxs {
+				switch {
+				case err != nil:
+					s.cluster.ReportFailure(owner)
+					results[i] = BatchDeleteResult{
+						SessionID: req.Batch[i].SessionID,
+						Error:     fmt.Sprintf("session owner %s unavailable: %v", owner, err),
+					}
+				case j < len(part):
+					results[i] = part[j]
+				default:
+					results[i] = BatchDeleteResult{
+						SessionID: req.Batch[i].SessionID,
+						Error:     fmt.Sprintf("session owner %s returned a short batch response", owner),
+					}
+				}
+			}
+		}(owner, idxs)
+	}
+	if idxs := groups[""]; len(idxs) > 0 {
+		for _, i := range idxs {
+			item := req.Batch[i]
+			results[i].SessionID = item.SessionID
+			resp, _, err := s.deleteOne(ten, item.SessionID, item.Removed)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			results[i].Result = &resp
+		}
+	}
+	wg.Wait()
+	writeJSON(w, BatchDeleteResponse{Results: results})
+}
+
+// forwardV1Delete re-issues a whole single-session /v1/delete at the owner
+// and copies the response back verbatim.
+func (s *Server) forwardV1Delete(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	s.fleetProxied.Add(1)
+	resp, err := s.peerDo(r, owner, body)
+	if err != nil {
+		s.cluster.ReportFailure(owner)
+		writeError(w, http.StatusBadGateway, "forwarding to session owner %s: %v", owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// peerV1Delete executes a /v1/delete sub-batch at a peer and decodes its
+// per-item results.
+func (s *Server) peerV1Delete(r *http.Request, owner string, req DeleteRequest) ([]BatchDeleteResult, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	s.fleetProxied.Add(1)
+	resp, err := s.peerDo(r, owner, buf)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("peer answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out BatchDeleteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// peerDo posts a JSON /v1/delete body to a peer, carrying the caller's
+// credentials and the single-hop guard.
+func (s *Server) peerDo(r *http.Request, owner string, body []byte) (*http.Response, error) {
+	freq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+"/v1/delete", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	freq.Header.Set("Content-Type", "application/json")
+	freq.Header.Set(fleetHopHeader, s.cluster.Self())
+	if a := r.Header.Get("Authorization"); a != "" {
+		freq.Header.Set("Authorization", a)
+	}
+	return http.DefaultClient.Do(freq)
+}
+
+// handoff reacts to a membership change: locally-held sessions whose owner
+// is now another node are certified into the shared blob tier and forgotten
+// here, so the new owner's first touch restores them (deletion log intact).
+// One release runs at a time; a change arriving mid-release queues exactly
+// one re-run, so the final ring always gets a pass.
+func (s *Server) handoff() {
+	tb, ok := s.st.(*store.Tiered)
+	if !ok || s.cluster == nil {
+		return
+	}
+	if !s.handoffActive.CompareAndSwap(false, true) {
+		s.handoffRerun.Store(true)
+		return
+	}
+	go func() {
+		defer s.handoffActive.Store(false)
+		for {
+			s.fleetHandoffs.Add(1)
+			n, err := tb.ReleaseUnowned(func(id string) bool {
+				_, self := s.cluster.Owner(id)
+				return self
+			})
+			s.fleetReleased.Add(int64(n))
+			// A per-session release failure keeps that session local and
+			// served here until the next membership change retries; the
+			// error is visible as blob_errors in /v1/stats.
+			_ = err
+			if !s.handoffRerun.CompareAndSwap(true, false) {
+				return
+			}
+		}
+	}()
+}

@@ -52,6 +52,12 @@ type MetaFeatures struct {
 	// WhatIf reports the what-if query plane
 	// (POST /v2/sessions/{id}/whatif).
 	WhatIf bool `json:"whatif"`
+	// Blob reports a shared blob spill tier (-blob): any replica can
+	// restore any spilled session.
+	Blob bool `json:"blob"`
+	// Fleet reports replica-fleet routing (-peers): requests for sessions
+	// owned elsewhere are redirected or proxied to the owner.
+	Fleet bool `json:"fleet"`
 }
 
 // MetaLimits reports the request limits callers should shape traffic to.
@@ -73,24 +79,39 @@ type MetaV1 struct {
 	Sunset     string `json:"sunset"`
 }
 
+// MetaCluster describes the fleet this node belongs to: its own advertised
+// URL, the configured member list, the members it currently believes alive,
+// and the placement-ring epoch. Clients use Node/Peers to route
+// session-affine traffic and RingVersion to detect membership churn.
+type MetaCluster struct {
+	Node        string   `json:"node"`
+	Peers       []string `json:"peers"`
+	Alive       []string `json:"alive"`
+	RingVersion uint64   `json:"ring_version"`
+}
+
 // MetaResponse is the GET /v2/meta payload.
 type MetaResponse struct {
 	Version  string       `json:"version"`
 	Families []string     `json:"families"`
 	Features MetaFeatures `json:"features"`
 	Limits   MetaLimits   `json:"limits"`
-	V1       MetaV1       `json:"v1"`
+	// Cluster is only present on fleet members (-peers).
+	Cluster *MetaCluster `json:"cluster,omitempty"`
+	V1      MetaV1       `json:"v1"`
 }
 
 func (s *Server) handleV2Meta(w http.ResponseWriter, r *http.Request) {
 	_, tiered := s.st.(*store.Tiered)
-	writeJSON(w, MetaResponse{
+	resp := MetaResponse{
 		Version:  priu.Version,
 		Families: priu.Families(),
 		Features: MetaFeatures{
 			AuthMode: s.authMode.String(),
 			Spill:    tiered,
 			WhatIf:   true,
+			Blob:     s.st.Stats().BlobTier,
+			Fleet:    s.cluster != nil,
 		},
 		Limits: MetaLimits{
 			MaxSessions:         s.maxSessions,
@@ -100,5 +121,15 @@ func (s *Server) handleV2Meta(w http.ResponseWriter, r *http.Request) {
 			WhatIfConcurrent:    s.whatifLimit,
 		},
 		V1: MetaV1{Deprecated: true, Sunset: v1Sunset},
-	})
+	}
+	if s.cluster != nil {
+		ring := s.cluster.Ring()
+		resp.Cluster = &MetaCluster{
+			Node:        s.cluster.Self(),
+			Peers:       s.cluster.Peers(),
+			Alive:       ring.Nodes(),
+			RingVersion: ring.Version(),
+		}
+	}
+	writeJSON(w, resp)
 }

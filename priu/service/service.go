@@ -46,6 +46,33 @@
 // are rate-limited by a token bucket over removed rows. Unauthenticated
 // callers (AuthOff, or AuthOptional without a key) are the anonymous tenant,
 // whose wire behavior is exactly the pre-tenant service.
+//
+// # Distributed operation
+//
+// WithCluster (see fleet.go) turns one server into a fleet member. Placement
+// is a pure function of the alive member set: priu/cluster rendezvous-hashes
+// session storage IDs, so every node computes the same owner with no
+// coordination, and the fleet middleware routes accordingly — non-owner
+// nodes answer session reads with a 307 to the owner, transparently proxy
+// the streaming routes (deletions, what-if) so clients keep one connection,
+// and scatter-gather v1 batch deletes across owners. A forwarded request
+// carries a hop header so routing can never loop. Session creation is always
+// local: IDs are minted with a per-node suffix until one rendezvous-hashes
+// to the creating node, so a new session's home is the node that trained it.
+//
+// Durability under node loss belongs to the store, not the routing layer:
+// replicas share a blob tier (store.WithBlobStore), every spill is certified
+// into it write-behind, and a membership change triggers peer handoff — the
+// nodes that lost ownership push those sessions to the blob tier and forget
+// them locally (store.Tiered.ReleaseUnowned), and the new owner lazily
+// restores on first touch, deletion log replayed, bitwise-identical. When a
+// peer is unreachable the proxy answers a typed 502 peer_unavailable and
+// demotes it immediately; liveness probes re-admit it later. When the
+// resident tier is pinned full, registration answers a typed 503
+// resident_pressure with a Retry-After header rather than queueing.
+// GET /v2/meta advertises features.fleet/features.blob and a cluster block
+// (node, peers, alive set, ring version) so clients can discover the
+// topology.
 package service
 
 import (
@@ -54,6 +81,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +92,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/priu"
+	"repro/priu/cluster"
 	"repro/priu/store"
 )
 
@@ -132,6 +161,17 @@ type Server struct {
 	whatifs         atomic.Int64
 	whatifSets      atomic.Int64
 	whatifCacheHits atomic.Int64
+
+	// Fleet (see fleet.go): replica membership, this node's session-ID
+	// suffix, routing counters and the one-at-a-time handoff latch.
+	cluster        *cluster.Membership
+	nodeSuffix     string
+	fleetRedirects atomic.Int64
+	fleetProxied   atomic.Int64
+	fleetHandoffs  atomic.Int64
+	fleetReleased  atomic.Int64
+	handoffActive  atomic.Bool
+	handoffRerun   atomic.Bool
 }
 
 // tc returns (creating if needed) a tenant's request counters.
@@ -199,6 +239,10 @@ func NewServer(opts ...ServerOption) *Server {
 		s.st = store.NewMemory(memOpts...)
 	}
 	s.seedNextID()
+	if s.cluster != nil {
+		s.nodeSuffix = nodeSuffix(s.cluster.Self())
+		s.cluster.SetOnChange(func(*cluster.Ring) { s.handoff() })
+	}
 	return s
 }
 
@@ -364,10 +408,32 @@ type StatsResponse struct {
 	// What-if plane gauges: streams served, candidate sets evaluated, and
 	// prefix-tree cache hits (shared-prefix rows the planners did not
 	// re-apply).
-	WhatIfs         int64        `json:"whatifs,omitempty"`
-	WhatIfSets      int64        `json:"whatif_sets,omitempty"`
-	WhatIfCacheHits int64        `json:"whatif_cache_hits,omitempty"`
-	Shards          []ShardStats `json:"shards"`
+	WhatIfs         int64 `json:"whatifs,omitempty"`
+	WhatIfSets      int64 `json:"whatif_sets,omitempty"`
+	WhatIfCacheHits int64 `json:"whatif_cache_hits,omitempty"`
+	// Blob tier (zero without -blob): sessions with a certified copy in the
+	// shared tier and their bytes there, plus the operation/error counters
+	// and cache demotions (local spill files dropped because the blob copy
+	// makes them redundant).
+	BlobSessions  int   `json:"blob_sessions,omitempty"`
+	BlobBytes     int64 `json:"blob_bytes,omitempty"`
+	BlobPuts      int64 `json:"blob_puts,omitempty"`
+	BlobGets      int64 `json:"blob_gets,omitempty"`
+	BlobDeletes   int64 `json:"blob_deletes,omitempty"`
+	BlobErrors    int64 `json:"blob_errors,omitempty"`
+	BlobDemotions int64 `json:"blob_demotions,omitempty"`
+	// Fleet (zero without -peers): this node's advertised URL, the current
+	// placement-ring epoch and alive members, and the routing/handoff
+	// counters.
+	Node           string   `json:"node,omitempty"`
+	RingVersion    uint64   `json:"ring_version,omitempty"`
+	FleetAlive     []string `json:"fleet_alive,omitempty"`
+	FleetRedirects int64    `json:"fleet_redirects,omitempty"`
+	FleetProxied   int64    `json:"fleet_proxied,omitempty"`
+	FleetHandoffs  int64    `json:"fleet_handoffs,omitempty"`
+	FleetReleased  int64    `json:"fleet_released,omitempty"`
+
+	Shards []ShardStats `json:"shards"`
 }
 
 // HealthResponse is the /healthz payload for load-balancer probes.
@@ -395,6 +461,16 @@ type HealthResponse struct {
 	DiskEvictions   int64 `json:"disk_evictions,omitempty"`
 	// Tenants counts distinct tenants with stored sessions.
 	Tenants int `json:"tenants,omitempty"`
+	// Blob tier (when -blob is set): sessions certified into the shared
+	// tier and their bytes there.
+	BlobSessions int   `json:"blob_sessions,omitempty"`
+	BlobBytes    int64 `json:"blob_bytes,omitempty"`
+	// Fleet (when -peers is set): this node's advertised URL, the number of
+	// alive members and the placement-ring epoch — enough for a probe to
+	// tell a healthy fleet from a split one.
+	Node        string `json:"node,omitempty"`
+	FleetAlive  int    `json:"fleet_alive,omitempty"`
+	RingVersion uint64 `json:"ring_version,omitempty"`
 }
 
 // Handler returns the service's HTTP routes — the v1 surface (deprecated;
@@ -410,7 +486,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", deprecateV1(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mountV2(mux)
-	return s.withAuth(mux)
+	// Ownership routing sits between auth (it needs the resolved tenant to
+	// compute storage IDs) and the route handlers (a request for a session
+	// owned elsewhere must not touch the local store).
+	return s.withAuth(s.withFleet(mux))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -458,11 +537,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.addSession(ten, req.Kind, d, upd, nil, nil)
 	if err != nil {
-		// The store's atomic quota check caught a registration that raced
-		// past the admission pre-check.
-		s.tc(ten.Name).quotaRejections.Add(1)
-		status, _ := quotaHTTP(err)
-		writeError(w, status, "%v", err)
+		// The store's atomic check caught a rejection that raced past the
+		// admission pre-check (quota), or the resident tier is pinned solid
+		// (transient pressure, 503 + Retry-After).
+		s.failRegistration(w, ten, err)
 		return
 	}
 	// Put published the session; IDs are guessable, so a concurrent delete
@@ -519,12 +597,48 @@ func quotaHTTP(err error) (int, string) {
 	return http.StatusTooManyRequests, ErrCodeQuota
 }
 
+// registrationHTTP maps a failed store registration to its HTTP status, v2
+// error code, and Retry-After seconds (0 = no header). Resident pressure —
+// budget exhausted with every evictable session pinned — is transient
+// backpressure (503 + Retry-After), not a quota violation: the caller should
+// retry once an export or what-if stream releases its pin.
+func registrationHTTP(err error) (status int, code string, retryAfter int) {
+	var pe *store.PressureError
+	if errors.As(err, &pe) {
+		return http.StatusServiceUnavailable, ErrCodeResidentPressure, 1
+	}
+	status, code = quotaHTTP(err)
+	return status, code, 0
+}
+
+// failRegistration reports an addSession error in the v1 wire shape.
+func (s *Server) failRegistration(w http.ResponseWriter, ten *Tenant, err error) {
+	status, _, retry := registrationHTTP(err)
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	} else {
+		s.tc(ten.Name).quotaRejections.Add(1)
+	}
+	writeError(w, status, "%v", err)
+}
+
+// failRegistrationV2 reports an addSession error as a typed v2 envelope.
+func (s *Server) failRegistrationV2(w http.ResponseWriter, ten *Tenant, err error) {
+	status, code, retry := registrationHTTP(err)
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	} else {
+		s.tc(ten.Name).quotaRejections.Add(1)
+	}
+	writeV2Error(w, status, code, "%v", err)
+}
+
 // addSession registers an updater under a fresh session ID in the tenant's
 // namespace; the store enforces the tenant quota atomically and its eviction
 // budget. A non-empty deleted log (snapshot restore) comes with the model
 // that already reflects it.
 func (s *Server) addSession(ten *Tenant, kind string, ds priu.TrainingSet, upd priu.Updater, deleted []int, model *priu.Model) (*Session, error) {
-	id := ten.storeID(fmt.Sprintf("sess-%d", s.nextID.Add(1)))
+	id := s.newSessionID(ten)
 	sess := store.NewSession(id, kind, ds, upd, model, deleted)
 	if err := s.st.Put(sess); err != nil {
 		return nil, err
@@ -825,6 +939,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WhatIfs:           s.whatifs.Load(),
 		WhatIfSets:        s.whatifSets.Load(),
 		WhatIfCacheHits:   s.whatifCacheHits.Load(),
+		BlobSessions:      st.BlobSessions,
+		BlobBytes:         st.BlobBytes,
+		BlobPuts:          st.BlobPuts,
+		BlobGets:          st.BlobGets,
+		BlobDeletes:       st.BlobDeletes,
+		BlobErrors:        st.BlobErrors,
+		BlobDemotions:     st.BlobDemotions,
+	}
+	if s.cluster != nil {
+		ring := s.cluster.Ring()
+		resp.Node = s.cluster.Self()
+		resp.RingVersion = ring.Version()
+		resp.FleetAlive = ring.Nodes()
+		resp.FleetRedirects = s.fleetRedirects.Load()
+		resp.FleetProxied = s.fleetProxied.Load()
+		resp.FleetHandoffs = s.fleetHandoffs.Load()
+		resp.FleetReleased = s.fleetReleased.Load()
 	}
 	ten := tenantFor(r)
 	perShard := make([][]SessionStats, numShards)
@@ -879,7 +1010,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			tenants++
 		}
 	}
-	writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		Version:         priu.Version,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Workers:         par.Workers(),
@@ -896,5 +1027,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SpillQueueDepth: st.SpillQueueDepth,
 		DiskEvictions:   st.DiskEvictions,
 		Tenants:         tenants,
-	})
+		BlobSessions:    st.BlobSessions,
+		BlobBytes:       st.BlobBytes,
+	}
+	if s.cluster != nil {
+		ring := s.cluster.Ring()
+		resp.Node = s.cluster.Self()
+		resp.FleetAlive = len(ring.Nodes())
+		resp.RingVersion = ring.Version()
+	}
+	writeJSON(w, resp)
 }

@@ -64,6 +64,15 @@ const (
 	ErrCodeSnapshotUnsupported = "snapshot_unsupported"
 	// ErrCodeUpdateFailed marks a failed incremental update.
 	ErrCodeUpdateFailed = "update_failed"
+	// ErrCodeResidentPressure marks a registration rejected because the
+	// resident tier's budget is exhausted and every evictable session is
+	// pinned (exports or what-if streams in flight). Transient: retry after
+	// the Retry-After header.
+	ErrCodeResidentPressure = "resident_pressure"
+	// ErrCodePeerUnavailable marks a fleet request whose owning replica did
+	// not answer; the membership layer demotes the peer and the next attempt
+	// lands on the new owner.
+	ErrCodePeerUnavailable = "peer_unavailable"
 )
 
 // APIError is the typed error payload of every v2 failure.
@@ -284,9 +293,7 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.addSession(ten, req.Family, d, upd, nil, nil)
 	if err != nil {
-		s.tc(ten.Name).quotaRejections.Add(1)
-		status, code := quotaHTTP(err)
-		writeV2Error(w, status, code, "%v", err)
+		s.failRegistrationV2(w, ten, err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
@@ -390,9 +397,7 @@ func (s *Server) handleV2Restore(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := s.addSession(ten, family, ds, upd, deleted, model)
 	if err != nil {
-		s.tc(ten.Name).quotaRejections.Add(1)
-		status, code := quotaHTTP(err)
-		writeV2Error(w, status, code, "%v", err)
+		s.failRegistrationV2(w, ten, err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)

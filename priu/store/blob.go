@@ -1,0 +1,156 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The blob tier: a third storage layer under Tiered speaking an S3/GCS-style
+// object API. When a Tiered store is given a BlobStore (WithBlobStore), the
+// local spill directory becomes a read-through/write-behind cache of the
+// shared tier: every published spill file is pushed to the blob store, cold
+// misses fall through to it, and the disk-budget evictor may demote a
+// blob-backed local file to a pure cache drop instead of a session loss.
+// Several priuserve replicas pointing at one blob store share every session
+// — the durability substrate of the fleet (priu/cluster).
+
+// ErrBlobNotFound is returned by BlobStore.Get for a key that does not exist.
+var ErrBlobNotFound = errors.New("store: blob not found")
+
+// BlobInfo describes one stored object.
+type BlobInfo struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// BlobStore is the object API of the shared spill tier. Keys are opaque
+// strings (session storage IDs, which may contain "/"); values are spill-file
+// envelopes. Put must be atomic: a reader never observes a torn object.
+// Implementations must be safe for concurrent use.
+type BlobStore interface {
+	// Put stores the object under key, replacing any previous version.
+	Put(key string, r io.Reader) error
+	// Get opens the object for reading, returning its size. A missing key
+	// returns ErrBlobNotFound.
+	Get(key string) (io.ReadCloser, int64, error)
+	// Delete removes the object. Deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns the stored objects whose key starts with prefix
+	// (prefix "" lists everything), in unspecified order.
+	List(prefix string) ([]BlobInfo, error)
+}
+
+// FSBlob is a filesystem-backed BlobStore: one file per object in a flat
+// directory, written as temp + rename so concurrent readers never see a torn
+// object. Keys are query-escaped into file names, so namespaced session IDs
+// ("tenant/sess-1") round-trip losslessly. It is the in-process
+// implementation behind cmd/priublob and the single-machine fleet tests.
+type FSBlob struct {
+	dir string
+}
+
+// NewFSBlob opens (creating if needed) a filesystem-backed blob store rooted
+// at dir.
+func NewFSBlob(dir string) (*FSBlob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating blob dir: %w", err)
+	}
+	return &FSBlob{dir: dir}, nil
+}
+
+// blobTmp prefixes in-flight temp files (skipped by List).
+const blobTmp = "tmp-"
+
+func (b *FSBlob) path(key string) string {
+	return filepath.Join(b.dir, url.QueryEscape(key))
+}
+
+// Put implements BlobStore with the same temp-file + rename discipline as the
+// local spill tier: a crash mid-put leaves an ignorable temp file, never a
+// torn object.
+func (b *FSBlob) Put(key string, r io.Reader) error {
+	tmp, err := os.CreateTemp(b.dir, blobTmp+"*")
+	if err != nil {
+		return fmt.Errorf("store: creating blob temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if _, err := io.Copy(tmp, r); err != nil {
+		return fail(fmt.Errorf("store: writing blob %s: %w", key, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, b.path(key)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("store: publishing blob %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements BlobStore.
+func (b *FSBlob) Get(key string) (io.ReadCloser, int64, error) {
+	f, err := os.Open(b.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, ErrBlobNotFound
+		}
+		return nil, 0, fmt.Errorf("store: opening blob %s: %w", key, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, info.Size(), nil
+}
+
+// Delete implements BlobStore.
+func (b *FSBlob) Delete(key string) error {
+	if err := os.Remove(b.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting blob %s: %w", key, err)
+	}
+	return nil
+}
+
+// List implements BlobStore.
+func (b *FSBlob) List(prefix string) ([]BlobInfo, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing blob dir: %w", err)
+	}
+	var out []BlobInfo
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || strings.HasPrefix(name, blobTmp) {
+			continue
+		}
+		key, err := url.QueryUnescape(name)
+		if err != nil || !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, BlobInfo{Key: key, Size: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

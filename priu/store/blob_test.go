@@ -1,0 +1,501 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// Blob-tier suite: the BlobStore contract (filesystem and HTTP
+// implementations against the same exercise), the local spill directory as a
+// read-through/write-behind cache of the shared tier, newest-wins boot
+// reconciliation, demotion as a cache drop, and the ReleaseUnowned handoff.
+
+func blobPut(t *testing.T, bs BlobStore, key, body string) {
+	t.Helper()
+	if err := bs.Put(key, strings.NewReader(body)); err != nil {
+		t.Fatalf("put %q: %v", key, err)
+	}
+}
+
+func blobGetString(t *testing.T, bs BlobStore, key string) (string, int64) {
+	t.Helper()
+	rc, size, err := bs.Get(key)
+	if err != nil {
+		t.Fatalf("get %q: %v", key, err)
+	}
+	defer rc.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, rc); err != nil {
+		t.Fatalf("read %q: %v", key, err)
+	}
+	return buf.String(), size
+}
+
+// exerciseBlobStore is the implementation-independent BlobStore contract:
+// namespaced keys round-trip, Put replaces, Delete is idempotent, List
+// filters by prefix and skips in-flight temp files.
+func exerciseBlobStore(t *testing.T, bs BlobStore) {
+	t.Helper()
+	if _, _, err := bs.Get("acme/sess-1"); err != ErrBlobNotFound {
+		t.Fatalf("missing key: err = %v, want ErrBlobNotFound", err)
+	}
+	blobPut(t, bs, "acme/sess-1", "first version")
+	blobPut(t, bs, "acme/sess-2", "other session")
+	blobPut(t, bs, "beta/sess-1", "other tenant")
+	if got, size := blobGetString(t, bs, "acme/sess-1"); got != "first version" || size != int64(len(got)) {
+		t.Fatalf("round-trip = %q (size %d)", got, size)
+	}
+	// Put replaces: the new content and size win, never a blend.
+	blobPut(t, bs, "acme/sess-1", "second, longer version")
+	if got, _ := blobGetString(t, bs, "acme/sess-1"); got != "second, longer version" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	infos, err := bs.List("acme/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Key != "acme/sess-1" || infos[1].Key != "acme/sess-2" {
+		t.Fatalf("prefix listing = %+v", infos)
+	}
+	if infos[0].Size != int64(len("second, longer version")) {
+		t.Fatalf("listed size = %d", infos[0].Size)
+	}
+	all, err := bs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("full listing has %d objects, want 3", len(all))
+	}
+	if err := bs.Delete("acme/sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bs.Get("acme/sess-1"); err != ErrBlobNotFound {
+		t.Fatalf("deleted key still readable: err = %v", err)
+	}
+	if err := bs.Delete("acme/sess-1"); err != nil {
+		t.Fatalf("deleting a missing key should be a no-op, got %v", err)
+	}
+}
+
+func TestFSBlobRoundTrip(t *testing.T) {
+	bs, err := NewFSBlob(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exerciseBlobStore(t, bs)
+}
+
+func TestHTTPBlobRoundTrip(t *testing.T) {
+	backing, err := NewFSBlob(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(BlobHandler(backing))
+	defer srv.Close()
+	exerciseBlobStore(t, NewHTTPBlob(srv.URL, nil))
+}
+
+// sharedBlob builds the FSBlob every replica of a test fleet points at.
+func sharedBlob(t *testing.T) *FSBlob {
+	t.Helper()
+	bs, err := NewFSBlob(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+func sessionState(t *testing.T, sess *Session) (vec []float64, nDel int, updates int64) {
+	t.Helper()
+	sess.Mu.Lock()
+	defer sess.Mu.Unlock()
+	return append([]float64(nil), sess.Model.Vec()...), len(sess.Deleted), sess.Updates
+}
+
+func TestBlobWriteBehindAndCrossNodeAdopt(t *testing.T) {
+	bs := sharedBlob(t)
+	tiA := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+
+	a := trainSession(t, "acme/sess-1", 1)
+	want := applyDeletion(t, a, []int{3, 5})
+	if err := tiA.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	tiA.Flush()
+	if !tiA.isRemote("acme/sess-1") {
+		t.Fatal("write-behind spill never pushed to the blob tier")
+	}
+	st := tiA.Stats()
+	if !st.BlobTier || st.BlobPuts == 0 || st.BlobSessions != 1 || st.BlobBytes == 0 {
+		t.Fatalf("blob stats = tier=%v puts=%d sessions=%d bytes=%d",
+			st.BlobTier, st.BlobPuts, st.BlobSessions, st.BlobBytes)
+	}
+
+	// A second node sharing the blob tier — booted while node A still runs,
+	// so it has no local state at all — adopts the session on first touch:
+	// the pure read-through path.
+	tiB := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	got, ok := tiB.Get("acme/sess-1")
+	if !ok {
+		t.Fatal("peer could not adopt the session from the blob tier")
+	}
+	vec, nDel, updates := sessionState(t, got)
+	if nDel != 2 || updates != 1 {
+		t.Fatalf("adopted state: %d deletions (updates %d), want 2 (1)", nDel, updates)
+	}
+	for i := range vec {
+		if vec[i] != want[i] {
+			t.Fatalf("adopted model differs at %d: %v vs %v", i, vec[i], want[i])
+		}
+	}
+	if tiB.Stats().BlobGets == 0 {
+		t.Fatal("adoption did not count a blob get")
+	}
+	// Adoption accounts ownership on the adopting node like a local session.
+	if u := tiB.TenantUsage("acme"); u.Sessions() != 1 {
+		t.Fatalf("adopting node charges %d sessions to the tenant, want 1", u.Sessions())
+	}
+	// Misses stay misses: a key nobody stored is a clean not-found, not an error.
+	if _, ok := tiB.Get("acme/sess-404"); ok {
+		t.Fatal("read-through invented a session")
+	}
+}
+
+func TestBlobDemotionIsCacheDropNotLoss(t *testing.T) {
+	// Measure one spill file first so the disk budget can be sized to hold
+	// one file but not two.
+	bs := sharedBlob(t)
+	probe := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	if err := probe.Put(trainSession(t, "sess-size", 1)); err != nil {
+		t.Fatal(err)
+	}
+	probe.Flush()
+	one := probe.Stats().SpillDirBytes
+	if one == 0 {
+		t.Fatal("probe spill produced no file")
+	}
+
+	bs2 := sharedBlob(t)
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs2), WithSpillMaxBytes(one+one/2))
+	if err := ti.Put(trainSession(t, "sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if !ti.isRemote("sess-1") {
+		t.Fatal("first spill never reached the blob tier")
+	}
+	// The second spill does not fit the budget next to the first: the
+	// blob-backed first file is demoted — a cache drop, not a session loss.
+	if err := ti.Put(trainSession(t, "sess-2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	st := ti.Stats()
+	if st.BlobDemotions == 0 {
+		t.Fatalf("no demotion happened (disk %d/%d)", st.SpillDirBytes, st.SpillMaxBytes)
+	}
+	if st.DiskEvictions != 0 {
+		t.Fatalf("demotion was charged as a session-losing disk eviction (%d)", st.DiskEvictions)
+	}
+
+	// Kill the node. Its local cache file for sess-1 is gone (demoted), but
+	// the blob copy makes the reboot whole: both sessions restore.
+	hardKill(ti)
+	ti2 := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs2))
+	for _, id := range []string{"sess-1", "sess-2"} {
+		if _, ok := ti2.Get(id); !ok {
+			t.Fatalf("session %s lost across demotion + reboot", id)
+		}
+	}
+}
+
+func TestSyncBlobNewestWinsAcrossReplicas(t *testing.T) {
+	bs := sharedBlob(t)
+	dirA := t.TempDir()
+
+	// Node A publishes the session at updates=0 and dies.
+	tiA := newTestTiered(t, dirA, NewMemory(), WithBlobStore(bs))
+	if err := tiA.Put(trainSession(t, "acme/sess-1", 7)); err != nil {
+		t.Fatal(err)
+	}
+	tiA.Flush()
+	hardKill(tiA)
+
+	// Node B adopts the session and advances it past A's local cache.
+	tiB := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	sess, ok := tiB.Get("acme/sess-1")
+	if !ok {
+		t.Fatal("node B could not adopt the session")
+	}
+	want := applyDeletion(t, sess, []int{2, 9, 11})
+	tiB.Flush()
+	hardKill(tiB)
+
+	// Node A reboots with a stale local cache file (updates=0) under a blob
+	// object at updates=1: newest wins, the stale file is dropped, and the
+	// session serves node B's state — the deletions another replica honored
+	// can never be undone by a stale cache.
+	tiA2 := newTestTiered(t, dirA, NewMemory(), WithBlobStore(bs))
+	got, ok := tiA2.Get("acme/sess-1")
+	if !ok {
+		t.Fatal("session lost across the stale-cache reboot")
+	}
+	vec, nDel, updates := sessionState(t, got)
+	if nDel != 3 || updates != 1 {
+		t.Fatalf("rebooted node serves %d deletions (updates %d), want 3 (1)", nDel, updates)
+	}
+	for i := range vec {
+		if vec[i] != want[i] {
+			t.Fatalf("rebooted model differs at %d from the newest published state", i)
+		}
+	}
+}
+
+func TestSyncBlobHealsLocalOnlyFilesUpward(t *testing.T) {
+	// A node that spilled locally WITHOUT a blob tier (or crashed before its
+	// push) holds the only copy. Rebooting it with the blob tier attached
+	// heals the file upward immediately, before traffic.
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	if err := ti.Put(trainSession(t, "acme/sess-1", 3)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	hardKill(ti)
+
+	bs := sharedBlob(t)
+	ti2 := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if ti2.Stats().BlobPuts == 0 {
+		t.Fatal("boot sync never pushed the stranded local file")
+	}
+	if _, _, err := bs.Get("acme/sess-1"); err != nil {
+		t.Fatalf("healed object unreadable: %v", err)
+	}
+	if !ti2.isRemote("acme/sess-1") {
+		t.Fatal("healed entry not marked blob-backed")
+	}
+}
+
+func TestReleaseUnownedHandsOffThroughBlob(t *testing.T) {
+	bs := sharedBlob(t)
+	ti := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	keep := trainSession(t, "acme/sess-1", 1)
+	lose := trainSession(t, "acme/sess-2", 2)
+	want := applyDeletion(t, lose, []int{4})
+	for _, s := range []*Session{keep, lose} {
+		if err := ti.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The ring reassigned sess-2 elsewhere: release certifies its blob copy
+	// (including the un-flushed deletion) and forgets it locally.
+	released, err := ti.ReleaseUnowned(func(id string) bool { return id == "acme/sess-1" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 1 {
+		t.Fatalf("released %d sessions, want 1", released)
+	}
+	var residents []string
+	ti.Range(func(s *Session) bool { residents = append(residents, s.ID); return true })
+	if len(residents) != 1 || residents[0] != "acme/sess-1" {
+		t.Fatalf("residents after handoff = %v", residents)
+	}
+	if u := ti.TenantUsage("acme"); u.Sessions() != 1 {
+		t.Fatalf("handed-off session still charged to the tenant (%d sessions)", u.Sessions())
+	}
+
+	// The new owner adopts the released session with the mutation intact.
+	ti2 := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	got, ok := ti2.Get("acme/sess-2")
+	if !ok {
+		t.Fatal("released session not adoptable by the new owner")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 1 {
+		t.Fatalf("handoff lost the deletion log (%d entries)", nDel)
+	}
+	for i := range vec {
+		if vec[i] != want[i] {
+			t.Fatalf("handoff lost the un-flushed mutation (model differs at %d)", i)
+		}
+	}
+
+	// The old owner can itself re-adopt if the ring flaps back.
+	back, ok := ti.Get("acme/sess-2")
+	if !ok {
+		t.Fatal("old owner cannot re-adopt after a ring flap")
+	}
+	if _, nDel, _ := sessionState(t, back); nDel != 1 {
+		t.Fatal("re-adopted session lost state")
+	}
+}
+
+func TestReleaseUnownedWithoutBlobRefuses(t *testing.T) {
+	ti := newTestTiered(t, t.TempDir(), NewMemory())
+	if _, err := ti.ReleaseUnowned(func(string) bool { return false }); err == nil {
+		t.Fatal("ReleaseUnowned without a blob tier must refuse")
+	}
+}
+
+// stale local directory entries left by a released session must not linger.
+func TestReleaseUnownedDropsColdCacheFiles(t *testing.T) {
+	bs := sharedBlob(t)
+	ti := newTestTiered(t, t.TempDir(), NewMemory(WithMaxSessions(1)), WithBlobStore(bs))
+	a := trainSession(t, "acme/sess-1", 1)
+	b := trainSession(t, "acme/sess-2", 2)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if err := ti.Put(b); err != nil { // evicts sess-1 to cold (spill-on-evict)
+		t.Fatal(err)
+	}
+	ti.Flush()
+
+	released, err := ti.ReleaseUnowned(func(id string) bool { return id == "acme/sess-2" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released != 1 {
+		t.Fatalf("released %d, want the one cold session", released)
+	}
+	if u := ti.TenantUsage("acme"); u.Sessions() != 1 {
+		t.Fatalf("cold handoff left %d sessions charged, want 1", u.Sessions())
+	}
+	st := ti.Stats()
+	if st.Spilled != 0 {
+		t.Fatalf("cold entry survived the handoff: %+v", st.SpilledSessions)
+	}
+}
+
+// --- chaos: blob-tier fault injection -----------------------------------
+
+func TestChaosBlobPutFailureKeepsLocalAndHeals(t *testing.T) {
+	bs := sharedBlob(t)
+	ti := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	var armed atomic.Bool
+	ti.fault = faultOn("blob.put", &armed)
+
+	armed.Store(true)
+	if err := ti.Put(trainSession(t, "acme/sess-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if ti.blobErrors.Load() == 0 {
+		t.Fatal("blob.put fault never fired")
+	}
+	if ti.isRemote("acme/sess-1") {
+		t.Fatal("failed push must not certify the blob copy")
+	}
+	if _, _, err := bs.Get("acme/sess-1"); err != ErrBlobNotFound {
+		t.Fatalf("blob tier holds an object after a failed push: %v", err)
+	}
+	// Local durability is intact the whole time.
+	if _, ok := ti.Get("acme/sess-1"); !ok {
+		t.Fatal("session unreadable during blob outage")
+	}
+
+	// The GC sweep's heal pass re-pushes once the tier recovers.
+	armed.Store(false)
+	ti.blobMaintain()
+	if !ti.isRemote("acme/sess-1") {
+		t.Fatal("heal pass never re-pushed the local file")
+	}
+	if _, _, err := bs.Get("acme/sess-1"); err != nil {
+		t.Fatalf("healed object unreadable: %v", err)
+	}
+}
+
+func TestChaosBlobDeleteTombstoneBlocksResurrection(t *testing.T) {
+	bs := sharedBlob(t)
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if err := ti.Put(trainSession(t, "acme/sess-1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if !ti.isRemote("acme/sess-1") {
+		t.Fatal("setup: session never reached the blob tier")
+	}
+
+	var armed atomic.Bool
+	ti.fault = faultOn("blob.delete", &armed)
+	armed.Store(true)
+	if !ti.Delete("acme/sess-1") {
+		t.Fatal("delete reported the session missing")
+	}
+	// The blob delete failed, so the object is still physically there...
+	if _, _, err := bs.Get("acme/sess-1"); err != nil {
+		t.Fatalf("test premise broken: blob delete should have failed (%v)", err)
+	}
+	// ...but the acknowledged deletion holds: the tombstone refuses the
+	// read-through path, so the session does not resurrect on this node.
+	if _, ok := ti.Get("acme/sess-1"); ok {
+		t.Fatal("acknowledged deletion resurrected through the read-through path")
+	}
+
+	// The GC sweep retries tombstoned deletes until they stick.
+	armed.Store(false)
+	ti.blobMaintain()
+	if _, _, err := bs.Get("acme/sess-1"); err != ErrBlobNotFound {
+		t.Fatalf("tombstone retry never removed the object: %v", err)
+	}
+
+	// Node kill + blob-backed reboot, and a brand-new replica adopting from
+	// the same tier: the deletion stays deleted everywhere.
+	hardKill(ti)
+	for _, bootDir := range []string{dir, t.TempDir()} {
+		reboot := newTestTiered(t, bootDir, NewMemory(), WithBlobStore(bs))
+		if _, ok := reboot.Get("acme/sess-1"); ok {
+			t.Fatalf("acknowledged deletion resurrected after reboot from %s", bootDir)
+		}
+	}
+}
+
+func TestChaosBlobGetFailureIsAnErrorNotAMiss(t *testing.T) {
+	bs := sharedBlob(t)
+	tiA := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	a := trainSession(t, "acme/sess-1", 2)
+	want := applyDeletion(t, a, []int{1})
+	if err := tiA.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	tiA.Flush()
+
+	// Node B boots with the blob reachable (its boot sync indexes the
+	// session remote-only), then the tier starts failing reads.
+	tiB := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	var armed atomic.Bool
+	tiB.fault = faultOn("blob.get", &armed)
+	armed.Store(true)
+	if _, ok := tiB.Get("acme/sess-1"); ok {
+		t.Fatal("a failing blob read must not fabricate a session")
+	}
+	if tiB.restoreErrors.Load() == 0 {
+		t.Fatal("failed blob restore was not counted")
+	}
+
+	// Recovery: the same touch succeeds once the tier is back.
+	armed.Store(false)
+	got, ok := tiB.Get("acme/sess-1")
+	if !ok {
+		t.Fatal("session unreadable after the blob tier recovered")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 1 {
+		t.Fatalf("recovered session has %d deletions, want 1", nDel)
+	}
+	for i := range vec {
+		if vec[i] != want[i] {
+			t.Fatalf("recovered model differs at %d", i)
+		}
+	}
+}

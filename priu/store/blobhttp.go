@@ -1,0 +1,211 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// HTTPBlob is a BlobStore backed by a remote blob server (cmd/priublob, or
+// anything speaking the same wire protocol):
+//
+//	PUT    /blob?key=K   store the request body under K (204)
+//	GET    /blob?key=K   fetch K (200 with Content-Length, or 404)
+//	DELETE /blob?key=K   remove K (204; missing keys are fine)
+//	GET    /blobs?prefix=P  JSON listing {"blobs":[{key,size,mtime_unix_nano}]}
+//	GET    /healthz      liveness probe
+//
+// Keys travel as query parameters (fully escaped), so namespaced session IDs
+// containing "/" need no path gymnastics.
+type HTTPBlob struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPBlob returns a BlobStore speaking to the blob server at base
+// (e.g. "http://10.0.0.5:8090"). A nil client uses a default with a
+// 30-second timeout on the control calls; Get streams are not bounded by it.
+func NewHTTPBlob(base string, hc *http.Client) *HTTPBlob {
+	if hc == nil {
+		hc = &http.Client{Timeout: 0}
+	}
+	return &HTTPBlob{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (b *HTTPBlob) blobURL(key string) string {
+	return b.base + "/blob?key=" + url.QueryEscape(key)
+}
+
+// httpBlobError decodes a non-2xx blob-server response into an error.
+func httpBlobError(op, key string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("store: blob %s %s: %s", op, key, msg)
+}
+
+// Put implements BlobStore.
+func (b *HTTPBlob) Put(key string, r io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, b.blobURL(key), r)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: blob put %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return httpBlobError("put", key, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Get implements BlobStore. The returned body streams straight from the blob
+// server; callers own closing it.
+func (b *HTTPBlob) Get(key string) (io.ReadCloser, int64, error) {
+	resp, err := b.hc.Get(b.blobURL(key))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: blob get %s: %w", key, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, 0, ErrBlobNotFound
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, 0, httpBlobError("get", key, resp)
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// Delete implements BlobStore.
+func (b *HTTPBlob) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, b.blobURL(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: blob delete %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return httpBlobError("delete", key, resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// blobListEntry is the wire form of one listed object.
+type blobListEntry struct {
+	Key           string `json:"key"`
+	Size          int64  `json:"size"`
+	MTimeUnixNano int64  `json:"mtime_unix_nano"`
+}
+
+// blobListResponse is the wire form of GET /blobs.
+type blobListResponse struct {
+	Blobs []blobListEntry `json:"blobs"`
+}
+
+// List implements BlobStore.
+func (b *HTTPBlob) List(prefix string) ([]BlobInfo, error) {
+	resp, err := b.hc.Get(b.base + "/blobs?prefix=" + url.QueryEscape(prefix))
+	if err != nil {
+		return nil, fmt.Errorf("store: blob list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, httpBlobError("list", prefix, resp)
+	}
+	var lr blobListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("store: decoding blob listing: %w", err)
+	}
+	out := make([]BlobInfo, 0, len(lr.Blobs))
+	for _, e := range lr.Blobs {
+		out = append(out, BlobInfo{Key: e.Key, Size: e.Size, ModTime: time.Unix(0, e.MTimeUnixNano)})
+	}
+	return out, nil
+}
+
+// BlobHandler serves the HTTPBlob wire protocol over any BlobStore — the
+// embeddable core of cmd/priublob (tests mount it on httptest servers).
+func BlobHandler(bs BlobStore) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	mux.HandleFunc("/blob", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodPut, http.MethodPost:
+			if err := bs.Put(key, r.Body); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodGet, http.MethodHead:
+			rc, size, err := bs.Get(key)
+			if err != nil {
+				if err == ErrBlobNotFound {
+					http.Error(w, "not found", http.StatusNotFound)
+				} else {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+				return
+			}
+			defer rc.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if size >= 0 {
+				w.Header().Set("Content-Length", fmt.Sprint(size))
+			}
+			if r.Method == http.MethodHead {
+				return
+			}
+			io.Copy(w, rc)
+		case http.MethodDelete:
+			if err := bs.Delete(key); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/blobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		infos, err := bs.List(r.URL.Query().Get("prefix"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		lr := blobListResponse{Blobs: make([]blobListEntry, 0, len(infos))}
+		for _, info := range infos {
+			lr.Blobs = append(lr.Blobs, blobListEntry{
+				Key: info.Key, Size: info.Size, MTimeUnixNano: info.ModTime.UnixNano(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(lr)
+	})
+	return mux
+}

@@ -144,36 +144,55 @@ func (t *Tiered) reserveDiskLocked(size int64, keepID string) bool {
 	return true
 }
 
-// evictSpillFileLocked removes one spill file to reclaim disk. Warm backups
-// of DIRTY resident sessions go first: their rewrite is already owed, so
-// dropping the stale file costs nothing. Clean residents' files are pinned
-// — a concurrent eviction may at any moment decide "clean and on disk →
-// drop the resident copy" on the strength of that file, so reclaiming it
-// could strand the session in zero tiers. After dirty warm backups come
-// disk-only files in LRU order, whose removal loses the session and is
-// charged to its tenant as a disk eviction. Callers hold t.mu.
+// evictSpillFileLocked removes one local spill file to reclaim disk, in
+// preference order of what the drop costs:
+//
+//   - demotions first: files whose entry is blob-backed are pure cache drops
+//     — the entry survives remote-only, nothing is lost;
+//   - then warm backups of DIRTY resident sessions: their rewrite is already
+//     owed, so dropping the stale file costs nothing;
+//   - then disk-only files in LRU order, whose removal loses the session and
+//     is charged to its tenant as a disk eviction.
+//
+// Clean residents' files WITHOUT blob backing are pinned — a concurrent
+// eviction may at any moment decide "clean and spilled → drop the resident
+// copy" on the strength of that file, so reclaiming it could strand the
+// session in zero tiers (with blob backing the entry survives the demotion,
+// so the same decision stays safe). Callers hold t.mu.
 func (t *Tiered) evictSpillFileLocked(keepID string) bool {
+	const (
+		classDemote = iota // blob-backed: free cache drop
+		classWarm          // dirty resident's stale backup: rewrite owed
+		classLoss          // disk-only, no blob: the session dies with the file
+	)
 	var (
-		victimID string
-		victim   *spillEntry
-		warm     bool
+		victimID    string
+		victim      *spillEntry
+		victimClass int
 	)
 	for id, e := range t.index {
-		if id == keepID {
+		if id == keepID || !e.local {
 			continue
 		}
 		if _, restoring := t.flights[id]; restoring {
 			continue // a restore is reading this file right now
 		}
-		sess, resident := t.mem.peek(id)
-		if resident && !sess.dirty.Load() {
-			continue // pinned: the eviction path relies on this file
+		class := classLoss
+		if e.remote {
+			class = classDemote
+		} else {
+			sess, resident := t.mem.peek(id)
+			if resident {
+				if !sess.dirty.Load() {
+					continue // pinned: the eviction path relies on this file
+				}
+				class = classWarm
+			}
 		}
-		better := victim == nil ||
-			(resident && !warm) ||
-			(resident == warm && e.lastUsed < victim.lastUsed)
+		better := victim == nil || class < victimClass ||
+			(class == victimClass && e.lastUsed < victim.lastUsed)
 		if better {
-			victimID, victim, warm = id, e, resident
+			victimID, victim, victimClass = id, e, class
 		}
 	}
 	if victim == nil {
@@ -191,11 +210,19 @@ func (t *Tiered) evictSpillFileLocked(keepID string) bool {
 	if err := os.Remove(victim.path); err != nil && !os.IsNotExist(err) {
 		return false
 	}
-	delete(t.index, victimID)
 	t.diskBytes -= victim.bytes
+	if victimClass == classDemote {
+		// Cache drop: the entry survives remote-only; restores fall through
+		// to the blob tier. Tenant spill accounting keeps charging the blob
+		// copy (same content), so nothing is released here.
+		victim.path, victim.local = "", false
+		t.blobDemotions.Add(1)
+		return true
+	}
+	delete(t.index, victimID)
 	ten := TenantOf(victimID)
 	t.mem.adjustSpill(ten, -victim.bytes)
-	if !warm {
+	if victimClass == classLoss {
 		// The session existed only on disk: dropping its file forgets it.
 		// Release the tenant's ownership charge and make the loss visible.
 		t.mem.adjustOwned(ten, -1, -victim.charged)
@@ -267,7 +294,9 @@ func (t *Tiered) gcOnce() {
 	t.mu.Lock()
 	indexed := make(map[string]bool, len(t.index))
 	for _, e := range t.index {
-		indexed[filepath.Base(e.path)] = true
+		if e.local {
+			indexed[filepath.Base(e.path)] = true
+		}
 	}
 	var orphanBytes int64
 	var remove []string
@@ -295,4 +324,7 @@ func (t *Tiered) gcOnce() {
 			t.gcRemovals.Add(1)
 		}
 	}
+	// Blob pass: retry tombstoned deletes until they stick and re-push local
+	// files whose upload failed, so the shared tier converges on the truth.
+	t.blobMaintain()
 }

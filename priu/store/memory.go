@@ -148,7 +148,29 @@ func (m *Memory) Put(sess *Session) error {
 	tu.resident++
 	tu.residentBytes += sess.footprint
 	m.tmu.Unlock()
-	m.insert(sess)
+	if pe := m.insert(sess); pe != nil {
+		// The resident tier is over budget and every evictable session is
+		// pinned by an active stream: evicting would drop state under a
+		// reader, and admitting without evicting would let pinned load grow
+		// the tier without bound. Undo the registration and report the
+		// transient pressure — the caller retries once streams settle.
+		sh := &m.shards[ShardIndex(sess.ID)]
+		sh.mu.Lock()
+		delete(sh.sessions, sess.ID)
+		sh.mu.Unlock()
+		m.curBytes.Add(-sess.footprint)
+		m.tmu.Lock()
+		tu := m.tenant(ten)
+		tu.owned--
+		tu.ownedBytes -= sess.footprint
+		tu.resident--
+		tu.residentBytes -= sess.footprint
+		m.tmu.Unlock()
+		sess.Mu.Lock()
+		sess.gone = true
+		sess.Mu.Unlock()
+		return pe
+	}
 	return nil
 }
 
@@ -214,15 +236,17 @@ func (m *Memory) chargeDiskEviction(tenant string) {
 }
 
 // insert publishes an already-accounted session and enforces the global
-// budgets.
-func (m *Memory) insert(sess *Session) {
+// budgets, reporting unresolvable resident pressure (every evictable session
+// pinned). Put rejects on pressure; putRestored ignores it — a restore must
+// succeed, the budget is temporarily exceeded instead.
+func (m *Memory) insert(sess *Session) *PressureError {
 	sh := &m.shards[ShardIndex(sess.ID)]
 	sess.Touch()
 	sh.mu.Lock()
 	sh.sessions[sess.ID] = sess
 	sh.mu.Unlock()
 	m.curBytes.Add(sess.footprint)
-	m.enforceBudget(sess.ID)
+	return m.enforceBudget(sess.ID)
 }
 
 // Removal reasons for tenant accounting.
@@ -432,19 +456,30 @@ func (m *Memory) sessionCount() int {
 // under the session-count and byte budgets. The session named keepID (the
 // one that triggered enforcement) is never evicted, so a single oversized
 // registration still lands. Evictions are charged to the victim's tenant.
-func (m *Memory) enforceBudget(keepID string) {
+// When the budget stays exceeded because every candidate is pinned by a
+// long-running read, a *PressureError names the exhausted dimension; a
+// budget exceeded with nothing else resident at all (one oversized
+// registration) is not pressure.
+func (m *Memory) enforceBudget(keepID string) *PressureError {
 	if m.maxSessions <= 0 && m.maxBytes <= 0 {
-		return
+		return nil
 	}
 	for {
 		over := (m.maxSessions > 0 && m.sessionCount() > m.maxSessions) ||
 			(m.maxBytes > 0 && m.curBytes.Load() > m.maxBytes)
 		if !over {
-			return
+			return nil
 		}
-		victim, vShard := m.pickVictim(keepID)
+		victim, vShard, pinned := m.pickVictim(keepID)
 		if victim == nil {
-			return // nothing evictable left
+			if pinned == 0 {
+				return nil // nothing evictable left (oversized single session)
+			}
+			dim := "bytes"
+			if m.maxSessions > 0 && m.sessionCount() > m.maxSessions {
+				dim = "sessions"
+			}
+			return &PressureError{Dimension: dim, Pinned: pinned}
 		}
 		// Spill (if tiered) BEFORE removing the session from the resident
 		// map, so a concurrent Get always finds it in at least one tier —
@@ -494,10 +529,13 @@ type victimCand struct {
 // cannot monopolize the resident tier by aging out everyone else's
 // sessions. The session named keepID is never picked, nor is any session
 // pinned by a long-running read — when everything evictable is pinned,
-// enforcement stops and the budget is temporarily exceeded rather than
-// dropping state under an active stream.
-func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
+// enforcement rejects the registration with a *PressureError rather than
+// dropping state under an active stream. The pinned count of skipped
+// sessions rides along so the caller can tell "all pinned" (transient
+// pressure) from "nothing else resident" (an oversized single session).
+func (m *Memory) pickVictim(keepID string) (*Session, *memShard, int) {
 	var global victimCand
+	pinned := 0
 	perTenant := map[string]victimCand{}
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -507,6 +545,7 @@ func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
 				continue
 			}
 			if sess.Pinned() {
+				pinned++
 				continue // a long-running read holds it resident
 			}
 			lu := sess.lastUsed.Load()
@@ -521,7 +560,7 @@ func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
 		sh.mu.RUnlock()
 	}
 	if len(perTenant) <= 1 {
-		return global.sess, global.shard
+		return global.sess, global.shard, pinned
 	}
 	// Several tenants have evictable sessions: weight by resident working
 	// set. Fair share is an equal split of the candidates' total resident
@@ -553,7 +592,7 @@ func (m *Memory) pickVictim(keepID string) (*Session, *memShard) {
 		}
 	}
 	if best.sess == nil {
-		return global.sess, global.shard
+		return global.sess, global.shard, pinned
 	}
-	return best.sess, best.shard
+	return best.sess, best.shard, pinned
 }

@@ -1,6 +1,9 @@
 package store
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestPinnedSessionSurvivesBudgetEviction(t *testing.T) {
 	m := NewMemory(WithMaxSessions(2))
@@ -19,27 +22,45 @@ func TestPinnedSessionSurvivesBudgetEviction(t *testing.T) {
 		t.Fatal("unpinned LRU session should have been evicted instead")
 	}
 
-	// With everything pinned, enforcement gives up (budget temporarily
-	// exceeded) rather than dropping state under an active reader.
+	// With everything pinned, enforcement rejects the registration with a
+	// typed *PressureError (transient backpressure) rather than dropping
+	// state under an active reader or growing the tier without bound.
 	b2, _ := m.Get("sess-2")
 	c2, _ := m.Get("sess-3")
 	b2.Pin()
 	c2.Pin()
 	defer b2.Unpin()
-	defer c2.Unpin()
 	d := trainSession(t, "sess-4", 4)
-	d.Pin()
-	defer d.Unpin()
-	if err := m.Put(d); err != nil {
-		t.Fatal(err)
+	err := m.Put(d)
+	var pe *PressureError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Put with a fully pinned budget = %v, want *PressureError", err)
 	}
-	for _, id := range []string{"sess-2", "sess-3", "sess-4"} {
+	if pe.Dimension != "sessions" || pe.Pinned != 2 {
+		t.Fatalf("PressureError = %+v, want sessions dimension with 2 pinned", pe)
+	}
+	for _, id := range []string{"sess-2", "sess-3"} {
 		if _, ok := m.Get(id); !ok {
 			t.Fatalf("session %s dropped while pinned", id)
 		}
 	}
-	if got := m.Stats().Resident; got != 3 {
-		t.Fatalf("resident = %d, want 3 (budget exceeded while pinned)", got)
+	if _, ok := m.Get("sess-4"); ok {
+		t.Fatal("rejected registration must not be admitted")
+	}
+	if got := m.Stats().Resident; got != 2 {
+		t.Fatalf("resident = %d, want 2 (rejected Put fully undone)", got)
+	}
+	if got := m.TenantUsage("").Sessions(); got != 2 {
+		// The undo must leave the ownership accounting balanced: the two
+		// surviving pinned sessions, nothing from the rejected one.
+		t.Fatalf("anonymous ownership = %d after undo, want 2", got)
+	}
+
+	// Once a pin releases, the same registration is admitted (the pressure
+	// was transient).
+	c2.Unpin()
+	if err := m.Put(trainSession(t, "sess-4", 4)); err != nil {
+		t.Fatalf("Put after unpin = %v, want success", err)
 	}
 
 	// An explicit Delete ignores pins: the client's instruction to forget

@@ -98,6 +98,24 @@ func (e *QuotaError) Error() string {
 	return fmt.Sprintf("store: tenant %q at its %s quota (%d of %d)", e.Tenant, e.Dimension, e.Used, e.Limit)
 }
 
+// PressureError reports a Put rejected because the resident tier is over its
+// budget and every evictable session is pinned by a long-running read — the
+// store cannot make room without dropping state under an active stream.
+// Unlike a quota (the tenant's problem, permanent until it deletes sessions)
+// this is transient backpressure: services surface it as 503 with Retry-After
+// and the registration should simply be retried once streams settle.
+type PressureError struct {
+	// Dimension is the exhausted budget: "sessions" or "bytes".
+	Dimension string
+	// Pinned counts the resident sessions held by long-running reads at the
+	// time of the rejection.
+	Pinned int
+}
+
+func (e *PressureError) Error() string {
+	return fmt.Sprintf("store: resident %s budget exhausted and all %d evictable sessions are pinned", e.Dimension, e.Pinned)
+}
+
 // Session is one registered model with its captured provenance — the unit of
 // storage. HTTP-facing request counters stay in the service; everything here
 // is serving state that must survive tier moves.
@@ -245,6 +263,9 @@ type SpilledSession struct {
 	Kind      string
 	CreatedAt time.Time
 	Bytes     int64
+	// Remote marks a session whose only spilled copy lives in the shared
+	// blob tier (no local cache file).
+	Remote bool
 }
 
 // TenantStats is one tenant's view within Stats. The anonymous namespace
@@ -325,6 +346,23 @@ type Stats struct {
 	// GCRemovals counts orphaned spill-directory files removed by the
 	// age-based GC.
 	GCRemovals int64
+	// BlobTier reports whether a shared blob tier is configured; the Blob*
+	// counters below are zero without one.
+	BlobTier bool
+	// BlobSessions / BlobBytes describe the index entries whose spill state
+	// the shared blob tier holds (local cache files may also exist).
+	BlobSessions int
+	BlobBytes    int64
+	// BlobPuts / BlobGets / BlobDeletes count completed blob operations;
+	// BlobErrors counts failed ones (retried by the GC sweep where safe).
+	BlobPuts    int64
+	BlobGets    int64
+	BlobDeletes int64
+	BlobErrors  int64
+	// BlobDemotions counts local cache files dropped by the disk budget
+	// whose sessions survived remote-only in the blob tier (pure cache
+	// drops — compare DiskEvictions, which lose the session).
+	BlobDemotions int64
 	// Shards is the per-shard breakdown of the in-memory tier.
 	Shards [NumShards]ShardStats
 	// SpilledSessions lists the disk-tier-only sessions.

@@ -32,12 +32,21 @@ const (
 	maxSpillName = 1 << 20
 )
 
-// spillEntry is the disk tier's index record for one session.
+// spillEntry is the disk tier's index record for one session. At least one
+// of local/remote is true: local means path names a cache file in the spill
+// directory, remote means the shared blob tier holds the same version (when
+// both are set the local file is a read cache of the blob object).
 type spillEntry struct {
 	path      string
 	bytes     int64
 	kind      string
 	createdAt time.Time
+	local     bool
+	remote    bool
+	// updates is the envelope's monotonic per-session update counter at the
+	// time this entry was published — the newest-wins version used when
+	// reconciling the local cache against the blob tier.
+	updates int64
 	// charged is what the session's tenant ownership was billed for this
 	// session (guarded by Tiered.mu): the resident footprint when spilled by
 	// this process, the file size when seeded from a reboot reindex (the
@@ -68,6 +77,10 @@ type Tiered struct {
 	mem *Memory
 	dir string
 
+	// blob, when set (WithBlobStore), is the shared tier the spill directory
+	// caches; see tieredblob.go.
+	blob BlobStore
+
 	// Lifecycle configuration (fixed after NewTiered).
 	spillOnEvict bool
 	maxDiskBytes int64
@@ -86,6 +99,12 @@ type Tiered struct {
 	// guarded by mu.
 	diskBytes   int64
 	orphanBytes int64
+	// blobPutting gates blob uploads (one in flight per session); guarded by
+	// mu. pendingBlobDel tombstones blob keys of acknowledged deletes until
+	// their removal sticks — the read-through path refuses tombstoned keys
+	// and the GC sweep retries the deletes. Guarded by mu.
+	blobPutting    map[string]bool
+	pendingBlobDel map[string]bool
 
 	// Write-behind queue state (lifecycle.go).
 	qmu      sync.Mutex
@@ -105,6 +124,11 @@ type Tiered struct {
 	queueFull     atomic.Int64
 	diskEvictions atomic.Int64
 	gcRemovals    atomic.Int64
+	blobPuts      atomic.Int64
+	blobGets      atomic.Int64
+	blobDeletes   atomic.Int64
+	blobErrors    atomic.Int64
+	blobDemotions atomic.Int64
 
 	// fault, when set (tests only), is consulted at named crash points
 	// inside spill/GC/drain; a non-nil return aborts the operation exactly
@@ -199,20 +223,25 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 		return nil, fmt.Errorf("store: creating spill dir: %w", err)
 	}
 	t := &Tiered{
-		mem:          mem,
-		dir:          dir,
-		index:        make(map[string]*spillEntry),
-		flights:      make(map[string]*flight),
-		pending:      make(map[string]bool),
-		spillOnEvict: true,
-		queueLen:     256,
-		workers:      1,
-		gcAge:        time.Hour,
+		mem:            mem,
+		dir:            dir,
+		index:          make(map[string]*spillEntry),
+		flights:        make(map[string]*flight),
+		pending:        make(map[string]bool),
+		blobPutting:    make(map[string]bool),
+		pendingBlobDel: make(map[string]bool),
+		spillOnEvict:   true,
+		queueLen:       256,
+		workers:        1,
+		gcAge:          time.Hour,
 	}
 	for _, opt := range opts {
 		opt(t)
 	}
 	if err := t.reindex(); err != nil {
+		return nil, err
+	}
+	if err := t.syncBlob(); err != nil {
 		return nil, err
 	}
 	// Seed the tenants' cross-tier ownership and spill-file usage with what
@@ -256,18 +285,26 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 	return t, nil
 }
 
-// invalidate forgets a session's disk copy (stale relative to state that was
-// just lost with an eviction).
+// invalidate forgets a session's disk and blob copies (stale relative to
+// state that was just lost with an eviction): a stale copy must not
+// resurrect on the next touch — locally or through the read-through path.
 func (t *Tiered) invalidate(id string) {
 	t.mu.Lock()
 	e, ok := t.index[id]
 	if ok {
 		delete(t.index, id)
-		t.diskBytes -= e.bytes
+		if e.local {
+			t.diskBytes -= e.bytes
+		}
 	}
 	t.mu.Unlock()
 	if ok {
-		t.removeSpillFile(e.path, e.bytes, "invalidate.unlink")
+		if e.local {
+			t.removeSpillFile(e.path, e.bytes, "invalidate.unlink")
+		}
+		if e.remote {
+			t.blobRemove(id)
+		}
 		t.mem.adjustSpill(TenantOf(id), -e.bytes)
 	}
 }
@@ -315,10 +352,31 @@ func (t *Tiered) Get(id string) (*Session, bool) {
 	}
 	e, spilled := t.index[id]
 	if !spilled {
+		if t.blob == nil || t.pendingBlobDel[id] {
+			t.mu.Unlock()
+			// The session may have become resident between the miss and the
+			// index check (a racing restore that just published). Tombstoned
+			// keys belong to acknowledged deletes — never readopt them.
+			return t.mem.Get(id)
+		}
+		// Read-through: the session has no local state at all, but the shared
+		// blob tier may hold it (created by another replica, or handed off).
+		// Same singleflight as a local restore.
+		f := &flight{done: make(chan struct{})}
+		t.flights[id] = f
 		t.mu.Unlock()
-		// The session may have become resident between the miss and the
-		// index check (a racing restore that just published).
-		return t.mem.Get(id)
+		if sess, ok := t.mem.Get(id); ok {
+			f.sess, f.ok = sess, true
+		} else if sess, err := t.adopt(id); err != nil {
+			t.restoreErrors.Add(1)
+		} else if sess != nil {
+			f.sess, f.ok = sess, true
+		}
+		t.mu.Lock()
+		delete(t.flights, id)
+		t.mu.Unlock()
+		close(f.done)
+		return f.sess, f.ok
 	}
 	f := &flight{done: make(chan struct{})}
 	t.flights[id] = f
@@ -361,15 +419,24 @@ func (t *Tiered) Delete(id string) bool {
 	e, spilled := t.index[id]
 	if spilled {
 		delete(t.index, id)
-		t.diskBytes -= e.bytes
+		if e.local {
+			t.diskBytes -= e.bytes
+		}
 	}
 	t.mu.Unlock()
 	if spilled {
 		// Spill-file hygiene: an explicit DELETE forgets the session in
-		// every tier, including its on-disk snapshot — even when a resident
-		// copy also existed (the file would otherwise outlive the session
-		// until the age-based GC or the next boot reindex).
-		t.removeSpillFile(e.path, e.bytes, "delete.unlink")
+		// every tier, including its on-disk snapshot and blob object — even
+		// when a resident copy also existed (the copies would otherwise
+		// outlive the session until the age-based GC or the next boot
+		// reindex, and a blob copy could resurrect through read-through).
+		if e.local {
+			t.removeSpillFile(e.path, e.bytes, "delete.unlink")
+		}
+		// Remove the blob object whenever a blob tier is configured, not just
+		// when the entry is marked remote: a push may be in flight (the entry
+		// not yet certified), and blobRemove's tombstone covers that race.
+		t.blobRemove(id)
 		t.mem.adjustSpill(TenantOf(id), -e.bytes)
 		if !resident {
 			// Count the disk-only delete on the same shard the session
@@ -410,9 +477,19 @@ func (t *Tiered) Stats() Stats {
 	st.DiskEvictions = t.diskEvictions.Load()
 	st.GCRemovals = t.gcRemovals.Load()
 	st.SpillQueueDepth = t.queueDepth()
+	st.BlobTier = t.blob != nil
+	st.BlobPuts = t.blobPuts.Load()
+	st.BlobGets = t.blobGets.Load()
+	st.BlobDeletes = t.blobDeletes.Load()
+	st.BlobErrors = t.blobErrors.Load()
+	st.BlobDemotions = t.blobDemotions.Load()
 	t.mu.Lock()
 	st.SpillDirBytes = t.diskBytes + t.orphanBytes
 	for id, e := range t.index {
+		if e.remote {
+			st.BlobSessions++
+			st.BlobBytes += e.bytes
+		}
 		if t.mem.has(id) {
 			continue // resident copy is authoritative; the file is a warm backup
 		}
@@ -420,6 +497,7 @@ func (t *Tiered) Stats() Stats {
 		st.SpilledBytes += e.bytes
 		st.SpilledSessions = append(st.SpilledSessions, SpilledSession{
 			ID: id, Kind: e.kind, CreatedAt: e.createdAt, Bytes: e.bytes,
+			Remote: e.remote && !e.local,
 		})
 		// Per-tenant spilled usage comes from the memory tier's ownership
 		// counters (owned − resident), already in st.Tenants.
@@ -472,13 +550,19 @@ func (t *Tiered) Close() error {
 func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 	if !sess.dirty.Load() {
 		t.mu.Lock()
-		_, onDisk := t.index[sess.ID]
+		e, onDisk := t.index[sess.ID]
+		needPush := onDisk && t.blob != nil && e.local && !e.remote
 		t.mu.Unlock()
 		if onDisk {
-			// Clean and already on disk: nothing to write. The disk-budget
-			// evictor never reclaims a clean session's file (only dirty
-			// ones, whose rewrite is already owed), so the copy this
-			// decision relies on cannot vanish underneath it.
+			// Clean and already spilled: nothing to write. The disk-budget
+			// evictor never reclaims a clean session's only copy (a clean
+			// resident's file without blob backing is pinned; a blob-backed
+			// file may be demoted but its entry survives), so the copy this
+			// decision relies on cannot vanish underneath it. A file whose
+			// blob upload previously failed is healed here.
+			if needPush {
+				_ = t.blobPush(sess.ID)
+			}
 			return false, nil
 		}
 	}
@@ -505,13 +589,20 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 		oldBytes = old.bytes
 	}
 	delta := size - oldBytes
+	// The disk gauge counts only local cache files: replacing a remote-only
+	// entry (demoted cache, or adopted from the blob tier) charges the full
+	// new file, not the delta against bytes that never lived here.
+	diskDelta := size
+	if old != nil && old.local {
+		diskDelta = size - old.bytes
+	}
 	if err := t.mem.reserveSpill(ten, delta); err != nil {
 		t.mu.Unlock()
 		_ = os.Remove(tmpName)
 		t.spillErrors.Add(1)
 		return false, err
 	}
-	if !t.reserveDiskLocked(delta, sess.ID) {
+	if !t.reserveDiskLocked(diskDelta, sess.ID) {
 		budget := t.maxDiskBytes
 		t.mu.Unlock()
 		t.mem.adjustSpill(ten, -delta)
@@ -520,7 +611,7 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 		return false, fmt.Errorf("store: spilling %s: %d bytes cannot fit the %d-byte disk budget", sess.ID, size, budget)
 	}
 	if err := os.Rename(tmpName, final); err != nil {
-		t.diskBytes -= delta
+		t.diskBytes -= diskDelta
 		t.mu.Unlock()
 		t.mem.adjustSpill(ten, -delta)
 		_ = os.Remove(tmpName)
@@ -529,6 +620,7 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 	}
 	t.index[sess.ID] = &spillEntry{
 		path: final, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
+		local: true, updates: sess.Updates,
 		charged: sess.footprint, lastUsed: time.Now().UnixNano(),
 	}
 	// Clear dirty inside the same critical section that published the entry:
@@ -537,12 +629,18 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 	// reclaim it while a concurrent eviction concludes "preserved".
 	sess.dirty.Store(false)
 	t.mu.Unlock()
-	if old != nil && old.path != final {
+	if old != nil && old.local && old.path != final {
 		// When the content hash (and so the path) is identical the rename
 		// already overwrote the old file in place.
 		t.removeSpillFile(old.path, oldBytes, "spill.unlink-old")
 	}
 	t.spills.Add(1)
+	// Write-behind to the shared tier: push the just-published file up. A
+	// failure leaves the entry local-only — restorable here, healed upward by
+	// the GC sweep — and never fails the spill (local durability landed).
+	if t.blob != nil {
+		_ = t.blobPush(sess.ID)
+	}
 	return true, nil
 }
 
@@ -633,31 +731,26 @@ func readSpillEnvelope(r io.Reader) (*binio.Reader, spillEnvelope, error) {
 	return br, env, nil
 }
 
-// restore rebuilds a session from its spill file and publishes it to the
-// in-memory tier. The snapshot's deletion log is replayed, so every honored
-// deletion stays deleted in the restored model.
-func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
-	f, err := os.Open(e.path)
+// buildSession decodes a spill envelope and its embedded snapshot from r and
+// rebuilds the session, replaying the deletion log so every honored deletion
+// stays deleted in the restored model.
+func (t *Tiered) buildSession(id string, r io.Reader) (*Session, spillEnvelope, error) {
+	br, env, err := readSpillEnvelope(r)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening spill file for %s: %w", id, err)
-	}
-	defer f.Close()
-	br, env, err := readSpillEnvelope(f)
-	if err != nil {
-		return nil, err
+		return nil, env, err
 	}
 	if env.id != id {
-		return nil, fmt.Errorf("store: spill file %s holds session %s, want %s", e.path, env.id, id)
+		return nil, env, fmt.Errorf("store: spill data holds session %s, want %s", env.id, id)
 	}
 	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(br.R)
 	if err != nil {
-		return nil, fmt.Errorf("store: restoring session %s: %w", id, err)
+		return nil, env, fmt.Errorf("store: restoring session %s: %w", id, err)
 	}
 	model := upd.Model()
 	if len(deleted) > 0 {
 		model, err = upd.Update(deleted)
 		if err != nil {
-			return nil, fmt.Errorf("store: replaying deletion log of %s: %w", id, err)
+			return nil, env, fmt.Errorf("store: replaying deletion log of %s: %w", id, err)
 		}
 	}
 	sess := &Session{
@@ -671,9 +764,42 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 		Updates:           env.updates,
 		LastUpdateSeconds: env.lastUpdateSeconds,
 		footprint:         TrainingSetBytes(ds) + upd.FootprintBytes(),
-		// Not dirty: the disk copy is exactly this state.
+		// Not dirty: the spilled copy is exactly this state.
 	}
 	sess.Touch()
+	return sess, env, nil
+}
+
+// restore rebuilds a session from its spill entry — the local cache file
+// when one exists, the shared blob tier otherwise — and publishes it to the
+// in-memory tier.
+func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
+	var src io.ReadCloser
+	if e.local {
+		f, err := os.Open(e.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: opening spill file for %s: %w", id, err)
+		}
+		src = f
+	} else {
+		if err := t.faultAt("blob.get"); err != nil {
+			return nil, err
+		}
+		rc, _, err := t.blob.Get(id)
+		if err != nil {
+			if err != ErrBlobNotFound {
+				t.blobErrors.Add(1)
+			}
+			return nil, fmt.Errorf("store: fetching %s from blob tier: %w", id, err)
+		}
+		t.blobGets.Add(1)
+		src = rc
+	}
+	defer src.Close()
+	sess, _, err := t.buildSession(id, src)
+	if err != nil {
+		return nil, err
+	}
 	t.armWriteBehind(sess)
 	t.restores.Add(1)
 	// No quota check on a restore: the session already counts against its
@@ -759,6 +885,7 @@ func (t *Tiered) reindex() error {
 		newest[env.id] = v
 		t.index[env.id] = &spillEntry{
 			path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt,
+			local: true, updates: env.updates,
 			// The resident footprint isn't known without restoring; bill the
 			// file size until the first restore settles the difference.
 			charged:  info.Size(),

@@ -1,0 +1,439 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Blob-tier wiring for Tiered: the local spill directory acts as a
+// read-through/write-behind cache of a shared BlobStore. Every published
+// spill file is pushed up (blobPush), cold misses with no local file fall
+// through to the blob tier (adopt), the boot scan reconciles the local cache
+// against the shared tier newest-wins (syncBlob), and explicit deletes
+// tombstone the blob key until its removal sticks — so an acknowledged
+// deletion can never resurrect through the read-through path. ReleaseUnowned
+// is the fleet handoff: it drains sessions this node no longer owns to the
+// blob tier and forgets them locally, for the new owner to adopt lazily.
+
+// WithBlobStore slots a shared blob tier under the spill directory. Spill
+// files are pushed to it after every local publish, sessions with no local
+// copy restore from it, and the disk-budget evictor may demote blob-backed
+// local files (a cache drop, not a session loss).
+func WithBlobStore(bs BlobStore) TieredOption {
+	return func(t *Tiered) { t.blob = bs }
+}
+
+// isRemote reports whether the blob tier holds the session's current spill
+// state (per this node's index).
+func (t *Tiered) isRemote(id string) bool {
+	t.mu.Lock()
+	e := t.index[id]
+	remote := e != nil && e.remote
+	t.mu.Unlock()
+	return remote
+}
+
+// blobPush uploads a session's published local spill file to the blob tier.
+// At most one push per session is in flight (concurrent callers skip —
+// whoever owns the gate marks the entry remote on success), and the entry is
+// only marked remote if its file is still the one that was read, so a push
+// racing a newer spill can never certify stale blob contents as current.
+// Failures are counted and left for the GC sweep's heal pass.
+func (t *Tiered) blobPush(id string) error {
+	if t.blob == nil {
+		return nil
+	}
+	t.mu.Lock()
+	e := t.index[id]
+	if e == nil || !e.local || e.remote {
+		t.mu.Unlock()
+		return nil
+	}
+	if t.blobPutting[id] {
+		t.mu.Unlock()
+		return fmt.Errorf("store: blob push of %s already in flight", id)
+	}
+	t.blobPutting[id] = true
+	path := e.path
+	t.mu.Unlock()
+
+	err := t.faultAt("blob.put")
+	if err == nil {
+		var f *os.File
+		if f, err = os.Open(path); err == nil {
+			err = t.blob.Put(id, f)
+			f.Close()
+		}
+	}
+	t.mu.Lock()
+	delete(t.blobPutting, id)
+	if err == nil {
+		if cur := t.index[id]; cur != nil && cur.path == path {
+			cur.remote = true
+		}
+		// A Delete that raced this push left a tombstone: the object we just
+		// wrote must go; the GC retry loop owns making that stick.
+		_, tomb := t.pendingBlobDel[id]
+		t.mu.Unlock()
+		t.blobPuts.Add(1)
+		if tomb {
+			t.blobRemove(id)
+		}
+		return nil
+	}
+	t.mu.Unlock()
+	t.blobErrors.Add(1)
+	return fmt.Errorf("store: pushing %s to blob tier: %w", id, err)
+}
+
+// blobRemove deletes a session's blob object. While a push for the same key
+// is in flight — or when the delete fails — the key is tombstoned in
+// pendingBlobDel: the read-through path refuses to adopt it and the GC sweep
+// retries the delete until it sticks, so an acknowledged DELETE never
+// resurrects from the shared tier.
+func (t *Tiered) blobRemove(id string) {
+	if t.blob == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.blobPutting[id] {
+		t.pendingBlobDel[id] = true
+		t.mu.Unlock()
+		return
+	}
+	t.pendingBlobDel[id] = true
+	t.mu.Unlock()
+	err := t.faultAt("blob.delete")
+	if err == nil {
+		err = t.blob.Delete(id)
+	}
+	if err != nil {
+		t.blobErrors.Add(1)
+		return // tombstone stays; the GC sweep retries
+	}
+	t.blobDeletes.Add(1)
+	t.mu.Lock()
+	if !t.blobPutting[id] {
+		delete(t.pendingBlobDel, id)
+	}
+	t.mu.Unlock()
+}
+
+// adopt is the read-through miss path: the session has no local state at all
+// (typically created by another replica, or handed off), so fetch its spill
+// envelope from the blob tier, rebuild it, and account for it as if it had
+// been spilled here. Returns (nil, nil) on a plain blob miss. Callers own the
+// singleflight for id.
+func (t *Tiered) adopt(id string) (*Session, error) {
+	if err := t.faultAt("blob.get"); err != nil {
+		return nil, err
+	}
+	rc, size, err := t.blob.Get(id)
+	if err == ErrBlobNotFound {
+		return nil, nil
+	}
+	if err != nil {
+		t.blobErrors.Add(1)
+		return nil, err
+	}
+	defer rc.Close()
+	t.blobGets.Add(1)
+	sess, env, err := t.buildSession(id, rc)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		size = sess.footprint // streaming source of unknown length: approximate
+	}
+	// Publish the (remote-only) index entry and seed the tenant's cross-tier
+	// ownership: this node has never accounted for the session. A Delete or a
+	// concurrent publisher that got here first wins.
+	t.mu.Lock()
+	if t.pendingBlobDel[id] {
+		t.mu.Unlock()
+		return nil, nil // an acknowledged delete owns this key
+	}
+	if _, dup := t.index[id]; dup {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("store: adoption of %s raced a local publish", id)
+	}
+	t.index[id] = &spillEntry{
+		remote: true, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
+		charged: sess.footprint, updates: env.updates, lastUsed: time.Now().UnixNano(),
+	}
+	t.mu.Unlock()
+	ten := TenantOf(id)
+	t.mem.adjustOwned(ten, 1, sess.footprint)
+	t.mem.adjustSpill(ten, size)
+	t.armWriteBehind(sess)
+	t.restores.Add(1)
+	t.mem.putRestored(sess)
+	// Honor a Delete that raced the adoption (same discipline as restore).
+	t.mu.Lock()
+	_, still := t.index[id]
+	t.mu.Unlock()
+	if !still {
+		t.mem.drop(id)
+		return nil, nil
+	}
+	return sess, nil
+}
+
+// blobEnvelope reads just the spill-envelope header of a blob object.
+func (t *Tiered) blobEnvelope(id string) (spillEnvelope, error) {
+	var env spillEnvelope
+	if err := t.faultAt("blob.get"); err != nil {
+		return env, err
+	}
+	rc, _, err := t.blob.Get(id)
+	if err != nil {
+		return env, err
+	}
+	defer rc.Close()
+	_, env, err = readSpillEnvelope(rc)
+	return env, err
+}
+
+// syncBlob reconciles the freshly re-indexed local cache against the shared
+// blob tier at boot, before the lifecycle manager starts (single-threaded; no
+// locks needed). Newest wins, decided by the envelope's monotonic per-session
+// update counter — the same dedupe rule the local reindex applies between
+// duplicate files:
+//
+//   - blob-only sessions become remote-only index entries (adopted lazily on
+//     first touch);
+//   - a blob version newer than the local file means another replica advanced
+//     the session while this node was down: the local file is a stale cache
+//     and is dropped;
+//   - a local file newer than (or absent from) the blob means this node
+//     crashed before pushing: it is healed upward immediately.
+//
+// An unreachable blob tier fails the boot — a replica serving from a stale
+// local cache would undo deletions other replicas honored.
+func (t *Tiered) syncBlob() error {
+	if t.blob == nil {
+		return nil
+	}
+	infos, err := t.blob.List("")
+	if err != nil {
+		return fmt.Errorf("store: listing blob tier: %w", err)
+	}
+	for _, info := range infos {
+		id := info.Key
+		env, err := t.blobEnvelope(id)
+		if err != nil {
+			continue // unreadable object: never certify it as anything
+		}
+		e := t.index[id]
+		switch {
+		case e == nil:
+			t.index[id] = &spillEntry{
+				remote: true, bytes: info.Size, kind: env.kind, createdAt: env.createdAt,
+				charged: info.Size, updates: env.updates, lastUsed: info.ModTime.UnixNano(),
+			}
+		case env.updates > e.updates:
+			// Another replica advanced the session past our local file.
+			_ = os.Remove(e.path)
+			t.diskBytes -= e.bytes
+			e.path, e.local = "", false
+			e.remote = true
+			e.bytes, e.charged = info.Size, info.Size
+			e.kind, e.createdAt, e.updates = env.kind, env.createdAt, env.updates
+		default:
+			// Local file is the same version or newer; it stays authoritative.
+			// Same version: the blob copy is current, keep the cache marked.
+			// Newer: the heal pass below pushes it up.
+			if env.updates == e.updates {
+				e.remote = true
+			}
+		}
+	}
+	// Heal pass: local files the blob tier has never seen (or holds an older
+	// version of) push up now, so a node that crashed between publishing a
+	// spill and pushing it never strands the only copy on its own disk.
+	for id, e := range t.index {
+		if !e.local || e.remote {
+			continue
+		}
+		f, err := os.Open(e.path)
+		if err != nil {
+			continue
+		}
+		err = t.blob.Put(id, f)
+		f.Close()
+		if err != nil {
+			t.blobErrors.Add(1)
+			continue // left for the GC heal pass
+		}
+		t.blobPuts.Add(1)
+		e.remote = true
+	}
+	return nil
+}
+
+// blobMaintain is the GC sweep's blob pass: retry tombstoned deletes until
+// they stick, and re-push local spill files whose upload previously failed.
+func (t *Tiered) blobMaintain() {
+	if t.blob == nil {
+		return
+	}
+	t.mu.Lock()
+	dels := make([]string, 0, len(t.pendingBlobDel))
+	for id := range t.pendingBlobDel {
+		if !t.blobPutting[id] {
+			dels = append(dels, id)
+		}
+	}
+	var heal []string
+	for id, e := range t.index {
+		if e.local && !e.remote && !t.pendingBlobDel[id] {
+			heal = append(heal, id)
+		}
+	}
+	t.mu.Unlock()
+	for _, id := range dels {
+		err := t.faultAt("blob.delete")
+		if err == nil {
+			err = t.blob.Delete(id)
+		}
+		if err != nil {
+			t.blobErrors.Add(1)
+			continue
+		}
+		t.blobDeletes.Add(1)
+		t.mu.Lock()
+		if !t.blobPutting[id] {
+			delete(t.pendingBlobDel, id)
+		}
+		t.mu.Unlock()
+	}
+	for _, id := range heal {
+		_ = t.blobPush(id)
+	}
+}
+
+// ReleaseUnowned is the fleet handoff: for every session the provided
+// ownership predicate disclaims, make sure the blob tier holds its current
+// state, then forget it locally — resident copy, local cache file, index
+// entry and tenant accounting all released. The new owner adopts the session
+// lazily from the blob tier on its first touch (the read-through path).
+// Sessions whose state cannot be certified in the blob tier (push failures,
+// unspillable families) are kept — a handoff never trades a reachable
+// session for a maybe. Returns how many sessions were released and the first
+// error encountered.
+func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
+	if t.blob == nil {
+		return 0, fmt.Errorf("store: ReleaseUnowned needs a blob tier")
+	}
+	released := 0
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Pass 1: resident sessions. Spill (certifying the blob copy), then drop
+	// the resident copy under the same discipline the evictor uses.
+	t.mem.Range(func(sess *Session) bool {
+		if owns(sess.ID) {
+			return true
+		}
+		for attempt := 0; attempt < 3; attempt++ {
+			sess.Mu.Lock()
+			if sess.gone {
+				sess.Mu.Unlock()
+				return true // an evictor or deleter won
+			}
+			if _, err := t.spillLocked(sess); err != nil {
+				sess.Mu.Unlock()
+				record(fmt.Errorf("store: handoff of %s: %w", sess.ID, err))
+				return true
+			}
+			if !t.isRemote(sess.ID) {
+				// The spill's push failed or is racing; one direct attempt.
+				if err := t.blobPush(sess.ID); err != nil || !t.isRemote(sess.ID) {
+					sess.Mu.Unlock()
+					record(fmt.Errorf("store: handoff of %s: blob tier does not hold it", sess.ID))
+					return true
+				}
+			}
+			if sess.dirty.Load() {
+				sess.Mu.Unlock()
+				continue // mutated between spill and certification; re-spill
+			}
+			sess.gone = true
+			sess.Mu.Unlock()
+			sh := &t.mem.shards[ShardIndex(sess.ID)]
+			sh.mu.Lock()
+			if _, still := sh.sessions[sess.ID]; !still {
+				sh.mu.Unlock()
+				return true
+			}
+			delete(sh.sessions, sess.ID)
+			sh.mu.Unlock()
+			t.mem.curBytes.Add(-sess.footprint)
+			t.mem.uncharge(sess, removalDrop, false)
+			t.forgetLocal(sess.ID)
+			released++
+			return true
+		}
+		record(fmt.Errorf("store: handoff of %s: session kept mutating", sess.ID))
+		return true
+	})
+	// Pass 2: cold index entries (local cache files and remote markers for
+	// sessions this node no longer owns).
+	t.mu.Lock()
+	var cold []string
+	for id, e := range t.index {
+		if owns(id) || t.mem.has(id) {
+			continue
+		}
+		if _, restoring := t.flights[id]; restoring {
+			continue
+		}
+		_ = e
+		cold = append(cold, id)
+	}
+	t.mu.Unlock()
+	for _, id := range cold {
+		if !t.isRemote(id) {
+			if err := t.blobPush(id); err != nil || !t.isRemote(id) {
+				record(fmt.Errorf("store: handoff of %s: blob tier does not hold it", id))
+				continue
+			}
+		}
+		if t.forgetLocal(id) {
+			released++
+		}
+	}
+	return released, firstErr
+}
+
+// forgetLocal removes a session's index entry, local cache file and tenant
+// accounting without touching its blob object — the handoff's "it lives in
+// the shared tier now" bookkeeping. Reports whether an entry was removed.
+func (t *Tiered) forgetLocal(id string) bool {
+	t.mu.Lock()
+	e, ok := t.index[id]
+	if !ok {
+		t.mu.Unlock()
+		return false
+	}
+	if _, restoring := t.flights[id]; restoring {
+		t.mu.Unlock()
+		return false // a reader is mid-restore; next ring change retries
+	}
+	delete(t.index, id)
+	if e.local {
+		t.diskBytes -= e.bytes
+	}
+	t.mu.Unlock()
+	if e.local {
+		t.removeSpillFile(e.path, e.bytes, "release.unlink")
+	}
+	ten := TenantOf(id)
+	t.mem.adjustSpill(ten, -e.bytes)
+	t.mem.adjustOwned(ten, -1, -e.charged)
+	return true
+}
