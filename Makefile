@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STORE_COVER_MIN ?= 85
 SERVICE_COVER_MIN ?= 81
 
-.PHONY: all build test race bench bench-guard bench-baseline spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline kernel-bench spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover fmt fmt-check vet ci
 
 all: build
 
@@ -37,6 +37,17 @@ bench-guard:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > bench.out || (cat bench.out; exit 1)
 	cat bench.out
 	$(GO) run ./cmd/benchguard -in bench.out -json BENCH_$(SHA).json \
+		-baseline BENCH_BASELINE.json -commit $(SHA)
+
+# Kernel-speed gate: just the blocked/parallel compute-core benchmarks
+# (GEMM, Gram, Jacobi eigensolver, capture) against the committed baseline.
+# GEMM/Gram pin one worker and compare blocked vs scalar kernels, so the
+# ≥1.5× floor holds even on a 1-core runner. Finishes in well under a minute.
+kernel-bench:
+	$(GO) test -bench='GEMMBlocked|GramBlocked|EigenSym|CaptureParallel' \
+		-benchtime=2x -run='^$$' -timeout=300s . > kernel_bench.out || (cat kernel_bench.out; exit 1)
+	cat kernel_bench.out
+	$(GO) run ./cmd/benchguard -in kernel_bench.out \
 		-baseline BENCH_BASELINE.json -commit $(SHA)
 
 # Refresh the committed baseline from a fresh bench run on this machine.

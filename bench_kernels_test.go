@@ -1,0 +1,144 @@
+package repro
+
+// Kernel benchmarks for the blocked/parallel compute core, gated by
+// cmd/benchguard via BENCH_BASELINE.json.
+//
+// BenchmarkGEMMBlocked and BenchmarkGramBlocked pin the pool to one worker
+// and compare the cache-blocked kernels against the scalar triple loops they
+// replaced, so their "speedup" metric isolates the blocking gain and is
+// core-count independent (the ≥1.5× acceptance floor holds on a 1-core
+// container). BenchmarkEigenSym and BenchmarkCaptureParallel compare serial
+// vs full-pool execution of the same code, so their floor on a 1-core host is
+// ~1.0× and multi-core runners report the real parallel gain.
+//
+//	go test -bench='GEMMBlocked|GramBlocked|EigenSym|CaptureParallel' -benchtime=2x -timeout=300s
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/priu"
+)
+
+// benchScalarVsBlocked times baseline (min of 3) and then op, both pinned to
+// one worker, and reports baseline/op as "speedup".
+func benchScalarVsBlocked(b *testing.B, baseline, op func()) {
+	b.Helper()
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	baseline() // warm caches
+	scalar := time.Duration(1 << 62)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		baseline()
+		if d := time.Since(start); d < scalar {
+			scalar = d
+		}
+	}
+	op() // warm caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	b.StopTimer()
+	if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 {
+		b.ReportMetric(float64(scalar)/float64(perOp), "speedup")
+	}
+}
+
+func gemmBenchSize() int {
+	if testing.Short() {
+		return 192
+	}
+	return 512
+}
+
+// scalarMulInto is the pre-blocking MulInto inner loop, kept as the benchmark
+// baseline.
+func scalarMulInto(dst, a, b *mat.Dense) {
+	ar, k := a.Dims()
+	_, n := b.Dims()
+	for i := 0; i < ar; i++ {
+		di := dst.Data()[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Data()[i*k : (i+1)*k]
+		for p, av := range ai {
+			bk := b.Data()[p*n : (p+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// BenchmarkGEMMBlocked: square GEMM, blocked micro-kernel vs the scalar
+// triple loop, single-threaded.
+func BenchmarkGEMMBlocked(b *testing.B) {
+	rng := benchRand(31)
+	n := gemmBenchSize()
+	x := randDense(rng, n, n)
+	y := randDense(rng, n, n)
+	dst := mat.NewDense(n, n)
+	benchScalarVsBlocked(b,
+		func() { scalarMulInto(dst, x, y) },
+		func() { mat.MulInto(dst, x, y) })
+}
+
+// BenchmarkGramBlocked: XᵀX at the square shape of the acceptance floor,
+// blocked upper-triangle tiles vs the rank-1 AddOuter row loop,
+// single-threaded.
+func BenchmarkGramBlocked(b *testing.B) {
+	rng := benchRand(32)
+	n := gemmBenchSize()
+	x := randDense(rng, n, n)
+	dst := mat.NewDense(n, n)
+	scalarGram := func() {
+		dst.Zero()
+		for i := 0; i < n; i++ {
+			ri := x.Row(i)
+			mat.AddOuter(dst, ri, ri, 1)
+		}
+	}
+	benchScalarVsBlocked(b, scalarGram, func() { x.GramInto(dst) })
+}
+
+// BenchmarkEigenSym: symmetric eigendecomposition (tournament Jacobi),
+// serial vs full pool.
+func BenchmarkEigenSym(b *testing.B) {
+	rng := benchRand(33)
+	n := 96
+	if !testing.Short() {
+		n = 192
+	}
+	a := randDense(rng, n+2, n)
+	s := a.Gram()
+	benchSerialVsParallel(b, func() {
+		if _, err := mat.NewEigenSym(s); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkCaptureParallel: full training + provenance capture for the
+// linear family with full caches — the offline phase the tentpole fans out —
+// serial vs full pool.
+func BenchmarkCaptureParallel(b *testing.B) {
+	rows, feats, iters := 2000, 96, 60
+	if testing.Short() {
+		rows, feats, iters = 600, 48, 30
+	}
+	ds, err := priu.GenerateRegression("bench-capture", rows, feats, 0.1, 34)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSerialVsParallel(b, func() {
+		if _, err := priu.Train(priu.FamilyLinear, ds,
+			priu.WithFullCaches(), priu.WithIterations(iters)); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

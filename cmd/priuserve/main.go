@@ -114,6 +114,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/par"
 	"repro/priu"
 	"repro/priu/cluster"
 	"repro/priu/service"
@@ -142,8 +143,16 @@ func main() {
 	node := flag.String("node", "", "this replica's advertised base URL (required with -peers)")
 	peers := flag.String("peers", "", "comma-separated advertised base URLs of every fleet replica (enables consistent-hash routing)")
 	probeInterval := flag.Duration("probe-interval", 3*time.Second, "fleet liveness-probe period (0 = probe only on request failures)")
+	parMinWork := flag.Int("par-minwork", 0, "pin the per-chunk parallel work cutoff (0 = measure at startup; "+par.EnvMinWork+" also pins)")
 	flag.Parse()
 	priu.SetWorkers(*workers)
+	if *parMinWork > 0 {
+		par.SetCutoffs(*parMinWork, *parMinWork)
+	} else {
+		cal := par.Calibrate()
+		log.Printf("priuserve: par cutoffs compute=%d mem=%d (dispatch %.0fns, pinned=%v)",
+			cal.Compute, cal.Mem, cal.DispatchNs, cal.Pinned)
+	}
 
 	mode, err := service.ParseAuthMode(*authMode)
 	if err != nil {

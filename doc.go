@@ -24,25 +24,42 @@
 // Every hot kernel routes its row loop through internal/par, a chunked
 // worker pool with a serial fallback below a per-kernel work cutoff:
 //
-//   - internal/mat: MulVecInto, MulVecTInto, GramInto, MulInto, AddScaled
-//     and the incremental eigenvalue updates run row-block-parallel; kernels
-//     whose rows scatter into shared output (MulVecT, Gram) use per-worker
-//     accumulators merged at the end (par.MapReduce).
+//   - internal/mat: MulInto and GramInto/RowGramInto are cache-blocked
+//     (4-row rank-2 GEMM micro-kernel; 4×4 upper-triangle Gram register
+//     tiles over L2-sized row blocks, lower triangle mirrored) and
+//     row-block-parallel; MulVecInto, MulVecTInto, AddScaled and the
+//     incremental eigenvalue updates run block-parallel; NewEigenSym is a
+//     tournament-ordered parallel cyclic Jacobi with an incrementally
+//     maintained off-diagonal norm.
 //   - internal/sparse: CSR SpMV is row-parallel with a grain that adapts to
-//     the average row density; SpMVᵀ merges per-worker dense accumulators.
-//   - internal/core: the PrIU-opt eigenbasis recurrences (Eq 17 / Sec 5.4)
-//     split across coordinates, the multinomial updater runs its classes in
-//     parallel, and the sparse logistic replay fans the batch out with
-//     private step vectors.
+//     the average row density; SpMVᵀ reduces per-chunk dense accumulators.
+//   - internal/core: provenance capture is parallel — linear capture fans
+//     independent iterations, logistic/multinomial capture fan the
+//     per-member linearization dots and per-class cache builds, and
+//     weightedGramCache routes through the blocked Gram kernels — and the
+//     PrIU-opt eigenbasis recurrences (Eq 17 / Sec 5.4) split across
+//     coordinates, multinomial classes update in parallel, the sparse
+//     logistic replay fans the batch out with private step vectors.
 //   - priu/service: the session store is hash-sharded (per-shard locks and
 //     counters), batched deletions execute independent sessions' updates
 //     concurrently on the same pool, and an optional LRU budget
 //     (-max-sessions / -max-bytes) bounds resident provenance.
 //
+// Every kernel is bitwise-deterministic at any worker count: outputs are
+// written by exactly one chunk, or reduced via par.MapReduceDet, whose chunk
+// plan and fold order depend only on shape and grain — never on the pool
+// size or chunk completion order — so parallel capture cannot perturb the
+// store/fleet snapshot contract. Chunk grains derive from measured cutoffs:
+// the cmds call par.Calibrate at startup, and -par-minwork /
+// PRIU_PAR_MINWORK pin the cutoffs for reproducible runs (calibration only
+// steers chunking, never results).
+//
 // priu.SetWorkers is the single parallelism knob (priuserve -workers);
 // Benchmark*Parallel in bench_parallel_test.go reports the measured
-// serial-vs-parallel speedup of each kernel, which CI archives per commit
-// and gates against BENCH_BASELINE.json via cmd/benchguard.
+// serial-vs-parallel speedup of each kernel, bench_kernels_test.go gates the
+// blocked kernels' single-thread speedup over the scalar loops they replaced
+// (make kernel-bench), and CI archives the metrics per commit and gates them
+// against BENCH_BASELINE.json via cmd/benchguard.
 //
 // # Tiered session store
 //

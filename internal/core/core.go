@@ -155,70 +155,29 @@ func (c *iterCache) footprint() int64 {
 // v = Zᵀu/σ, so s·ZᵀZ = Σ s·σ²·vvᵀ, truncated by the ε coverage rule. This
 // keeps capture cost O(B²m + B³) instead of O(m³) when B < m.
 func weightedGramCache(rows [][]float64, weights []float64, m int, useSVD bool, eps float64) (*iterCache, error) {
+	sign, nz := weightSign(rows, weights)
 	if !useSVD {
 		full := mat.NewDense(m, m)
-		for k, row := range rows {
-			w := 1.0
-			if weights != nil {
-				w = weights[k]
-			}
-			if w == 0 {
-				continue
-			}
-			mat.AddOuter(full, row, row, w)
+		if nz == 0 {
+			return &iterCache{full: full}, nil
+		}
+		// Σ wᵢ·xᵢxᵢᵀ = sign·ZᵀZ routed through the blocked Gram kernel, which
+		// is both faster and bitwise-deterministic at any worker count.
+		z := buildScaledRows(rows, weights, nz, m)
+		z.GramInto(full)
+		if sign < 0 {
+			full.Scale(-1)
 		}
 		return &iterCache{full: full}, nil
-	}
-	// Build Z and track the shared sign.
-	sign := 1.0
-	if weights != nil {
-		for _, w := range weights {
-			if w < 0 {
-				sign = -1
-				break
-			}
-			if w > 0 {
-				break
-			}
-		}
-	}
-	nz := 0
-	for k := range rows {
-		if weights == nil || weights[k] != 0 {
-			nz++
-		}
 	}
 	if nz == 0 {
 		// All-zero weights: represent the zero matrix with rank-1 zero factors.
 		return &iterCache{p: mat.NewDense(m, 1), v: mat.NewDense(m, 1)}, nil
 	}
-	z := mat.NewDense(nz, m)
-	zi := 0
-	for k, row := range rows {
-		w := 1.0
-		if weights != nil {
-			w = weights[k]
-		}
-		if w == 0 {
-			continue
-		}
-		s := sqrtAbs(w)
-		dst := z.Row(zi)
-		for j, v := range row {
-			dst[j] = s * v
-		}
-		zi++
-	}
+	z := buildScaledRows(rows, weights, nz, m)
+	// K = Z·Zᵀ via the blocked row-Gram kernel.
 	kmat := mat.NewDense(nz, nz)
-	// K = Z·Zᵀ.
-	for i := 0; i < nz; i++ {
-		ri := z.Row(i)
-		for j := i; j < nz; j++ {
-			d := mat.Dot(ri, z.Row(j))
-			kmat.Set(i, j, d)
-			kmat.Set(j, i, d)
-		}
-	}
+	z.RowGramInto(kmat)
 	eig, err := mat.NewEigenSym(kmat)
 	if err != nil {
 		return nil, err
@@ -250,22 +209,78 @@ func weightedGramCache(rows [][]float64, weights []float64, m int, useSVD bool, 
 	}
 	p := mat.NewDense(m, r)
 	v := mat.NewDense(m, r)
-	u := make([]float64, nz)
-	for c := 0; c < r; c++ {
-		sigma2 := eig.Values[c]
-		for i := 0; i < nz; i++ {
-			u[i] = eig.Q.At(i, c)
+	// Each factor column depends only on its own eigenpair and writes disjoint
+	// columns of P and V, so the loop fans out with per-chunk scratch.
+	par.For(r, par.Grain(2*nz*m), func(lo, hi int) {
+		u := make([]float64, nz)
+		vcol := make([]float64, m)
+		for c := lo; c < hi; c++ {
+			sigma2 := eig.Values[c]
+			for i := 0; i < nz; i++ {
+				u[i] = eig.Q.At(i, c)
+			}
+			// vcol = Zᵀu / σ.
+			z.MulVecTInto(vcol, u)
+			inv := 1 / sqrtAbs(sigma2)
+			for i := 0; i < m; i++ {
+				vv := vcol[i] * inv
+				v.Set(i, c, vv)
+				p.Set(i, c, sign*sigma2*vv)
+			}
 		}
-		// vcol = Zᵀu / σ.
-		vcol := z.MulVecT(u)
-		inv := 1 / sqrtAbs(sigma2)
-		for i := 0; i < m; i++ {
-			vv := vcol[i] * inv
-			v.Set(i, c, vv)
-			p.Set(i, c, sign*sigma2*vv)
+	})
+	return &iterCache{p: p, v: v}, nil
+}
+
+// weightSign returns the shared sign of the weights (1.0 when weights is nil
+// or all-zero) and the count of non-zero-weight rows.
+func weightSign(rows [][]float64, weights []float64) (sign float64, nz int) {
+	sign = 1.0
+	if weights == nil {
+		return sign, len(rows)
+	}
+	for _, w := range weights {
+		if w < 0 {
+			sign = -1
+			break
+		}
+		if w > 0 {
+			break
 		}
 	}
-	return &iterCache{p: p, v: v}, nil
+	for _, w := range weights {
+		if w != 0 {
+			nz++
+		}
+	}
+	return sign, nz
+}
+
+// buildScaledRows packs the non-zero-weight rows √|wᵢ|·xᵢ into a dense nz×m
+// matrix Z, so that sign·ZᵀZ = Σ wᵢ·xᵢxᵢᵀ.
+func buildScaledRows(rows [][]float64, weights []float64, nz, m int) *mat.Dense {
+	z := mat.NewDense(nz, m)
+	zi := 0
+	for k, row := range rows {
+		w := 1.0
+		if weights != nil {
+			w = weights[k]
+		}
+		if w == 0 {
+			continue
+		}
+		dst := z.Row(zi)
+		if w == 1 {
+			copy(dst, row)
+		} else {
+			s := sqrtAbs(w)
+			for j, v := range row {
+				dst[j] = s * v
+			}
+		}
+		zi++
+	}
+	return z
 }
 
 func sqrtAbs(x float64) float64 { return math.Sqrt(math.Abs(x)) }

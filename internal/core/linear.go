@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gbm"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // LinearProvenance holds the provenance cached during the initial training of
@@ -52,22 +53,39 @@ func CaptureLinear(d *dataset.Dataset, cfg gbm.Config, sched *gbm.Schedule, opts
 		dvecs:  make([][]float64, cfg.Iterations),
 	}
 	eps := opts.epsilon()
-	rows := make([][]float64, 0, cfg.BatchSize)
-	for t := 0; t < cfg.Iterations; t++ {
-		batch := sched.Batch(t)
-		rows = rows[:0]
-		dv := make([]float64, m)
-		for _, i := range batch {
-			xi := d.X.Row(i)
-			rows = append(rows, xi)
-			mat.Axpy(dv, d.Y[i], xi)
+	// Linear capture has no cross-iteration state: each iteration reads only
+	// its scheduled batch and commits into its own caches[t]/dvecs[t] slot, so
+	// the loop fans out on the pool with per-chunk row scratch. Slot commits
+	// are index-addressed and the per-iteration arithmetic is worker-count
+	// independent, so the stored provenance is bitwise identical at any pool
+	// size.
+	errs := make([]error, cfg.Iterations)
+	par.For(cfg.Iterations, par.Grain(cfg.BatchSize*m), func(lo, hi int) {
+		rows := make([][]float64, 0, cfg.BatchSize)
+		for t := lo; t < hi; t++ {
+			batch := sched.Batch(t)
+			rows = rows[:0]
+			dv := make([]float64, m)
+			for _, i := range batch {
+				xi := d.X.Row(i)
+				rows = append(rows, xi)
+				mat.Axpy(dv, d.Y[i], xi)
+			}
+			c, err := weightedGramCache(rows, nil, m, useSVD, eps)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			lp.caches[t] = c
+			lp.dvecs[t] = dv
 		}
-		c, err := weightedGramCache(rows, nil, m, useSVD, eps)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		lp.caches[t] = c
-		lp.dvecs[t] = dv
+	}
+	for _, c := range lp.caches {
 		if r := c.rank(); r > lp.maxRank {
 			lp.maxRank = r
 		}

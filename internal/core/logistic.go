@@ -7,6 +7,7 @@ import (
 	"repro/internal/gbm"
 	"repro/internal/interp"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // LogisticProvenance holds the provenance cached while training a binary
@@ -74,23 +75,31 @@ func CaptureLogistic(d *dataset.Dataset, cfg gbm.Config, sched *gbm.Schedule, li
 	}
 	eps := opts.epsilon()
 	w := make([]float64, m)
-	rows := make([][]float64, 0, cfg.BatchSize)
+	rowBuf := make([][]float64, cfg.BatchSize)
 	cw := make([]float64, m)
 	scratch := make([]float64, m) // rank never exceeds min(B, m)
 	for t := 0; t < cfg.Iterations; t++ {
 		batch := sched.Batch(t)
 		b := len(batch)
-		rows = rows[:0]
+		rows := rowBuf[:b]
 		av := make([]float64, b)
 		bv := make([]float64, b)
 		dv := make([]float64, m)
+		// The w-chain is inherently sequential (each iteration linearizes at
+		// the current w), but within an iteration every batch member's
+		// coefficient is an independent dot product writing its own av/bv
+		// slot, so that inner loop fans out. The dv fold stays serial in k
+		// order to keep its accumulation order fixed.
+		par.For(b, par.Grain(2*m), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := batch[k]
+				xi := d.X.Row(i)
+				rows[k] = xi
+				av[k], bv[k] = lin.Coefficients(d.Y[i] * mat.Dot(xi, w))
+			}
+		})
 		for k, i := range batch {
-			xi := d.X.Row(i)
-			yi := d.Y[i]
-			a, bc := lin.Coefficients(yi * mat.Dot(xi, w))
-			av[k], bv[k] = a, bc
-			rows = append(rows, xi)
-			mat.Axpy(dv, bc*yi, xi)
+			mat.Axpy(dv, bv[k]*d.Y[i], rows[k])
 		}
 		c, err := weightedGramCache(rows, av, m, useSVD, eps)
 		if err != nil {

@@ -76,48 +76,70 @@ func CaptureMultinomial(d *dataset.Dataset, cfg gbm.Config, sched *gbm.Schedule,
 	}
 	eps := opts.epsilon()
 	w := mat.NewDense(q, m)
-	logits := make([]float64, q)
-	probs := make([]float64, q)
-	rows := make([][]float64, 0, cfg.BatchSize)
-	cw := make([]float64, m)
-	scratch := make([]float64, m)
+	rowBuf := make([][]float64, cfg.BatchSize)
 	for t := 0; t < cfg.Iterations; t++ {
 		batch := sched.Batch(t)
 		b := len(batch)
-		rows = rows[:0]
+		rows := rowBuf[:b]
 		av := make([]float64, q*b)
 		cv := make([]float64, q*b)
 		dvs := make([][]float64, q)
 		for k := range dvs {
 			dvs[k] = make([]float64, m)
 		}
+		// Phase 1: per-member softmax linearization. Each member writes its
+		// own av/cv column, so the loop fans out with per-chunk logit/prob
+		// scratch; the dvs folds stay serial in (j, k) order below so their
+		// accumulation order is fixed.
+		par.For(b, par.Grain(2*q*m), func(lo, hi int) {
+			logits := make([]float64, q)
+			probs := make([]float64, q)
+			for j := lo; j < hi; j++ {
+				i := batch[j]
+				xi := d.X.Row(i)
+				rows[j] = xi
+				for k := 0; k < q; k++ {
+					logits[k] = mat.Dot(w.Row(k), xi)
+				}
+				gbm.Softmax(probs, logits)
+				yi := int(d.Y[i])
+				for k := 0; k < q; k++ {
+					a := probs[k] * (1 - probs[k])
+					c := probs[k] - a*logits[k]
+					if k == yi {
+						c -= 1
+					}
+					av[k*b+j] = a
+					cv[k*b+j] = c
+				}
+			}
+		})
 		for j, i := range batch {
 			xi := d.X.Row(i)
-			rows = append(rows, xi)
 			for k := 0; k < q; k++ {
-				logits[k] = mat.Dot(w.Row(k), xi)
-			}
-			gbm.Softmax(probs, logits)
-			yi := int(d.Y[i])
-			for k := 0; k < q; k++ {
-				a := probs[k] * (1 - probs[k])
-				bc := probs[k] - a*logits[k]
-				c := bc
-				if k == yi {
-					c -= 1
-				}
-				av[k*b+j] = a
-				cv[k*b+j] = c
-				mat.Axpy(dvs[k], c, xi)
+				mat.Axpy(dvs[k], cv[k*b+j], xi)
 			}
 		}
+		// Phase 2: per-class cache build — classes are independent and each
+		// writes only its own ics[k] slot.
 		ics := make([]*iterCache, q)
-		for k := 0; k < q; k++ {
-			ic, err := weightedGramCache(rows, av[k*b:(k+1)*b], m, useSVD, eps)
+		errs := make([]error, q)
+		par.For(q, 1, func(klo, khi int) {
+			for k := klo; k < khi; k++ {
+				ic, err := weightedGramCache(rows, av[k*b:(k+1)*b], m, useSVD, eps)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				ics[k] = ic
+			}
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			ics[k] = ic
+		}
+		for _, ic := range ics {
 			if r := ic.rank(); r > mp.maxRank {
 				mp.maxRank = r
 			}
@@ -126,17 +148,22 @@ func CaptureMultinomial(d *dataset.Dataset, cfg gbm.Config, sched *gbm.Schedule,
 		mp.dvecs[t] = dvs
 		mp.aCoef[t] = av
 		mp.cCoef[t] = cv
-		// Advance the linearized model.
+		// Phase 3: advance the linearized model — each class updates its own
+		// row of w with private scratch.
 		decay := 1 - cfg.Eta*cfg.Lambda
 		f := cfg.Eta / float64(b)
-		for k := 0; k < q; k++ {
-			ics[k].apply(cw, w.Row(k), scratch)
-			wk := w.Row(k)
-			dv := dvs[k]
-			for j := range wk {
-				wk[j] = decay*wk[j] - f*(cw[j]+dv[j])
+		par.For(q, 1, func(klo, khi int) {
+			cw := make([]float64, m)
+			scratch := make([]float64, m)
+			for k := klo; k < khi; k++ {
+				ics[k].apply(cw, w.Row(k), scratch)
+				wk := w.Row(k)
+				dv := dvs[k]
+				for j := range wk {
+					wk[j] = decay*wk[j] - f*(cw[j]+dv[j])
+				}
 			}
-		}
+		})
 	}
 	mp.modelL = &gbm.Model{Task: dataset.MultiClassification, W: w}
 	return mp, nil
@@ -175,11 +202,10 @@ func (mp *MultinomialProvenance) Update(removed []int) (*gbm.Model, error) {
 // tEnd on w in place. Classes evolve independently — the only cross-class
 // inputs are the per-iteration surviving batch sizes, which are precomputed —
 // so classes run in parallel, each rolling all its iterations with private
-// scratch. This restructure itself preserves the serial per-class arithmetic
-// order; bitwise run-to-run determinism additionally requires the nested
-// kernels to reduce deterministically, which holds for full caches but not
-// for SVD caches (whose transpose mat-vec merges per-worker partials in
-// completion order).
+// scratch. The restructure preserves the serial per-class arithmetic order,
+// and the nested kernels (including the SVD caches' transpose mat-vec, which
+// reduces via par.MapReduceDet) are bitwise-deterministic at any worker
+// count, so the update is too.
 func (mp *MultinomialProvenance) updateInto(w *mat.Dense, rm map[int]bool, t0, tEnd int) {
 	mask := removalMask(mp.data.N(), rm)
 	m, q := mp.data.M(), mp.q

@@ -105,10 +105,9 @@ func (sp *SparseLogisticProvenance) Update(removed []int) (*gbm.Model, error) {
 	d := sp.data
 	m := d.M()
 	w := make([]float64, m)
-	step := make([]float64, m)
 	eta, lambda := sp.cfg.Eta, sp.cfg.Lambda
-	// Chunk grain so each chunk touches ~par.MinWork stored non-zeros; below
-	// that the batch replays serially into the preallocated step buffer.
+	// Chunk grain so each chunk touches ~the memory cutoff worth of stored
+	// non-zeros; small batches collapse to a single chunk and replay serially.
 	rows, _ := d.X.Dims()
 	avgNNZ := 0
 	if rows > 0 {
@@ -117,53 +116,40 @@ func (sp *SparseLogisticProvenance) Update(removed []int) (*gbm.Model, error) {
 	grain := par.Grain(avgNNZ)
 	for t := 0; t < sp.cfg.Iterations; t++ {
 		batch := sp.sched.Batch(t)
-		var bU int
-		if par.Workers() > 1 && len(batch) > grain {
-			// Row-parallel linearized replay: each worker scatters its batch
-			// slice into a private accumulator (sparse SpMV-transpose shape).
-			acc := par.MapReduce(len(batch), grain,
-				func() *sparseStepAcc { return &sparseStepAcc{step: make([]float64, m)} },
-				func(acc *sparseStepAcc, lo, hi int) *sparseStepAcc {
-					for k := lo; k < hi; k++ {
-						i := batch[k]
-						if mask != nil && mask[i] {
-							continue
-						}
-						acc.bU++
-						yi := d.Y[i]
-						coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
-						d.X.AddScaledRow(acc.step, i, coef)
+		// Row-parallel linearized replay: each chunk scatters its batch slice
+		// into a private accumulator (sparse SpMV-transpose shape). The chunk
+		// plan and fold order depend only on (len(batch), grain) — never on
+		// the worker count — so the replayed model is bitwise identical at any
+		// pool size.
+		acc := par.MapReduceDet(len(batch), grain,
+			func() *sparseStepAcc { return &sparseStepAcc{step: make([]float64, m)} },
+			func(acc *sparseStepAcc, lo, hi int) *sparseStepAcc {
+				for k := lo; k < hi; k++ {
+					i := batch[k]
+					if mask != nil && mask[i] {
+						continue
 					}
-					return acc
-				},
-				func(a, b *sparseStepAcc) *sparseStepAcc {
-					mat.Axpy(a.step, 1, b.step)
-					a.bU += b.bU
-					return a
-				})
-			copy(step, acc.step)
-			bU = acc.bU
-		} else {
-			mat.ZeroVec(step)
-			for k, i := range batch {
-				if mask != nil && mask[i] {
-					continue
+					acc.bU++
+					yi := d.Y[i]
+					// a·xᵢxᵢᵀw + b·yᵢxᵢ accumulated as one sparse axpy.
+					coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
+					d.X.AddScaledRow(acc.step, i, coef)
 				}
-				bU++
-				yi := d.Y[i]
-				// a·xᵢxᵢᵀw + b·yᵢxᵢ accumulated as one sparse axpy.
-				coef := sp.aCoef[t][k]*d.X.RowDot(i, w) + sp.bCoef[t][k]*yi
-				d.X.AddScaledRow(step, i, coef)
-			}
-		}
+				return acc
+			},
+			func(a, b *sparseStepAcc) *sparseStepAcc {
+				mat.Axpy(a.step, 1, b.step)
+				a.bU += b.bU
+				return a
+			})
 		decay := 1 - eta*lambda
-		if bU == 0 {
+		if acc.bU == 0 {
 			mat.ScaleVec(w, decay)
 			continue
 		}
-		f := eta / float64(bU)
+		f := eta / float64(acc.bU)
 		for j := range w {
-			w[j] = decay*w[j] + f*step[j]
+			w[j] = decay*w[j] + f*acc.step[j]
 		}
 	}
 	return &gbm.Model{Task: dataset.BinaryClassification, W: mat.NewDenseData(1, m, w)}, nil

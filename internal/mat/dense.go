@@ -123,7 +123,7 @@ func (m *Dense) AddScaled(b *Dense, s float64) *Dense {
 	if m.rows != b.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("mat: AddScaled dimension mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	par.For(len(m.data), parMinFlops, func(lo, hi int) {
+	par.For(len(m.data), parGrainMem(), func(lo, hi int) {
 		dst, src := m.data[lo:hi], b.data[lo:hi]
 		for i, v := range src {
 			dst[i] += s * v
@@ -152,29 +152,15 @@ func (m *Dense) Mul(b *Dense) *Dense {
 }
 
 // MulInto computes dst = a*b. dst must not alias a or b. Rows of dst are
-// independent, so large products are computed row-block-parallel.
+// independent, so large products are computed row-block-parallel; within a
+// block the cache-blocked micro-kernel in gemm.go does the work. Results are
+// bitwise-deterministic at any worker count.
 func MulInto(dst, a, b *Dense) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
 		panic("mat: MulInto dimension mismatch")
 	}
-	n := b.cols
-	par.For(a.rows, parGrain(a.cols*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			di := dst.data[i*n : (i+1)*n]
-			for j := range di {
-				di[j] = 0
-			}
-			ai := a.data[i*a.cols : (i+1)*a.cols]
-			for k, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bk := b.data[k*n : (k+1)*n]
-				for j, bv := range bk {
-					di[j] += av * bv
-				}
-			}
-		}
+	par.For(a.rows, parGrain(2*a.cols*b.cols), func(lo, hi int) {
+		gemmRows(dst, a, b, lo, hi)
 	})
 }
 
@@ -212,22 +198,24 @@ func (m *Dense) MulVecT(x []float64) []float64 {
 }
 
 // MulVecTInto computes dst = mᵀ*x. dst must have length m.cols and must not
-// alias x. Rows contribute to the whole output, so the parallel path gives
-// each worker a private accumulator and merges (a MapReduce); the serial path
-// stays allocation-free.
+// alias x. Rows contribute to the whole output, so large matrices reduce
+// per-chunk partial sums with par.MapReduceDet: chunk boundaries and merge
+// order are fixed by the shape alone, keeping the result bitwise-deterministic
+// at any worker count. The small-matrix path stays allocation-free and, being
+// a single chunk, computes the identical fold.
 func (m *Dense) MulVecTInto(dst, x []float64) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("mat: MulVecT dimension mismatch %dx%d^T * %d -> %d", m.rows, m.cols, len(x), len(dst)))
 	}
 	grain := parGrain(m.cols)
-	if !parActive(m.rows, grain) {
+	if m.rows <= grain {
 		for j := range dst {
 			dst[j] = 0
 		}
 		m.addScaledRowsT(dst, x, 0, m.rows)
 		return
 	}
-	acc := par.MapReduce(m.rows, grain,
+	acc := par.MapReduceDet(m.rows, grain,
 		func() []float64 { return make([]float64, m.cols) },
 		func(acc []float64, lo, hi int) []float64 {
 			m.addScaledRowsT(acc, x, lo, hi)
@@ -264,35 +252,77 @@ func (m *Dense) Gram() *Dense {
 	return g
 }
 
-// GramInto accumulates mᵀ*m into dst (dst is overwritten). The parallel path
-// accumulates per-worker cols×cols partials over row blocks and merges them;
-// the serial path accumulates directly into dst.
+// GramInto computes mᵀ*m into dst (dst is overwritten). Only the upper
+// triangle is computed — via the 4×4 column-tile kernels in gemm.go — and then
+// mirrored. Narrow matrices (cols ≤ gramTallMaxCols, the capture shape)
+// parallelize over row chunks with a fixed-order partial-Gram merge
+// (par.MapReduceDet); wide matrices parallelize over disjoint output tiles.
+// Both regimes are selected by shape alone and are bitwise-deterministic at
+// any worker count.
 func (m *Dense) GramInto(dst *Dense) {
 	if dst.rows != m.cols || dst.cols != m.cols {
 		panic("mat: GramInto dimension mismatch")
 	}
-	grain := parGrain(m.cols * m.cols)
-	if !parActive(m.rows, grain) {
-		dst.Zero()
-		m.gramRows(dst, 0, m.rows)
+	if m.cols <= gramTallMaxCols {
+		grain := parGrain(m.cols * m.cols)
+		if m.rows <= grain {
+			dst.Zero()
+			gramChunkUpper(dst, m, 0, m.rows)
+		} else {
+			acc := par.MapReduceDet(m.rows, grain,
+				func() *Dense { return NewDense(m.cols, m.cols) },
+				func(acc *Dense, lo, hi int) *Dense {
+					gramChunkUpper(acc, m, lo, hi)
+					return acc
+				},
+				func(a, b *Dense) *Dense { return a.AddScaled(b, 1) })
+			dst.CopyFrom(acc)
+		}
+		mirrorLower(dst)
 		return
 	}
-	acc := par.MapReduce(m.rows, grain,
-		func() *Dense { return NewDense(m.cols, m.cols) },
-		func(acc *Dense, lo, hi int) *Dense {
-			m.gramRows(acc, lo, hi)
-			return acc
-		},
-		func(a, b *Dense) *Dense { return a.AddScaled(b, 1) })
-	dst.CopyFrom(acc)
+	dst.Zero()
+	tiles := upperTiles((m.cols + 3) / 4)
+	rb := gramRowBlock(m.cols)
+	for r0 := 0; r0 < m.rows; r0 += rb {
+		r1 := r0 + rb
+		if r1 > m.rows {
+			r1 = m.rows
+		}
+		par.For(len(tiles), parGrain(32*(r1-r0)), func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				gramColTile(dst, m, int(tiles[t][0])*4, int(tiles[t][1])*4, r0, r1)
+			}
+		})
+	}
+	mirrorLower(dst)
 }
 
-// gramRows accumulates Σ_{i∈[lo,hi)} row_i·row_iᵀ into dst.
-func (m *Dense) gramRows(dst *Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ri := m.data[i*m.cols : (i+1)*m.cols]
-		AddOuter(dst, ri, ri, 1)
+// RowGram returns m*mᵀ (the Gram matrix of the rows) as a new rows×rows
+// matrix.
+func (m *Dense) RowGram() *Dense {
+	g := NewDense(m.rows, m.rows)
+	m.RowGramInto(g)
+	return g
+}
+
+// RowGramInto computes m*mᵀ into dst (dst is overwritten). Each element is a
+// dot product of two contiguous rows, so the kernel tiles the upper triangle
+// of the output 4×4, folds over the columns in registers, and mirrors. Output
+// tiles are disjoint, so the parallel loop is bitwise-deterministic at any
+// worker count.
+func (m *Dense) RowGramInto(dst *Dense) {
+	if dst.rows != m.rows || dst.cols != m.rows {
+		panic("mat: RowGramInto dimension mismatch")
 	}
+	dst.Zero()
+	tiles := upperTiles((m.rows + 3) / 4)
+	par.For(len(tiles), parGrain(32*m.cols), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			rowGramTile(dst, m, int(tiles[t][0])*4, int(tiles[t][1])*4)
+		}
+	})
+	mirrorLower(dst)
 }
 
 // AddOuter accumulates s * x*yᵀ into dst. len(x) must equal dst.rows and

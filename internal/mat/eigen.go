@@ -25,9 +25,28 @@ type Eigen struct {
 // many sweeps.
 const jacobiMaxSweeps = 64
 
-// NewEigenSym computes the eigendecomposition of the symmetric matrix a
-// using the cyclic Jacobi method. Only symmetry to within round-off is
-// assumed; the strictly upper triangle is read.
+// NewEigenSym computes the eigendecomposition of the symmetric matrix a using
+// a tournament-ordered parallel cyclic Jacobi method. Only symmetry to within
+// round-off is assumed.
+//
+// Each sweep is organized as the N−1 rounds of a round-robin tournament:
+// within a round every index appears in exactly one rotation pair, so the
+// pairs' rotations act on disjoint coordinates and commute. All rotation
+// angles for a round are computed from the round-start matrix (a rotation's
+// defining entries (p,p), (p,q), (q,q) are untouched by the other pairs of
+// the round, so the annihilation stays exact), then applied in two batched
+// phases — column rotations, then row rotations plus Q-column rotations —
+// each phase writing pair-disjoint columns or rows. Phases parallelize over
+// pairs on the par pool; since every matrix element is written by exactly one
+// pair per phase and the schedule is fixed, the result is bitwise identical
+// at any worker count. The same tournament schedule runs serially on a single
+// worker, so there is no separate serial algorithm to diverge from.
+//
+// The off-diagonal norm that drives convergence is maintained incrementally:
+// annihilating (p,q) reduces the upper-triangle sum of squares by exactly
+// apq² in exact arithmetic, so each round subtracts Σ apq² instead of
+// rescanning O(n²) entries. Because the running value accumulates round-off,
+// a full rescan confirms convergence before the loop exits.
 func NewEigenSym(a *Dense) (*Eigen, error) {
 	if a.rows != a.cols {
 		return nil, errors.New("mat: NewEigenSym requires a square matrix")
@@ -39,27 +58,49 @@ func NewEigenSym(a *Dense) (*Eigen, error) {
 		return &Eigen{Values: []float64{w.At(0, 0)}, Q: q}, nil
 	}
 	// Scale-aware stopping threshold.
-	off := func() float64 {
-		var s float64
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				v := w.At(i, j)
-				s += v * v
-			}
-		}
-		return s
-	}
 	var fro float64
 	for _, v := range w.data {
 		fro += v * v
 	}
 	tol := 1e-28 * (fro + 1)
+	off := offUpper(w)
+
+	// Round-robin tournament state: player 0 stays fixed, the rest rotate one
+	// slot per round; odd n adds a bye slot.
+	nPlayers := n
+	if nPlayers%2 == 1 {
+		nPlayers++
+	}
+	half := nPlayers / 2
+	rounds := nPlayers - 1
+	perm := make([]int, nPlayers)
+	for i := range perm {
+		perm[i] = i
+	}
+	pp := make([]int, half)
+	pq := make([]int, half)
+	cs := make([]float64, half)
+	sn := make([]float64, half)
+	grain := parGrain(12 * n)
+
 	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
-		if off() <= tol {
-			break
+		if off <= tol {
+			// The running value carries round-off; rescan before trusting it.
+			off = offUpper(w)
+			if off <= tol {
+				break
+			}
 		}
-		for p := 0; p < n-1; p++ {
-			for qi := p + 1; qi < n; qi++ {
+		for r := 0; r < rounds; r++ {
+			np := 0
+			for i := 0; i < half; i++ {
+				p, qi := perm[i], perm[nPlayers-1-i]
+				if p >= n || qi >= n {
+					continue // bye slot on odd n
+				}
+				if p > qi {
+					p, qi = qi, p
+				}
 				apq := w.At(p, qi)
 				if apq == 0 {
 					continue
@@ -75,8 +116,30 @@ func NewEigenSym(a *Dense) (*Eigen, error) {
 				}
 				c := 1 / math.Sqrt(t*t+1)
 				s := t * c
-				applyJacobiRotation(w, q, p, qi, c, s)
+				pp[np], pq[np], cs[np], sn[np] = p, qi, c, s
+				off -= apq * apq
+				np++
 			}
+			if off < 0 {
+				off = 0
+			}
+			if np > 0 {
+				// Phase 1: W ← W·G, pair-disjoint column pairs.
+				par.For(np, grain, func(lo, hi int) {
+					for t := lo; t < hi; t++ {
+						rotateColumns(w, pp[t], pq[t], cs[t], sn[t])
+					}
+				})
+				// Phase 2: W ← Gᵀ·W (pair-disjoint row pairs) and Q ← Q·G
+				// (pair-disjoint column pairs of the separate matrix Q).
+				par.For(np, grain, func(lo, hi int) {
+					for t := lo; t < hi; t++ {
+						rotateRows(w, pp[t], pq[t], cs[t], sn[t])
+						rotateColumns(q, pp[t], pq[t], cs[t], sn[t])
+					}
+				})
+			}
+			rotateSchedule(perm)
 		}
 	}
 	vals := make([]float64, n)
@@ -100,25 +163,49 @@ func NewEigenSym(a *Dense) (*Eigen, error) {
 	return &Eigen{Values: sortedVals, Q: sortedQ}, nil
 }
 
-// applyJacobiRotation applies the rotation G(p,q,θ) from both sides of w and
-// accumulates it into q: w ← GᵀwG, q ← qG.
-func applyJacobiRotation(w, q *Dense, p, r int, c, s float64) {
-	n := w.rows
-	for k := 0; k < n; k++ {
-		akp, akr := w.At(k, p), w.At(k, r)
-		w.Set(k, p, c*akp-s*akr)
-		w.Set(k, r, s*akp+c*akr)
+// offUpper returns the sum of squares of the strictly upper triangle.
+func offUpper(w *Dense) float64 {
+	n := w.cols
+	var s float64
+	for i := 0; i < n-1; i++ {
+		ri := w.data[i*n+i+1 : (i+1)*n]
+		for _, v := range ri {
+			s += v * v
+		}
 	}
-	for k := 0; k < n; k++ {
-		apk, ark := w.At(p, k), w.At(r, k)
-		w.Set(p, k, c*apk-s*ark)
-		w.Set(r, k, s*apk+c*ark)
+	return s
+}
+
+// rotateColumns applies the plane rotation G(p,r,θ) on the right: columns p
+// and r of m are mixed, all other elements untouched.
+func rotateColumns(m *Dense, p, r int, c, s float64) {
+	stride := m.cols
+	for k := 0; k < m.rows; k++ {
+		kp := k * stride
+		akp, akr := m.data[kp+p], m.data[kp+r]
+		m.data[kp+p] = c*akp - s*akr
+		m.data[kp+r] = s*akp + c*akr
 	}
-	for k := 0; k < n; k++ {
-		qkp, qkr := q.At(k, p), q.At(k, r)
-		q.Set(k, p, c*qkp-s*qkr)
-		q.Set(k, r, s*qkp+c*qkr)
+}
+
+// rotateRows applies the plane rotation on the left: rows p and r of m are
+// mixed, all other elements untouched.
+func rotateRows(m *Dense, p, r int, c, s float64) {
+	rp := m.data[p*m.cols : (p+1)*m.cols]
+	rr := m.data[r*m.cols : (r+1)*m.cols]
+	for k, apk := range rp {
+		ark := rr[k]
+		rp[k] = c*apk - s*ark
+		rr[k] = s*apk + c*ark
 	}
+}
+
+// rotateSchedule advances the round-robin tournament one round: slot 0 is
+// fixed, slots 1..N−1 rotate by one.
+func rotateSchedule(perm []int) {
+	last := perm[len(perm)-1]
+	copy(perm[2:], perm[1:len(perm)-1])
+	perm[1] = last
 }
 
 // Reconstruct returns Q*diag(Values)*Qᵀ, primarily for testing.

@@ -1,0 +1,323 @@
+package mat
+
+// Cache-blocked dense kernels. The scalar triple loops these replace streamed
+// the right-hand operand from memory once per output row; the kernels here
+// block the hot loops so each cache line loaded feeds 4–16 multiply-adds.
+// Inner loops are written as range loops over row slices, which Go compiles
+// without bounds checks.
+//
+// Determinism contract: every kernel's per-element accumulation order is a
+// function of the operand shapes and the fixed block constants alone — never
+// of the worker count or of where par.For happens to split a row range. A row
+// computed inside a 4-row group folds its reduction index in exactly the same
+// order (k-pairs, then the odd tail) as the same row computed alone at a
+// group tail, so the two are bitwise identical.
+
+// gramRowBlockTarget sizes Gram row blocks so a block of input rows stays
+// L2-resident while the column tiles fold over it repeatedly.
+const gramRowBlockTarget = 1 << 15
+
+// gramTallMaxCols selects GramInto's regime: at or below this column count
+// the per-chunk partial-Gram accumulators are cheap (≤ 0.5 MB), so row-chunk
+// parallelism with an ordered merge wins; above it the kernel parallelizes
+// over disjoint output tiles within sequential row blocks. The rule depends
+// only on the shape, so the same regime — and the same arithmetic — is chosen
+// at any worker count.
+const gramTallMaxCols = 256
+
+// gramRowBlock returns the row-block height for a Gram over `cols` columns.
+func gramRowBlock(cols int) int {
+	rb := gramRowBlockTarget / cols
+	if rb < 8 {
+		rb = 8
+	}
+	return rb
+}
+
+// gemmRows computes dst[lo:hi] = a[lo:hi] * b, overwriting the dst rows.
+// Rows are processed in groups of 4 sharing each streamed pair of b rows.
+func gemmRows(dst, a, b *Dense, lo, hi int) {
+	n := b.cols
+	for i := lo; i < hi; i++ {
+		di := dst.data[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+	}
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		gemmRow4(dst, a, b, i)
+	}
+	for ; i < hi; i++ {
+		gemmRow1(dst, a, b, i)
+	}
+}
+
+// gemmRow4 computes dst rows i..i+3: a rank-2 update per step streams two b
+// rows across four L1-resident dst rows, an 8× reduction in b traffic over
+// the scalar row-at-a-time loop.
+func gemmRow4(dst, a, b *Dense, i int) {
+	k, n := a.cols, b.cols
+	a0 := a.data[i*k : (i+1)*k]
+	a1 := a.data[(i+1)*k : (i+2)*k]
+	a2 := a.data[(i+2)*k : (i+3)*k]
+	a3 := a.data[(i+3)*k : (i+4)*k]
+	d0 := dst.data[i*n : (i+1)*n]
+	d1 := dst.data[(i+1)*n : (i+2)*n]
+	d2 := dst.data[(i+2)*n : (i+3)*n]
+	d3 := dst.data[(i+3)*n : (i+4)*n]
+	p := 0
+	for ; p+2 <= k; p += 2 {
+		b0 := b.data[p*n : (p+1)*n]
+		b1 := b.data[(p+1)*n : (p+2)*n]
+		a00, a01 := a0[p], a0[p+1]
+		a10, a11 := a1[p], a1[p+1]
+		a20, a21 := a2[p], a2[p+1]
+		a30, a31 := a3[p], a3[p+1]
+		for j, bv0 := range b0 {
+			bv1 := b1[j]
+			d0[j] += a00*bv0 + a01*bv1
+			d1[j] += a10*bv0 + a11*bv1
+			d2[j] += a20*bv0 + a21*bv1
+			d3[j] += a30*bv0 + a31*bv1
+		}
+	}
+	if p < k {
+		b0 := b.data[p*n : (p+1)*n]
+		a00, a10, a20, a30 := a0[p], a1[p], a2[p], a3[p]
+		for j, bv0 := range b0 {
+			d0[j] += a00 * bv0
+			d1[j] += a10 * bv0
+			d2[j] += a20 * bv0
+			d3[j] += a30 * bv0
+		}
+	}
+}
+
+// gemmRow1 is the single-row edge of gemmRow4 with the identical k-pair fold
+// per element, so results do not depend on where a 4-row group boundary
+// falls.
+func gemmRow1(dst, a, b *Dense, i int) {
+	k, n := a.cols, b.cols
+	ai := a.data[i*k : (i+1)*k]
+	di := dst.data[i*n : (i+1)*n]
+	p := 0
+	for ; p+2 <= k; p += 2 {
+		b0 := b.data[p*n : (p+1)*n]
+		b1 := b.data[(p+1)*n : (p+2)*n]
+		a00, a01 := ai[p], ai[p+1]
+		for j, bv0 := range b0 {
+			di[j] += a00*bv0 + a01*b1[j]
+		}
+	}
+	if p < k {
+		b0 := b.data[p*n : (p+1)*n]
+		a00 := ai[p]
+		for j, bv0 := range b0 {
+			di[j] += a00 * bv0
+		}
+	}
+}
+
+// upperTiles enumerates the 4×4 block coordinates of the upper triangle of an
+// nb×nb block grid in row-major order.
+func upperTiles(nb int) [][2]int32 {
+	tiles := make([][2]int32, 0, nb*(nb+1)/2)
+	for bi := 0; bi < nb; bi++ {
+		for bj := bi; bj < nb; bj++ {
+			tiles = append(tiles, [2]int32{int32(bi), int32(bj)})
+		}
+	}
+	return tiles
+}
+
+// gramColTile folds rows [r0,r1) of m into the upper-triangle output tile
+// anchored at columns (i0, j0) of dst += mᵀm. Full 4×4 tiles use 16 register
+// accumulators; clipped edge tiles fall back to one register per element with
+// the identical ascending-row fold.
+func gramColTile(dst, m *Dense, i0, j0, r0, r1 int) {
+	n := m.cols
+	i1, j1 := i0+4, j0+4
+	if i1 > n {
+		i1 = n
+	}
+	if j1 > n {
+		j1 = n
+	}
+	if i1-i0 == 4 && j1-j0 == 4 {
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		var c20, c21, c22, c23 float64
+		var c30, c31, c32, c33 float64
+		for r := r0; r < r1; r++ {
+			row := m.data[r*n : (r+1)*n]
+			x := row[i0 : i0+4 : i0+4]
+			y := row[j0 : j0+4 : j0+4]
+			x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+			y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+			c00 += x0 * y0
+			c01 += x0 * y1
+			c02 += x0 * y2
+			c03 += x0 * y3
+			c10 += x1 * y0
+			c11 += x1 * y1
+			c12 += x1 * y2
+			c13 += x1 * y3
+			c20 += x2 * y0
+			c21 += x2 * y1
+			c22 += x2 * y2
+			c23 += x2 * y3
+			c30 += x3 * y0
+			c31 += x3 * y1
+			c32 += x3 * y2
+			c33 += x3 * y3
+		}
+		d := dst.data
+		d[i0*n+j0] += c00
+		d[i0*n+j0+1] += c01
+		d[i0*n+j0+2] += c02
+		d[i0*n+j0+3] += c03
+		d[(i0+1)*n+j0] += c10
+		d[(i0+1)*n+j0+1] += c11
+		d[(i0+1)*n+j0+2] += c12
+		d[(i0+1)*n+j0+3] += c13
+		d[(i0+2)*n+j0] += c20
+		d[(i0+2)*n+j0+1] += c21
+		d[(i0+2)*n+j0+2] += c22
+		d[(i0+2)*n+j0+3] += c23
+		d[(i0+3)*n+j0] += c30
+		d[(i0+3)*n+j0+1] += c31
+		d[(i0+3)*n+j0+2] += c32
+		d[(i0+3)*n+j0+3] += c33
+		return
+	}
+	for i := i0; i < i1; i++ {
+		js := j0
+		if js < i {
+			js = i
+		}
+		for j := js; j < j1; j++ {
+			var c float64
+			for r := r0; r < r1; r++ {
+				c += m.data[r*n+i] * m.data[r*n+j]
+			}
+			dst.data[i*n+j] += c
+		}
+	}
+}
+
+// gramChunkUpper folds rows [lo,hi) of m into the upper triangle of dst,
+// walking L2-sized row blocks and, inside each block, all upper tiles over
+// the cache-resident rows.
+func gramChunkUpper(dst, m *Dense, lo, hi int) {
+	nb := (m.cols + 3) / 4
+	rb := gramRowBlock(m.cols)
+	for r0 := lo; r0 < hi; r0 += rb {
+		r1 := r0 + rb
+		if r1 > hi {
+			r1 = hi
+		}
+		for bi := 0; bi < nb; bi++ {
+			for bj := bi; bj < nb; bj++ {
+				gramColTile(dst, m, bi*4, bj*4, r0, r1)
+			}
+		}
+	}
+}
+
+// mirrorLower copies the upper triangle of the symmetric matrix dst onto the
+// lower triangle.
+func mirrorLower(dst *Dense) {
+	n := dst.cols
+	for i := 1; i < n; i++ {
+		di := dst.data[i*n : i*n+i]
+		for j := range di {
+			di[j] = dst.data[j*n+i]
+		}
+	}
+}
+
+// rowGramTile folds columns of m into the upper-triangle output tile anchored
+// at (i0, j0) of dst += m·mᵀ: each element is the dot product of two
+// (contiguous) rows of m, folded left to right.
+func rowGramTile(dst, m *Dense, i0, j0 int) {
+	rows, n := m.rows, m.cols
+	i1, j1 := i0+4, j0+4
+	if i1 > rows {
+		i1 = rows
+	}
+	if j1 > rows {
+		j1 = rows
+	}
+	if i1-i0 == 4 && j1-j0 == 4 {
+		x0 := m.data[i0*n : (i0+1)*n]
+		x1 := m.data[(i0+1)*n : (i0+2)*n]
+		x2 := m.data[(i0+2)*n : (i0+3)*n]
+		x3 := m.data[(i0+3)*n : (i0+4)*n]
+		y0 := m.data[j0*n : (j0+1)*n]
+		y1 := m.data[(j0+1)*n : (j0+2)*n]
+		y2 := m.data[(j0+2)*n : (j0+3)*n]
+		y3 := m.data[(j0+3)*n : (j0+4)*n]
+		var c00, c01, c02, c03 float64
+		var c10, c11, c12, c13 float64
+		var c20, c21, c22, c23 float64
+		var c30, c31, c32, c33 float64
+		for p, av := range x0 {
+			b0, b1, b2, b3 := y0[p], y1[p], y2[p], y3[p]
+			c00 += av * b0
+			c01 += av * b1
+			c02 += av * b2
+			c03 += av * b3
+			av = x1[p]
+			c10 += av * b0
+			c11 += av * b1
+			c12 += av * b2
+			c13 += av * b3
+			av = x2[p]
+			c20 += av * b0
+			c21 += av * b1
+			c22 += av * b2
+			c23 += av * b3
+			av = x3[p]
+			c30 += av * b0
+			c31 += av * b1
+			c32 += av * b2
+			c33 += av * b3
+		}
+		dr := dst.cols
+		d := dst.data
+		d[i0*dr+j0] += c00
+		d[i0*dr+j0+1] += c01
+		d[i0*dr+j0+2] += c02
+		d[i0*dr+j0+3] += c03
+		d[(i0+1)*dr+j0] += c10
+		d[(i0+1)*dr+j0+1] += c11
+		d[(i0+1)*dr+j0+2] += c12
+		d[(i0+1)*dr+j0+3] += c13
+		d[(i0+2)*dr+j0] += c20
+		d[(i0+2)*dr+j0+1] += c21
+		d[(i0+2)*dr+j0+2] += c22
+		d[(i0+2)*dr+j0+3] += c23
+		d[(i0+3)*dr+j0] += c30
+		d[(i0+3)*dr+j0+1] += c31
+		d[(i0+3)*dr+j0+2] += c32
+		d[(i0+3)*dr+j0+3] += c33
+		return
+	}
+	dr := dst.cols
+	for i := i0; i < i1; i++ {
+		ri := m.data[i*n : (i+1)*n]
+		js := j0
+		if js < i {
+			js = i
+		}
+		for j := js; j < j1; j++ {
+			rj := m.data[j*n : (j+1)*n]
+			var c float64
+			for p, v := range ri {
+				c += v * rj[p]
+			}
+			dst.data[i*dr+j] += c
+		}
+	}
+}

@@ -2,16 +2,10 @@ package mat
 
 import "repro/internal/par"
 
-// parMinFlops aliases the pool's shared work cutoff; kernels in this package
-// size chunks so each carries at least this much arithmetic.
-const parMinFlops = par.MinWork
+// parGrainMem returns the chunk grain for memory-bound element loops
+// (AddScaled and friends): at least the pool's calibrated streamed-element
+// cutoff per chunk.
+func parGrainMem() int { return par.GrainMem(1) }
 
 // parGrain converts a per-item flop estimate into a chunk grain for par.For.
 func parGrain(perItem int) int { return par.Grain(perItem) }
-
-// parActive reports whether a loop of n items with the given grain would
-// actually be split by par.For — used by kernels that need a different
-// (allocation-free) code path when running serially.
-func parActive(n, grain int) bool {
-	return par.Workers() > 1 && n > grain
-}

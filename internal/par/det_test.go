@@ -1,0 +1,135 @@
+package par
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMapReduceDetSum checks the deterministic reduction computes the right
+// value across sizes straddling the chunk cap.
+func TestMapReduceDetSum(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000, 100000} {
+		got := MapReduceDet(n, 8,
+			func() int { return 0 },
+			func(acc, lo, hi int) int {
+				for i := lo; i < hi; i++ {
+					acc += i
+				}
+				return acc
+			},
+			func(a, b int) int { return a + b })
+		want := n * (n - 1) / 2
+		if got != want {
+			t.Errorf("MapReduceDet sum n=%d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMapReduceDetBitwiseAcrossWorkers is the core contract: a float fold
+// whose result depends on summation order must come out bitwise-identical at
+// any worker count, because the chunk plan and merge order are fixed by
+// (n, grain) alone.
+func TestMapReduceDetBitwiseAcrossWorkers(t *testing.T) {
+	xs := make([]float64, 9973)
+	v := 1.0
+	for i := range xs {
+		v = v*1.0000001 + 1e-7
+		xs[i] = v * 1e-3
+	}
+	run := func() float64 {
+		return MapReduceDet(len(xs), 100,
+			func() float64 { return 0 },
+			func(acc float64, lo, hi int) float64 {
+				for i := lo; i < hi; i++ {
+					acc += xs[i]
+				}
+				return acc
+			},
+			func(a, b float64) float64 { return a + b })
+	}
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	base := run()
+	for _, w := range []int{2, 3, 8, 16} {
+		SetWorkers(w)
+		for rep := 0; rep < 10; rep++ {
+			if got := run(); got != base {
+				t.Fatalf("workers=%d rep=%d: %x differs from workers=1 result %x", w, rep, got, base)
+			}
+		}
+	}
+}
+
+func TestDetPlanIndependentOfWorkers(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	c1, n1 := detPlan(100000, 64)
+	SetWorkers(16)
+	c2, n2 := detPlan(100000, 64)
+	if c1 != c2 || n1 != n2 {
+		t.Fatalf("detPlan changed with worker count: (%d,%d) vs (%d,%d)", c1, n1, c2, n2)
+	}
+	if n1 > detMaxChunks {
+		t.Fatalf("detPlan produced %d chunks, cap is %d", n1, detMaxChunks)
+	}
+	// Chunks must cover [0, n) exactly.
+	if c1*n1 < 100000 || c1*(n1-1) >= 100000 {
+		t.Fatalf("detPlan chunk=%d chunks=%d does not cover n=100000 tightly", c1, n1)
+	}
+}
+
+// TestCalibrateMeasuresAndRespectsPins checks the probe results are sane and
+// that explicit pins survive a Calibrate call.
+func TestCalibrateMeasuresAndRespectsPins(t *testing.T) {
+	c0, m0 := Cutoffs()
+	defer SetCutoffs(c0, m0)
+	cal := Calibrate()
+	if !(cal.NsPerFlop > 0) || !(cal.NsPerElem > 0) {
+		t.Fatalf("probe timings not positive: %+v", cal)
+	}
+	if cal.Compute < calMinCutoff || cal.Compute > calMaxCutoff ||
+		cal.Mem < calMinCutoff || cal.Mem > calMaxCutoff {
+		t.Fatalf("derived cutoffs out of clamp range: %+v", cal)
+	}
+	if !cal.Pinned {
+		if c, m := Cutoffs(); c != cal.Compute || m != cal.Mem {
+			t.Fatalf("unpinned Calibrate did not apply: Cutoffs()=(%d,%d), cal=%+v", c, m, cal)
+		}
+	}
+
+	SetCutoffs(12345, 54321)
+	cal = Calibrate()
+	if !cal.Pinned {
+		t.Fatal("Calibrate after SetCutoffs should report Pinned")
+	}
+	if c, m := Cutoffs(); c != 12345 || m != 54321 {
+		t.Fatalf("Calibrate overrode pinned cutoffs: got (%d,%d)", c, m)
+	}
+}
+
+// TestEnvMinWorkPin runs a child process with PRIU_PAR_MINWORK set and checks
+// both cutoffs come up pinned to it.
+func TestEnvMinWorkPin(t *testing.T) {
+	if os.Getenv("PAR_TEST_CHILD") == "1" {
+		c, m := Cutoffs()
+		if c != 777 || m != 777 {
+			t.Fatalf("env pin not applied: (%d,%d)", c, m)
+		}
+		cal := Calibrate()
+		if !cal.Pinned {
+			t.Fatal("env pin not reported by Calibrate")
+		}
+		return
+	}
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess test")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestEnvMinWorkPin$", "-test.v")
+	cmd.Env = append(os.Environ(), "PAR_TEST_CHILD=1", EnvMinWork+"=777")
+	out, err := cmd.CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "PASS") {
+		t.Fatalf("child failed: %v\n%s", err, out)
+	}
+}

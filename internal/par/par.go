@@ -33,18 +33,33 @@ import (
 // from a flop estimate via Grain.
 const DefaultGrain = 4096
 
-// MinWork is the approximate amount of per-chunk scalar work (flops or
+// MinWork is the static default for the per-chunk work cutoff (flops or
 // memory touches) below which splitting is not worth the scheduling and
-// wakeup overhead (~a few microseconds per chunk).
+// wakeup overhead (~a few microseconds per chunk). The effective cutoffs are
+// variables — see Calibrate, SetCutoffs and the PRIU_PAR_MINWORK override.
 const MinWork = 1 << 15
 
-// Grain converts a per-item work estimate into a chunk grain: every chunk
-// carries at least MinWork work items.
+// Grain converts a per-item flop estimate into a chunk grain: every chunk
+// carries at least the compute-bound work cutoff worth of arithmetic.
 func Grain(perItem int) int {
 	if perItem < 1 {
 		perItem = 1
 	}
-	g := MinWork / perItem
+	g := int(cutoffCompute.Load()) / perItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// GrainMem is Grain for memory-bound loops (per-item cost counted in elements
+// streamed rather than flops): every chunk touches at least the memory-bound
+// cutoff worth of elements.
+func GrainMem(perItem int) int {
+	if perItem < 1 {
+		perItem = 1
+	}
+	g := int(cutoffMem.Load()) / perItem
 	if g < 1 {
 		g = 1
 	}
@@ -253,6 +268,62 @@ func MapReduce[T any](n, grain int, newAcc func() T, chunk func(acc T, lo, hi in
 	if r := panicked.Load(); r != nil {
 		panic(*r)
 	}
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out = merge(out, a)
+	}
+	return out
+}
+
+// detMaxChunks bounds how many fixed chunks (and therefore live accumulators)
+// a deterministic reduction creates, independent of the worker count.
+const detMaxChunks = 32
+
+// detPlan computes the chunk size and count for a deterministic reduction:
+// the plan depends only on n and grain, never on Workers(), so the reduction
+// tree is identical at any pool size.
+func detPlan(n, grain int) (chunk, chunks int) {
+	if grain < 1 {
+		grain = 1
+	}
+	chunks = (n + grain - 1) / grain
+	if chunks > detMaxChunks {
+		chunks = detMaxChunks
+	}
+	chunk = (n + chunks - 1) / chunks
+	chunks = (n + chunk - 1) / chunk
+	return chunk, chunks
+}
+
+// MapReduceDet is MapReduce with a bitwise-deterministic reduction order:
+// chunk boundaries are fixed by (n, grain) alone and the per-chunk
+// accumulators are folded left-to-right in chunk-index order, so the result
+// is identical at any worker count — including Workers() == 1, where the same
+// chunked fold runs serially. Kernels whose output feeds persisted snapshots
+// (the PR 3 bitwise contract) use this instead of MapReduce, whose merge
+// order depends on chunk completion order.
+//
+// The cost of determinism is bounded extra merging: at most detMaxChunks
+// accumulators exist regardless of pool size.
+func MapReduceDet[T any](n, grain int, newAcc func() T, chunk func(acc T, lo, hi int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return newAcc()
+	}
+	sz, chunks := detPlan(n, grain)
+	if chunks <= 1 {
+		return chunk(newAcc(), 0, n)
+	}
+	accs := make([]T, chunks)
+	For(chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo := c * sz
+			chi := clo + sz
+			if chi > n {
+				chi = n
+			}
+			accs[c] = chunk(newAcc(), clo, chi)
+		}
+	})
 	out := accs[0]
 	for _, a := range accs[1:] {
 		out = merge(out, a)

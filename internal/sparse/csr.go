@@ -153,24 +153,15 @@ func (m *CSR) MulVecInto(dst, x []float64) {
 }
 
 // MulVecT returns mᵀ*x as a dense vector. Rows scatter into the whole output,
-// so the parallel path gives each worker a private dense accumulator over a
-// row block and merges; the serial path scatters directly.
+// so each chunk fills a private dense accumulator over a row block; chunk
+// boundaries and the fold order depend only on the shape and grain — never on
+// the worker count — so the result is bitwise identical at any pool size
+// (small matrices collapse to one chunk and scatter serially).
 func (m *CSR) MulVecT(x []float64) []float64 {
 	if len(x) != m.rows {
 		panic("sparse: MulVecT length mismatch")
 	}
-	grain := m.rowGrain()
-	if par.Workers() <= 1 || m.rows <= grain {
-		out := make([]float64, m.cols)
-		for i := 0; i < m.rows; i++ {
-			if x[i] == 0 {
-				continue
-			}
-			m.AddScaledRow(out, i, x[i])
-		}
-		return out
-	}
-	return par.MapReduce(m.rows, grain,
+	return par.MapReduceDet(m.rows, m.rowGrain(),
 		func() []float64 { return make([]float64, m.cols) },
 		func(acc []float64, lo, hi int) []float64 {
 			for i := lo; i < hi; i++ {
