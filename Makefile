@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STORE_COVER_MIN ?= 85
 SERVICE_COVER_MIN ?= 81
 
-.PHONY: all build test race bench bench-guard bench-baseline kernel-bench spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover fmt fmt-check vet ci
+.PHONY: all build test race bench bench-guard bench-baseline kernel-bench spill-smoke auth-smoke whatif-smoke fleet-smoke obs-smoke fuzz-smoke cover fmt fmt-check vet ci
 
 all: build
 
@@ -105,6 +105,14 @@ whatif-smoke:
 fleet-smoke:
 	$(GO) test -race -count=1 -run 'TestFleetSmoke' ./priu/client
 
+# Observability smoke: builds the real priuserve, boots it with the operator
+# listener (-admin-addr) and a 1ms slow-op threshold, drives a train/delete/
+# what-if workload and asserts the /metrics scrape has every family present
+# and monotone, a request trace is fetchable by ID, pprof answers, the
+# slow-op log fires, and none of the admin surface leaks onto the tenant port.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke' ./priu/client
+
 fmt:
 	gofmt -w .
 
@@ -116,4 +124,4 @@ vet:
 	$(GO) vet ./...
 
 # Everything CI runs, in one target, for local parity.
-ci: build vet fmt-check race spill-smoke auth-smoke whatif-smoke fleet-smoke fuzz-smoke cover bench
+ci: build vet fmt-check race spill-smoke auth-smoke whatif-smoke fleet-smoke obs-smoke fuzz-smoke cover bench

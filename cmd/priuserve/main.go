@@ -11,7 +11,8 @@
 //	          -auth required -auth-keys /etc/priu/keys.json \
 //	          -blob http://blob:8090 \
 //	          -node http://a:8080 -peers http://a:8080,http://b:8080 \
-//	          -probe-interval 3s
+//	          -probe-interval 3s \
+//	          -admin-addr 127.0.0.1:9090 -slow-op-ms 250
 //
 // Endpoints (see priu/service for the full wire formats; the v1 rows are
 // deprecated and carry Deprecation/Sunset headers pointing at /v2/meta):
@@ -100,6 +101,18 @@
 //   - -probe-interval sets the peer liveness-probe cadence: unresponsive
 //     peers are demoted from the placement ring (their keys re-home to
 //     survivors) and re-admitted when probes succeed again.
+//
+// Observability (see the README's "Observability" section):
+//
+//   - -admin-addr boots a second, operator-only listener serving GET /metrics
+//     (Prometheus text exposition), GET /v2/debug/traces[/{id}] (recent
+//     request span trees) and /debug/pprof/*. The admin surface is never
+//     tenant-authenticated — bind it to localhost or an internal interface,
+//     never the tenant port.
+//   - Every request carries an X-Priu-Trace ID (minted at ingress when the
+//     client sends none) that follows the request through fleet redirects and
+//     proxied streams; traces slower than -slow-op-ms land in the log with
+//     their hottest span. -slow-op-ms <= 0 disables the slow-op log.
 package main
 
 import (
@@ -117,6 +130,7 @@ import (
 	"repro/internal/par"
 	"repro/priu"
 	"repro/priu/cluster"
+	"repro/priu/obs"
 	"repro/priu/service"
 	"repro/priu/store"
 )
@@ -143,6 +157,8 @@ func main() {
 	node := flag.String("node", "", "this replica's advertised base URL (required with -peers)")
 	peers := flag.String("peers", "", "comma-separated advertised base URLs of every fleet replica (enables consistent-hash routing)")
 	probeInterval := flag.Duration("probe-interval", 3*time.Second, "fleet liveness-probe period (0 = probe only on request failures)")
+	adminAddr := flag.String("admin-addr", "", "operator listener for /metrics, /v2/debug/traces and /debug/pprof (empty = disabled; never expose to tenants)")
+	slowOpMs := flag.Int("slow-op-ms", 250, "log traces slower than this many milliseconds with their hottest span (<=0 = disabled)")
 	parMinWork := flag.Int("par-minwork", 0, "pin the per-chunk parallel work cutoff (0 = measure at startup; "+par.EnvMinWork+" also pins)")
 	flag.Parse()
 	priu.SetWorkers(*workers)
@@ -153,6 +169,10 @@ func main() {
 		log.Printf("priuserve: par cutoffs compute=%d mem=%d (dispatch %.0fns, pinned=%v)",
 			cal.Compute, cal.Mem, cal.DispatchNs, cal.Pinned)
 	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	tracer.SetSlowOp(time.Duration(*slowOpMs) * time.Millisecond)
 
 	mode, err := service.ParseAuthMode(*authMode)
 	if err != nil {
@@ -185,6 +205,7 @@ func main() {
 			store.WithSpillMaxBytes(*spillMaxBytes),
 			store.WithWriteBehind(*spillQueue, *spillWorkers),
 			store.WithSpillGC(*spillGCAge, *spillGCInterval),
+			store.WithMetrics(store.NewTierMetrics(reg)),
 		}
 		if *blob != "" {
 			var bs store.BlobStore
@@ -213,6 +234,7 @@ func main() {
 		service.WithWhatIfWorkers(*whatifWorkers),
 		service.WithWhatIfLimit(*whatifLimit),
 		service.WithAuth(mode, keyring),
+		service.WithObservability(reg, tracer),
 	}
 	var member *cluster.Membership
 	if *peers != "" {
@@ -270,6 +292,16 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{Addr: *adminAddr, Handler: srv.AdminHandler()}
+		go func() {
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+		log.Printf("priuserve: admin listener on %s (/metrics, /v2/debug/traces, /debug/pprof) — keep this off the tenant network", *adminAddr)
+	}
 	log.Printf("priuserve %s listening on %s (%d workers, max-sessions=%d, max-bytes=%d, store-dir=%q)",
 		priu.Version, *addr, priu.Workers(), *maxSessions, *maxBytes, *storeDir)
 
@@ -285,6 +317,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("priuserve: shutdown: %v", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("priuserve: admin shutdown: %v", err)
+		}
 	}
 	if err := st.Close(); err != nil {
 		log.Printf("priuserve: draining session store: %v", err)

@@ -70,6 +70,27 @@ func GrainMem(perItem int) int {
 // more chunks than this only adds counter contention.
 const chunksPerWorker = 4
 
+// Pool telemetry: dispatches counts helper closures handed to the pool,
+// inline counts helper shares absorbed by the caller because the pool was
+// saturated. Both are per-helper (not per-item), so the increment cost is
+// negligible next to the channel send it annotates. A rising inline share is
+// the queue-wait signal: parallel regions are contending for helpers.
+var (
+	statDispatches atomic.Int64
+	statInline     atomic.Int64
+)
+
+// PoolStats is a snapshot of the helper-pool telemetry counters.
+type PoolStats struct {
+	Dispatches int64 // helper closures accepted by the pool
+	Inline     int64 // helper shares run inline (pool saturated)
+}
+
+// Stats returns cumulative helper-pool telemetry.
+func Stats() PoolStats {
+	return PoolStats{Dispatches: statDispatches.Load(), Inline: statInline.Load()}
+}
+
 var workers atomic.Int64
 
 func init() { workers.Store(int64(runtime.GOMAXPROCS(0))) }
@@ -181,9 +202,11 @@ func For(n, grain int, fn func(lo, hi int)) {
 		wg.Add(1)
 		select {
 		case p <- func() { defer wg.Done(); runner() }:
+			statDispatches.Add(1)
 		default:
 			// Pool saturated (nested parallel region or heavy load): the
 			// caller absorbs this helper's share.
+			statInline.Add(1)
 			wg.Done()
 		}
 	}
@@ -259,7 +282,9 @@ func MapReduce[T any](n, grain int, newAcc func() T, chunk func(acc T, lo, hi in
 		wg.Add(1)
 		select {
 		case p <- func() { defer wg.Done(); runner() }:
+			statDispatches.Add(1)
 		default:
+			statInline.Add(1)
 			wg.Done()
 		}
 	}

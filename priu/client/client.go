@@ -27,17 +27,19 @@ import (
 	"strings"
 	"time"
 
+	"repro/priu/obs"
 	"repro/priu/service"
 )
 
 // Client talks to one priu deletion service — or, with WithPeers, to a
 // replica fleet. It is safe for concurrent use.
 type Client struct {
-	base    string
-	peers   []string
-	retries int
-	key     string
-	hc      *http.Client
+	base      string
+	peers     []string
+	retries   int
+	key       string
+	hc        *http.Client
+	placement *placement
 }
 
 // Option configures New.
@@ -87,6 +89,11 @@ func New(baseURL string, opts ...Option) *Client {
 			if c.key != "" {
 				req.Header.Set("Authorization", "Bearer "+c.key)
 			}
+			// A fleet 307 means our cached placement (if any) pointed at a
+			// non-owner; refresh the ring before the next request.
+			if c.placement != nil {
+				c.placement.markStale()
+			}
 			return nil
 		}}
 	}
@@ -103,6 +110,10 @@ type APIError struct {
 	Code       string
 	Message    string
 	RetryAfter time.Duration
+	// TraceID is the X-Priu-Trace ID the failing request ran under; quote it
+	// when reporting — operators can pull the request's span tree from the
+	// server's /v2/debug/traces/{id} admin endpoint.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -165,7 +176,7 @@ func IsPeerUnavailable(err error) bool {
 // decodeError turns a non-2xx response into *APIError. It understands both
 // the v2 envelope and v1's flat {"error": "..."} shape.
 func decodeError(resp *http.Response) *APIError {
-	ae := &APIError{Status: resp.StatusCode}
+	ae := &APIError{Status: resp.StatusCode, TraceID: resp.Header.Get(obs.TraceHeader)}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil {
 			ae.RetryAfter = time.Duration(secs) * time.Second
@@ -234,12 +245,19 @@ func retarget(req *http.Request, base string) error {
 // Retry-After when one was sent. Requests whose bodies cannot be replayed
 // (GetBody unset on a non-nil body) are executed exactly once.
 func (c *Client) doRetry(req *http.Request) (*http.Response, error) {
-	bases := append([]string{c.base}, c.peers...)
+	bases := c.orderBases(req.Context(), req.URL.Path)
 	attempts := c.retries
 	if attempts <= 0 {
 		attempts = 2 * len(bases)
 	}
 	if attempts == 1 || (req.Body != nil && req.GetBody == nil) {
+		// Single-shot requests still benefit from placement: aim the one
+		// attempt at the likely owner.
+		if bases[0] != c.base {
+			if err := retarget(req, bases[0]); err != nil {
+				return nil, err
+			}
+		}
 		return c.hc.Do(req)
 	}
 	var lastErr error

@@ -3,10 +3,12 @@ package client
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -116,8 +118,10 @@ func TestFleetSmoke(t *testing.T) {
 
 	const n = 3
 	urls := make([]string, n)
+	adminAddrs := make([]string, n)
 	for i := range urls {
 		urls[i] = "http://" + freePort()
+		adminAddrs[i] = freePort()
 	}
 	peers := strings.Join(urls, ",")
 	replicas := make([]*proc, n)
@@ -129,6 +133,7 @@ func TestFleetSmoke(t *testing.T) {
 			"-node", urls[i],
 			"-peers", peers,
 			"-probe-interval", "250ms",
+			"-admin-addr", adminAddrs[i],
 		)
 	}
 
@@ -197,6 +202,55 @@ func TestFleetSmoke(t *testing.T) {
 			t.Fatalf("post-deletion read of %s: %v", sr.SessionID, err)
 		}
 		sessions = append(sessions, tracked{id: sr.SessionID, home: home, params: fin.Parameters})
+	}
+
+	// Placement-aware routing: a client that computes session owners from
+	// /v2/meta's ring goes straight to the owner, so a sweep over every
+	// session through "wrong" bases must not move the fleet's redirect
+	// counter at all — while the same sweep without placement does.
+	metricValue := func(adminAddr, name string) float64 {
+		res, err := http.Get("http://" + adminAddr + "/metrics")
+		if err != nil {
+			t.Fatalf("scraping %s: %v", adminAddr, err)
+		}
+		defer res.Body.Close()
+		buf := new(strings.Builder)
+		if _, err := io.Copy(buf, res.Body); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if f := strings.Fields(line); len(f) == 2 && f[0] == name {
+				v, err := strconv.ParseFloat(f[1], 64)
+				if err != nil {
+					t.Fatalf("metric %s: bad value %q", name, f[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s missing from %s scrape", name, adminAddr)
+		return 0
+	}
+	fleetRedirects := func() (sum float64) {
+		for _, a := range adminAddrs {
+			sum += metricValue(a, "priu_fleet_redirects_total")
+		}
+		return sum
+	}
+	placed := New(urls[1], WithPeers(urls[0], urls[2]), WithPlacement())
+	before := fleetRedirects()
+	for _, s := range sessions {
+		if _, err := placed.GetSession(ctx, s.id); err != nil {
+			t.Fatalf("placement read of %s: %v", s.id, err)
+		}
+	}
+	if after := fleetRedirects(); after != before {
+		t.Fatalf("placement reads still redirected: fleet_redirects %v -> %v", before, after)
+	}
+	if _, err := New(urls[(sessions[0].home+1)%n]).GetSession(ctx, sessions[0].id); err != nil {
+		t.Fatal(err)
+	}
+	if after := fleetRedirects(); after != before+1 {
+		t.Fatalf("control read through a non-owner: fleet_redirects %v -> %v, want +1", before, after)
 	}
 
 	// A deletion issued before the kill must stay deleted after it: remove

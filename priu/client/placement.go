@@ -1,0 +1,122 @@
+package client
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"repro/priu/cluster"
+)
+
+// WithPlacement turns on client-side owner routing for session-affine
+// requests. The client fetches the fleet's placement ring from /v2/meta (and
+// the caller's tenant name from /v2/tenants/self/stats when authenticated),
+// computes each session's likely owner with the same rendezvous hash the
+// servers use, and sends the request there first — skipping the 307
+// redirect/proxy hop on the common path. Placement is advisory: when the ring
+// is stale or the owner unreachable the fleet's own routing still answers
+// correctly, and a followed redirect marks the cached ring stale so the next
+// request refreshes it (picking up ring_version changes).
+//
+// No-op against a non-fleet server (/v2/meta carries no cluster block).
+func WithPlacement() Option { return func(c *Client) { c.placement = &placement{} } }
+
+// placement caches one placement epoch: the ring built from /v2/meta's alive
+// list and the tenant namespace prefix sessions are stored under.
+type placement struct {
+	mu      sync.Mutex
+	loaded  bool
+	ring    *cluster.Ring // nil once loaded = not a fleet
+	version uint64
+	tenant  string
+	haveTen bool
+}
+
+// markStale forces a ring refresh on the next owner computation. Called when
+// a followed redirect proves the cached placement wrong.
+func (p *placement) markStale() {
+	p.mu.Lock()
+	p.loaded = false
+	p.mu.Unlock()
+}
+
+// owner returns the advertised base URL of the replica that owns wireID, or
+// ok=false when placement cannot help (no fleet, refresh failed, empty ring).
+func (p *placement) owner(ctx context.Context, c *Client, wireID string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.loaded {
+		// Meta and tenant-stats paths are not session-affine, so these
+		// client calls cannot re-enter owner().
+		m, err := c.Meta(ctx)
+		if err != nil {
+			return "", false // transparent fallback; retry the refresh next time
+		}
+		if m.Cluster == nil {
+			p.ring, p.loaded = nil, true
+			return "", false
+		}
+		p.ring = cluster.NewRing(m.Cluster.RingVersion, m.Cluster.Alive)
+		p.version = m.Cluster.RingVersion
+		if c.key != "" && !p.haveTen {
+			ts, err := c.TenantStats(ctx)
+			if err != nil {
+				p.ring = nil
+				return "", false
+			}
+			p.tenant, p.haveTen = ts.Tenant, true
+		}
+		p.loaded = true
+	}
+	if p.ring == nil {
+		return "", false
+	}
+	// Servers place sessions by storage ID: tenant-namespaced for
+	// authenticated callers, the bare wire ID for anonymous ones.
+	key := wireID
+	if p.tenant != "" {
+		key = p.tenant + "/" + wireID
+	}
+	return p.ring.Owner(key)
+}
+
+// sessionWireID extracts the session ID from a session-affine /v2 path
+// ("/v2/sessions/{id}" and its subresources); "" for everything else,
+// including creation and listing.
+func sessionWireID(path string) string {
+	const prefix = "/v2/sessions/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	id := path[len(prefix):]
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	return id
+}
+
+// orderBases returns the replica try-order for a request path: the configured
+// bases, with the computed owner moved (or inserted) first when placement is
+// on and the path names a session.
+func (c *Client) orderBases(ctx context.Context, path string) []string {
+	bases := append([]string{c.base}, c.peers...)
+	if c.placement == nil {
+		return bases
+	}
+	id := sessionWireID(path)
+	if id == "" {
+		return bases
+	}
+	owner, ok := c.placement.owner(ctx, c, id)
+	if !ok {
+		return bases
+	}
+	ordered := make([]string, 0, len(bases)+1)
+	ordered = append(ordered, owner)
+	for _, b := range bases {
+		if b != owner {
+			ordered = append(ordered, b)
+		}
+	}
+	return ordered
+}

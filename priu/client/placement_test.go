@@ -1,0 +1,47 @@
+package client
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSessionWireID(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"/v2/sessions/sess-7", "sess-7"},
+		{"/v2/sessions/sess-7/deletions", "sess-7"},
+		{"/v2/sessions/sess-7/whatif", "sess-7"},
+		{"/v2/sessions/sess-7/snapshot", "sess-7"},
+		{"/v2/sessions", ""},
+		{"/v2/meta", ""},
+		{"/v2/tenants/self/stats", ""},
+		{"/healthz", ""},
+	}
+	for _, c := range cases {
+		if got := sessionWireID(c.path); got != c.want {
+			t.Errorf("sessionWireID(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+// TestPlacementNonFleetNoop: against a single server without a cluster block
+// WithPlacement must degrade to plain routing — every call still works.
+func TestPlacementNonFleetNoop(t *testing.T) {
+	ts := newServer(t)
+	cl := New(ts.URL, WithPlacement())
+	ctx := context.Background()
+	sr, err := cl.CreateSession(ctx, denseRequest(t, 60, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GetSession(ctx, sr.SessionID); err != nil {
+		t.Fatalf("placement against non-fleet server broke reads: %v", err)
+	}
+	st, err := cl.StreamDeletions(ctx, sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if res, err := st.Send([]int{1, 2}); err != nil || res.TotalDeleted != 2 {
+		t.Fatalf("placement against non-fleet server broke streams: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/priu/obs"
 	"repro/priu/service"
 )
 
@@ -65,6 +66,14 @@ func (c *Client) StreamDeletions(ctx context.Context, id string, opts ...StreamO
 	req, err := c.newRequest(ctx, http.MethodPost, path, pr)
 	if err != nil {
 		return nil, err
+	}
+	// A stream body cannot be replayed, so it gets exactly one target; with
+	// placement on, aim it at the session's likely owner to skip the fleet's
+	// transparent proxy hop.
+	if bases := c.orderBases(ctx, "/v2/sessions/"+id); bases[0] != c.base {
+		if err := retarget(req, bases[0]); err != nil {
+			return nil, err
+		}
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	go func() {
@@ -123,6 +132,7 @@ func (st *DeletionStream) Send(remove []int) (*service.DeletionResult, error) {
 	}
 	if probe.Error != nil {
 		ae := streamAPIError(*probe.Error)
+		ae.TraceID = st.resp.Header.Get(obs.TraceHeader)
 		if ae.Code == service.ErrCodeNotFound || ae.Code == service.ErrCodeBadRequest {
 			// The server terminates the stream after these.
 			st.err = ae

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,8 +51,29 @@ type Membership struct {
 	ring    *Ring
 	version uint64
 
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+	ringChanges   atomic.Int64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Counters is a snapshot of the membership telemetry counters, read by the
+// observability registry at scrape time.
+type Counters struct {
+	Probes        int64 // liveness probes issued
+	ProbeFailures int64 // probes that found the peer unreachable
+	RingChanges   int64 // placement ring rebuilds (alive-set transitions)
+}
+
+// Counters returns cumulative membership telemetry.
+func (m *Membership) Counters() Counters {
+	return Counters{
+		Probes:        m.probes.Load(),
+		ProbeFailures: m.probeFailures.Load(),
+		RingChanges:   m.ringChanges.Load(),
+	}
 }
 
 // New builds a Membership from the static member list and starts the
@@ -177,6 +199,7 @@ func (m *Membership) setAlive(addr string, up bool) {
 		return
 	}
 	m.alive[addr] = up
+	m.ringChanges.Add(1)
 	m.version++
 	nodes := make([]string, 0, len(m.alive))
 	for p, ok := range m.alive {
@@ -220,7 +243,12 @@ func (m *Membership) probeOnce() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), m.probeTimeout)
 			defer cancel()
-			m.setAlive(addr, m.probe(ctx, addr))
+			up := m.probe(ctx, addr)
+			m.probes.Add(1)
+			if !up {
+				m.probeFailures.Add(1)
+			}
+			m.setAlive(addr, up)
 		}(p)
 	}
 	wg.Wait()

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): one HELP and TYPE line
+// per family, then one sample line per child (or per histogram bucket), with
+// families sorted by name and children by label-value tuple so scrapes are
+// deterministic and the golden test is byte-stable.
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes every registered family in Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make([]*family, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ)
+	w.WriteByte('\n')
+
+	f.mu.Lock()
+	fn := f.fn
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	children := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+
+	if fn != nil {
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(fn(), 10))
+		w.WriteByte('\n')
+		return
+	}
+	for _, ch := range children {
+		switch f.typ {
+		case typeCounter:
+			writeSampleInt(w, f.name, f.labels, ch.values, "", "", ch.c.Value())
+		case typeGauge:
+			writeSampleInt(w, f.name, f.labels, ch.values, "", "", ch.g.Value())
+		case typeHistogram:
+			// Buckets are cumulative: each le line includes every smaller
+			// bucket's count, ending at the +Inf bucket == _count.
+			cum := int64(0)
+			for i, b := range ch.h.bounds {
+				cum += ch.h.counts[i].Load()
+				writeSampleInt(w, f.name+"_bucket", f.labels, ch.values, "le", formatFloat(b), cum)
+			}
+			cum += ch.h.counts[len(ch.h.bounds)].Load()
+			writeSampleInt(w, f.name+"_bucket", f.labels, ch.values, "le", "+Inf", cum)
+			writeSampleFloat(w, f.name+"_sum", f.labels, ch.values, ch.h.Sum())
+			writeSampleInt(w, f.name+"_count", f.labels, ch.values, "", "", ch.h.Count())
+		}
+	}
+}
+
+// writeLabels writes the {k="v",...} block, appending one extra pair (the
+// histogram le label) when extraKey is non-empty.
+func writeLabels(w *bufio.Writer, labels, values []string, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(extraKey)
+		w.WriteString(`="`)
+		w.WriteString(extraVal)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func writeSampleInt(w *bufio.Writer, name string, labels, values []string, extraKey, extraVal string, v int64) {
+	w.WriteString(name)
+	writeLabels(w, labels, values, extraKey, extraVal)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(v, 10))
+	w.WriteByte('\n')
+}
+
+func writeSampleFloat(w *bufio.Writer, name string, labels, values []string, v float64) {
+	w.WriteString(name)
+	writeLabels(w, labels, values, "", "")
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value: backslash, double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP line: backslash and newline (quotes are fine).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

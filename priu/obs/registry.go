@@ -1,0 +1,278 @@
+// Package obs is the dependency-free observability plane of the PrIU
+// service: a metrics registry (counters, gauges, fixed-bucket histograms,
+// with label support and atomic hot paths) exposed in Prometheus text
+// format, plus a lightweight request tracer (see trace.go) whose span trees
+// stitch a deletion across fleet replicas through the X-Priu-Trace header.
+//
+// Design points:
+//
+//   - Increments and observations are single atomic ops on pre-resolved
+//     metric handles — no allocations, no locks — so instrumentation is safe
+//     on the kernel-adjacent hot paths (deletion updates, par dispatch).
+//   - Values are int64 for counters/gauges (everything the service counts is
+//     integral) and float64 for histogram observations (durations in
+//     seconds). Counter.Add returns the new value so existing atomic.Int64
+//     call sites migrate without restructuring.
+//   - CounterFunc/GaugeFunc adapt subsystems that already maintain their own
+//     atomics (the store's Stats(), the par pool, cluster membership): the
+//     registry reads them at scrape time, making it the single source of
+//     truth without double-counting.
+//   - A Registry is an instance, not a process global: each Server owns one,
+//     so tests that build many servers in one process never share counters.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric types, as exposed on the TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// DefBuckets are the default latency buckets (seconds): half a millisecond
+// through ten seconds, covering incremental updates (sub-ms) to full capture
+// and slow spill restores.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry (or a CounterVec child).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter and returns the new value (matching
+// atomic.Int64.Add, so migrated call sites keep their shape).
+func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Buckets are cumulative on the wire
+// (each le bucket counts all observations at or below its bound) but stored
+// per-bucket internally so Observe touches exactly one bucket counter.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-add
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~15) and the common case exits
+	// in the first few comparisons; a binary search buys nothing here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// family is one registered metric name: its metadata and children (one per
+// label-value tuple; a plain metric is the single child with no labels).
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // insertion-ordered keys, sorted at exposition
+
+	fn func() int64 // func-backed counter/gauge (no children)
+}
+
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric families and writes them as Prometheus text
+// exposition. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register resolves or creates a family, panicking on a conflicting
+// re-registration (same name, different type or labels): that is always a
+// programming error, and failing loud beats silently splitting a metric.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: metric name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || !equalLabels(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with conflicting type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		children: make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor resolves or creates one labeled child of a family.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.children[key]; ok {
+		return ch
+	}
+	ch := &child{values: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		ch.c = &Counter{}
+	case typeGauge:
+		ch.g = &Gauge{}
+	case typeHistogram:
+		ch.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+	}
+	f.children[key] = ch
+	f.order = append(f.order, key)
+	return ch
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil).childFor(nil).c
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil).childFor(nil).g
+}
+
+// Histogram registers (or returns) an unlabeled histogram. A nil buckets
+// slice uses DefBuckets. Buckets must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, typeHistogram, nil, buckets).childFor(nil).h
+}
+
+// CounterVec is a counter family with labels; resolve children with With.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With resolves the child for one label-value tuple. Resolution takes the
+// family lock; hot paths should resolve once and hold the *Counter.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.childFor(values).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With resolves the child for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.childFor(values).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family (nil buckets =
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, typeHistogram, labels, buckets)}
+}
+
+// With resolves the child for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.childFor(values).h }
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the adapter for subsystems that keep their own atomics. fn must be
+// safe for concurrent use and monotonic.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, typeCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, typeGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the full text exposition byte-for-byte: family
+// sorting, label ordering and escaping, histogram bucket cumulativity and
+// the _sum/_count suffix lines.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	r.Counter("zeta_total", "sorted last despite being registered first").Add(3)
+	r.Gauge("alpha_gauge", "plain gauge").Set(-7)
+
+	cv := r.CounterVec("requests_total", "labeled counter", "route", "code")
+	cv.With("/v2/sessions", "200").Add(5)
+	cv.With("/v2/sessions", "404").Inc()
+	cv.With(`/odd"path\x`+"\n", "200").Inc()
+
+	h := r.Histogram("latency_seconds", "histogram with backslash \\ and\nnewline in help", []float64{0.1, 0.5, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(0.75)
+	h.Observe(9) // +Inf bucket
+
+	r.GaugeFunc("fn_gauge", "func-backed gauge", func() int64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_gauge plain gauge
+# TYPE alpha_gauge gauge
+alpha_gauge -7
+# HELP fn_gauge func-backed gauge
+# TYPE fn_gauge gauge
+fn_gauge 42
+# HELP latency_seconds histogram with backslash \\ and\nnewline in help
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="0.5"} 3
+latency_seconds_bucket{le="1"} 4
+latency_seconds_bucket{le="+Inf"} 5
+latency_seconds_sum 10.15
+latency_seconds_count 5
+# HELP requests_total labeled counter
+# TYPE requests_total counter
+requests_total{route="/odd\"path\\x\n",code="200"} 1
+requests_total{route="/v2/sessions",code="200"} 5
+requests_total{route="/v2/sessions",code="404"} 1
+# HELP zeta_total sorted last despite being registered first
+# TYPE zeta_total counter
+zeta_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegisterIdempotentAndConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("same name+type should return the same counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("conflicting re-registration should panic")
+			}
+		}()
+		r.Gauge("x_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("conflicting label re-registration should panic")
+			}
+		}()
+		r.CounterVec("x_total", "x", "route")
+	}()
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.25)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Sum(); got != 25 {
+		t.Fatalf("sum = %v, want 25", got)
+	}
+}
+
+// TestRegistryConcurrent hammers registration, increments and scrapes from
+// many goroutines; run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("conc_total", "c", "shard")
+	h := r.Histogram("conc_seconds", "h", nil)
+	g := r.Gauge("conc_gauge", "g")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := string(rune('a' + w%4))
+			c := cv.With(shard)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+				g.Add(1)
+				if i%100 == 0 {
+					// Concurrent re-registration must be safe and idempotent.
+					r.CounterVec("conc_total", "c", "shard").With(shard)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for _, shard := range []string{"a", "b", "c", "d"} {
+		total += cv.With(shard).Value()
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %d, want 8000", g.Value())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "b")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "b", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}

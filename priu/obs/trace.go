@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: a trace is one logical request (a deletion stream, a
+// what-if batch, a session read) identified by the X-Priu-Trace header the
+// service mints at ingress and propagates through fleet redirects, proxied
+// streams and scatter-gather fan-out. Each node records its own span tree
+// for the shared ID in a ring buffer, so stitching a cross-replica request
+// means fetching the same ID from each node's /v2/debug/traces/{id}.
+// Timings are monotonic (time.Since on a time.Time anchor); there are no
+// external dependencies and an un-traced context makes every span call a
+// no-op, so library code can instrument unconditionally.
+
+// TraceHeader is the HTTP header carrying the fleet-wide trace ID.
+const TraceHeader = "X-Priu-Trace"
+
+// DefaultSlowOp is the default slow-operation log threshold.
+const DefaultSlowOp = 250 * time.Millisecond
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a zero ID keeps
+		// tracing functional (uniqueness is a debugging nicety, not a
+		// correctness requirement).
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a client-supplied trace ID is acceptable to
+// adopt: 8–64 hex-ish characters, so a hostile header cannot stuff logs.
+func ValidTraceID(id string) bool {
+	if len(id) < 8 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// Span is one timed operation within a trace. A nil *Span is a valid no-op
+// receiver, so handlers can instrument without checking whether the request
+// is traced.
+type Span struct {
+	tr     *trace
+	idx    int
+	parent int // index into tr.spans; -1 for a root
+	name   string
+	start  time.Time
+	durNs  atomic.Int64 // -1 while open
+}
+
+// End closes the span, recording its duration. Safe on nil receivers and
+// idempotent (the first End wins). Ending a root span completes the trace:
+// it is committed to the tracer's ring buffer and, when over the slow-op
+// threshold, logged.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if !s.durNs.CompareAndSwap(-1, maxInt64(time.Since(s.start).Nanoseconds(), 0)) {
+		return
+	}
+	if s.parent == -1 {
+		s.tr.tracer.complete(s.tr)
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// trace accumulates one node-local span tree.
+type trace struct {
+	tracer *Tracer
+	id     string
+	start  time.Time
+	wall   time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (t *trace) addSpan(name string, parent int) *Span {
+	s := &Span{tr: t, parent: parent, name: name, start: time.Now()}
+	s.durNs.Store(-1)
+	t.mu.Lock()
+	s.idx = len(t.spans)
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// spanCtxKey carries the current *Span through a request context.
+type spanCtxKey struct{}
+
+// StartSpan opens a child span under the context's current span and returns
+// the derived context. Without a traced context it returns (ctx, nil): the
+// nil span's End is a no-op, so instrumentation never needs a guard.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := ctx.Value(spanCtxKey{}).(*Span)
+	if !ok || parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.addSpan(name, parent.idx)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanView is one span in a serialized trace tree.
+type SpanView struct {
+	Name       string     `json:"name"`
+	StartUs    int64      `json:"start_us"` // offset from trace start
+	DurationUs int64      `json:"duration_us,omitempty"`
+	Open       bool       `json:"open,omitempty"` // span had not ended at serialization
+	Children   []SpanView `json:"children,omitempty"`
+}
+
+// TraceView is the JSON shape of GET /v2/debug/traces/{id}: this node's span
+// tree for one trace ID.
+type TraceView struct {
+	TraceID    string     `json:"trace_id"`
+	Node       string     `json:"node,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurationUs int64      `json:"duration_us"`
+	Spans      []SpanView `json:"spans"`
+}
+
+// TraceSummary is one row of the GET /v2/debug/traces listing.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationUs int64     `json:"duration_us"`
+}
+
+// Tracer owns a node's completed-trace ring buffer and the slow-op log.
+// The zero value is unusable; call NewTracer.
+type Tracer struct {
+	slowNs atomic.Int64
+	logf   atomic.Pointer[func(format string, args ...any)]
+
+	mu   sync.Mutex
+	ring []*trace // fixed-capacity ring of completed traces
+	next int
+	byID map[string]*trace
+}
+
+// NewTracer returns a tracer retaining the last ringSize completed traces
+// (<=0 uses 256) with the DefaultSlowOp threshold.
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	t := &Tracer{
+		ring: make([]*trace, ringSize),
+		byID: make(map[string]*trace, ringSize),
+	}
+	t.slowNs.Store(int64(DefaultSlowOp))
+	return t
+}
+
+// SetSlowOp sets the slow-op threshold; completed traces at or over it are
+// logged. Zero or negative disables the slow-op log.
+func (t *Tracer) SetSlowOp(d time.Duration) { t.slowNs.Store(int64(d)) }
+
+// SetLogf replaces the slow-op sink (default log.Printf) — tests hook this.
+func (t *Tracer) SetLogf(fn func(format string, args ...any)) { t.logf.Store(&fn) }
+
+// StartRoot begins a trace's root span on this node under the given ID and
+// returns the derived context. Every subsequent StartSpan under the context
+// lands in this trace.
+func (t *Tracer) StartRoot(ctx context.Context, id, name string) (context.Context, *Span) {
+	tr := &trace{tracer: t, id: id, start: time.Now(), wall: time.Now()}
+	s := tr.addSpan(name, -1)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// complete commits a finished trace to the ring (evicting the oldest) and
+// emits the slow-op log line when the root exceeded the threshold.
+func (t *Tracer) complete(tr *trace) {
+	t.mu.Lock()
+	if old := t.ring[t.next]; old != nil && t.byID[old.id] == old {
+		delete(t.byID, old.id)
+	}
+	t.ring[t.next] = tr
+	t.byID[tr.id] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+
+	slow := t.slowNs.Load()
+	root := tr.spans[0]
+	dur := root.durNs.Load()
+	if slow <= 0 || dur < slow {
+		return
+	}
+	logf := log.Printf
+	if p := t.logf.Load(); p != nil {
+		logf = *p
+	}
+	tr.mu.Lock()
+	n := len(tr.spans)
+	var hot *Span
+	for _, s := range tr.spans[1:] {
+		if d := s.durNs.Load(); d >= 0 && (hot == nil || d > hot.durNs.Load()) {
+			hot = s
+		}
+	}
+	tr.mu.Unlock()
+	if hot != nil {
+		logf("slow-op trace=%s op=%q dur=%s spans=%d hottest=%q hottest_dur=%s",
+			tr.id, root.name, time.Duration(dur), n, hot.name, time.Duration(hot.durNs.Load()))
+		return
+	}
+	logf("slow-op trace=%s op=%q dur=%s spans=%d", tr.id, root.name, time.Duration(dur), n)
+}
+
+// Lookup returns this node's span tree for a completed trace ID.
+func (t *Tracer) Lookup(id string) (TraceView, bool) {
+	t.mu.Lock()
+	tr, ok := t.byID[id]
+	t.mu.Unlock()
+	if !ok {
+		return TraceView{}, false
+	}
+	return tr.view(), true
+}
+
+// Recent lists the most recently completed traces, newest first, up to n
+// (<=0 = the whole ring).
+func (t *Tracer) Recent(n int) []TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]TraceSummary, 0, n)
+	for i := 1; i <= len(t.ring) && len(out) < n; i++ {
+		tr := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if tr == nil {
+			continue
+		}
+		root := tr.spans[0]
+		out = append(out, TraceSummary{
+			TraceID: tr.id, Root: root.name, Start: tr.wall,
+			DurationUs: root.durNs.Load() / 1e3,
+		})
+	}
+	return out
+}
+
+// view serializes the span tree (children in start order).
+func (tr *trace) view() TraceView {
+	tr.mu.Lock()
+	spans := append([]*Span(nil), tr.spans...)
+	tr.mu.Unlock()
+	kids := make([][]int, len(spans))
+	var roots []int
+	for i, s := range spans {
+		if s.parent == -1 {
+			roots = append(roots, i)
+			continue
+		}
+		kids[s.parent] = append(kids[s.parent], i)
+	}
+	var build func(i int) SpanView
+	build = func(i int) SpanView {
+		s := spans[i]
+		v := SpanView{
+			Name:    s.name,
+			StartUs: s.start.Sub(tr.start).Microseconds(),
+		}
+		if d := s.durNs.Load(); d >= 0 {
+			v.DurationUs = d / 1e3
+		} else {
+			v.Open = true
+		}
+		for _, k := range kids[i] {
+			v.Children = append(v.Children, build(k))
+		}
+		return v
+	}
+	out := TraceView{TraceID: tr.id, Start: tr.wall}
+	for _, r := range roots {
+		out.Spans = append(out.Spans, build(r))
+	}
+	if len(out.Spans) > 0 {
+		out.DurationUs = out.Spans[0].DurationUs
+	}
+	return out
+}

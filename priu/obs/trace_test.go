@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDs(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 16 || !ValidTraceID(id) {
+		t.Fatalf("NewTraceID() = %q, want 16 valid hex chars", id)
+	}
+	if NewTraceID() == id {
+		t.Error("two trace IDs should differ")
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("a", 65), "zzzzzzzzzz", "abc def12345"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	if !ValidTraceID("DEADBEEF-0123") {
+		t.Error("hex with dashes should be valid")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSlowOp(0) // disable logging
+
+	ctx, root := tr.StartRoot(context.Background(), "abcdef0123456789", "v2.deletions")
+	ctx2, capture := StartSpan(ctx, "capture")
+	_, inner := StartSpan(ctx2, "fsync")
+	inner.End()
+	capture.End()
+	_, sib := StartSpan(ctx, "update")
+	sib.End()
+	root.End()
+
+	v, ok := tr.Lookup("abcdef0123456789")
+	if !ok {
+		t.Fatal("completed trace not found")
+	}
+	if len(v.Spans) != 1 || v.Spans[0].Name != "v2.deletions" {
+		t.Fatalf("want one root span v2.deletions, got %+v", v.Spans)
+	}
+	kids := v.Spans[0].Children
+	if len(kids) != 2 || kids[0].Name != "capture" || kids[1].Name != "update" {
+		t.Fatalf("want children [capture update], got %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "fsync" {
+		t.Fatalf("capture should have one fsync child, got %+v", kids[0].Children)
+	}
+	if v.Spans[0].Open {
+		t.Error("ended root should not be open")
+	}
+}
+
+func TestStartSpanNoTrace(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatal("StartSpan without a trace should return a nil span")
+	}
+	s.End() // must not panic
+	if ctx == nil {
+		t.Fatal("ctx must be returned unchanged")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetSlowOp(0)
+	for i := 0; i < 3; i++ {
+		_, root := tr.StartRoot(context.Background(), fmt.Sprintf("trace%03d-%03d", i, i), "op")
+		root.End()
+	}
+	if _, ok := tr.Lookup("trace000-000"); ok {
+		t.Error("oldest trace should have been evicted from a ring of 2")
+	}
+	if _, ok := tr.Lookup("trace002-002"); !ok {
+		t.Error("newest trace should be present")
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 2 || recent[0].TraceID != "trace002-002" || recent[1].TraceID != "trace001-001" {
+		t.Errorf("Recent = %+v, want newest-first [trace002, trace001]", recent)
+	}
+}
+
+func TestSlowOpLog(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSlowOp(time.Nanosecond)
+	var mu sync.Mutex
+	var lines []string
+	tr.SetLogf(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+
+	ctx, root := tr.StartRoot(context.Background(), "feedfacefeedface", "v2.whatif")
+	_, child := StartSpan(ctx, "whatif.eval")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("want one slow-op line, got %d: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "slow-op trace=feedfacefeedface") ||
+		!strings.Contains(lines[0], `op="v2.whatif"`) ||
+		!strings.Contains(lines[0], `hottest="whatif.eval"`) {
+		t.Errorf("slow-op line missing fields: %s", lines[0])
+	}
+
+	// Under the threshold: no log.
+	tr.SetSlowOp(time.Hour)
+	_, fast := tr.StartRoot(context.Background(), "0123456789abcdef", "v2.meta")
+	fast.End()
+	if len(lines) != 1 {
+		t.Errorf("fast trace should not log, got %v", lines)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSlowOp(0)
+	_, root := tr.StartRoot(context.Background(), "cafebabecafebabe", "op")
+	root.End()
+	root.End() // second End must not re-complete or panic
+	if got := len(tr.Recent(0)); got != 1 {
+		t.Fatalf("double End committed the trace %d times", got)
+	}
+}
+
+// TestTracerConcurrent exercises concurrent span creation, completion and
+// lookups; run under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSlowOp(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("%08d%08d", w, i)
+				ctx, root := tr.StartRoot(context.Background(), id, "op")
+				var inner sync.WaitGroup
+				for j := 0; j < 4; j++ {
+					inner.Add(1)
+					go func() {
+						defer inner.Done()
+						_, s := StartSpan(ctx, "leaf")
+						s.End()
+					}()
+				}
+				inner.Wait()
+				root.End()
+				tr.Lookup(id)
+				tr.Recent(4)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/priu/obs"
+)
+
+// AdminHandler returns the operator surface: Prometheus exposition at
+// /metrics, per-request trace trees at /v2/debug/traces[/{id}], and pprof.
+// It must be served on a separate operator-only listener (-admin-addr), never
+// mounted on the tenant port: nothing here is tenant-authenticated, traces
+// leak cross-tenant request shapes, and pprof exposes heap contents.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.obsReg.Handler())
+	mux.HandleFunc("GET /v2/debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /v2/debug/traces/{id}", s.handleTraceByID)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleTraces lists recently completed traces, newest first (?limit=N,
+// default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeV2Error(w, http.StatusBadRequest, ErrCodeBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}{Traces: s.tracer.Recent(limit)})
+}
+
+// handleTraceByID serves this node's span tree for one trace ID. In a fleet
+// the same ID fetched from each replica stitches the cross-node picture; the
+// node field says whose tree this is.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tv, ok := s.tracer.Lookup(id)
+	if !ok {
+		writeV2Error(w, http.StatusNotFound, ErrCodeNotFound, "unknown trace %q", id)
+		return
+	}
+	if s.cluster != nil {
+		tv.Node = s.cluster.Self()
+	}
+	writeJSON(w, tv)
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/priu/cluster"
+	"repro/priu/obs"
 	"repro/priu/store"
 )
 
@@ -147,6 +148,14 @@ func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, owner string) {
 		Rewrite: func(pr *httputil.ProxyRequest) {
 			pr.SetURL(target)
 			pr.Out.Header.Set(fleetHopHeader, s.cluster.Self())
+			// The trace ID minted by withObs rides on the inbound headers, so
+			// the owner's span tree lands under the same X-Priu-Trace ID.
+		},
+		ModifyResponse: func(resp *http.Response) error {
+			// withObs already put the trace ID on the client response; drop the
+			// peer's echo so the header is not duplicated.
+			resp.Header.Del(obs.TraceHeader)
+			return nil
 		},
 		FlushInterval: -1,
 		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
@@ -236,7 +245,7 @@ func (s *Server) fleetV1Delete(w http.ResponseWriter, r *http.Request, next http
 		for _, i := range idxs {
 			item := req.Batch[i]
 			results[i].SessionID = item.SessionID
-			resp, _, err := s.deleteOne(ten, item.SessionID, item.Removed)
+			resp, _, err := s.deleteOne(r.Context(), ten, item.SessionID, item.Removed)
 			if err != nil {
 				results[i].Error = err.Error()
 				continue
@@ -299,6 +308,9 @@ func (s *Server) peerDo(r *http.Request, owner string, body []byte) (*http.Respo
 	freq.Header.Set(fleetHopHeader, s.cluster.Self())
 	if a := r.Header.Get("Authorization"); a != "" {
 		freq.Header.Set("Authorization", a)
+	}
+	if id := r.Header.Get(obs.TraceHeader); id != "" {
+		freq.Header.Set(obs.TraceHeader, id) // scatter-gather legs share the trace
 	}
 	return http.DefaultClient.Do(freq)
 }

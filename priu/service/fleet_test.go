@@ -133,7 +133,7 @@ func TestFleetCreateAndCrossNodeRead(t *testing.T) {
 	if loc := resp.Header.Get("Location"); loc != f.urls[0]+"/v2/sessions/"+sr.SessionID {
 		t.Fatalf("redirect Location = %q", loc)
 	}
-	if f.servers[1].fleetRedirects.Load() == 0 {
+	if f.servers[1].fleetRedirects.Value() == 0 {
 		t.Fatal("redirect not counted")
 	}
 
@@ -169,7 +169,7 @@ func TestFleetDeletionStreamProxiedToOwner(t *testing.T) {
 	if last.Batch != 2 || last.TotalDeleted != 4 {
 		t.Fatalf("streamed result %+v", last)
 	}
-	if f.servers[1].fleetProxied.Load() == 0 {
+	if f.servers[1].fleetProxied.Value() == 0 {
 		t.Fatal("stream was not proxied")
 	}
 
@@ -307,8 +307,8 @@ func TestFleetHandoffOnMembershipChange(t *testing.T) {
 	// Heal the partition. B's prober revives A, the ring change fires the
 	// handoff, and B drains the sessions it no longer owns to the blob tier.
 	f.setUp(a, true)
-	waitFor(t, "handoff release", func() bool { return f.servers[1].fleetReleased.Load() > 0 })
-	if f.servers[1].fleetHandoffs.Load() == 0 {
+	waitFor(t, "handoff release", func() bool { return f.servers[1].fleetReleased.Value() > 0 })
+	if f.servers[1].fleetHandoffs.Value() == 0 {
 		t.Fatal("membership change never triggered a handoff")
 	}
 

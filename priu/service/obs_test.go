@@ -1,0 +1,246 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/priu/obs"
+)
+
+// adminPair boots one server with both its tenant handler and its admin
+// (operator) handler on separate listeners, as priuserve -admin-addr does.
+func adminPair(t *testing.T, opts ...ServerOption) (*Server, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(opts...)
+	main := httptest.NewServer(srv.Handler())
+	t.Cleanup(main.Close)
+	admin := httptest.NewServer(srv.AdminHandler())
+	t.Cleanup(admin.Close)
+	return srv, main, admin
+}
+
+func scrape(t *testing.T, adminURL string) string {
+	t.Helper()
+	resp, err := http.Get(adminURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndToEnd drives a train/delete/what-if workload through the
+// tenant surface and asserts the admin scrape shows it: the registry is fed
+// by the same counters the JSON surfaces report.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, main, admin := adminPair(t)
+	sr := v2Create(t, main.URL, v2CreateBody(t, "linear", 80, 4, 1))
+
+	var dr DeleteResponse
+	if resp := postJSON(t, main.URL+"/v1/delete", DeleteRequest{SessionID: sr.SessionID, Removed: []int{1, 2, 3}}, &dr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	results, _ := whatifBatch(t, main.URL, sr.SessionID, WhatIfRequest{Sets: [][]int{{5, 6}}})
+	if len(results) != 1 {
+		t.Fatalf("what-if batch returned %d results", len(results))
+	}
+
+	text := scrape(t, admin.URL)
+	for _, want := range []string{
+		// Service families with observed values.
+		`priu_http_requests_total{gen="v2",route="/v2/sessions",code="201"} 1`,
+		`priu_http_requests_total{gen="v1",route="/v1/delete",code="200"} 1`,
+		"priu_deletion_rows_total 3",
+		"priu_capture_seconds_count 1",
+		"priu_update_seconds_count 1",
+		"priu_whatif_streams_total 1",
+		"priu_whatif_sets_total 1",
+		`priu_tenant_rows_deleted_total{tenant=""} 3`,
+		// Subsystem families present even when idle (store/blob/par/cluster).
+		"priu_store_resident_sessions 1",
+		"priu_store_spills_total 0",
+		"priu_blob_puts_total 0",
+		"# TYPE priu_par_dispatches_total counter",
+		"priu_cluster_alive 0",
+		"# TYPE priu_http_request_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceEndpoints checks the trace contract on one node: the response
+// echoes the request's (or a minted) X-Priu-Trace ID, and the admin surface
+// serves that trace's span tree with the capture span recorded.
+func TestTraceEndpoints(t *testing.T) {
+	_, main, admin := adminPair(t)
+
+	body, err := json.Marshal(v2CreateBody(t, "linear", 80, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, main.URL+"/v2/sessions", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	const id = "deadbeefcafe0001"
+	req.Header.Set(obs.TraceHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.TraceHeader); got != id {
+		t.Fatalf("response trace header %q, want the adopted %q", got, id)
+	}
+
+	// A garbage client ID is replaced with a minted one, never adopted.
+	req2, _ := http.NewRequest(http.MethodGet, main.URL+"/healthz", nil)
+	req2.Header.Set(obs.TraceHeader, "nope!")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	minted := resp2.Header.Get(obs.TraceHeader)
+	if minted == "nope!" || !obs.ValidTraceID(minted) {
+		t.Fatalf("invalid client trace ID handled as %q", minted)
+	}
+
+	tresp, err := http.Get(admin.URL + "/v2/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d", tresp.StatusCode)
+	}
+	var tv obs.TraceView
+	if err := json.NewDecoder(tresp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.TraceID != id || len(tv.Spans) != 1 {
+		t.Fatalf("trace view %+v", tv)
+	}
+	if tv.Spans[0].Name != "POST /v2/sessions" || !hasSpanNamed(tv.Spans, "capture") {
+		t.Fatalf("span tree lacks the capture span: %+v", tv.Spans)
+	}
+
+	lresp, err := http.Get(admin.URL + "/v2/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) < 2 {
+		t.Fatalf("trace listing has %d rows, want at least the two requests", len(listing.Traces))
+	}
+}
+
+func hasSpanNamed(views []obs.SpanView, name string) bool {
+	for _, v := range views {
+		if v.Name == name || hasSpanNamed(v.Children, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFleetTraceStitching is the cross-replica trace contract: a deletion
+// stream sent to a NON-owner replica is proxied to the owner, and afterwards
+// the same trace ID is resolvable on both nodes — the proxying node holds the
+// ingress root, the owner holds the span tree with the actual update.
+func TestFleetTraceStitching(t *testing.T) {
+	f := newTestFleet(t, 3, 0)
+	sr := v2Create(t, f.urls[0], v2CreateBody(t, "logistic", 120, 4, 7))
+
+	// Creation always lands on the owner, so node 0 owns the session; stream
+	// the deletion through a different replica to force the proxy hop.
+	if _, self := f.members[0].Owner(sr.SessionID); !self {
+		t.Fatalf("creating node does not own %q", sr.SessionID)
+	}
+	const id = "feedface00112233"
+	req, _ := http.NewRequest(http.MethodPost,
+		f.urls[1]+"/v2/sessions/"+sr.SessionID+"/deletions",
+		strings.NewReader(`{"remove":[1,2,3]}`+"\n"))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(obs.TraceHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied stream status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Values(obs.TraceHeader); len(got) != 1 || got[0] != id {
+		t.Fatalf("proxied response trace header = %v, want exactly one %q", got, id)
+	}
+
+	_, ownerTracer := f.servers[0].Observability()
+	_, proxyTracer := f.servers[1].Observability()
+	ownerView, ok := ownerTracer.Lookup(id)
+	if !ok {
+		t.Fatalf("owner has no trace %q", id)
+	}
+	if !hasSpanNamed(ownerView.Spans, "update") {
+		t.Fatalf("owner trace lacks the update span: %+v", ownerView.Spans)
+	}
+	proxyView, ok := proxyTracer.Lookup(id)
+	if !ok {
+		t.Fatalf("proxying node has no trace %q", id)
+	}
+	if len(proxyView.Spans) == 0 || !strings.Contains(proxyView.Spans[0].Name, "/deletions") {
+		t.Fatalf("proxy trace root %+v", proxyView.Spans)
+	}
+	// A bystander replica never saw the request.
+	_, bystander := f.servers[2].Observability()
+	if _, ok := bystander.Lookup(id); ok {
+		t.Fatal("replica that never touched the request recorded its trace")
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := []struct {
+		path, gen, route string
+	}{
+		{"/healthz", "health", "/healthz"},
+		{"/v1/train", "v1", "/v1/train"},
+		{"/v1/model/sess-7", "v1", "/v1/model/{id}"},
+		{"/v2/sessions", "v2", "/v2/sessions"},
+		{"/v2/sessions/sess-9", "v2", "/v2/sessions/{id}"},
+		{"/v2/sessions/sess-9/deletions", "v2", "/v2/sessions/{id}/deletions"},
+		{"/v2/sessions/sess-9/whatif", "v2", "/v2/sessions/{id}/whatif"},
+		{"/v2/meta", "v2", "/v2/meta"},
+		{"/v2/nope/deep", "v2", "other"},
+		{"/favicon.ico", "other", "other"},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(http.MethodGet, c.path, nil)
+		gen, route := routeLabel(r)
+		if gen != c.gen || route != c.route {
+			t.Errorf("routeLabel(%q) = (%q,%q), want (%q,%q)", c.path, gen, route, c.gen, c.route)
+		}
+	}
+}

@@ -73,9 +73,26 @@
 // GET /v2/meta advertises features.fleet/features.blob and a cluster block
 // (node, peers, alive set, ring version) so clients can discover the
 // topology.
+//
+// # Observability
+//
+// Every server carries a priu/obs metrics registry and tracer (obs.go;
+// WithObservability shares them with the embedding process). The registry is
+// the single source of truth for the service's counters — /v1/stats,
+// /healthz and /v2/tenants/self/stats read the same cells the Prometheus
+// scrape does — and AdminHandler serves the operator surface: GET /metrics
+// (text exposition), GET /v2/debug/traces[/{id}] (recent per-request span
+// trees) and /debug/pprof. The admin handler is deliberately
+// unauthenticated and must only be mounted on an operator-only listener
+// (cmd/priuserve -admin-addr), never the tenant port. Requests run under an
+// X-Priu-Trace ID minted at ingress (or adopted from the client), propagated
+// across fleet redirects and proxied streams, and echoed on the response;
+// traces exceeding the tracer's slow-op threshold are logged with their
+// hottest span.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +110,7 @@ import (
 	"repro/internal/par"
 	"repro/priu"
 	"repro/priu/cluster"
+	"repro/priu/obs"
 	"repro/priu/store"
 )
 
@@ -109,27 +127,30 @@ const defaultMaxRemovalsPerBatch = 1 << 20
 
 // reqCounters are one shard's HTTP request counters (the store owns session
 // placement and eviction counters; the service owns request accounting).
+// The cells are registry counters — same atomic increment, and /metrics reads
+// the identical values /v1/stats reports.
 type reqCounters struct {
-	trains       atomic.Int64
-	deletes      atomic.Int64
-	deleteErrors atomic.Int64
+	trains       *obs.Counter
+	deletes      *obs.Counter
+	deleteErrors *obs.Counter
 }
 
 // tenantCounters are one tenant's HTTP request counters (storage placement
-// counters live in the store; these are request-side).
+// counters live in the store; these are request-side). Pre-resolved children
+// of the per-tenant registry families (see tenantVecs in obs.go).
 type tenantCounters struct {
-	trains          atomic.Int64
-	deletes         atomic.Int64
-	deleteErrors    atomic.Int64
-	rowsDeleted     atomic.Int64
-	rateLimited     atomic.Int64
-	quotaRejections atomic.Int64
+	trains          *obs.Counter
+	deletes         *obs.Counter
+	deleteErrors    *obs.Counter
+	rowsDeleted     *obs.Counter
+	rateLimited     *obs.Counter
+	quotaRejections *obs.Counter
 	// What-if plane: completed streams, evaluated sets, in-flight streams
 	// (the concurrency-limit gauge) and limit rejections.
-	whatifs       atomic.Int64
-	whatifSets    atomic.Int64
-	whatifActive  atomic.Int64
-	whatifLimited atomic.Int64
+	whatifs       *obs.Counter
+	whatifSets    *obs.Counter
+	whatifActive  *obs.Gauge
+	whatifLimited *obs.Counter
 }
 
 // Server is the HTTP deletion service. The zero value is not usable; call
@@ -158,20 +179,35 @@ type Server struct {
 	// per-tenant concurrent-stream cap, and the service-wide gauges.
 	whatifWorkers   int
 	whatifLimit     int
-	whatifs         atomic.Int64
-	whatifSets      atomic.Int64
-	whatifCacheHits atomic.Int64
+	whatifs         *obs.Counter
+	whatifSets      *obs.Counter
+	whatifCacheHits *obs.Counter
 
 	// Fleet (see fleet.go): replica membership, this node's session-ID
 	// suffix, routing counters and the one-at-a-time handoff latch.
 	cluster        *cluster.Membership
 	nodeSuffix     string
-	fleetRedirects atomic.Int64
-	fleetProxied   atomic.Int64
-	fleetHandoffs  atomic.Int64
-	fleetReleased  atomic.Int64
+	fleetRedirects *obs.Counter
+	fleetProxied   *obs.Counter
+	fleetHandoffs  *obs.Counter
+	fleetReleased  *obs.Counter
 	handoffActive  atomic.Bool
 	handoffRerun   atomic.Bool
+
+	// Observability (see obs.go): the metrics registry, the request tracer,
+	// the per-tenant metric families and the pre-resolved service handles.
+	obsReg            *obs.Registry
+	tracer            *obs.Tracer
+	tenantVecs        tenantVecs
+	httpReqs          *obs.CounterVec
+	httpSeconds       *obs.HistogramVec
+	captureSeconds    *obs.Histogram
+	updateSeconds     *obs.Histogram
+	deletionRows      *obs.Counter
+	streamSeconds     *obs.Histogram
+	snapshotSeconds   *obs.Histogram
+	whatifPlanSeconds *obs.Histogram
+	whatifEvalSeconds *obs.Histogram
 }
 
 // tc returns (creating if needed) a tenant's request counters.
@@ -179,7 +215,7 @@ func (s *Server) tc(name string) *tenantCounters {
 	if v, ok := s.tenantReqs.Load(name); ok {
 		return v.(*tenantCounters)
 	}
-	v, _ := s.tenantReqs.LoadOrStore(name, &tenantCounters{})
+	v, _ := s.tenantReqs.LoadOrStore(name, s.newTenantCounters(name))
 	return v.(*tenantCounters)
 }
 
@@ -238,6 +274,7 @@ func NewServer(opts ...ServerOption) *Server {
 		}
 		s.st = store.NewMemory(memOpts...)
 	}
+	s.initObs()
 	s.seedNextID()
 	if s.cluster != nil {
 		s.nodeSuffix = nodeSuffix(s.cluster.Self())
@@ -486,10 +523,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", deprecateV1(s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mountV2(mux)
-	// Ownership routing sits between auth (it needs the resolved tenant to
-	// compute storage IDs) and the route handlers (a request for a session
-	// owned elsewhere must not touch the local store).
-	return s.withAuth(s.withFleet(mux))
+	// Middleware order, outside in: observability first (every request gets a
+	// trace ID and a latency sample, even rejected ones), then auth (fleet
+	// routing needs the resolved tenant to compute storage IDs), then
+	// ownership routing (a request for a session owned elsewhere must not
+	// touch the local store).
+	return s.withObs(s.withAuth(s.withFleet(mux)))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -530,7 +569,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	_, span := obs.StartSpan(r.Context(), "capture")
 	upd, err := priu.TrainConfig(req.Kind, d, cfg)
+	span.End()
+	s.captureSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -725,10 +767,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "set either session_id/removed or batch, not both")
 			return
 		}
-		s.handleBatchDelete(w, ten, req.Batch)
+		s.handleBatchDelete(w, r, ten, req.Batch)
 		return
 	}
-	resp, status, err := s.deleteOne(ten, req.SessionID, req.Removed)
+	resp, status, err := s.deleteOne(r.Context(), ten, req.SessionID, req.Removed)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
@@ -739,13 +781,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // handleBatchDelete executes the items concurrently on the shared worker
 // pool. Items targeting the same session serialize on that session's mutex;
 // everything else proceeds independently. Results keep request order.
-func (s *Server) handleBatchDelete(w http.ResponseWriter, ten *Tenant, batch []DeleteItem) {
+func (s *Server) handleBatchDelete(w http.ResponseWriter, r *http.Request, ten *Tenant, batch []DeleteItem) {
 	results := make([]BatchDeleteResult, len(batch))
+	ctx := r.Context()
 	par.For(len(batch), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			item := batch[i]
 			results[i].SessionID = item.SessionID
-			resp, _, err := s.deleteOne(ten, item.SessionID, item.Removed)
+			resp, _, err := s.deleteOne(ctx, ten, item.SessionID, item.Removed)
 			if err != nil {
 				results[i].Error = err.Error()
 				continue
@@ -762,7 +805,7 @@ func (s *Server) handleBatchDelete(w http.ResponseWriter, ten *Tenant, batch []D
 // fetched was evicted before the lock was won, it re-fetches — which, on a
 // tiered store, restores the session from its spill file (deletion log
 // replayed) — so an eviction mid-request never loses an honored deletion.
-func (s *Server) deleteOne(ten *Tenant, sessionID string, removed []int) (DeleteResponse, int, error) {
+func (s *Server) deleteOne(ctx context.Context, ten *Tenant, sessionID string, removed []int) (DeleteResponse, int, error) {
 	storeID := ten.storeID(sessionID)
 	rq := &s.reqs[store.ShardIndex(storeID)]
 	tq := s.tc(ten.Name)
@@ -791,7 +834,7 @@ func (s *Server) deleteOne(ten *Tenant, sessionID string, removed []int) (Delete
 			if sess.GoneLocked() {
 				return DeleteResponse{}, nil, true
 			}
-			r, e := applyDeletionLocked(sess, removed)
+			r, e := s.applyDeletionLocked(ctx, sess, removed)
 			return r, e, false
 		}()
 		if retry {
@@ -818,16 +861,20 @@ var errInternal = errors.New("internal error")
 // applyDeletionLocked extends the session's cumulative removal log, runs the
 // incremental update and swaps in the new model. Callers hold sess.Mu and
 // have checked GoneLocked.
-func applyDeletionLocked(sess *Session, removed []int) (DeleteResponse, error) {
+func (s *Server) applyDeletionLocked(ctx context.Context, sess *Session, removed []int) (DeleteResponse, error) {
 	sess.Touch()
 	// Deletions are cumulative within a session.
 	all := append(append([]int(nil), sess.Deleted...), removed...)
 	start := time.Now()
+	_, span := obs.StartSpan(ctx, "update")
 	updated, err := sess.Upd.Update(all)
+	span.End()
+	dt := time.Since(start)
+	s.updateSeconds.Observe(dt.Seconds())
 	if err != nil {
 		return DeleteResponse{}, err
 	}
-	dt := time.Since(start)
+	s.deletionRows.Add(int64(len(removed)))
 	cmp, err := metrics.Compare(updated, sess.Model)
 	if err != nil {
 		// The updated model disagreeing in shape with the cached one is a
@@ -936,9 +983,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpillQueueFull:    st.SpillQueueFull,
 		DiskEvictions:     st.DiskEvictions,
 		GCRemovals:        st.GCRemovals,
-		WhatIfs:           s.whatifs.Load(),
-		WhatIfSets:        s.whatifSets.Load(),
-		WhatIfCacheHits:   s.whatifCacheHits.Load(),
+		WhatIfs:           s.whatifs.Value(),
+		WhatIfSets:        s.whatifSets.Value(),
+		WhatIfCacheHits:   s.whatifCacheHits.Value(),
 		BlobSessions:      st.BlobSessions,
 		BlobBytes:         st.BlobBytes,
 		BlobPuts:          st.BlobPuts,
@@ -952,10 +999,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Node = s.cluster.Self()
 		resp.RingVersion = ring.Version()
 		resp.FleetAlive = ring.Nodes()
-		resp.FleetRedirects = s.fleetRedirects.Load()
-		resp.FleetProxied = s.fleetProxied.Load()
-		resp.FleetHandoffs = s.fleetHandoffs.Load()
-		resp.FleetReleased = s.fleetReleased.Load()
+		resp.FleetRedirects = s.fleetRedirects.Value()
+		resp.FleetProxied = s.fleetProxied.Value()
+		resp.FleetHandoffs = s.fleetHandoffs.Value()
+		resp.FleetReleased = s.fleetReleased.Value()
 	}
 	ten := tenantFor(r)
 	perShard := make([][]SessionStats, numShards)
@@ -984,9 +1031,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ss := ShardStats{
 			Shard:           i,
 			Sessions:        st.Shards[i].Sessions,
-			Trains:          rq.trains.Load(),
-			Deletes:         rq.deletes.Load(),
-			DeleteErrors:    rq.deleteErrors.Load(),
+			Trains:          rq.trains.Value(),
+			Deletes:         rq.deletes.Value(),
+			DeleteErrors:    rq.deleteErrors.Value(),
 			Evictions:       st.Shards[i].BudgetEvictions,
 			ExplicitDeletes: st.Shards[i].ExplicitDeletes,
 			SessionStats:    perShard[i],
@@ -1004,12 +1051,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Stats()
-	tenants := 0
-	for name, ts := range st.Tenants {
-		if name != "" && ts.Resident+ts.Spilled > 0 {
-			tenants++
-		}
-	}
 	resp := HealthResponse{
 		Version:         priu.Version,
 		UptimeSeconds:   time.Since(s.start).Seconds(),
@@ -1026,7 +1067,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SpillMaxBytes:   st.SpillMaxBytes,
 		SpillQueueDepth: st.SpillQueueDepth,
 		DiskEvictions:   st.DiskEvictions,
-		Tenants:         tenants,
+		Tenants:         tenantsWithData(st),
 		BlobSessions:    st.BlobSessions,
 		BlobBytes:       st.BlobBytes,
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/sparse"
 	"repro/priu"
+	"repro/priu/obs"
 	"repro/priu/store"
 )
 
@@ -286,7 +288,10 @@ func (s *Server) handleV2CreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	_, span := obs.StartSpan(r.Context(), "capture")
 	upd, err := priu.TrainConfig(req.Family, d, cfg)
+	span.End()
+	s.captureSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		writeV2Error(w, http.StatusBadRequest, ErrCodeCaptureFailed, "%v", err)
 		return
@@ -564,7 +569,12 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 	sess.Mu.Lock()
 	deleted := append([]int(nil), sess.Deleted...)
 	sess.Mu.Unlock()
-	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, deleted); err != nil {
+	start := time.Now()
+	_, span := obs.StartSpan(r.Context(), "snapshot.serialize")
+	err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, deleted)
+	span.End()
+	s.snapshotSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
 		// Headers are gone; the stream just terminates early. Log-free
 		// minimal handling: the client sees a truncated stream and the
 		// snapshot loader fails closed.
@@ -576,7 +586,7 @@ func (s *Server) handleV2Snapshot(w http.ResponseWriter, r *http.Request) {
 // authoritative copy of the session, re-fetching (which restores a spilled
 // session) whenever the copy it locked was evicted concurrently. id is the
 // storage ID; wireID is what error messages echo back to the caller.
-func (s *Server) applyV2Batch(id, wireID string, removed []int) (DeleteResponse, *APIError, error) {
+func (s *Server) applyV2Batch(ctx context.Context, id, wireID string, removed []int) (DeleteResponse, *APIError, error) {
 	for {
 		sess, ok := s.st.Get(id)
 		if !ok {
@@ -598,7 +608,7 @@ func (s *Server) applyV2Batch(id, wireID string, removed []int) (DeleteResponse,
 			if apiErr := s.validateBatchLocked(sess, removed); apiErr != nil {
 				return DeleteResponse{}, apiErr, nil, false
 			}
-			r, e := applyDeletionLocked(sess, removed)
+			r, e := s.applyDeletionLocked(ctx, sess, removed)
 			return r, nil, e, false
 		}()
 		if retry {
@@ -657,6 +667,8 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	paramMode := r.URL.Query().Get("parameters")
+	streamStart := time.Now()
+	defer func() { s.streamSeconds.Observe(time.Since(streamStart).Seconds()) }()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flush := func() { _ = rc.Flush() }
@@ -705,7 +717,7 @@ func (s *Server) handleV2Deletions(w http.ResponseWriter, r *http.Request) {
 		}
 		rq.deletes.Add(1)
 		tq.deletes.Add(1)
-		resp, apiErr, err := s.applyV2Batch(id, wireID, batch.Remove)
+		resp, apiErr, err := s.applyV2Batch(r.Context(), id, wireID, batch.Remove)
 		if apiErr != nil {
 			rq.deleteErrors.Add(1)
 			tq.deleteErrors.Add(1)
@@ -800,19 +812,19 @@ func (s *Server) handleV2TenantStats(w http.ResponseWriter, r *http.Request) {
 		MaxSpillBytes:      ten.MaxSpillBytes,
 		DeletionRowsPerSec: ten.DeletionRowsPerSec,
 		Burst:              ten.Capacity(),
-		Trains:             tq.trains.Load(),
-		Deletes:            tq.deletes.Load(),
-		DeleteErrors:       tq.deleteErrors.Load(),
-		RowsDeleted:        tq.rowsDeleted.Load(),
-		RateLimited:        tq.rateLimited.Load(),
-		QuotaRejections:    tq.quotaRejections.Load(),
+		Trains:             tq.trains.Value(),
+		Deletes:            tq.deletes.Value(),
+		DeleteErrors:       tq.deleteErrors.Value(),
+		RowsDeleted:        tq.rowsDeleted.Value(),
+		RateLimited:        tq.rateLimited.Value(),
+		QuotaRejections:    tq.quotaRejections.Value(),
 		BudgetEvictions:    st.BudgetEvictions,
 		ExplicitDeletes:    st.ExplicitDeletes,
 		DiskEvictions:      st.DiskEvictions,
-		WhatIfs:            tq.whatifs.Load(),
-		WhatIfSets:         tq.whatifSets.Load(),
-		WhatIfActive:       tq.whatifActive.Load(),
-		WhatIfLimited:      tq.whatifLimited.Load(),
+		WhatIfs:            tq.whatifs.Value(),
+		WhatIfSets:         tq.whatifSets.Value(),
+		WhatIfActive:       tq.whatifActive.Value(),
+		WhatIfLimited:      tq.whatifLimited.Value(),
 	})
 }
 

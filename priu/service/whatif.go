@@ -8,9 +8,11 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/priu"
+	"repro/priu/obs"
 )
 
 // The what-if query plane: POST /v2/sessions/{id}/whatif evaluates candidate
@@ -258,7 +260,11 @@ func (s *Server) handleV2WhatIf(w http.ResponseWriter, r *http.Request) {
 	sess.Mu.Unlock()
 	sort.Ints(committed)
 
+	planStart := time.Now()
+	_, planSpan := obs.StartSpan(r.Context(), "whatif.plan")
 	planner, err := priu.NewWhatIfPlanner(upd)
+	planSpan.End()
+	s.whatifPlanSeconds.Observe(time.Since(planStart).Seconds())
 	if err != nil {
 		earlyError(http.StatusInternalServerError, nil, ErrCodeUpdateFailed,
 			"building what-if planner: %v", err)
@@ -291,6 +297,7 @@ func (s *Server) handleV2WhatIf(w http.ResponseWriter, r *http.Request) {
 	}
 	writeResult := func(res WhatIfSetResult) {
 		evaluated++
+		s.whatifEvalSeconds.Observe(res.EvalSeconds)
 		_ = enc.Encode(res)
 		flush()
 	}
@@ -348,7 +355,9 @@ func (s *Server) handleV2WhatIf(w http.ResponseWriter, r *http.Request) {
 				writeErrLine(*apiErr)
 				continue
 			}
+			_, evalSpan := obs.StartSpan(r.Context(), "whatif.eval")
 			res := planner.EvalBatch([][]int{union}, 1)[0]
+			evalSpan.End()
 			line, apiErr := ev.result(sets, set.Remove, union, res, allParams || set.Parameters)
 			if apiErr != nil {
 				writeErrLine(*apiErr)
@@ -386,7 +395,9 @@ func (s *Server) handleV2WhatIf(w http.ResponseWriter, r *http.Request) {
 			"session %q was deleted before the what-if batch ran", wireID)
 		return
 	}
+	_, evalSpan := obs.StartSpan(r.Context(), "whatif.eval")
 	results := planner.EvalBatch(valid, s.whatifWorkers)
+	evalSpan.End()
 	next := 0
 	for i, candidate := range req.Sets {
 		countSet()

@@ -130,6 +130,10 @@ type Tiered struct {
 	blobErrors    atomic.Int64
 	blobDemotions atomic.Int64
 
+	// metrics, when set (WithMetrics), receives tier-operation latency
+	// observations; nil means every recording site is a single nil check.
+	metrics *TierMetrics
+
 	// fault, when set (tests only), is consulted at named crash points
 	// inside spill/GC/drain; a non-nil return aborts the operation exactly
 	// where a crash would, leaving on-disk state as a kill there would.
@@ -570,6 +574,7 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 		t.unspillable.Add(1)
 		return false, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
 	}
+	spillStart := time.Now()
 	tmpName, size, sum, err := t.writeSpillTemp(sess)
 	if err != nil {
 		t.spillErrors.Add(1)
@@ -635,6 +640,9 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 		t.removeSpillFile(old.path, oldBytes, "spill.unlink-old")
 	}
 	t.spills.Add(1)
+	if m := t.metrics; m != nil {
+		observeSince(m.SpillSeconds, spillStart)
+	}
 	// Write-behind to the shared tier: push the just-published file up. A
 	// failure leaves the entry local-only — restorable here, healed upward by
 	// the GC sweep — and never fails the spill (local durability landed).
@@ -677,8 +685,12 @@ func (t *Tiered) writeSpillTemp(sess *Session) (string, int64, []byte, error) {
 	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, sess.Deleted); err != nil {
 		return fail(fmt.Errorf("store: snapshotting session %s: %w", sess.ID, err))
 	}
+	syncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
+	}
+	if m := t.metrics; m != nil {
+		observeSince(m.FsyncSeconds, syncStart)
 	}
 	size, err := tmp.Seek(0, io.SeekCurrent)
 	if err != nil {
@@ -774,6 +786,7 @@ func (t *Tiered) buildSession(id string, r io.Reader) (*Session, spillEnvelope, 
 // when one exists, the shared blob tier otherwise — and publishes it to the
 // in-memory tier.
 func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
+	restoreStart := time.Now()
 	var src io.ReadCloser
 	if e.local {
 		f, err := os.Open(e.path)
@@ -785,6 +798,7 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 		if err := t.faultAt("blob.get"); err != nil {
 			return nil, err
 		}
+		getStart := time.Now()
 		rc, _, err := t.blob.Get(id)
 		if err != nil {
 			if err != ErrBlobNotFound {
@@ -793,6 +807,9 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 			return nil, fmt.Errorf("store: fetching %s from blob tier: %w", id, err)
 		}
 		t.blobGets.Add(1)
+		if m := t.metrics; m != nil {
+			observeSince(m.BlobGetSeconds, getStart)
+		}
 		src = rc
 	}
 	defer src.Close()
@@ -802,6 +819,9 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 	}
 	t.armWriteBehind(sess)
 	t.restores.Add(1)
+	if m := t.metrics; m != nil {
+		observeSince(m.RestoreSeconds, restoreStart)
+	}
 	// No quota check on a restore: the session already counts against its
 	// tenant, only the resident-tier accounting moves. If the spill entry
 	// was seeded from a reboot (billed at file size), settle the ownership

@@ -58,6 +58,7 @@ func (t *Tiered) blobPush(id string) error {
 	path := e.path
 	t.mu.Unlock()
 
+	putStart := time.Now()
 	err := t.faultAt("blob.put")
 	if err == nil {
 		var f *os.File
@@ -77,6 +78,9 @@ func (t *Tiered) blobPush(id string) error {
 		_, tomb := t.pendingBlobDel[id]
 		t.mu.Unlock()
 		t.blobPuts.Add(1)
+		if m := t.metrics; m != nil {
+			observeSince(m.BlobPutSeconds, putStart)
+		}
 		if tomb {
 			t.blobRemove(id)
 		}
@@ -129,6 +133,7 @@ func (t *Tiered) adopt(id string) (*Session, error) {
 	if err := t.faultAt("blob.get"); err != nil {
 		return nil, err
 	}
+	getStart := time.Now()
 	rc, size, err := t.blob.Get(id)
 	if err == ErrBlobNotFound {
 		return nil, nil
@@ -139,6 +144,9 @@ func (t *Tiered) adopt(id string) (*Session, error) {
 	}
 	defer rc.Close()
 	t.blobGets.Add(1)
+	if m := t.metrics; m != nil {
+		observeSince(m.BlobGetSeconds, getStart)
+	}
 	sess, env, err := t.buildSession(id, rc)
 	if err != nil {
 		return nil, err
