@@ -58,10 +58,14 @@ bench-baseline:
 
 # Spill smoke: the tiered-store durability suite against a tmpdir store-dir —
 # kill/restart round trip (all seven families, bitwise-identical models,
-# deletion logs intact) and the evict→touch→restore races, under -race.
+# deletion logs intact), the evict→touch→restore races, and the LSM chaos
+# suite: kill/restart through a full base→delta→compaction cycle (bitwise-
+# identical restores), torn delta segments, mid-compaction crashes,
+# tombstone persistence across reboot, and the off-lock publish/stale-cut
+# generation guards. Under -race.
 spill-smoke:
 	$(GO) test -race -count=1 \
-		-run 'TestCrashRestartDurability|TestEvictTouchRestoreUnderLoad|TestTiered' \
+		-run 'TestCrashRestartDurability|TestEvictTouchRestoreUnderLoad|TestTiered|TestChaos|TestSpillPublishRunsOffSessionLock|TestSyncSpillFallbackUsesCurrentGeneration|TestStorePropertyOracle' \
 		./priu/service ./priu/store
 
 # Fuzz smoke: each native fuzz target runs its committed seed corpus plus a
@@ -70,6 +74,7 @@ spill-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSessionSnapshot$$' -fuzztime $(FUZZTIME) ./priu
 	$(GO) test -run '^$$' -fuzz '^FuzzSpillEnvelope$$' -fuzztime $(FUZZTIME) ./priu/store
+	$(GO) test -run '^$$' -fuzz '^FuzzDeltaSegment$$' -fuzztime $(FUZZTIME) ./priu/store
 	$(GO) test -run '^$$' -fuzz '^FuzzCSRUpload$$' -fuzztime $(FUZZTIME) ./priu/service
 
 # Coverage gate: the storage and service layers must stay above their

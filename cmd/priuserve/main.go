@@ -148,6 +148,9 @@ func main() {
 	spillWorkers := flag.Int("spill-workers", 1, "background snapshot workers draining the write-behind queue")
 	spillGCAge := flag.Duration("spill-gc-age", time.Hour, "age before an orphaned spill-directory file is garbage-collected")
 	spillGCInterval := flag.Duration("spill-gc-interval", time.Minute, "period of the spill-directory GC sweep (0 = disabled)")
+	spillCoalesce := flag.Int("spill-coalesce", 1, "debounce background spills until a session accumulates this many updates (1 = spill eagerly)")
+	spillQuiet := flag.Duration("spill-quiet", 50*time.Millisecond, "with -spill-coalesce > 1: spill a debounced session after this much quiet time even below the update threshold")
+	spillCompact := flag.Int("spill-compact", 8, "fold a session's delta chain into a new base once it holds this many segments (<= 0 disables compaction)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests before the shutdown snapshot")
 	whatifWorkers := flag.Int("whatif-workers", 0, "parallel evaluators per what-if batch (0 = GOMAXPROCS)")
 	whatifLimit := flag.Int("whatif-limit", 8, "max concurrent what-if requests per tenant (0 = unlimited)")
@@ -204,6 +207,8 @@ func main() {
 			store.WithSpillOnEvict(*spill),
 			store.WithSpillMaxBytes(*spillMaxBytes),
 			store.WithWriteBehind(*spillQueue, *spillWorkers),
+			store.WithSpillCoalesce(*spillCoalesce, *spillQuiet),
+			store.WithCompaction(*spillCompact),
 			store.WithSpillGC(*spillGCAge, *spillGCInterval),
 			store.WithMetrics(store.NewTierMetrics(reg)),
 		}

@@ -194,6 +194,16 @@ func (s *Server) initObs() {
 		"Disk-only sessions dropped by the spill-directory budget.", func() int64 { return stats().DiskEvictions })
 	reg.CounterFunc("priu_store_gc_removals_total",
 		"Orphaned spill files removed by the age-based GC.", func() int64 { return stats().GCRemovals })
+	reg.CounterFunc("priu_store_delta_spills_total",
+		"Spills that wrote an O(batch) delta segment (subset of spills).", func() int64 { return stats().DeltaSpills })
+	reg.CounterFunc("priu_store_compactions_total",
+		"Delta chains folded into a new base file.", func() int64 { return stats().Compactions })
+	reg.GaugeFunc("priu_store_delta_segments",
+		"Delta segments currently on disk across all chains.", func() int64 { return int64(stats().DeltaSegments) })
+	reg.CounterFunc("priu_store_stale_spills_total",
+		"Publishes discarded because a newer cut won the chain race.", func() int64 { return stats().StaleSpills })
+	reg.GaugeFunc("priu_store_pending_tombstones",
+		"Deletion tombstones awaiting local-file or blob removal.", func() int64 { return int64(stats().PendingTombstones) })
 	reg.GaugeFunc("priu_store_tenants",
 		"Distinct named tenants with stored sessions.", func() int64 { return int64(tenantsWithData(stats())) })
 

@@ -442,6 +442,16 @@ type StatsResponse struct {
 	SpillQueueFull    int64 `json:"spill_queue_full,omitempty"`
 	DiskEvictions     int64 `json:"disk_evictions,omitempty"`
 	GCRemovals        int64 `json:"gc_removals,omitempty"`
+	// Log-structured tier counters: spills that wrote an O(batch) delta
+	// segment (subset of Spills), chain folds into a new base, delta
+	// segments currently on disk, publishes discarded because a newer cut
+	// won the chain race, and deletion tombstones awaiting their blob or
+	// local-file removal.
+	DeltaSpills       int64 `json:"delta_spills,omitempty"`
+	Compactions       int64 `json:"compactions,omitempty"`
+	DeltaSegments     int   `json:"delta_segments,omitempty"`
+	StaleSpills       int64 `json:"stale_spills,omitempty"`
+	PendingTombstones int   `json:"pending_tombstones,omitempty"`
 	// What-if plane gauges: streams served, candidate sets evaluated, and
 	// prefix-tree cache hits (shared-prefix rows the planners did not
 	// re-apply).
@@ -983,6 +993,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpillQueueFull:    st.SpillQueueFull,
 		DiskEvictions:     st.DiskEvictions,
 		GCRemovals:        st.GCRemovals,
+		DeltaSpills:       st.DeltaSpills,
+		Compactions:       st.Compactions,
+		DeltaSegments:     st.DeltaSegments,
+		StaleSpills:       st.StaleSpills,
+		PendingTombstones: st.PendingTombstones,
 		WhatIfs:           s.whatifs.Value(),
 		WhatIfSets:        s.whatifSets.Value(),
 		WhatIfCacheHits:   s.whatifCacheHits.Value(),

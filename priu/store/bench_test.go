@@ -149,3 +149,71 @@ func BenchmarkEvictLatency(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDeltaSpill measures what a mutation-heavy deletion stream pays
+// the durability layer per batch: each iteration appends a one-entry
+// deletion batch and spills it. With the LSM tier the spill is a delta
+// segment carrying only the log suffix, so the bytes written per spill are
+// O(batch) instead of the full-snapshot O(session) rewrite the pre-LSM
+// store paid. The ratio full-base-bytes / delta-bytes-per-spill is reported
+// as a "speedup" metric and baselined by benchguard — the ISSUE floor is
+// ≥5×, the measured ratio is orders of magnitude above it, and a regression
+// past the guard's 20% tolerance fails CI. ns/op is the per-batch spill
+// latency (cut + serialize + fsync + rename).
+func BenchmarkDeltaSpill(b *testing.B) {
+	d, err := priu.GenerateRegression("bench-delta", 2000, 24, 0.05, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := priu.Train("linear", d,
+		priu.WithEta(0.01), priu.WithLambda(0.05), priu.WithBatchSize(100),
+		priu.WithIterations(40), priu.WithSeed(7), priu.WithFullCaches())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := NewSession("sess-delta", "linear", d, u, nil, nil)
+	// Write-behind off (measuring the spill itself, not the queue) and
+	// compaction parked far beyond b.N so the chain never folds mid-run.
+	ti, err := NewTiered(b.TempDir(), NewMemory(),
+		WithWriteBehind(0, 0), WithCompaction(1<<30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Mu.Lock()
+	_, err = ti.spillLocked(sess)
+	sess.Mu.Unlock()
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseBytes := ti.Stats().SpillDirBytes
+	if baseBytes <= 0 {
+		b.Fatal("base spill produced no file")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Mu.Lock()
+		// The mutation path's storage-relevant effects only: the model
+		// update itself is the paper's O(batch) contribution and is not
+		// what this benchmark times.
+		sess.Deleted = append(sess.Deleted, i)
+		sess.Updates++
+		sess.MarkDirtyLocked()
+		wrote, err := ti.spillLocked(sess)
+		sess.Mu.Unlock()
+		if err != nil || !wrote {
+			b.Fatalf("spill %d = (%v, %v)", i, wrote, err)
+		}
+	}
+	b.StopTimer()
+	st := ti.Stats()
+	if int(st.DeltaSpills) != b.N {
+		b.Fatalf("%d of %d spills were deltas; the benchmark premise broke", st.DeltaSpills, b.N)
+	}
+	deltaBytes := st.SpillDirBytes - baseBytes
+	if b.N > 0 && deltaBytes > 0 {
+		perSpill := float64(deltaBytes) / float64(b.N)
+		b.ReportMetric(perSpill, "bytes/spill")
+		b.ReportMetric(float64(baseBytes)/perSpill, "speedup")
+	}
+}

@@ -91,24 +91,29 @@ func TestChaosCrashBetweenPublishAndUnlinkPicksNewest(t *testing.T) {
 		t.Fatal(err)
 	}
 	ti.Flush()
-	var armed atomic.Bool
-	ti.fault = faultOn("spill.unlink-old", &armed)
-
-	// Re-spill with the old-file unlink suppressed: both generations of the
-	// session now sit in the directory, exactly the crash window between
-	// rename and unlink.
-	armed.Store(true)
 	wantVec := applyDeletion(t, a, []int{3, 11, 19})
-	ti.Flush()
+	ti.Flush() // appends a delta segment on the base
+	var armed atomic.Bool
+	ti.fault = faultOn("compact.unlink-old", &armed)
+
+	// Compact with the old-file unlink suppressed: the folded base publishes
+	// but the pre-compaction base AND the folded delta stay in the
+	// directory — exactly the crash window between rename and unlink.
+	armed.Store(true)
+	ti.compactOnce("sess-1")
 	armed.Store(false)
 	files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt))
 	if len(files) != 2 {
-		t.Fatalf("%d spill files on disk, want both generations", len(files))
+		t.Fatalf("%d base files on disk, want both generations", len(files))
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dir, "*"+deltaExt)); len(deltas) != 1 {
+		t.Fatalf("%d delta files on disk, want the folded segment kept", len(deltas))
 	}
 	hardKill(ti)
 
-	// Reboot: newest-wins dedupe must restore the generation with the
-	// deletions and remove the stale duplicate.
+	// Reboot: newest-wins dedupe (same update counter, longer envelope log)
+	// must restore the folded generation with the deletions and remove both
+	// the stale base and the now-baseless delta segment.
 	ti2 := newTestTiered(t, dir, NewMemory())
 	got, ok := ti2.Get("sess-1")
 	if !ok {
@@ -127,7 +132,10 @@ func TestChaosCrashBetweenPublishAndUnlinkPicksNewest(t *testing.T) {
 		}
 	}
 	if files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt)); len(files) != 1 {
-		t.Fatalf("reboot kept %d files for one session, want the stale one removed", len(files))
+		t.Fatalf("reboot kept %d base files for one session, want the stale one removed", len(files))
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dir, "*"+deltaExt)); len(deltas) != 0 {
+		t.Fatalf("reboot kept %d orphaned delta files, want 0", len(deltas))
 	}
 }
 

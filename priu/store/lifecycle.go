@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,14 +10,24 @@ import (
 
 // The spill-tier lifecycle manager: the write-behind queue that snapshots
 // dirty sessions eagerly (so evictions drop resident copies instead of
-// paying file IO under the victim's lock), the disk-budget evictor that
-// keeps the spill directory under -spill-max-bytes, and the age-based GC
-// that sweeps orphaned leftovers. All state lives on Tiered; this file owns
-// the background machinery.
+// paying file IO under the victim's lock), the coalescing debounce that
+// batches a dense mutation stream into one delta per N updates or quiet
+// period, the disk-budget evictor that keeps the spill directory under
+// -spill-max-bytes, and the age-based GC that sweeps orphaned leftovers.
+// All state lives on Tiered; this file owns the background machinery.
 
 // tmpFloor is the minimum age before the GC may touch a temp file: temps
 // younger than this may be an in-flight spill.
 const tmpFloor = time.Minute
+
+// debEntry tracks one session sitting in the coalescing debounce: how many
+// updates have accumulated since its last scheduled spill and when the most
+// recent one arrived. Guarded by qmu.
+type debEntry struct {
+	sess  *Session
+	count int
+	last  time.Time
+}
 
 // armWriteBehind installs the dirty-notification hook on a session before it
 // is published, so every mutation (MarkDirtyLocked) schedules an eager
@@ -30,8 +41,12 @@ func (t *Tiered) armWriteBehind(sess *Session) {
 // enqueueSpill schedules a background snapshot of the session. It never
 // blocks (it is called under Session.Mu): when the queue is full the request
 // is dropped and counted — backpressure — and the eviction path's
-// synchronous fallback keeps the session safe. Duplicate requests for a
-// session already queued coalesce.
+// synchronous fallback keeps the session safe (it always cuts from the
+// CURRENT generation, so a dropped enqueue can never surface stale state).
+// With coalescing configured, a mutation parks in the debounce until n
+// updates accumulate (the quiet sweep handles the time axis); duplicate
+// requests for a session already queued coalesce for free, because the
+// worker cuts whatever the session holds at dequeue time.
 func (t *Tiered) enqueueSpill(sess *Session) {
 	if t.queue == nil {
 		return
@@ -41,51 +56,94 @@ func (t *Tiered) enqueueSpill(sess *Session) {
 		t.qmu.Unlock()
 		return
 	}
+	if t.coalesceN > 1 || t.coalesceQuiet > 0 {
+		d := t.debounce[sess.ID]
+		if d == nil {
+			d = &debEntry{}
+			t.debounce[sess.ID] = d
+		}
+		d.sess = sess
+		d.count++
+		d.last = time.Now()
+		if d.count < t.coalesceN {
+			t.qmu.Unlock()
+			return
+		}
+		delete(t.debounce, sess.ID)
+	}
+	t.offerLocked(sess)
+	t.qmu.Unlock()
+}
+
+// offerLocked makes the non-blocking queue send. Caller holds qmu and has
+// already checked qClosed and pending.
+func (t *Tiered) offerLocked(sess *Session) {
 	select {
 	case t.queue <- sess:
 		t.pending[sess.ID] = true
-		t.qmu.Unlock()
 	default:
-		t.qmu.Unlock()
 		t.queueFull.Add(1)
 	}
 }
 
-// queueDepth reports the write-behind backlog (queued + in-flight).
+// requeue re-schedules a session whose background publish lost the chain
+// race, bypassing the debounce (the batch already waited its turn once).
+// Called under Session.Mu like enqueueSpill.
+func (t *Tiered) requeue(sess *Session) {
+	if t.queue == nil {
+		return
+	}
+	t.qmu.Lock()
+	if !t.qClosed && !t.pending[sess.ID] {
+		t.offerLocked(sess)
+	}
+	t.qmu.Unlock()
+}
+
+// queueDepth reports the write-behind backlog (debounced + queued +
+// in-flight).
 func (t *Tiered) queueDepth() int {
 	t.qmu.Lock()
-	n := len(t.pending)
+	n := len(t.pending) + len(t.debounce)
 	t.qmu.Unlock()
 	return n + int(t.inflight.Load())
 }
 
-// startLifecycle launches the write-behind workers and, when configured, the
-// GC sweep.
+// startLifecycle launches the write-behind workers, the coalescing quiet
+// sweep, and, when configured, the GC sweep.
 func (t *Tiered) startLifecycle() {
+	needQuiet := t.spillOnEvict && t.queueLen > 0 && t.coalesceQuiet > 0
+	if t.gcInterval > 0 || needQuiet {
+		t.stopBG = make(chan struct{})
+	}
 	if t.spillOnEvict && t.queueLen > 0 {
 		t.queue = make(chan *Session, t.queueLen)
 		for i := 0; i < t.workers; i++ {
 			t.wg.Add(1)
 			go t.spillWorker()
 		}
+		if needQuiet {
+			t.wg.Add(1)
+			go t.coalesceLoop(t.stopBG)
+		}
 	}
 	if t.gcInterval > 0 {
-		t.stopGC = make(chan struct{})
 		t.wg.Add(1)
-		go t.gcLoop(t.stopGC)
+		go t.gcLoop(t.stopBG)
 	}
 }
 
-// stopLifecycle stops the GC sweep and closes the queue, then waits for the
-// workers to flush the remaining backlog — the drain ordering: everything
-// the queue accepted is on disk before Close snapshots stragglers.
-// Idempotent.
+// stopLifecycle stops the background loops and closes the queue, then waits
+// for the workers to flush the remaining backlog — the drain ordering:
+// everything the queue accepted is on disk before Close snapshots
+// stragglers (sessions still parked in the debounce are among those
+// stragglers; Close's synchronous drain covers them). Idempotent.
 func (t *Tiered) stopLifecycle() {
 	t.qmu.Lock()
 	if !t.qClosed {
 		t.qClosed = true
-		if t.stopGC != nil {
-			close(t.stopGC)
+		if t.stopBG != nil {
+			close(t.stopBG)
 		}
 		if t.queue != nil {
 			close(t.queue)
@@ -95,11 +153,17 @@ func (t *Tiered) stopLifecycle() {
 	t.wg.Wait()
 }
 
-// spillWorker drains the write-behind queue: each dequeued session is
-// snapshotted under its own lock, off every request path. Sessions that
-// left the store (evicted with a synchronous spill, or deleted) are skipped
-// via the gone flag; clean sessions whose disk copy is current are a no-op
-// inside spillLocked.
+// spillWorker drains the write-behind queue. Each dequeued session is CUT —
+// counters and the O(batch) deletion-log copy — under its own lock, but
+// serialized and published (temp write, fsync, rename) strictly after the
+// lock is released: a mutation-heavy session never blocks its readers and
+// writers on snapshot serialization or disk IO. The generation
+// captured at the cut makes the split safe — a publish that loses the chain
+// race to a newer synchronous spill is discarded by the guard and the
+// session is re-queued, so the background copy converges on the latest
+// state without ever masking it. Sessions that left the store (evicted with
+// a synchronous spill, or deleted) are skipped via the gone flag; clean
+// sessions whose chain is current are a no-op inside cutLocked.
 func (t *Tiered) spillWorker() {
 	defer t.wg.Done()
 	for sess := range t.queue {
@@ -107,75 +171,147 @@ func (t *Tiered) spillWorker() {
 		t.qmu.Lock()
 		delete(t.pending, sess.ID)
 		t.qmu.Unlock()
+		var cut *spillCut
+		var err error
 		sess.Mu.Lock()
-		if !sess.gone {
-			if wrote, err := t.spillLocked(sess); err == nil && wrote {
-				t.writeBehind.Add(1)
-			}
+		if !sess.gone.Load() {
+			cut, err = t.cutLocked(sess)
 		}
 		sess.Mu.Unlock()
+		if err == nil && cut != nil {
+			wrote, perr := t.publishCut(cut)
+			if perr == nil && wrote {
+				t.writeBehind.Add(1)
+			} else if errors.Is(perr, errStaleSpill) {
+				sess.Mu.Lock()
+				if !sess.gone.Load() && sess.Dirty() {
+					t.requeue(sess)
+				}
+				sess.Mu.Unlock()
+			}
+		}
 		t.inflight.Add(-1)
 	}
+}
+
+// coalesceLoop periodically flushes debounced sessions whose quiet period
+// elapsed without reaching the update threshold.
+func (t *Tiered) coalesceLoop(stop <-chan struct{}) {
+	defer t.wg.Done()
+	period := t.coalesceQuiet / 2
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			t.flushQuiet(now)
+		}
+	}
+}
+
+// flushQuiet promotes every debounced session that has been quiet for the
+// configured period onto the spill queue.
+func (t *Tiered) flushQuiet(now time.Time) {
+	t.qmu.Lock()
+	for id, d := range t.debounce {
+		if now.Sub(d.last) < t.coalesceQuiet {
+			continue
+		}
+		delete(t.debounce, id)
+		if !t.qClosed && !t.pending[id] {
+			t.offerLocked(d.sess)
+		}
+	}
+	t.qmu.Unlock()
 }
 
 // Flush blocks until the write-behind queue has drained and no background
 // snapshot is in flight — a quiescence point for tests and for callers that
 // want eager durability without closing the store (Close flushes
-// implicitly).
+// implicitly). Debounced sessions are promoted first so a flush cannot wait
+// on a quiet timer.
 func (t *Tiered) Flush() {
+	t.qmu.Lock()
+	for id, d := range t.debounce {
+		delete(t.debounce, id)
+		if !t.qClosed && !t.pending[id] {
+			t.offerLocked(d.sess)
+		}
+	}
+	t.qmu.Unlock()
 	for t.queueDepth() > 0 {
 		time.Sleep(time.Millisecond)
 	}
 }
 
 // reserveDiskLocked admits size new spill-file bytes under the disk budget,
-// evicting least-recently-used spill files (never keepID's) until the new
+// evicting least-recently-used spill chains (never keepID's) until the new
 // file fits. It reports false — charging nothing — when the directory
-// cannot be shrunk enough. Callers hold t.mu.
-func (t *Tiered) reserveDiskLocked(size int64, keepID string) bool {
+// cannot be shrunk enough; the second result distinguishes WHY: true means
+// every remaining candidate is pinned (clean residents' only copies,
+// in-flight restores or compactions) — transient pressure the caller can
+// surface as a typed 503 — false means an unlink genuinely failed or only
+// unreclaimable orphans remain. Callers hold t.mu.
+func (t *Tiered) reserveDiskLocked(size int64, keepID string) (bool, bool) {
 	if t.maxDiskBytes > 0 {
 		for t.diskBytes+t.orphanBytes+size > t.maxDiskBytes {
-			if !t.evictSpillFileLocked(keepID) {
-				return false
+			ok, pinned := t.evictSpillFileLocked(keepID)
+			if !ok {
+				return false, pinned
 			}
 		}
 	}
 	t.diskBytes += size
-	return true
+	return true, false
 }
 
-// evictSpillFileLocked removes one local spill file to reclaim disk, in
-// preference order of what the drop costs:
+// evictSpillFileLocked removes one local spill chain (base + delta
+// segments) to reclaim disk, in preference order of what the drop costs:
 //
-//   - demotions first: files whose entry is blob-backed are pure cache drops
-//     — the entry survives remote-only, nothing is lost;
+//   - demotions first: chains whose entry is blob-backed are pure cache
+//     drops — the entry survives remote-only, nothing is lost;
 //   - then warm backups of DIRTY resident sessions: their rewrite is already
-//     owed, so dropping the stale file costs nothing;
-//   - then disk-only files in LRU order, whose removal loses the session and
-//     is charged to its tenant as a disk eviction.
+//     owed, so dropping the stale chain costs nothing;
+//   - then disk-only chains in LRU order, whose removal loses the session
+//     and is charged to its tenant as a disk eviction.
 //
-// Clean residents' files WITHOUT blob backing are pinned — a concurrent
+// Clean residents' chains WITHOUT blob backing are pinned — a concurrent
 // eviction may at any moment decide "clean and spilled → drop the resident
-// copy" on the strength of that file, so reclaiming it could strand the
+// copy" on the strength of that chain, so reclaiming it could strand the
 // session in zero tiers (with blob backing the entry survives the demotion,
-// so the same decision stays safe). Callers hold t.mu.
-func (t *Tiered) evictSpillFileLocked(keepID string) bool {
+// so the same decision stays safe). Ids with an in-flight restore or
+// compaction are skipped for the same reason. The second result reports
+// whether the failure to find a victim was pinning (every candidate
+// skipped) as opposed to an empty index or a failed unlink. Callers hold
+// t.mu.
+func (t *Tiered) evictSpillFileLocked(keepID string) (bool, bool) {
 	const (
 		classDemote = iota // blob-backed: free cache drop
 		classWarm          // dirty resident's stale backup: rewrite owed
-		classLoss          // disk-only, no blob: the session dies with the file
+		classLoss          // disk-only, no blob: the session dies with the chain
 	)
 	var (
 		victimID    string
 		victim      *spillEntry
 		victimClass int
+		skipped     int
 	)
 	for id, e := range t.index {
 		if id == keepID || !e.local {
 			continue
 		}
 		if _, restoring := t.flights[id]; restoring {
-			continue // a restore is reading this file right now
+			skipped++ // a restore is reading this chain right now
+			continue
+		}
+		if t.compacting[id] {
+			skipped++ // a compaction is splicing it; transient
+			continue
 		}
 		class := classLoss
 		if e.remote {
@@ -183,8 +319,9 @@ func (t *Tiered) evictSpillFileLocked(keepID string) bool {
 		} else {
 			sess, resident := t.mem.peek(id)
 			if resident {
-				if !sess.dirty.Load() {
-					continue // pinned: the eviction path relies on this file
+				if !sess.Dirty() {
+					skipped++ // pinned: the eviction path relies on this chain
+					continue
 				}
 				class = classWarm
 			}
@@ -196,7 +333,7 @@ func (t *Tiered) evictSpillFileLocked(keepID string) bool {
 		}
 	}
 	if victim == nil {
-		return false
+		return false, skipped > 0
 	}
 	// Unlink BEFORE forgetting: if the disk refuses to give the bytes back
 	// (EACCES/EIO), dropping the session would forget state without
@@ -207,23 +344,34 @@ func (t *Tiered) evictSpillFileLocked(keepID string) bool {
 	// the reclaim and the accounting to be one atomic step (a new restore
 	// flight for this id also can't register without t.mu), and unlinks are
 	// metadata ops — the full-file IO (snapshot writes) stays off this lock.
+	// The base anchors the chain, so it is unlinked first and aborts the
+	// eviction on failure; a delta segment whose unlink fails afterwards is
+	// already useless (its base is gone) and just moves to the orphan share
+	// for the GC.
 	if err := os.Remove(victim.path); err != nil && !os.IsNotExist(err) {
-		return false
+		return false, false
 	}
 	t.diskBytes -= victim.bytes
+	for i := range victim.deltas {
+		sg := &victim.deltas[i]
+		t.diskBytes -= sg.bytes
+		if err := os.Remove(sg.path); err != nil && !os.IsNotExist(err) {
+			t.orphanBytes += sg.bytes
+		}
+	}
 	if victimClass == classDemote {
 		// Cache drop: the entry survives remote-only; restores fall through
 		// to the blob tier. Tenant spill accounting keeps charging the blob
 		// copy (same content), so nothing is released here.
-		victim.path, victim.local = "", false
+		victim.path, victim.local, victim.deltas = "", false, nil
 		t.blobDemotions.Add(1)
-		return true
+		return true, false
 	}
 	delete(t.index, victimID)
 	ten := TenantOf(victimID)
-	t.mem.adjustSpill(ten, -victim.bytes)
+	t.mem.adjustSpill(ten, -victim.spillCharged)
 	if victimClass == classLoss {
-		// The session existed only on disk: dropping its file forgets it.
+		// The session existed only on disk: dropping its chain forgets it.
 		// Release the tenant's ownership charge and make the loss visible.
 		t.mem.adjustOwned(ten, -1, -victim.charged)
 		t.mem.chargeDiskEviction(ten)
@@ -232,7 +380,7 @@ func (t *Tiered) evictSpillFileLocked(keepID string) bool {
 			t.onDiskEvict(victimID)
 		}
 	}
-	return true
+	return true, false
 }
 
 // gcLoop runs gcOnce every gcInterval until stop closes.
@@ -250,11 +398,14 @@ func (t *Tiered) gcLoop(stop <-chan struct{}) {
 	}
 }
 
-// gcOnce is one age-based GC sweep: orphaned session files (unindexed —
-// left by crashes, or by long-deleted sessions whose unlink failed) older
-// than gcAge and stale temp files are removed, the orphan-byte share of the
-// spill_dir_bytes gauge is refreshed from what remains, and the disk budget
-// is re-enforced in case orphans pushed the gauge over it.
+// gcOnce is one age-based GC sweep: orphaned session and delta files
+// (unindexed — left by crashes, or by unlink failures) older than gcAge and
+// stale temp files are removed, files belonging to tombstoned sessions are
+// removed regardless of age (and the tombstone's local side resolved once
+// none remain), the orphan-byte share of the spill_dir_bytes gauge is
+// refreshed from what remains, and the disk budget is re-enforced in case
+// orphans pushed the gauge over it. The sweep ends with tombstone-log
+// compaction and the blob maintenance pass.
 func (t *Tiered) gcOnce() {
 	entries, err := os.ReadDir(t.dir)
 	if err != nil {
@@ -265,28 +416,63 @@ func (t *Tiered) gcOnce() {
 	if tmpAge < tmpFloor {
 		tmpAge = tmpFloor
 	}
+	// Snapshot the tombstones whose local side is unresolved: their files
+	// are swept on sight, and headers must be read (off-lock, below) to know
+	// which files are theirs.
+	t.mu.Lock()
+	tombPending := make(map[string]bool)
+	for id, ts := range t.tombstones {
+		if !ts.localClean {
+			tombPending[id] = true
+		}
+	}
+	t.mu.Unlock()
 	type fileInfo struct {
 		name string
 		size int64
 		age  time.Duration
+		id   string // session the file claims, when headers were read
 	}
 	var files []fileInfo
 	for _, de := range entries {
-		if de.IsDir() || strings.HasPrefix(de.Name(), spillTmp) {
+		name := de.Name()
+		if de.IsDir() || strings.HasPrefix(name, spillTmp) {
 			// In-flight temps are fresh; stale ones are crash leftovers.
 			// Temps are never part of the gauge either way.
 			if !de.IsDir() {
 				if info, err := de.Info(); err == nil && now.Sub(info.ModTime()) >= tmpAge {
-					if t.faultAt("gc.unlink") == nil && os.Remove(filepath.Join(t.dir, de.Name())) == nil {
+					if t.faultAt("gc.unlink") == nil && os.Remove(filepath.Join(t.dir, name)) == nil {
 						t.gcRemovals.Add(1)
 					}
 				}
 			}
 			continue
 		}
-		if info, err := de.Info(); err == nil {
-			files = append(files, fileInfo{de.Name(), info.Size(), now.Sub(info.ModTime())})
+		if name == tombstoneFile {
+			continue // the sidecar log is never an orphan
 		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		fi := fileInfo{name: name, size: info.Size(), age: now.Sub(info.ModTime())}
+		if len(tombPending) > 0 {
+			path := filepath.Join(t.dir, name)
+			switch {
+			case strings.HasSuffix(name, spillExt):
+				if f, err := os.Open(path); err == nil {
+					if _, env, err := readSpillEnvelope(f); err == nil {
+						fi.id = env.id
+					}
+					f.Close()
+				}
+			case strings.HasSuffix(name, deltaExt):
+				if hdr, err := readDeltaHeaderFile(path); err == nil {
+					fi.id = hdr.id
+				}
+			}
+		}
+		files = append(files, fi)
 	}
 	// Classify against the index and refresh the orphan gauge in one
 	// critical section, so a spill publishing concurrently is never treated
@@ -294,17 +480,26 @@ func (t *Tiered) gcOnce() {
 	t.mu.Lock()
 	indexed := make(map[string]bool, len(t.index))
 	for _, e := range t.index {
-		if e.local {
-			indexed[filepath.Base(e.path)] = true
+		for _, pb := range e.localPaths() {
+			indexed[filepath.Base(pb.path)] = true
 		}
 	}
 	var orphanBytes int64
 	var remove []string
+	tombRemain := make(map[string]int) // files still on disk per pending tombstone
+	var tombFiles []fileInfo
 	for _, fi := range files {
 		if indexed[fi.name] {
 			continue
 		}
-		if strings.HasSuffix(fi.name, spillExt) && fi.age >= t.gcAge {
+		if fi.id != "" && tombPending[fi.id] {
+			// Tombstoned session's leftover: sweep on sight, no age floor.
+			tombRemain[fi.id]++
+			tombFiles = append(tombFiles, fi)
+			continue
+		}
+		sessFile := strings.HasSuffix(fi.name, spillExt) || strings.HasSuffix(fi.name, deltaExt)
+		if sessFile && fi.age >= t.gcAge {
 			remove = append(remove, fi.name)
 			continue
 		}
@@ -313,7 +508,7 @@ func (t *Tiered) gcOnce() {
 	t.orphanBytes = orphanBytes
 	if t.maxDiskBytes > 0 {
 		for t.diskBytes+t.orphanBytes > t.maxDiskBytes {
-			if !t.evictSpillFileLocked("") {
+			if ok, _ := t.evictSpillFileLocked(""); !ok {
 				break
 			}
 		}
@@ -324,6 +519,19 @@ func (t *Tiered) gcOnce() {
 			t.gcRemovals.Add(1)
 		}
 	}
+	for _, fi := range tombFiles {
+		if t.faultAt("gc.unlink") == nil && os.Remove(filepath.Join(t.dir, fi.name)) == nil {
+			t.gcRemovals.Add(1)
+			tombRemain[fi.id]--
+		}
+	}
+	// A pending tombstone with no surviving local file is locally clean.
+	for id := range tombPending {
+		if tombRemain[id] == 0 {
+			t.tombstoneResolve(id, tombLocal)
+		}
+	}
+	t.compactTombLog()
 	// Blob pass: retry tombstoned deletes until they stick and re-push local
 	// files whose upload failed, so the shared tier converges on the truth.
 	t.blobMaintain()

@@ -1,0 +1,365 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// LSM spill-tier suite: delta segments, chain compaction, the off-lock
+// cut/serialize/publish split, the stale-cut generation guard, persistent
+// tombstones across reboot, and the pinned-disk-budget refusal path.
+
+// TestTieredDeltaChainCompactsAndSurvivesReboot is the end-to-end LSM
+// lifecycle: a base spill, O(batch) delta spills on top, background
+// compaction folding the chain into a new base once it crosses the
+// threshold, and a kill/restart that restores the bitwise-identical model
+// and deletion log from the folded file.
+func TestTieredDeltaChainCompactsAndSurvivesReboot(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithCompaction(2))
+	a := trainSession(t, "sess-1", 1)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base
+	applyDeletion(t, a, []int{3})
+	ti.Flush() // delta 1
+	wantVec := applyDeletion(t, a, []int{11})
+	ti.Flush() // delta 2 -> chain hits the compaction threshold
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ti.compactions.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never ran on a chain at the threshold")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := ti.Stats()
+	if st.DeltaSpills != 2 {
+		t.Fatalf("DeltaSpills = %d, want 2 (mutation spills must be deltas)", st.DeltaSpills)
+	}
+	if st.Compactions == 0 || st.DeltaSegments != 0 {
+		t.Fatalf("compaction left %d segments (Compactions=%d), want a folded chain", st.DeltaSegments, st.Compactions)
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dir, "*"+deltaExt)); len(deltas) != 0 {
+		t.Fatalf("%d delta files on disk after compaction, want 0", len(deltas))
+	}
+	hardKill(ti)
+
+	ti2 := newTestTiered(t, dir, NewMemory())
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("session lost across the compaction reboot")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 2 {
+		t.Fatalf("restored %d deletions, want 2", nDel)
+	}
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d: folded chain is not bitwise-identical", i)
+		}
+	}
+}
+
+// TestSpillPublishRunsOffSessionLock asserts the tentpole locking contract:
+// the write-behind path serializes the snapshot and performs the temp write
+// + fsync WITHOUT holding Session.Mu — a mutation-heavy session never
+// blocks its readers on spill IO. The fault hook fires inside serialization
+// and right after the fsync; with no other goroutine touching the session,
+// a failed TryLock there can only mean the spill path itself holds the
+// lock.
+func TestSpillPublishRunsOffSessionLock(t *testing.T) {
+	ti := newTestTiered(t, t.TempDir(), NewMemory())
+	a := trainSession(t, "sess-1", 1)
+	var lockHeld atomic.Int64
+	ti.fault = func(p string) error {
+		if p == "spill.serialize" || p == "spill.after-temp" {
+			if a.Mu.TryLock() {
+				a.Mu.Unlock()
+			} else {
+				lockHeld.Add(1)
+			}
+		}
+		return nil
+	}
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base spill: the O(session) snapshot serialization
+	applyDeletion(t, a, []int{2, 9})
+	ti.Flush() // delta spill
+	if ti.writeBehind.Load() < 2 {
+		t.Fatalf("write-behind published %d spills, want 2", ti.writeBehind.Load())
+	}
+	if n := lockHeld.Load(); n != 0 {
+		t.Fatalf("%d serialize/fsync points ran under Session.Mu, want 0", n)
+	}
+}
+
+// TestSyncSpillFallbackUsesCurrentGeneration pins the write-behind drop
+// accounting bug: when a synchronous spill overtakes a parked background
+// publish, the sync path must cut from the session's CURRENT generation —
+// and the overtaken background cut, now stale, must be discarded by the
+// chain guard rather than masking the newer file.
+func TestSyncSpillFallbackUsesCurrentGeneration(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	a := trainSession(t, "sess-1", 1)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base published, session clean
+
+	// Park the background worker inside its next publish, after it cut the
+	// first mutation but before anything reaches disk.
+	var parked atomic.Bool
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ti.fault = func(p string) error {
+		if p == "spill.serialize" && parked.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+		return nil
+	}
+	applyDeletion(t, a, []int{1})
+	ti.flushQuiet(time.Now().Add(time.Hour)) // promote past the debounce
+	<-entered
+
+	// Second mutation lands while the worker is parked; the sync fallback
+	// (the eviction path) spills now and must capture BOTH mutations.
+	wantVec := applyDeletion(t, a, []int{2})
+	wantGen := a.gen.Load()
+	a.Mu.Lock()
+	wrote, err := ti.spillLocked(a)
+	a.Mu.Unlock()
+	if err != nil || !wrote {
+		t.Fatalf("sync spill = (%v, %v), want a real write", wrote, err)
+	}
+	if got := a.persistedGen.Load(); got != wantGen {
+		t.Fatalf("sync spill persisted generation %d, session is at %d — spilled a stale cut", got, wantGen)
+	}
+
+	// Unpark the worker: its cut extends a chain tip that no longer exists,
+	// so the publish guard must discard it.
+	close(release)
+	ti.Flush()
+	if ti.staleSpills.Load() == 0 {
+		t.Fatal("overtaken background cut was installed instead of discarded")
+	}
+	if a.Dirty() {
+		t.Fatal("stale discard moved the generation counter backwards")
+	}
+
+	hardKill(ti)
+	ti2 := newTestTiered(t, dir, NewMemory())
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("session lost")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 2 {
+		t.Fatalf("restored %d deletions, want both mutations", nDel)
+	}
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d from the newest generation", i)
+		}
+	}
+}
+
+// TestChaosTornDeltaSegmentDropped kills the store, tears the tail off a
+// published delta segment (a crash mid-append at the filesystem level), and
+// reboots: the torn segment must be detected and removed, with the intact
+// chain prefix still serving.
+func TestChaosTornDeltaSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	a := trainSession(t, "sess-1", 1)
+	baseVec, _, _ := sessionState(t, a)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	applyDeletion(t, a, []int{5, 9})
+	ti.Flush()
+	hardKill(ti)
+
+	deltas, _ := filepath.Glob(filepath.Join(dir, "*"+deltaExt))
+	if len(deltas) != 1 {
+		t.Fatalf("%d delta files on disk, want 1", len(deltas))
+	}
+	info, err := os.Stat(deltas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(deltas[0], info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	ti2 := newTestTiered(t, dir, NewMemory())
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("session lost: a torn delta must not poison its base")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 0 {
+		t.Fatalf("restored %d deletions from a torn segment, want the base state", nDel)
+	}
+	for i := range vec {
+		if vec[i] != baseVec[i] {
+			t.Fatalf("restored model differs at %d from the base generation", i)
+		}
+	}
+	if deltas, _ := filepath.Glob(filepath.Join(dir, "*"+deltaExt)); len(deltas) != 0 {
+		t.Fatalf("reboot kept %d torn delta files, want 0", len(deltas))
+	}
+}
+
+// TestChaosCrashMidCompactionOldChainAuthoritative crashes compaction after
+// the folded temp file is written but before the rename: the old base +
+// delta chain must stay authoritative across the reboot, the temp swept.
+func TestChaosCrashMidCompactionOldChainAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	a := trainSession(t, "sess-1", 1)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	wantVec := applyDeletion(t, a, []int{7})
+	ti.Flush()
+
+	var armed atomic.Bool
+	ti.fault = faultOn("compact.after-temp", &armed)
+	armed.Store(true)
+	ti.compactOnce("sess-1")
+	armed.Store(false)
+	if tmps, _ := filepath.Glob(filepath.Join(dir, spillTmp+"*")); len(tmps) != 1 {
+		t.Fatalf("%d temp files after the mid-compaction crash, want the torn fold left behind", len(tmps))
+	}
+	hardKill(ti)
+
+	ti2 := newTestTiered(t, dir, NewMemory())
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("session lost after mid-compaction crash")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 1 {
+		t.Fatalf("restored %d deletions, want 1 — the old chain is authoritative", nDel)
+	}
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d", i)
+		}
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, spillTmp+"*")); len(tmps) != 0 {
+		t.Fatalf("reboot left torn compaction temps: %v", tmps)
+	}
+}
+
+// TestChaosTombstoneSurvivesRebootBeforeBlobDeleteSticks is the regression
+// for the resurrection hole this PR closes: kill the node BETWEEN the
+// DELETE ack and the blob delete sticking, reboot on the same directory and
+// blob tier, and the acknowledged 404 must stay a 404 — the persistent
+// tombstone replays at boot, refuses re-adoption, and drives the blob
+// delete until it lands.
+func TestChaosTombstoneSurvivesRebootBeforeBlobDeleteSticks(t *testing.T) {
+	bs := sharedBlob(t)
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if err := ti.Put(trainSession(t, "acme/sess-1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if !ti.isRemote("acme/sess-1") {
+		t.Fatal("setup: session never reached the blob tier")
+	}
+
+	var armed atomic.Bool
+	ti.fault = faultOn("blob.delete", &armed)
+	armed.Store(true)
+	if !ti.Delete("acme/sess-1") {
+		t.Fatal("delete reported the session missing")
+	}
+	if _, _, err := bs.Get("acme/sess-1"); err != nil {
+		t.Fatalf("test premise broken: the blob delete should have failed (%v)", err)
+	}
+	// Kill RIGHT HERE — no retry sweep ran, the object is still in the
+	// shared tier, and the only thing standing between it and resurrection
+	// is the fsynced tombstone record.
+	hardKill(ti)
+
+	reboot := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if _, ok := reboot.Get("acme/sess-1"); ok {
+		t.Fatal("acknowledged deletion resurrected after reboot: tombstone did not persist")
+	}
+	// Boot reconciliation deletes (never adopts) tombstoned objects.
+	if _, _, err := bs.Get("acme/sess-1"); err != ErrBlobNotFound {
+		t.Fatalf("boot left the tombstoned object in the blob tier: %v", err)
+	}
+	if st := reboot.Stats(); st.PendingTombstones != 0 {
+		t.Fatalf("%d tombstones still pending after both sides resolved, want 0", st.PendingTombstones)
+	}
+	// And the resolution is itself durable: a third boot starts clean.
+	hardKill(reboot)
+	again := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if _, ok := again.Get("acme/sess-1"); ok {
+		t.Fatal("deletion resurrected on the second reboot")
+	}
+}
+
+// TestTieredPinnedDiskBudgetRefusesInsteadOfDropping is the admission
+// regression: when the disk budget is fully occupied by pinned spill files
+// (clean residents' only copies) and every resident is pinned or refuses to
+// leave, registering a new session must fail with a typed *PressureError —
+// never silently drop a dirty session that could not be preserved.
+func TestTieredPinnedDiskBudgetRefusesInsteadOfDropping(t *testing.T) {
+	fileSize := spillFileSize(t, "sess-1")
+	ti := newTestTiered(t, t.TempDir(), NewMemory(WithMaxSessions(2)),
+		WithSpillMaxBytes(fileSize+fileSize/2)) // room for exactly one base
+	a := trainSession(t, "sess-1", 1)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // a: spilled, clean — its file is pinned by the clean resident
+	b := trainSession(t, "sess-2", 2)
+	if err := ti.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	applyDeletion(t, b, []int{4}) // b: dirty, nothing on disk
+	ti.Flush()                    // b's write-behind spill cannot fit; b stays dirty
+
+	// Pin a (a long-running read). Now the memory tier is full, a is
+	// unevictable, and evicting b requires a sync spill the pinned disk
+	// cannot admit.
+	got, ok := ti.Get("sess-1")
+	if !ok {
+		t.Fatal("setup: sess-1 missing")
+	}
+	got.Pin()
+	defer got.Unpin()
+
+	err := ti.Put(trainSession(t, "sess-3", 3))
+	var pe *PressureError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Put under a fully pinned disk budget = %v, want *PressureError", err)
+	}
+	if pe.Pinned == 0 {
+		t.Fatalf("PressureError = %+v, want a pinned count naming the blocage", pe)
+	}
+	// The refusal must not have cost b its state: still resident, still
+	// dirty, nothing dropped.
+	if _, ok := ti.Get("sess-2"); !ok {
+		t.Fatal("pressure refusal silently dropped the dirty session")
+	}
+	if !b.Dirty() {
+		t.Fatal("b should still be dirty — no spill could have landed")
+	}
+}

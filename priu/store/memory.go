@@ -57,11 +57,15 @@ type Memory struct {
 	tenants map[string]*memTenant
 
 	// onEvictLocked, when set (by Tiered), is called with the victim's Mu
-	// held after the victim left the map and before it is marked gone — the
-	// spill hook. It runs outside all shard locks and reports whether the
-	// session survives in a colder tier (true keeps the tenant's ownership
-	// charge; false releases it — the session is lost).
-	onEvictLocked func(*Session) bool
+	// held before it is removed from the map or marked gone — the spill
+	// hook. It runs outside all shard locks and reports the eviction
+	// outcome: evictPreserved keeps the tenant's ownership charge (the
+	// session survives in a colder tier), evictLost releases it (the
+	// session is dropped), and evictRefused vetoes the eviction entirely —
+	// the victim stays resident and the budget enforcer must pick another
+	// (or report pressure), because dropping it would lose state the disk
+	// tier cannot take right now.
+	onEvictLocked func(*Session) int
 }
 
 // MemoryOption configures NewMemory.
@@ -167,7 +171,7 @@ func (m *Memory) Put(sess *Session) error {
 		tu.residentBytes -= sess.footprint
 		m.tmu.Unlock()
 		sess.Mu.Lock()
-		sess.gone = true
+		sess.gone.Store(true)
 		sess.Mu.Unlock()
 		return pe
 	}
@@ -248,6 +252,21 @@ func (m *Memory) insert(sess *Session) *PressureError {
 	m.curBytes.Add(sess.footprint)
 	return m.enforceBudget(sess.ID)
 }
+
+// Eviction outcomes reported by onEvictLocked.
+const (
+	// evictPreserved: the victim's state survives in a colder tier; drop
+	// the resident copy and keep the tenant's ownership charge.
+	evictPreserved = iota
+	// evictLost: the victim could not be preserved (spilling disabled, the
+	// spill failed); the session is dropped and its ownership released.
+	evictLost
+	// evictRefused: the disk tier is under pressure it cannot relieve
+	// (every reclaimable file pinned) — the victim must NOT be dropped.
+	// The enforcer skips it and reports *PressureError if nothing else is
+	// evictable.
+	evictRefused
+)
 
 // Removal reasons for tenant accounting.
 const (
@@ -336,7 +355,7 @@ func (m *Memory) Delete(id string) bool {
 	m.curBytes.Add(-sess.footprint)
 	m.uncharge(sess, removalDelete, false)
 	sess.Mu.Lock()
-	sess.gone = true
+	sess.gone.Store(true)
 	sess.Mu.Unlock()
 	return true
 }
@@ -363,7 +382,7 @@ func (m *Memory) drop(id string) {
 	m.curBytes.Add(-sess.footprint)
 	m.uncharge(sess, removalDrop, false)
 	sess.Mu.Lock()
-	sess.gone = true
+	sess.gone.Store(true)
 	sess.Mu.Unlock()
 }
 
@@ -464,22 +483,27 @@ func (m *Memory) enforceBudget(keepID string) *PressureError {
 	if m.maxSessions <= 0 && m.maxBytes <= 0 {
 		return nil
 	}
+	// refused collects victims the eviction hook vetoed this enforcement
+	// (disk tier under unrelievable pressure): they are skipped like pinned
+	// sessions instead of silently dropped, and count toward the pressure
+	// report — the registration is rejected, not someone else's state.
+	var refused map[string]bool
 	for {
 		over := (m.maxSessions > 0 && m.sessionCount() > m.maxSessions) ||
 			(m.maxBytes > 0 && m.curBytes.Load() > m.maxBytes)
 		if !over {
 			return nil
 		}
-		victim, vShard, pinned := m.pickVictim(keepID)
+		victim, vShard, pinned := m.pickVictim(keepID, refused)
 		if victim == nil {
-			if pinned == 0 {
+			if pinned+len(refused) == 0 {
 				return nil // nothing evictable left (oversized single session)
 			}
 			dim := "bytes"
 			if m.maxSessions > 0 && m.sessionCount() > m.maxSessions {
 				dim = "sessions"
 			}
-			return &PressureError{Dimension: dim, Pinned: pinned}
+			return &PressureError{Dimension: dim, Pinned: pinned + len(refused)}
 		}
 		// Spill (if tiered) BEFORE removing the session from the resident
 		// map, so a concurrent Get always finds it in at least one tier —
@@ -491,15 +515,24 @@ func (m *Memory) enforceBudget(keepID string) *PressureError {
 		// is still briefly in the map just retry until the removal below
 		// lands.
 		victim.Mu.Lock()
-		if victim.gone {
+		if victim.gone.Load() {
 			victim.Mu.Unlock()
 			continue // a concurrent evictor or deleter won
 		}
-		preserved := false
+		outcome := evictLost
 		if m.onEvictLocked != nil {
-			preserved = m.onEvictLocked(victim)
+			outcome = m.onEvictLocked(victim)
 		}
-		victim.gone = true
+		if outcome == evictRefused {
+			victim.Mu.Unlock()
+			if refused == nil {
+				refused = make(map[string]bool)
+			}
+			refused[victim.ID] = true
+			continue // victim stays resident; try the next candidate
+		}
+		preserved := outcome == evictPreserved
+		victim.gone.Store(true)
 		victim.Mu.Unlock()
 		vShard.mu.Lock()
 		// Re-check under the lock: a concurrent deleter may have won.
@@ -528,12 +561,14 @@ type victimCand struct {
 // bytes (LRU within that tenant), so one hot tenant churning registrations
 // cannot monopolize the resident tier by aging out everyone else's
 // sessions. The session named keepID is never picked, nor is any session
-// pinned by a long-running read — when everything evictable is pinned,
-// enforcement rejects the registration with a *PressureError rather than
-// dropping state under an active stream. The pinned count of skipped
-// sessions rides along so the caller can tell "all pinned" (transient
-// pressure) from "nothing else resident" (an oversized single session).
-func (m *Memory) pickVictim(keepID string) (*Session, *memShard, int) {
+// pinned by a long-running read or in the caller's skip set (eviction
+// refused this enforcement) — when everything evictable is pinned or
+// refused, enforcement rejects the registration with a *PressureError
+// rather than dropping state under an active stream. The pinned count of
+// skipped sessions rides along so the caller can tell "all pinned"
+// (transient pressure) from "nothing else resident" (an oversized single
+// session).
+func (m *Memory) pickVictim(keepID string, skip map[string]bool) (*Session, *memShard, int) {
 	var global victimCand
 	pinned := 0
 	perTenant := map[string]victimCand{}
@@ -541,7 +576,7 @@ func (m *Memory) pickVictim(keepID string) (*Session, *memShard, int) {
 		sh := &m.shards[i]
 		sh.mu.RLock()
 		for _, sess := range sh.sessions {
-			if sess.ID == keepID {
+			if sess.ID == keepID || skip[sess.ID] {
 				continue
 			}
 			if sess.Pinned() {

@@ -13,11 +13,12 @@ import (
 // blob round-trips. All fields are optional; the server registers them and
 // hands the struct in via WithMetrics.
 type TierMetrics struct {
-	SpillSeconds   *obs.Histogram // full spill: serialize + fsync + publish
-	FsyncSeconds   *obs.Histogram // the fsync inside the spill temp write
-	RestoreSeconds *obs.Histogram // full restore: read + rebuild + publish
-	BlobPutSeconds *obs.Histogram // blob upload round-trip
-	BlobGetSeconds *obs.Histogram // blob fetch round-trip (restore + adopt)
+	SpillSeconds      *obs.Histogram // full spill publish: temp write + fsync + rename
+	FsyncSeconds      *obs.Histogram // the fsync inside the spill temp write
+	RestoreSeconds    *obs.Histogram // full restore: read + rebuild + publish
+	CompactionSeconds *obs.Histogram // chain fold: splice + fsync + publish
+	BlobPutSeconds    *obs.Histogram // blob upload round-trip
+	BlobGetSeconds    *obs.Histogram // blob fetch round-trip (restore + adopt)
 }
 
 // NewTierMetrics registers the canonical tier-latency histogram families on
@@ -27,11 +28,12 @@ type TierMetrics struct {
 func NewTierMetrics(reg *obs.Registry) *TierMetrics {
 	blobBuckets := []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 	return &TierMetrics{
-		SpillSeconds:   reg.Histogram("priu_store_spill_seconds", "Full spill duration: serialize, fsync and publish.", nil),
-		FsyncSeconds:   reg.Histogram("priu_store_fsync_seconds", "Fsync duration inside the spill temp-file write.", nil),
-		RestoreSeconds: reg.Histogram("priu_store_restore_seconds", "Full restore duration: read, rebuild and publish.", nil),
-		BlobPutSeconds: reg.Histogram("priu_blob_put_seconds", "Blob upload round-trip duration.", blobBuckets),
-		BlobGetSeconds: reg.Histogram("priu_blob_get_seconds", "Blob fetch round-trip duration (restore and adopt).", blobBuckets),
+		SpillSeconds:      reg.Histogram("priu_store_spill_seconds", "Full spill publish duration: temp write, fsync and rename.", nil),
+		FsyncSeconds:      reg.Histogram("priu_store_fsync_seconds", "Fsync duration inside the spill temp-file write.", nil),
+		RestoreSeconds:    reg.Histogram("priu_store_restore_seconds", "Full restore duration: read, rebuild and publish.", nil),
+		CompactionSeconds: reg.Histogram("priu_store_compaction_seconds", "Delta-chain compaction duration: splice, fsync and publish.", nil),
+		BlobPutSeconds:    reg.Histogram("priu_blob_put_seconds", "Blob upload round-trip duration.", blobBuckets),
+		BlobGetSeconds:    reg.Histogram("priu_blob_get_seconds", "Blob fetch round-trip duration (restore and adopt).", blobBuckets),
 	}
 }
 

@@ -27,10 +27,14 @@ import (
 //     equal the oracle's live set;
 //   - a crash-restart (drain + reboot) preserves exactly the live set.
 
-// propOracle is one tenant's view of what the store must hold.
+// propOracle is one tenant's view of what the store must hold. dels counts
+// the deletions each session has absorbed: surviving sessions must come
+// back from any tier — delta chain, folded base, restart — with exactly
+// that log length.
 type propOracle struct {
 	tenant string
 	live   map[string]bool
+	dels   map[string]int
 	nextID int
 	rng    *rand.Rand
 }
@@ -105,6 +109,10 @@ func TestStorePropertyOracle(t *testing.T) {
 			NewMemory(WithMaxSessions(4), WithTenantLimits(limits)),
 			WithSpillMaxBytes(budget),
 			WithSpillGC(time.Hour, 5*time.Millisecond), // sweeps race restores
+			// Aggressive LSM settings so the churn constantly cuts delta
+			// segments, debounces them, and folds chains mid-flight.
+			WithSpillCoalesce(2, 2*time.Millisecond),
+			WithCompaction(2),
 		)
 		ti.onDiskEvict = func(id string) { dropped.Store(id, true) }
 		ti.onEvictLost = func(id string) { dropped.Store(id, true) }
@@ -117,6 +125,7 @@ func TestStorePropertyOracle(t *testing.T) {
 		oracles[g] = &propOracle{
 			tenant: fmt.Sprintf("t%d", g),
 			live:   map[string]bool{},
+			dels:   map[string]int{},
 			rng:    rand.New(rand.NewSource(int64(1000 + g))),
 		}
 	}
@@ -160,7 +169,45 @@ func TestStorePropertyOracle(t *testing.T) {
 				defer wg.Done()
 				o := oracles[g]
 				for op := 0; op < opsPerRound; op++ {
-					switch o.rng.Intn(10) {
+					switch o.rng.Intn(13) {
+					case 10, 11, 12: // mutate: apply one more deletion
+						id := o.randLive()
+						if id == "" || o.dels[id] >= 30 {
+							continue
+						}
+						sess, ok := ti.Get(id)
+						if !ok {
+							if !isDropped(id) {
+								t.Errorf("live session %s vanished without a disk eviction", id)
+							}
+							delete(o.live, id)
+							continue
+						}
+						sess.Mu.Lock()
+						if sess.GoneLocked() {
+							// Lost a race with an eviction between Get and
+							// the lock — the service's retry path; skip.
+							sess.Mu.Unlock()
+							continue
+						}
+						next := len(sess.Deleted)
+						if next != o.dels[id] {
+							sess.Mu.Unlock()
+							t.Errorf("session %s carries %d deletions, oracle says %d", id, next, o.dels[id])
+							continue
+						}
+						all := append(append([]int(nil), sess.Deleted...), next)
+						m, err := sess.Upd.Update(all)
+						if err != nil {
+							sess.Mu.Unlock()
+							t.Errorf("update %s: %v", id, err)
+							continue
+						}
+						sess.Deleted, sess.Model = all, m
+						sess.Updates++
+						sess.MarkDirtyLocked()
+						sess.Mu.Unlock()
+						o.dels[id] = next + 1
 					case 0, 1, 2, 3: // put
 						id := o.newID()
 						sess := NewSession(id, "linear", bases[g].ds, bases[g].upd, nil, nil)
@@ -227,10 +274,20 @@ func TestStorePropertyOracle(t *testing.T) {
 			}
 			// No session in zero tiers: every oracle-live session is
 			// reachable (a Get may trigger evictions whose spills disk-evict
-			// others — tolerated exactly like during the churn).
+			// others — tolerated exactly like during the churn), and carries
+			// exactly the deletions the oracle applied — whether it comes
+			// back resident, from a delta chain, or from a folded base.
 			for id := range o.live {
-				if _, ok := ti.Get(id); !ok && !isDropped(id) {
-					t.Fatalf("round %d: live session %s unreachable at quiescence", round, id)
+				sess, ok := ti.Get(id)
+				if !ok {
+					if !isDropped(id) {
+						t.Fatalf("round %d: live session %s unreachable at quiescence", round, id)
+					}
+					continue
+				}
+				if _, nDel, _ := sessionState(t, sess); nDel != o.dels[id] {
+					t.Fatalf("round %d: session %s has %d deletions, oracle says %d",
+						round, id, nDel, o.dels[id])
 				}
 			}
 			pruneDropped(o)
@@ -255,8 +312,16 @@ func TestStorePropertyOracle(t *testing.T) {
 					round, o.tenant, u.Sessions(), len(o.live))
 			}
 			for id := range o.live {
-				if _, ok := ti.Get(id); !ok && !isDropped(id) {
-					t.Fatalf("round %d: session %s lost across restart", round, id)
+				sess, ok := ti.Get(id)
+				if !ok {
+					if !isDropped(id) {
+						t.Fatalf("round %d: session %s lost across restart", round, id)
+					}
+					continue
+				}
+				if _, nDel, _ := sessionState(t, sess); nDel != o.dels[id] {
+					t.Fatalf("round %d: session %s restarted with %d deletions, oracle says %d",
+						round, id, nDel, o.dels[id])
 				}
 			}
 			pruneDropped(o)

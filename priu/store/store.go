@@ -8,14 +8,20 @@
 //   - Memory: the hash-sharded in-memory tier with per-shard locks and an
 //     optional LRU budget (max sessions / max resident bytes). Evictions
 //     drop sessions.
-//   - Tiered: wraps Memory with a disk tier. Evicted sessions are spilled as
-//     self-contained priu session snapshots into a content-addressed
-//     directory (atomic temp-file + rename), lazily restored on the next
-//     touch — replaying the deletion log so honored deletions stay deleted —
-//     with singleflight so concurrent touches of a cold session trigger
-//     exactly one restore. Close snapshots every dirty resident session, and
-//     NewTiered re-indexes the spill directory, so a kill/restart loses
-//     nothing.
+//   - Tiered: wraps Memory with a log-structured disk tier. A session's
+//     disk copy is a chain: one self-contained base snapshot plus ordered
+//     delta segments, each carrying only the deletion-log suffix one spill
+//     appended — so a mutation-heavy stream pays O(batch) bytes per spill,
+//     and background compaction folds chains back into a single base by
+//     byte splice. Every file lands content-addressed via an atomic
+//     temp-file rename; restore replays base + deltas in one update call
+//     — so honored deletions stay deleted — with singleflight so concurrent
+//     touches of a cold session trigger exactly one restore. Forgotten
+//     sessions leave persistent tombstones (a fsynced sidecar log replayed
+//     at boot) so an acknowledged DELETE can never resurrect, even when
+//     the crash beat the unlink or blob delete. Close snapshots every
+//     dirty resident session, and NewTiered re-indexes the spill
+//     directory, so a kill/restart loses nothing.
 //
 // Mutators (the service's deletion handlers) hold Session.Mu while applying
 // an update and must re-fetch through Get when GoneLocked reports the copy
@@ -141,14 +147,20 @@ type Session struct {
 	footprint int64
 	// lastUsed is a unix-nano timestamp of the latest access (LRU clock).
 	lastUsed atomic.Int64
-	// dirty marks state not yet reflected in the disk tier. Writes happen
-	// with Mu held (the mutation and the flag are one consistent cut); it is
-	// atomic so the disk-budget evictor can classify files without taking
-	// session locks under the index lock.
-	dirty atomic.Bool
-	// gone marks a copy that was evicted or deleted from the store (guarded
-	// by Mu): mutators holding a gone session must re-fetch through Get.
-	gone bool
+	// gen counts mutations: MarkDirtyLocked increments it with Mu held, so a
+	// generation names one consistent cut of the serving state. persistedGen
+	// is the newest generation the disk tier covers; the session is dirty
+	// exactly when they differ. Both are atomics so the disk-budget evictor
+	// can classify files without taking session locks under the index lock,
+	// and so a publish that raced a newer one can never move persistedGen
+	// backwards (persistUpTo is a CAS-max).
+	gen          atomic.Int64
+	persistedGen atomic.Int64
+	// gone marks a copy that was evicted or deleted from the store: mutators
+	// holding a gone session must re-fetch through Get. It is an atomic so
+	// an off-lock publish can check liveness without acquiring Mu — a base
+	// publish racing a delete must observe the flag and discard its cut.
+	gone atomic.Bool
 	// pins counts long-running readers (what-if evaluations, snapshot
 	// exports) holding the session in the resident tier: the budget evictor
 	// skips pinned sessions, and residency in turn pins the session's clean
@@ -181,7 +193,7 @@ func NewSession(id, kind string, ds priu.TrainingSet, upd priu.Updater, model *p
 		Deleted:   deleted,
 		footprint: TrainingSetBytes(ds) + upd.FootprintBytes(),
 	}
-	sess.dirty.Store(true)
+	sess.gen.Store(1) // dirty: no disk tier has seen generation 1 yet
 	sess.Touch()
 	return sess
 }
@@ -195,19 +207,38 @@ func (sess *Session) LastUsed() int64 { return sess.lastUsed.Load() }
 // Footprint returns the session's resident-memory charge.
 func (sess *Session) Footprint() int64 { return sess.footprint }
 
-// MarkDirtyLocked flags serving state the disk tier hasn't seen and, in a
-// tiered store, schedules a write-behind snapshot so the next eviction can
-// drop the resident copy instead of paying the spill IO. Callers hold Mu.
+// MarkDirtyLocked advances the session's mutation generation (flagging
+// serving state the disk tier hasn't seen) and, in a tiered store, schedules
+// a write-behind snapshot so the next eviction can drop the resident copy
+// instead of paying the spill IO. Callers hold Mu.
 func (sess *Session) MarkDirtyLocked() {
-	sess.dirty.Store(true)
+	sess.gen.Add(1)
 	if sess.notifyDirty != nil {
 		sess.notifyDirty(sess)
 	}
 }
 
+// Dirty reports whether the session carries mutations the disk tier has not
+// persisted yet.
+func (sess *Session) Dirty() bool {
+	return sess.gen.Load() != sess.persistedGen.Load()
+}
+
+// persistUpTo records that the disk tier now covers generation g. It is a
+// CAS-max: a stale publish (g older than what a racing spill already
+// persisted) leaves the counter alone, so it can never mask a newer cut.
+func (sess *Session) persistUpTo(g int64) {
+	for {
+		cur := sess.persistedGen.Load()
+		if cur >= g || sess.persistedGen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
 // GoneLocked reports whether this copy was evicted or deleted from the store.
 // Callers hold Mu.
-func (sess *Session) GoneLocked() bool { return sess.gone }
+func (sess *Session) GoneLocked() bool { return sess.gone.Load() }
 
 // Pin marks a long-running read in flight: the budget evictor will not pick
 // the session while pinned. Pair every Pin with an Unpin (defer it).
@@ -322,6 +353,22 @@ type Stats struct {
 	Spills       int64
 	Restores     int64
 	Unspillable  int64
+	// DeltaSpills counts spills written as delta segments (a subset of
+	// Spills; the rest were full base snapshots). Compactions counts
+	// background folds of a delta chain into a new base. DeltaSegments is
+	// the current number of live delta files across all chains.
+	DeltaSpills   int64
+	Compactions   int64
+	DeltaSegments int
+	// StaleSpills counts publishes discarded because a newer cut reached the
+	// index first (the generation/chain guard) — each one re-enqueues, so
+	// this gauges write-behind churn, not data loss.
+	StaleSpills int64
+	// PendingTombstones is the number of deletion tombstones not yet fully
+	// resolved (local files unlinked and the blob delete stuck). Pending
+	// tombstones are replayed at boot so an acknowledged delete can never
+	// resurrect.
+	PendingTombstones int
 	// SpillDirBytes is the on-disk size of the spill directory — indexed
 	// spill files plus any orphaned leftovers — maintained incrementally by
 	// the lifecycle manager (seeded by a boot-time scan, refreshed on GC

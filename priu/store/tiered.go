@@ -1,8 +1,10 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,46 +18,120 @@ import (
 	"repro/priu"
 )
 
-// Spill-file envelope: a small header carrying the store-level identity and
-// counters that the priu session snapshot itself does not know about,
-// followed by the self-contained snapshot (family + dataset + deletion log +
-// provenance). Files are content-addressed — named by the SHA-256 of their
-// bytes — and written as temp-file + rename, so a crash mid-spill leaves at
-// worst an ignorable temp file, never a torn session.
+// Spill-file envelope: a small header carrying the store-level identity,
+// counters and (since version 2) the cumulative deletion log, followed by
+// the self-contained snapshot (family + dataset + provenance; the embedded
+// snapshot's own log section is empty in v2 files). Keeping the log in the
+// envelope makes the disk tier log-structured: a spill of a mutated session
+// appends a small delta segment carrying only the log suffix since the
+// base, and compaction folds a chain into a new base by splicing — merged
+// envelope plus the base's snapshot bytes copied verbatim, no model decode.
+// Files are content-addressed — named by the SHA-256 of their bytes — and
+// written as temp-file + fsync + rename, so a crash mid-spill leaves at
+// worst an ignorable temp file, never a torn session or delta. Version 1
+// files (log inside the snapshot) remain readable; they are opaque to
+// splicing, so the first dirty spill on top of one rewrites a v2 base.
 const (
 	spillMagic   = "PRSP"
-	spillVersion = 1
+	spillVersion = 2
 	spillExt     = ".sess"
 	spillTmp     = "tmp-"
+
+	// Delta segments: "<sha256>.delta" files appended to a v2 base. Each
+	// carries the deletion-log suffix it adds, the (logLen, updates) tip it
+	// extends — the chain guard — and the counters at its own tip.
+	deltaMagic   = "PRDL"
+	deltaVersion = 1
+	deltaExt     = ".delta"
 
 	// maxSpillName bounds decoded ID/family strings in envelopes.
 	maxSpillName = 1 << 20
 )
 
-// spillEntry is the disk tier's index record for one session. At least one
-// of local/remote is true: local means path names a cache file in the spill
-// directory, remote means the shared blob tier holds the same version (when
-// both are set the local file is a read cache of the blob object).
+// deltaSeg is one published delta segment in a spill entry's chain.
+type deltaSeg struct {
+	path  string
+	bytes int64
+	// fromLen/fromUpdates name the chain tip this segment extends; a
+	// segment chains iff they equal the previous element's tip exactly.
+	fromLen     int64
+	fromUpdates int64
+	// entries is the number of deletion-log entries the segment appends;
+	// updates/lastUpd are the session counters at the segment's tip.
+	entries int64
+	updates int64
+	lastUpd float64
+}
+
+// spillEntry is the disk tier's index record for one session: a base
+// snapshot plus an ordered delta-segment chain. At least one of
+// local/remote is true: local means path names a base file (and deltas its
+// chain) in the spill directory, remote means the shared blob tier holds
+// the same logical tip (when both are set the local chain is a read cache
+// of the blob object).
 type spillEntry struct {
 	path      string
-	bytes     int64
+	bytes     int64 // base file size; localBytes() for the whole chain
+	deltas    []deltaSeg
 	kind      string
 	createdAt time.Time
 	local     bool
 	remote    bool
-	// updates is the envelope's monotonic per-session update counter at the
-	// time this entry was published — the newest-wins version used when
-	// reconciling the local cache against the blob tier.
+	// updates is the monotonic per-session update counter at the CHAIN TIP
+	// — the newest-wins version used when deduplicating boot files and
+	// reconciling against the blob tier.
 	updates int64
+	// logLen is the deletion-log length the chain tip covers — together
+	// with updates it is the guard a delta publish must match. -1 marks a
+	// version-1 base whose log lives inside the snapshot (unknown without
+	// decoding): such chains take no deltas; the next dirty spill rewrites
+	// a v2 base.
+	logLen int64
 	// charged is what the session's tenant ownership was billed for this
 	// session (guarded by Tiered.mu): the resident footprint when spilled by
 	// this process, the file size when seeded from a reboot reindex (the
 	// footprint isn't known without restoring). Restores settle the drift.
 	charged int64
+	// spillCharged is the tenant's current spill-byte charge for this entry
+	// (guarded by Tiered.mu); every transition adjusts by the delta against
+	// it, so the books can never drift from the files.
+	spillCharged int64
 	// lastUsed is a unix-nano LRU clock for the disk-budget file evictor:
-	// bumped when the file is written and when the session restores from it
+	// bumped when the chain is written and when the session restores from it
 	// (mtime at boot). Guarded by Tiered.mu.
 	lastUsed int64
+}
+
+// localBytes is the entry's on-disk footprint: base plus delta segments
+// (zero when the entry is remote-only).
+func (e *spillEntry) localBytes() int64 {
+	if !e.local {
+		return 0
+	}
+	n := e.bytes
+	for i := range e.deltas {
+		n += e.deltas[i].bytes
+	}
+	return n
+}
+
+// localPaths returns every file the entry owns (base first, then the chain).
+func (e *spillEntry) localPaths() []pathBytes {
+	if !e.local {
+		return nil
+	}
+	out := make([]pathBytes, 0, 1+len(e.deltas))
+	out = append(out, pathBytes{e.path, e.bytes})
+	for i := range e.deltas {
+		out = append(out, pathBytes{e.deltas[i].path, e.deltas[i].bytes})
+	}
+	return out
+}
+
+// pathBytes pairs a file path with its accounted size.
+type pathBytes struct {
+	path  string
+	bytes int64
 }
 
 // flight is one in-progress restore; joiners wait on done.
@@ -82,40 +158,58 @@ type Tiered struct {
 	blob BlobStore
 
 	// Lifecycle configuration (fixed after NewTiered).
-	spillOnEvict bool
-	maxDiskBytes int64
-	queueLen     int
-	workers      int
-	gcAge        time.Duration
-	gcInterval   time.Duration
+	spillOnEvict  bool
+	maxDiskBytes  int64
+	queueLen      int
+	workers       int
+	gcAge         time.Duration
+	gcInterval    time.Duration
+	coalesceN     int           // spill after this many updates (1 = every)
+	coalesceQuiet time.Duration // ... or after this long with no new mutation
+	compactAfter  int           // fold a chain once it holds this many deltas (0 = never)
 
 	mu      sync.Mutex
 	index   map[string]*spillEntry
 	flights map[string]*flight
-	// diskBytes is the total size of indexed spill files; orphanBytes is
-	// what else the boot scan / GC sweeps found in the directory (crash
-	// leftovers — in-flight temp files are excluded). Their sum is the
-	// served spill_dir_bytes gauge, and the disk budget bounds it. Both are
+	// diskBytes is the total size of indexed spill files (bases + delta
+	// chains); orphanBytes is what else the boot scan / GC sweeps found in
+	// the directory (crash leftovers — in-flight temp files and the
+	// tombstone sidecar are excluded). Their sum is the served
+	// spill_dir_bytes gauge, and the disk budget bounds it. Both are
 	// guarded by mu.
 	diskBytes   int64
 	orphanBytes int64
-	// blobPutting gates blob uploads (one in flight per session); guarded by
-	// mu. pendingBlobDel tombstones blob keys of acknowledged deletes until
-	// their removal sticks — the read-through path refuses tombstoned keys
-	// and the GC sweep retries the deletes. Guarded by mu.
-	blobPutting    map[string]bool
-	pendingBlobDel map[string]bool
+	// blobPutting gates blob uploads (one in flight per session);
+	// compacting gates chain folds the same way. Guarded by mu.
+	blobPutting map[string]bool
+	compacting  map[string]bool
+	// tombstones is the pending set of deletion tombstones (tombstone.go):
+	// ids of acknowledged deletes whose local unlinks or blob delete have
+	// not stuck yet. Read paths refuse tombstoned ids, boot replays the
+	// sidecar log, and the GC sweep retries until resolution. Guarded by mu.
+	tombstones map[string]*tombstone
 
 	// Write-behind queue state (lifecycle.go).
 	qmu      sync.Mutex
 	queue    chan *Session
 	pending  map[string]bool
+	debounce map[string]*debEntry
 	qClosed  bool
 	inflight atomic.Int64
-	stopGC   chan struct{}
-	wg       sync.WaitGroup
+	// stopBG stops the background loops (GC sweep, coalescing quiet sweep).
+	stopBG chan struct{}
+	wg     sync.WaitGroup
+
+	// tombMu serializes appends/rewrites of the tombstone sidecar log;
+	// tombRecords counts records appended since the last rewrite (the GC
+	// compacts the log when resolved records dominate). See tombstone.go.
+	tombMu      sync.Mutex
+	tombRecords int
 
 	spills        atomic.Int64
+	deltaSpills   atomic.Int64
+	compactions   atomic.Int64
+	staleSpills   atomic.Int64
 	restores      atomic.Int64
 	spillErrors   atomic.Int64
 	restoreErrors atomic.Int64
@@ -159,16 +253,17 @@ func (t *Tiered) faultAt(point string) error {
 // honest when the unlink fails (or a fault skips it): the file still
 // occupies disk, so its bytes move to the orphan share — where the
 // age-based GC will reclaim them — instead of vanishing from the books.
-// Callers must not hold t.mu.
-func (t *Tiered) removeSpillFile(path string, bytes int64, faultPoint string) {
+// Reports whether the file is actually gone. Callers must not hold t.mu.
+func (t *Tiered) removeSpillFile(path string, bytes int64, faultPoint string) bool {
 	if t.faultAt(faultPoint) == nil {
 		if err := os.Remove(path); err == nil || os.IsNotExist(err) {
-			return
+			return true
 		}
 	}
 	t.mu.Lock()
 	t.orphanBytes += bytes
 	t.mu.Unlock()
+	return false
 }
 
 // TieredOption configures NewTiered.
@@ -203,6 +298,35 @@ func WithWriteBehind(queueLen, workers int) TieredOption {
 	}
 }
 
+// WithSpillCoalesce debounces the write-behind queue: a mutated session is
+// scheduled for a spill only after n updates since its last spill, or after
+// quiet with no new mutation — so a dense deletion stream pays one delta
+// segment per batch of n, not one per update. The defaults (1, 0) keep the
+// eager pre-coalescing behavior: every mutation schedules a spill
+// immediately. Eviction, drain and Flush are unaffected — they always
+// persist the current state synchronously, so coalescing trades only how
+// soon the background copy lands, never whether state survives.
+func WithSpillCoalesce(n int, quiet time.Duration) TieredOption {
+	return func(t *Tiered) {
+		if n > 1 {
+			t.coalesceN = n
+		}
+		if quiet > 0 {
+			t.coalesceQuiet = quiet
+		}
+	}
+}
+
+// WithCompaction folds a session's delta chain into a new base snapshot in
+// the background once it holds maxDeltas segments (default 8; <= 0 disables
+// folding). Compaction is a byte splice — merged envelope plus the base's
+// snapshot bytes copied verbatim — published with the same temp + fsync +
+// rename discipline as spills: a crash at any point leaves either the old
+// chain or the new base authoritative, never a mix.
+func WithCompaction(maxDeltas int) TieredOption {
+	return func(t *Tiered) { t.compactAfter = maxDeltas }
+}
+
 // WithSpillGC runs the age-based spill-directory GC every interval: orphaned
 // session files (unindexed — typically left by crashes or failed unlinks of
 // long-deleted sessions) and stale temp files older than age are removed,
@@ -227,20 +351,30 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 		return nil, fmt.Errorf("store: creating spill dir: %w", err)
 	}
 	t := &Tiered{
-		mem:            mem,
-		dir:            dir,
-		index:          make(map[string]*spillEntry),
-		flights:        make(map[string]*flight),
-		pending:        make(map[string]bool),
-		blobPutting:    make(map[string]bool),
-		pendingBlobDel: make(map[string]bool),
-		spillOnEvict:   true,
-		queueLen:       256,
-		workers:        1,
-		gcAge:          time.Hour,
+		mem:          mem,
+		dir:          dir,
+		index:        make(map[string]*spillEntry),
+		flights:      make(map[string]*flight),
+		pending:      make(map[string]bool),
+		debounce:     make(map[string]*debEntry),
+		blobPutting:  make(map[string]bool),
+		compacting:   make(map[string]bool),
+		tombstones:   make(map[string]*tombstone),
+		spillOnEvict: true,
+		queueLen:     256,
+		workers:      1,
+		coalesceN:    1,
+		compactAfter: 8,
+		gcAge:        time.Hour,
 	}
 	for _, opt := range opts {
 		opt(t)
+	}
+	// Tombstones load before anything else reads the directory or the blob
+	// listing: reindex skips (and deletes) files of tombstoned sessions, and
+	// syncBlob refuses to re-adopt their objects.
+	if err := t.loadTombstones(); err != nil {
+		return nil, err
 	}
 	if err := t.reindex(); err != nil {
 		return nil, err
@@ -254,36 +388,51 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 	// constructed (see above), so nothing double counts.
 	for id, e := range t.index {
 		mem.adjustOwned(TenantOf(id), 1, e.charged)
-		mem.adjustSpill(TenantOf(id), e.bytes)
+		mem.adjustSpill(TenantOf(id), e.spillCharged)
 	}
-	mem.onEvictLocked = func(sess *Session) bool {
+	mem.onEvictLocked = func(sess *Session) int {
 		if t.spillOnEvict {
 			// The write-behind queue usually got here first: a clean session
 			// with a current disk copy is preserved by just dropping the
 			// resident copy — no file IO under the victim's lock. The
 			// synchronous spill is the fallback (dirty victim, queue
 			// backlog, or write-behind disabled).
-			if _, err := t.spillLocked(sess); err == nil {
-				return true // preserved: the spill file holds this state
+			_, err := t.spillLocked(sess)
+			if err == nil {
+				return evictPreserved // the spill chain holds this state
 			}
-		} else if !sess.dirty.Load() {
+			if errors.Is(err, errSpillDiskPinned) {
+				// The disk budget is full of files that cannot be reclaimed
+				// (pinned by clean residents, or mid-restore). Dropping the
+				// victim would silently lose a session to make room for a
+				// new one; refuse instead — the enforcer tries another
+				// victim or rejects the registration with typed pressure.
+				return evictRefused
+			}
+		} else if !sess.Dirty() {
 			t.mu.Lock()
 			_, onDisk := t.index[sess.ID]
 			t.mu.Unlock()
 			if onDisk {
-				return true // any disk copy is exactly this state; keep it restorable
+				return evictPreserved // any disk copy is exactly this state
 			}
 		}
 		// The session is leaving memory carrying state the disk tier does
-		// not have (spilling disabled, or the spill failed). A stale disk
-		// copy must not resurrect on the next touch — that would silently
-		// undo honored deletions — so drop it: the session is lost, exactly
+		// not have (spilling disabled, or the spill failed for a reason
+		// pressure cannot fix — tenant cap, IO error). A stale disk copy
+		// must not resurrect on the next touch — that would silently undo
+		// honored deletions — so drop it: the session is lost, exactly
 		// like a memory-only eviction.
 		if t.onEvictLost != nil {
 			t.onEvictLost(sess.ID)
 		}
+		// Mark the copy gone BEFORE invalidating: a worker publish racing
+		// this eviction must observe the flag (publishCut's liveness guard)
+		// and discard its cut, never re-create an index entry for state the
+		// store just declared lost.
+		sess.gone.Store(true)
 		t.invalidate(sess.ID)
-		return false
+		return evictLost
 	}
 	t.startLifecycle()
 	return t, nil
@@ -291,26 +440,49 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 
 // invalidate forgets a session's disk and blob copies (stale relative to
 // state that was just lost with an eviction): a stale copy must not
-// resurrect on the next touch — locally or through the read-through path.
+// resurrect on the next touch — locally, through the read-through path, or
+// after a reboot, which is why the forget is recorded as a durable
+// tombstone before any unlink runs.
 func (t *Tiered) invalidate(id string) {
 	t.mu.Lock()
 	e, ok := t.index[id]
 	if ok {
 		delete(t.index, id)
 		if e.local {
-			t.diskBytes -= e.bytes
+			t.diskBytes -= e.localBytes()
 		}
 	}
 	t.mu.Unlock()
 	if ok {
-		if e.local {
-			t.removeSpillFile(e.path, e.bytes, "invalidate.unlink")
-		}
-		if e.remote {
-			t.blobRemove(id)
-		}
-		t.mem.adjustSpill(TenantOf(id), -e.bytes)
+		t.dropEntryFiles(id, e, "invalidate.unlink")
+		t.mem.adjustSpill(TenantOf(id), -e.spillCharged)
 	}
+}
+
+// dropEntryFiles tombstones id and removes the entry's local chain files and
+// blob object. The tombstone lands (durably) BEFORE any unlink, so a crash
+// anywhere in the removal cannot leave a resurrectable copy behind: boot
+// replays the tombstone, skips the files and retries the blob delete. The
+// caller has already de-indexed the entry and settled the disk gauge.
+func (t *Tiered) dropEntryFiles(id string, e *spillEntry, faultPoint string) {
+	t.tombstoneAdd(id)
+	if e.local {
+		clean := true
+		for _, pb := range e.localPaths() {
+			if !t.removeSpillFile(pb.path, pb.bytes, faultPoint) {
+				clean = false
+			}
+		}
+		if clean {
+			t.tombstoneResolve(id, tombLocal)
+		}
+	} else {
+		t.tombstoneResolve(id, tombLocal)
+	}
+	// Remove the blob object whenever a blob tier is configured, not just
+	// when the entry is marked remote: a push may be in flight (the entry
+	// not yet certified), and the tombstone covers that race.
+	t.blobRemove(id)
 }
 
 // Spillable reports whether a session of this family/updater can be written
@@ -330,6 +502,18 @@ func Spillable(kind string, upd priu.Updater) bool {
 // is scheduled for an eager write-behind snapshot so the eviction that later
 // targets it can drop instead of write.
 func (t *Tiered) Put(sess *Session) error {
+	t.mu.Lock()
+	_, tombstoned := t.tombstones[sess.ID]
+	t.mu.Unlock()
+	if tombstoned {
+		// A re-registration under a tombstoned ID (the service seeds IDs to
+		// avoid reuse, but the store stays correct without that): the
+		// tombstone guarded the OLD state. Make one synchronous attempt to
+		// clear the stale blob object, then retire the tombstone — the new
+		// session's state owns the ID from here.
+		t.blobRemove(sess.ID)
+		t.tombstoneForget(sess.ID)
+	}
 	t.armWriteBehind(sess)
 	if err := t.mem.Put(sess); err != nil {
 		return err
@@ -356,7 +540,7 @@ func (t *Tiered) Get(id string) (*Session, bool) {
 	}
 	e, spilled := t.index[id]
 	if !spilled {
-		if t.blob == nil || t.pendingBlobDel[id] {
+		if t.blob == nil || t.tombstones[id] != nil {
 			t.mu.Unlock()
 			// The session may have become resident between the miss and the
 			// index check (a racing restore that just published). Tombstoned
@@ -416,7 +600,11 @@ func (t *Tiered) Get(id string) (*Session, bool) {
 	return f.sess, f.ok
 }
 
-// Delete implements Store: the session is forgotten in both tiers.
+// Delete implements Store: the session is forgotten in every tier. A
+// durable tombstone is appended BEFORE any unlink or blob delete, so once
+// this returns (and the service acks the DELETE) no crash can resurrect the
+// session: boot replays pending tombstones, removing stray chain files and
+// retrying the blob delete until both stick.
 func (t *Tiered) Delete(id string) bool {
 	resident := t.mem.Delete(id)
 	t.mu.Lock()
@@ -424,24 +612,18 @@ func (t *Tiered) Delete(id string) bool {
 	if spilled {
 		delete(t.index, id)
 		if e.local {
-			t.diskBytes -= e.bytes
+			t.diskBytes -= e.localBytes()
 		}
 	}
 	t.mu.Unlock()
 	if spilled {
 		// Spill-file hygiene: an explicit DELETE forgets the session in
-		// every tier, including its on-disk snapshot and blob object — even
+		// every tier, including its on-disk chain and blob object — even
 		// when a resident copy also existed (the copies would otherwise
 		// outlive the session until the age-based GC or the next boot
 		// reindex, and a blob copy could resurrect through read-through).
-		if e.local {
-			t.removeSpillFile(e.path, e.bytes, "delete.unlink")
-		}
-		// Remove the blob object whenever a blob tier is configured, not just
-		// when the entry is marked remote: a push may be in flight (the entry
-		// not yet certified), and blobRemove's tombstone covers that race.
-		t.blobRemove(id)
-		t.mem.adjustSpill(TenantOf(id), -e.bytes)
+		t.dropEntryFiles(id, e, "delete.unlink")
+		t.mem.adjustSpill(TenantOf(id), -e.spillCharged)
 		if !resident {
 			// Count the disk-only delete on the same shard the session
 			// would live on, keeping per-shard sums consistent, and release
@@ -473,6 +655,9 @@ func (t *Tiered) Range(fn func(*Session) bool) { t.mem.Range(fn) }
 func (t *Tiered) Stats() Stats {
 	st := t.mem.Stats()
 	st.Spills = t.spills.Load()
+	st.DeltaSpills = t.deltaSpills.Load()
+	st.Compactions = t.compactions.Load()
+	st.StaleSpills = t.staleSpills.Load()
 	st.Restores = t.restores.Load()
 	st.Unspillable = t.unspillable.Load()
 	st.SpillMaxBytes = t.maxDiskBytes
@@ -489,7 +674,13 @@ func (t *Tiered) Stats() Stats {
 	st.BlobDemotions = t.blobDemotions.Load()
 	t.mu.Lock()
 	st.SpillDirBytes = t.diskBytes + t.orphanBytes
+	st.PendingTombstones = len(t.tombstones)
 	for id, e := range t.index {
+		st.DeltaSegments += len(e.deltas)
+		fileBytes := e.bytes
+		if e.local {
+			fileBytes = e.localBytes()
+		}
 		if e.remote {
 			st.BlobSessions++
 			st.BlobBytes += e.bytes
@@ -498,9 +689,9 @@ func (t *Tiered) Stats() Stats {
 			continue // resident copy is authoritative; the file is a warm backup
 		}
 		st.Spilled++
-		st.SpilledBytes += e.bytes
+		st.SpilledBytes += fileBytes
 		st.SpilledSessions = append(st.SpilledSessions, SpilledSession{
-			ID: id, Kind: e.kind, CreatedAt: e.createdAt, Bytes: e.bytes,
+			ID: id, Kind: e.kind, CreatedAt: e.createdAt, Bytes: fileBytes,
 			Remote: e.remote && !e.local,
 		})
 		// Per-tenant spilled usage comes from the memory tier's ownership
@@ -542,17 +733,68 @@ func (t *Tiered) Close() error {
 	return firstErr
 }
 
-// spillLocked writes the session's current state to the disk tier,
-// reporting whether a file was actually written (clean sessions with a
-// current disk copy are skipped). Callers hold sess.Mu, so the snapshot is
-// a consistent cut: any deletion applied after it will either be re-applied
-// by a mutator that sees the gone flag or land in a later spill.
-//
-// Publishing enforces the storage bounds in order: the tenant's spill-byte
-// cap (a *QuotaError rejection drops the write), then the global disk
-// budget (evicting LRU spill files to make room), then the atomic rename.
-func (t *Tiered) spillLocked(sess *Session) (bool, error) {
-	if !sess.dirty.Load() {
+// Sentinel errors distinguishing why a publish could not land.
+var (
+	// errStaleSpill reports a publish discarded because the chain tip moved
+	// between the cut and the rename (a racing publish won). The discarded
+	// bytes never reach the index, so a stale publish can never mask a
+	// newer one; callers re-cut from current state when durability is owed.
+	errStaleSpill = errors.New("store: stale spill cut discarded")
+	// errSpillDiskPinned reports a disk budget that could not admit the file
+	// because nothing reclaimable remains (every candidate pinned by a clean
+	// resident or mid-restore) — transient pressure, not an IO failure.
+	errSpillDiskPinned = errors.New("store: disk budget exhausted and every spill file is pinned")
+)
+
+// spillCut is one consistent cut of a session's state, captured under
+// Session.Mu (cutLocked) and serialized + published — temp file + fsync +
+// atomic rename — after the lock is released (publishCut). The capture
+// copies only the mutable fields (counters, the deletion-log slice); the
+// training set and updater are immutable once captured (Update allocates
+// its own scratch), so the expensive snapshot serialization reads them
+// safely off-lock. payload holds the complete file bytes once serialized:
+// a small delta segment carrying only the deletion-log suffix when the cut
+// extends an existing chain, a full v2 base snapshot otherwise.
+type spillCut struct {
+	sess      *Session
+	id        string
+	kind      string
+	createdAt time.Time
+	// ds/upd are the immutable capture inputs a base cut serializes
+	// off-lock; deleted is the full log copy for a base envelope, entries
+	// the O(batch) suffix for a delta segment.
+	ds      priu.TrainingSet
+	upd     priu.Updater
+	deleted []int
+	entries []int
+	// gen is sess.gen at the cut; a successful publish advances
+	// persistedGen to it (CAS-max, so a stale publish cannot mask a newer
+	// mutation's dirtiness).
+	gen       int64
+	updates   int64
+	lastUpd   float64
+	footprint int64
+	payload   []byte
+	sum       []byte
+	isDelta   bool
+	// fromLen/fromUpdates name the chain tip a delta cut extends — the
+	// publish guard; toLen is the deletion-log length at the cut.
+	fromLen     int64
+	fromUpdates int64
+	toLen       int64
+}
+
+// cutLocked captures a consistent cut of the session's state — the only
+// part of a spill that must happen under sess.Mu, and it is O(batch): copy
+// the counters and the deletion-log suffix (or, for a base, the log slice),
+// no snapshot serialization and no IO. It returns a nil cut (no error) when
+// there is nothing to write: the session is clean and its chain current (a
+// file whose blob upload previously failed is healed here, as before). When
+// the indexed chain covers a prefix of the current deletion log, the cut is
+// a delta segment — O(batch) bytes, not O(session) — otherwise a full v2
+// base.
+func (t *Tiered) cutLocked(sess *Session) (*spillCut, error) {
+	if !sess.Dirty() {
 		t.mu.Lock()
 		e, onDisk := t.index[sess.ID]
 		needPush := onDisk && t.blob != nil && e.local && !e.remote
@@ -560,180 +802,370 @@ func (t *Tiered) spillLocked(sess *Session) (bool, error) {
 		if onDisk {
 			// Clean and already spilled: nothing to write. The disk-budget
 			// evictor never reclaims a clean session's only copy (a clean
-			// resident's file without blob backing is pinned; a blob-backed
-			// file may be demoted but its entry survives), so the copy this
-			// decision relies on cannot vanish underneath it. A file whose
-			// blob upload previously failed is healed here.
+			// resident's chain without blob backing is pinned; a blob-backed
+			// chain may be demoted but its entry survives), so the copy this
+			// decision relies on cannot vanish underneath it.
 			if needPush {
 				_ = t.blobPush(sess.ID)
 			}
-			return false, nil
+			return nil, nil
 		}
 	}
 	if !Spillable(sess.Kind, sess.Upd) {
 		t.unspillable.Add(1)
-		return false, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
+		return nil, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
 	}
+	cut := &spillCut{
+		sess: sess, id: sess.ID, kind: sess.Kind, createdAt: sess.CreatedAt,
+		gen: sess.gen.Load(), updates: sess.Updates, lastUpd: sess.LastUpdateSeconds,
+		footprint: sess.footprint, toLen: int64(len(sess.Deleted)),
+	}
+	t.mu.Lock()
+	if e := t.index[sess.ID]; e != nil && e.local && e.logLen >= 0 && e.logLen <= cut.toLen {
+		// The chain covers a prefix of the current log (v1 bases report -1
+		// and force a base rewrite): spill only the suffix. The deletion
+		// log is append-only per session, so a prefix-length match means a
+		// content match — the publish guard re-checks the tip under t.mu.
+		cut.isDelta = true
+		cut.fromLen = e.logLen
+		cut.fromUpdates = e.updates
+	}
+	t.mu.Unlock()
+	if cut.isDelta && cut.fromLen == cut.toLen && cut.fromUpdates == cut.updates {
+		// Dirty by generation but the chain tip already matches the log and
+		// counters exactly — the chain holds this logical state (deletion is
+		// the only mutation, and it always moves the log or the counter).
+		sess.persistUpTo(cut.gen)
+		return nil, nil
+	}
+	if cut.isDelta {
+		cut.entries = append([]int(nil), sess.Deleted[cut.fromLen:cut.toLen]...)
+	} else {
+		cut.ds, cut.upd = sess.DS, sess.Upd
+		cut.deleted = append([]int(nil), sess.Deleted...)
+	}
+	return cut, nil
+}
+
+// serialize renders the cut's file bytes into the payload buffer. Called
+// from publishCut, which write-behind workers reach after releasing the
+// session lock — the capture copied every mutable input, and the training
+// set and updater never mutate after capture, so even the O(session) base
+// snapshot serializes without blocking readers.
+func (cut *spillCut) serialize() error {
+	var buf bytes.Buffer
+	h := sha256.New()
+	w := io.MultiWriter(&buf, h)
+	if cut.isDelta {
+		if err := writeDeltaSegment(w, cut, cut.entries); err != nil {
+			return fmt.Errorf("store: cutting delta for %s: %w", cut.id, err)
+		}
+	} else {
+		// v2 base: the deletion log lives in the envelope; the embedded
+		// snapshot's own log section is written empty, which is what makes
+		// compaction a byte splice.
+		if err := writeSpillEnvelope(w, cut.id, cut.kind, cut.createdAt, cut.updates, cut.lastUpd, cut.deleted); err != nil {
+			return err
+		}
+		if err := priu.WriteSessionSnapshot(w, cut.kind, cut.ds, cut.upd, nil); err != nil {
+			return fmt.Errorf("store: snapshotting session %s: %w", cut.id, err)
+		}
+	}
+	cut.payload = buf.Bytes()
+	cut.sum = h.Sum(nil)
+	return nil
+}
+
+// publishCut writes a cut's payload to a temp file, fsyncs, and publishes it
+// with an atomic rename — all without holding the session's Mu (write-behind
+// workers call it after releasing the lock; synchronous callers may still
+// hold it). The rename happens under t.mu behind the chain guard: a delta
+// lands only if the entry's tip still names exactly the (logLen, updates)
+// the cut extends, and a base only if it is not older than the indexed tip —
+// so a stale publish is discarded (errStaleSpill), never installed.
+//
+// Publishing enforces the storage bounds in order: the tenant's spill-byte
+// cap (a *QuotaError rejection drops the write), then the global disk
+// budget (evicting LRU spill files to make room), then the rename.
+func (t *Tiered) publishCut(cut *spillCut) (bool, error) {
 	spillStart := time.Now()
-	tmpName, size, sum, err := t.writeSpillTemp(sess)
+	if cut.payload == nil {
+		if err := t.faultAt("spill.serialize"); err != nil {
+			t.spillErrors.Add(1)
+			return false, err
+		}
+		if err := cut.serialize(); err != nil {
+			t.spillErrors.Add(1)
+			return false, err
+		}
+	}
+	tmpName, err := t.writeTempPayload(cut.payload)
 	if err != nil {
 		t.spillErrors.Add(1)
 		return false, err
 	}
-	ten := TenantOf(sess.ID)
-	final := filepath.Join(t.dir, hex.EncodeToString(sum)[:32]+spillExt)
-	// Reserve and publish in one critical section. The session's existing
-	// file (if any) is replaced, so both the tenant cap and the disk budget
-	// are charged the byte DELTA against it — a same-size rewrite near the
-	// cap never spuriously fails (the brief both-files window between the
-	// rename and the old-file unlink is tolerated like in-flight temps).
+	size := int64(len(cut.payload))
+	ext := spillExt
+	if cut.isDelta {
+		ext = deltaExt
+	}
+	final := filepath.Join(t.dir, hex.EncodeToString(cut.sum)[:32]+ext)
+	ten := TenantOf(cut.id)
 	t.mu.Lock()
-	old := t.index[sess.ID]
-	var oldBytes int64
-	if old != nil {
-		oldBytes = old.bytes
+	e := t.index[cut.id]
+	if cut.isDelta {
+		if e == nil || !e.local || e.logLen != cut.fromLen || e.updates != cut.fromUpdates {
+			t.mu.Unlock()
+			_ = os.Remove(tmpName)
+			t.staleSpills.Add(1)
+			return false, errStaleSpill
+		}
+	} else if e != nil && (e.updates > cut.updates ||
+		(e.updates == cut.updates && e.logLen > cut.toLen)) {
+		t.mu.Unlock()
+		_ = os.Remove(tmpName)
+		t.staleSpills.Add(1)
+		return false, errStaleSpill
+	} else if e == nil && cut.sess.gone.Load() {
+		// First base for this id, but the copy the cut came from has left
+		// the store — a Delete or lost eviction landed between the cut and
+		// this publish, dropped the index entry and retired any tombstone.
+		// Installing the stale cut now would resurrect state the caller was
+		// told is gone. (Every removal path — Delete, eviction, duplicate
+		// Put — marks the outgoing copy gone before releasing t.mu, so the
+		// flag is authoritative here.)
+		t.mu.Unlock()
+		_ = os.Remove(tmpName)
+		t.staleSpills.Add(1)
+		return false, errStaleSpill
 	}
-	delta := size - oldBytes
-	// The disk gauge counts only local cache files: replacing a remote-only
-	// entry (demoted cache, or adopted from the blob tier) charges the full
-	// new file, not the delta against bytes that never lived here.
-	diskDelta := size
-	if old != nil && old.local {
-		diskDelta = size - old.bytes
+	// Reserve and publish in one critical section. A delta charges only its
+	// own bytes on top of the chain; a base replaces the whole chain, so
+	// both the tenant cap and the disk budget are charged the byte DELTA
+	// against it — a same-size rewrite near the cap never spuriously fails
+	// (the brief both-files window between the rename and the old-file
+	// unlinks is tolerated like in-flight temps).
+	var oldCharge int64
+	if e != nil {
+		oldCharge = e.spillCharged
 	}
-	if err := t.mem.reserveSpill(ten, delta); err != nil {
+	newCharge := size
+	if cut.isDelta {
+		newCharge = oldCharge + size
+	}
+	if err := t.mem.reserveSpill(ten, newCharge-oldCharge); err != nil {
 		t.mu.Unlock()
 		_ = os.Remove(tmpName)
 		t.spillErrors.Add(1)
 		return false, err
 	}
-	if !t.reserveDiskLocked(diskDelta, sess.ID) {
+	// The disk gauge counts only local files: replacing a remote-only entry
+	// (demoted cache, or adopted from the blob tier) charges the full new
+	// file, not the delta against bytes that never lived here.
+	diskDelta := size
+	if !cut.isDelta && e != nil && e.local {
+		diskDelta = size - e.localBytes()
+	}
+	ok, pinned := t.reserveDiskLocked(diskDelta, cut.id)
+	if !ok {
 		budget := t.maxDiskBytes
 		t.mu.Unlock()
-		t.mem.adjustSpill(ten, -delta)
+		t.mem.adjustSpill(ten, oldCharge-newCharge)
 		_ = os.Remove(tmpName)
 		t.spillErrors.Add(1)
-		return false, fmt.Errorf("store: spilling %s: %d bytes cannot fit the %d-byte disk budget", sess.ID, size, budget)
+		if pinned {
+			return false, fmt.Errorf("store: spilling %s: %d bytes cannot fit the %d-byte disk budget: %w",
+				cut.id, size, budget, errSpillDiskPinned)
+		}
+		return false, fmt.Errorf("store: spilling %s: %d bytes cannot fit the %d-byte disk budget", cut.id, size, budget)
 	}
 	if err := os.Rename(tmpName, final); err != nil {
 		t.diskBytes -= diskDelta
 		t.mu.Unlock()
-		t.mem.adjustSpill(ten, -delta)
+		t.mem.adjustSpill(ten, oldCharge-newCharge)
 		_ = os.Remove(tmpName)
 		t.spillErrors.Add(1)
 		return false, fmt.Errorf("store: publishing spill file: %w", err)
 	}
-	t.index[sess.ID] = &spillEntry{
-		path: final, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
-		local: true, updates: sess.Updates,
-		charged: sess.footprint, lastUsed: time.Now().UnixNano(),
+	now := time.Now().UnixNano()
+	var oldFiles []pathBytes
+	chainLen := 0
+	if cut.isDelta {
+		e.deltas = append(e.deltas, deltaSeg{
+			path: final, bytes: size, fromLen: cut.fromLen, fromUpdates: cut.fromUpdates,
+			entries: cut.toLen - cut.fromLen, updates: cut.updates, lastUpd: cut.lastUpd,
+		})
+		e.logLen = cut.toLen
+		e.updates = cut.updates
+		e.spillCharged = newCharge
+		// The blob object (if any) no longer holds the tip; the push below
+		// (or the GC heal pass) re-certifies it from the spliced chain.
+		e.remote = false
+		e.lastUsed = now
+		chainLen = len(e.deltas)
+	} else {
+		if e != nil && e.local {
+			for _, pb := range e.localPaths() {
+				// When the content hash (and so the path) is identical the
+				// rename already overwrote the old base in place.
+				if pb.path != final {
+					oldFiles = append(oldFiles, pb)
+				}
+			}
+		}
+		t.index[cut.id] = &spillEntry{
+			path: final, bytes: size, kind: cut.kind, createdAt: cut.createdAt,
+			local: true, updates: cut.updates, logLen: cut.toLen,
+			charged: cut.footprint, spillCharged: newCharge, lastUsed: now,
+		}
 	}
-	// Clear dirty inside the same critical section that published the entry:
-	// the disk-budget evictor classifies files by this flag under t.mu, and
-	// must never observe the fresh file still marked dirty — it could
-	// reclaim it while a concurrent eviction concludes "preserved".
-	sess.dirty.Store(false)
+	// Advance persistedGen inside the same critical section that published
+	// the entry: the disk-budget evictor classifies files by Dirty() under
+	// t.mu, and must never observe the fresh chain still marked dirty — it
+	// could reclaim it while a concurrent eviction concludes "preserved".
+	// persistUpTo is a CAS-max, so if the session object was re-registered
+	// or restored meanwhile this is a no-op, never a regression.
+	cut.sess.persistUpTo(cut.gen)
 	t.mu.Unlock()
-	if old != nil && old.local && old.path != final {
-		// When the content hash (and so the path) is identical the rename
-		// already overwrote the old file in place.
-		t.removeSpillFile(old.path, oldBytes, "spill.unlink-old")
+	for _, pb := range oldFiles {
+		t.removeSpillFile(pb.path, pb.bytes, "spill.unlink-old")
 	}
 	t.spills.Add(1)
+	if cut.isDelta {
+		t.deltaSpills.Add(1)
+	}
 	if m := t.metrics; m != nil {
 		observeSince(m.SpillSeconds, spillStart)
 	}
-	// Write-behind to the shared tier: push the just-published file up. A
+	// Write-behind to the shared tier: push the just-published tip up. A
 	// failure leaves the entry local-only — restorable here, healed upward by
 	// the GC sweep — and never fails the spill (local durability landed).
 	if t.blob != nil {
-		_ = t.blobPush(sess.ID)
+		_ = t.blobPush(cut.id)
+	}
+	if cut.isDelta && t.compactAfter > 0 && chainLen >= t.compactAfter {
+		t.scheduleCompact(cut.id)
 	}
 	return true, nil
 }
 
-// writeSpillTemp serializes the session to a temp file in the spill
-// directory, returning its path, size and content hash. The caller owns the
-// temp file (rename or remove).
-func (t *Tiered) writeSpillTemp(sess *Session) (string, int64, []byte, error) {
+// spillLocked writes the session's current state to the disk tier,
+// reporting whether a file was actually written (clean sessions with a
+// current chain are skipped). Callers hold sess.Mu, so the cut is
+// consistent: any deletion applied after it will either be re-applied by a
+// mutator that sees the gone flag or land in a later spill. A publish that
+// loses the chain race to an OLDER in-flight background publish re-cuts
+// from the (still locked, hence unchanged) current state and retries, so
+// this never returns success for anything but the session's latest
+// generation — the synchronous eviction fallback always persists the
+// current state, never an enqueued stale buffer.
+func (t *Tiered) spillLocked(sess *Session) (bool, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		cut, err := t.cutLocked(sess)
+		if err != nil || cut == nil {
+			return false, err
+		}
+		wrote, err := t.publishCut(cut)
+		if errors.Is(err, errStaleSpill) {
+			continue // an in-flight background publish moved the tip; re-cut
+		}
+		return wrote, err
+	}
+	return false, fmt.Errorf("store: spill of %s kept losing the publish race", sess.ID)
+}
+
+// writeTempPayload writes a serialized cut to a temp file in the spill
+// directory and fsyncs it. The caller owns the temp file (rename or remove).
+func (t *Tiered) writeTempPayload(payload []byte) (string, error) {
 	if err := t.faultAt("spill.create-temp"); err != nil {
-		return "", 0, nil, err
+		return "", err
 	}
 	tmp, err := os.CreateTemp(t.dir, spillTmp+"*")
 	if err != nil {
-		return "", 0, nil, fmt.Errorf("store: creating spill temp file: %w", err)
+		return "", fmt.Errorf("store: creating spill temp file: %w", err)
 	}
 	tmpName := tmp.Name()
-	fail := func(err error) (string, int64, []byte, error) {
+	if _, err := tmp.Write(payload); err != nil {
 		tmp.Close()
 		_ = os.Remove(tmpName)
-		return "", 0, nil, err
-	}
-	h := sha256.New()
-	w := io.MultiWriter(tmp, h)
-	bw := binio.NewWriter(w)
-	bw.Bytes([]byte(spillMagic))
-	bw.U64(spillVersion)
-	bw.Str(sess.ID)
-	bw.Str(sess.Kind)
-	bw.I64(sess.CreatedAt.UnixNano())
-	bw.I64(sess.Updates)
-	bw.F64(sess.LastUpdateSeconds)
-	if err := bw.Flush(); err != nil {
-		return fail(err)
-	}
-	if err := priu.WriteSessionSnapshot(w, sess.Kind, sess.DS, sess.Upd, sess.Deleted); err != nil {
-		return fail(fmt.Errorf("store: snapshotting session %s: %w", sess.ID, err))
+		return "", err
 	}
 	syncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
-		return fail(err)
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return "", err
 	}
 	if m := t.metrics; m != nil {
 		observeSince(m.FsyncSeconds, syncStart)
-	}
-	size, err := tmp.Seek(0, io.SeekCurrent)
-	if err != nil {
-		return fail(err)
 	}
 	if err := t.faultAt("spill.after-temp"); err != nil {
 		// Simulated crash after the temp write: the file stays behind, as a
 		// real kill would leave it, for reindex/GC to clean up.
 		tmp.Close()
-		return "", 0, nil, err
+		return "", err
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmpName)
-		return "", 0, nil, err
+		return "", err
 	}
-	return tmpName, size, h.Sum(nil), nil
+	return tmpName, nil
 }
 
 // spillEnvelope is the decoded header of one spill file.
 type spillEnvelope struct {
+	version           int
 	id                string
 	kind              string
 	createdAt         time.Time
 	updates           int64
 	lastUpdateSeconds float64
+	// deleted is the full deletion log — v2 envelopes carry it here, ahead
+	// of the embedded snapshot, so compaction can splice logs without
+	// decoding the model. v1 files keep the log inside the snapshot and
+	// leave this nil.
+	deleted []int
 }
 
-// readSpillEnvelope decodes a spill file's header, returning the reader
-// positioned at the embedded session snapshot.
+// logLen reports the envelope's deletion-log length for chain-tip purposes:
+// v1 envelopes are opaque (-1) because their log is buried in the snapshot.
+func (env *spillEnvelope) logLen() int64 {
+	if env.version < 2 {
+		return -1
+	}
+	return int64(len(env.deleted))
+}
+
+// readSpillEnvelope decodes a spill file's header (v1 or v2), returning the
+// reader positioned at the embedded session snapshot.
 func readSpillEnvelope(r io.Reader) (*binio.Reader, spillEnvelope, error) {
 	br := binio.NewReader(r)
 	var env spillEnvelope
 	if err := br.Magic(spillMagic); err != nil {
 		return nil, env, fmt.Errorf("store: %w", err)
 	}
-	if v := br.U64(); v != spillVersion {
+	v := br.U64()
+	if br.Err == nil && v != 1 && v != spillVersion {
 		return nil, env, fmt.Errorf("store: unsupported spill-file version %d", v)
 	}
+	env.version = int(v)
 	env.id = br.Str(maxSpillName)
 	env.kind = br.Str(maxSpillName)
 	env.createdAt = time.Unix(0, br.I64())
 	env.updates = br.I64()
 	env.lastUpdateSeconds = br.F64()
+	if env.version >= 2 {
+		n := br.U64()
+		if br.Err == nil && n > uint64(binio.MaxElems) {
+			return nil, env, fmt.Errorf("store: spill deletion log claims %d entries", n)
+		}
+		// Grow incrementally so a torn length prefix can't force a huge
+		// allocation before the short read surfaces.
+		env.deleted = make([]int, 0, min(int(n), 4096))
+		for i := uint64(0); i < n && br.Err == nil; i++ {
+			env.deleted = append(env.deleted, int(br.I64()))
+		}
+	}
 	if br.Err != nil {
 		return nil, env, br.Err
 	}
@@ -743,10 +1175,39 @@ func readSpillEnvelope(r io.Reader) (*binio.Reader, spillEnvelope, error) {
 	return br, env, nil
 }
 
+// writeSpillEnvelope writes a v2 spill-file header, including the full
+// deletion log, leaving the writer positioned for the embedded snapshot
+// (which is then written with a nil log).
+func writeSpillEnvelope(w io.Writer, id, kind string, createdAt time.Time, updates int64, lastUpd float64, deleted []int) error {
+	bw := binio.NewWriter(w)
+	bw.Bytes([]byte(spillMagic))
+	bw.U64(spillVersion)
+	bw.Str(id)
+	bw.Str(kind)
+	bw.I64(createdAt.UnixNano())
+	bw.I64(updates)
+	bw.F64(lastUpd)
+	bw.U64(uint64(len(deleted)))
+	for _, v := range deleted {
+		bw.I64(int64(v))
+	}
+	return bw.Flush()
+}
+
+// chainTail carries the deletion-log suffix and tip counters accumulated
+// from a base's delta segments, to be replayed on top of it at restore.
+type chainTail struct {
+	entries []int
+	updates int64
+	lastUpd float64
+}
+
 // buildSession decodes a spill envelope and its embedded snapshot from r and
-// rebuilds the session, replaying the deletion log so every honored deletion
-// stays deleted in the restored model.
-func (t *Tiered) buildSession(id string, r io.Reader) (*Session, spillEnvelope, error) {
+// rebuilds the session, replaying the full deletion log — the base's own log
+// (envelope-carried for v2, snapshot-carried for v1) plus any delta-chain
+// tail — in one Update call, so every honored deletion stays deleted in the
+// restored model.
+func (t *Tiered) buildSession(id string, r io.Reader, tail *chainTail) (*Session, spillEnvelope, error) {
 	br, env, err := readSpillEnvelope(r)
 	if err != nil {
 		return nil, env, err
@@ -754,9 +1215,18 @@ func (t *Tiered) buildSession(id string, r io.Reader) (*Session, spillEnvelope, 
 	if env.id != id {
 		return nil, env, fmt.Errorf("store: spill data holds session %s, want %s", env.id, id)
 	}
-	family, ds, upd, deleted, err := priu.ReadSessionSnapshot(br.R)
+	family, ds, upd, snapDeleted, err := priu.ReadSessionSnapshot(br.R)
 	if err != nil {
 		return nil, env, fmt.Errorf("store: restoring session %s: %w", id, err)
+	}
+	deleted := env.deleted
+	if len(snapDeleted) > 0 {
+		deleted = append(deleted, snapDeleted...)
+	}
+	updates, lastUpd := env.updates, env.lastUpdateSeconds
+	if tail != nil && len(tail.entries) > 0 {
+		deleted = append(append([]int(nil), deleted...), tail.entries...)
+		updates, lastUpd = tail.updates, tail.lastUpd
 	}
 	model := upd.Model()
 	if len(deleted) > 0 {
@@ -773,27 +1243,51 @@ func (t *Tiered) buildSession(id string, r io.Reader) (*Session, spillEnvelope, 
 		Upd:               upd,
 		Model:             model,
 		Deleted:           deleted,
-		Updates:           env.updates,
-		LastUpdateSeconds: env.lastUpdateSeconds,
+		Updates:           updates,
+		LastUpdateSeconds: lastUpd,
 		footprint:         TrainingSetBytes(ds) + upd.FootprintBytes(),
-		// Not dirty: the spilled copy is exactly this state.
+		// gen == persistedGen == 0: the spilled chain is exactly this state.
 	}
 	sess.Touch()
 	return sess, env, nil
 }
 
-// restore rebuilds a session from its spill entry — the local cache file
-// when one exists, the shared blob tier otherwise — and publishes it to the
-// in-memory tier.
+// restore rebuilds a session from its spill entry — the local base + delta
+// chain when one exists, the shared blob tier otherwise — and publishes it
+// to the in-memory tier. The chain is snapshotted under t.mu so a racing
+// publish cannot change it mid-read; compaction defers while a restore
+// flight is registered, so the snapshotted files stay on disk.
 func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 	restoreStart := time.Now()
+	t.mu.Lock()
+	local := e.local
+	base := e.path
+	segs := append([]deltaSeg(nil), e.deltas...)
+	t.mu.Unlock()
 	var src io.ReadCloser
-	if e.local {
-		f, err := os.Open(e.path)
+	var tail *chainTail
+	if local {
+		f, err := os.Open(base)
 		if err != nil {
 			return nil, fmt.Errorf("store: opening spill file for %s: %w", id, err)
 		}
 		src = f
+		if len(segs) > 0 {
+			tail = &chainTail{}
+			for _, sg := range segs {
+				d, err := readDeltaFile(sg.path)
+				if err != nil {
+					src.Close()
+					return nil, fmt.Errorf("store: reading delta segment for %s: %w", id, err)
+				}
+				if d.id != id || d.fromLen != sg.fromLen || d.fromUpdates != sg.fromUpdates {
+					src.Close()
+					return nil, fmt.Errorf("store: delta segment %s does not extend %s's chain", sg.path, id)
+				}
+				tail.entries = append(tail.entries, d.entries...)
+				tail.updates, tail.lastUpd = d.updates, d.lastUpd
+			}
+		}
 	} else {
 		if err := t.faultAt("blob.get"); err != nil {
 			return nil, err
@@ -813,7 +1307,7 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 		src = rc
 	}
 	defer src.Close()
-	sess, _, err := t.buildSession(id, src)
+	sess, _, err := t.buildSession(id, src, tail)
 	if err != nil {
 		return nil, err
 	}
@@ -840,24 +1334,54 @@ func (t *Tiered) restore(id string, e *spillEntry) (*Session, error) {
 }
 
 // reindex scans the spill directory on boot: temp files from interrupted
-// spills are removed, session files are indexed by the envelope header, and
-// when several files claim the same session (a crash between publishing a
-// new spill and unlinking the old one) the newest wins — decided primarily
-// by the envelope's monotonic per-session update counter, since file mtimes
-// can tie on coarse-timestamp filesystems, with mtime as the tiebreak. The
-// scan also seeds the maintained spill_dir_bytes gauge (indexed files plus
-// whatever unreadable leftovers remain for GC).
+// spills are removed, base files are indexed by the envelope header, and
+// delta segments are re-attached to their base by (fromLen, fromUpdates)
+// continuity. When several bases claim the same session (a crash between
+// publishing a new base — spill or compaction — and unlinking the old
+// chain) the newest wins, decided by the envelope's monotonic per-session
+// update counter, then by deletion-log length (a just-compacted base ties
+// its source chain's tip on updates), then file mtime. Files of tombstoned
+// sessions are deleted, never indexed, so an acknowledged deletion cannot
+// resurrect through a leftover chain. Torn delta segments (unreadable
+// header or truncated entries) are dropped — the chain prefix before them
+// remains authoritative. The scan also seeds the maintained
+// spill_dir_bytes gauge (indexed files plus whatever unreadable leftovers
+// remain for GC).
 func (t *Tiered) reindex() error {
 	entries, err := os.ReadDir(t.dir)
 	if err != nil {
 		return fmt.Errorf("store: reading spill dir: %w", err)
 	}
-	type version struct {
-		updates int64
-		mtime   time.Time
+	type baseFile struct {
+		path   string
+		size   int64
+		mtime  time.Time
+		env    spillEnvelope
+		logLen int64
 	}
-	newest := make(map[string]version)
+	type deltaFile struct {
+		path  string
+		size  int64
+		mtime time.Time
+		hdr   deltaHeader
+	}
+	bases := make(map[string][]baseFile)
+	deltas := make(map[string][]deltaFile)
 	var orphanBytes int64
+	tombSwept := make(map[string]bool) // tombstoned ids whose files all unlinked cleanly
+	for id := range t.tombstones {
+		tombSwept[id] = true
+	}
+	tombDrop := func(id, path string) bool {
+		ts := t.tombstones[id]
+		if ts == nil || ts.localClean {
+			return false
+		}
+		if err := os.Remove(path); err != nil {
+			tombSwept[id] = false
+		}
+		return true
+	}
 	for _, de := range entries {
 		name := de.Name()
 		path := filepath.Join(t.dir, name)
@@ -865,53 +1389,137 @@ func (t *Tiered) reindex() error {
 			_ = os.Remove(path)
 			continue
 		}
-		if de.IsDir() {
+		if de.IsDir() || name == tombstoneFile {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
 			continue
 		}
-		if !strings.HasSuffix(name, spillExt) {
-			orphanBytes += info.Size()
-			continue
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			orphanBytes += info.Size()
-			continue
-		}
-		_, env, err := readSpillEnvelope(f)
-		f.Close()
-		if err != nil {
-			// Unreadable header: not one of ours (or torn by something other
-			// than our atomic writes); don't index it — the age-based GC
-			// will sweep it once it is old enough.
-			orphanBytes += info.Size()
-			continue
-		}
-		v := version{updates: env.updates, mtime: info.ModTime()}
-		if prev, dup := t.index[env.id]; dup {
-			pv := newest[env.id]
-			older := v.updates < pv.updates ||
-				(v.updates == pv.updates && !v.mtime.After(pv.mtime))
-			if older {
-				_ = os.Remove(path)
+		switch {
+		case strings.HasSuffix(name, spillExt):
+			f, err := os.Open(path)
+			if err != nil {
+				orphanBytes += info.Size()
 				continue
 			}
-			_ = os.Remove(prev.path)
-			t.diskBytes -= prev.bytes
+			_, env, err := readSpillEnvelope(f)
+			f.Close()
+			if err != nil {
+				// Unreadable header: not one of ours (or torn by something
+				// other than our atomic writes); don't index it — the
+				// age-based GC will sweep it once it is old enough.
+				orphanBytes += info.Size()
+				continue
+			}
+			if tombDrop(env.id, path) {
+				continue
+			}
+			bases[env.id] = append(bases[env.id], baseFile{
+				path: path, size: info.Size(), mtime: info.ModTime(),
+				env: env, logLen: env.logLen(),
+			})
+		case strings.HasSuffix(name, deltaExt):
+			hdr, err := readDeltaHeaderFile(path)
+			if err != nil {
+				if hdr.id != "" {
+					// The header decoded but the entries are torn: this is
+					// one of our segments with a truncated body, and no
+					// restore can ever replay it — remove it now so the
+					// intact chain prefix serves without a poisoned tail.
+					_ = os.Remove(path)
+				} else {
+					orphanBytes += info.Size()
+				}
+				continue
+			}
+			if tombDrop(hdr.id, path) {
+				continue
+			}
+			deltas[hdr.id] = append(deltas[hdr.id], deltaFile{
+				path: path, size: info.Size(), mtime: info.ModTime(), hdr: hdr,
+			})
+		default:
+			orphanBytes += info.Size()
 		}
-		newest[env.id] = v
-		t.index[env.id] = &spillEntry{
-			path: path, bytes: info.Size(), kind: env.kind, createdAt: env.createdAt,
-			local: true, updates: env.updates,
-			// The resident footprint isn't known without restoring; bill the
-			// file size until the first restore settles the difference.
-			charged:  info.Size(),
-			lastUsed: info.ModTime().UnixNano(),
+	}
+	for id, cands := range bases {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			b, p := cands[i], cands[best]
+			if b.env.updates > p.env.updates ||
+				(b.env.updates == p.env.updates && b.logLen > p.logLen) ||
+				(b.env.updates == p.env.updates && b.logLen == p.logLen && b.mtime.After(p.mtime)) {
+				best = i
+			}
 		}
-		t.diskBytes += info.Size()
+		for i, b := range cands {
+			if i != best {
+				_ = os.Remove(b.path)
+			}
+		}
+		b := cands[best]
+		e := &spillEntry{
+			path: b.path, bytes: b.size, kind: b.env.kind, createdAt: b.env.createdAt,
+			local: true, updates: b.env.updates, logLen: b.logLen,
+			lastUsed: b.mtime.UnixNano(),
+		}
+		// Re-attach the delta chain by tip continuity. v1 bases (-1) are
+		// opaque — no deltas can extend them. Segments that don't chain
+		// (superseded by a compaction, or following a torn segment) are
+		// unlinked: the indexed chain must replay without gaps.
+		rest := deltas[id]
+		delete(deltas, id)
+		if e.logLen >= 0 {
+			for {
+				found := -1
+				for i, d := range rest {
+					if d.hdr.fromLen == e.logLen && d.hdr.fromUpdates == e.updates {
+						found = i
+						break
+					}
+				}
+				if found < 0 {
+					break
+				}
+				d := rest[found]
+				rest = append(rest[:found], rest[found+1:]...)
+				e.deltas = append(e.deltas, deltaSeg{
+					path: d.path, bytes: d.size, fromLen: d.hdr.fromLen,
+					fromUpdates: d.hdr.fromUpdates, entries: d.hdr.entries,
+					updates: d.hdr.updates, lastUpd: d.hdr.lastUpd,
+				})
+				e.logLen = d.hdr.fromLen + d.hdr.entries
+				e.updates = d.hdr.updates
+				if ts := d.mtime.UnixNano(); ts > e.lastUsed {
+					e.lastUsed = ts
+				}
+			}
+		}
+		for _, d := range rest {
+			_ = os.Remove(d.path)
+		}
+		// The resident footprint isn't known without restoring; bill the
+		// chain size until the first restore settles the difference.
+		total := e.localBytes()
+		e.charged = total
+		e.spillCharged = total
+		t.index[id] = e
+		t.diskBytes += total
+	}
+	// Delta segments with no base at all (their base's publish never landed,
+	// or it was superseded and swept): unusable, remove.
+	for _, ds := range deltas {
+		for _, d := range ds {
+			_ = os.Remove(d.path)
+		}
+	}
+	// Every local file of a tombstoned session has now been unlinked (or
+	// none existed): resolve the local side of those tombstones.
+	for id, clean := range tombSwept {
+		if clean {
+			t.tombstoneResolve(id, tombLocal)
+		}
 	}
 	t.orphanBytes = orphanBytes
 	return nil

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"time"
@@ -8,18 +9,21 @@ import (
 
 // Blob-tier wiring for Tiered: the local spill directory acts as a
 // read-through/write-behind cache of a shared BlobStore. Every published
-// spill file is pushed up (blobPush), cold misses with no local file fall
-// through to the blob tier (adopt), the boot scan reconciles the local cache
-// against the shared tier newest-wins (syncBlob), and explicit deletes
-// tombstone the blob key until its removal sticks — so an acknowledged
-// deletion can never resurrect through the read-through path. ReleaseUnowned
-// is the fleet handoff: it drains sessions this node no longer owns to the
+// spill lands in the blob tier as ONE spliced v2 object (blobPush folds the
+// local base + delta chain on the way up — remote replicas never need our
+// segment files), cold misses with no local file fall through to the blob
+// tier (adopt), the boot scan reconciles the local cache against the shared
+// tier newest-wins (syncBlob), and explicit deletes tombstone the blob key
+// — durably, via the tombstone sidecar log (tombstone.go) — until its
+// removal sticks, so an acknowledged deletion can never resurrect through
+// the read-through path, even across a crash and reboot. ReleaseUnowned is
+// the fleet handoff: it drains sessions this node no longer owns to the
 // blob tier and forgets them locally, for the new owner to adopt lazily.
 
 // WithBlobStore slots a shared blob tier under the spill directory. Spill
-// files are pushed to it after every local publish, sessions with no local
+// chains are pushed to it after every local publish, sessions with no local
 // copy restore from it, and the disk-budget evictor may demote blob-backed
-// local files (a cache drop, not a session loss).
+// local chains (a cache drop, not a session loss).
 func WithBlobStore(bs BlobStore) TieredOption {
 	return func(t *Tiered) { t.blob = bs }
 }
@@ -34,12 +38,13 @@ func (t *Tiered) isRemote(id string) bool {
 	return remote
 }
 
-// blobPush uploads a session's published local spill file to the blob tier.
-// At most one push per session is in flight (concurrent callers skip —
-// whoever owns the gate marks the entry remote on success), and the entry is
-// only marked remote if its file is still the one that was read, so a push
-// racing a newer spill can never certify stale blob contents as current.
-// Failures are counted and left for the GC sweep's heal pass.
+// blobPush uploads a session's published local spill state to the blob tier
+// as one spliced v2 object. At most one push per session is in flight
+// (concurrent callers skip — whoever owns the gate marks the entry remote on
+// success), and the entry is only marked remote if its chain tip is still
+// the one that was read, so a push racing a newer spill can never certify
+// stale blob contents as current. Failures are counted and left for the GC
+// sweep's heal pass.
 func (t *Tiered) blobPush(id string) error {
 	if t.blob == nil {
 		return nil
@@ -56,26 +61,40 @@ func (t *Tiered) blobPush(id string) error {
 	}
 	t.blobPutting[id] = true
 	path := e.path
+	segs := append([]deltaSeg(nil), e.deltas...)
+	tipUpdates, tipLen := e.updates, e.logLen
 	t.mu.Unlock()
 
 	putStart := time.Now()
 	err := t.faultAt("blob.put")
 	if err == nil {
-		var f *os.File
-		if f, err = os.Open(path); err == nil {
-			err = t.blob.Put(id, f)
-			f.Close()
+		if len(segs) == 0 {
+			var f *os.File
+			if f, err = os.Open(path); err == nil {
+				err = t.blob.Put(id, f)
+				f.Close()
+			}
+		} else {
+			// Fold the chain into one object on the way up: remote readers
+			// get a self-contained v2 file, never our segment layout.
+			var buf bytes.Buffer
+			if err = spliceChain(&buf, id, path, segs); err == nil {
+				err = t.blob.Put(id, &buf)
+			}
 		}
 	}
 	t.mu.Lock()
 	delete(t.blobPutting, id)
 	if err == nil {
-		if cur := t.index[id]; cur != nil && cur.path == path {
+		if cur := t.index[id]; cur != nil && cur.local &&
+			cur.updates == tipUpdates && cur.logLen == tipLen {
+			// Same logical tip (compaction preserves it) → the object we
+			// wrote is current, even if the file layout changed meanwhile.
 			cur.remote = true
 		}
 		// A Delete that raced this push left a tombstone: the object we just
 		// wrote must go; the GC retry loop owns making that stick.
-		_, tomb := t.pendingBlobDel[id]
+		_, tomb := t.tombstones[id]
 		t.mu.Unlock()
 		t.blobPuts.Add(1)
 		if m := t.metrics; m != nil {
@@ -91,37 +110,33 @@ func (t *Tiered) blobPush(id string) error {
 	return fmt.Errorf("store: pushing %s to blob tier: %w", id, err)
 }
 
-// blobRemove deletes a session's blob object. While a push for the same key
-// is in flight — or when the delete fails — the key is tombstoned in
-// pendingBlobDel: the read-through path refuses to adopt it and the GC sweep
-// retries the delete until it sticks, so an acknowledged DELETE never
-// resurrects from the shared tier.
+// blobRemove deletes a session's blob object. The caller has normally
+// tombstoned the id already (dropEntryFiles), so a failed or skipped delete
+// stays pending durably: the read-through path refuses to adopt the key and
+// the GC sweep retries the delete until it sticks — an acknowledged DELETE
+// never resurrects from the shared tier, even after a crash. While a push
+// for the same key is in flight the delete is deferred to the pusher's
+// post-put tombstone check (and the GC).
 func (t *Tiered) blobRemove(id string) {
 	if t.blob == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.blobPutting[id] {
-		t.pendingBlobDel[id] = true
-		t.mu.Unlock()
+	putting := t.blobPutting[id]
+	t.mu.Unlock()
+	if putting {
 		return
 	}
-	t.pendingBlobDel[id] = true
-	t.mu.Unlock()
 	err := t.faultAt("blob.delete")
 	if err == nil {
 		err = t.blob.Delete(id)
 	}
-	if err != nil {
+	if err != nil && err != ErrBlobNotFound {
 		t.blobErrors.Add(1)
-		return // tombstone stays; the GC sweep retries
+		return // tombstone stays pending; the GC sweep retries
 	}
 	t.blobDeletes.Add(1)
-	t.mu.Lock()
-	if !t.blobPutting[id] {
-		delete(t.pendingBlobDel, id)
-	}
-	t.mu.Unlock()
+	t.tombstoneResolve(id, tombBlob)
 }
 
 // adopt is the read-through miss path: the session has no local state at all
@@ -147,7 +162,7 @@ func (t *Tiered) adopt(id string) (*Session, error) {
 	if m := t.metrics; m != nil {
 		observeSince(m.BlobGetSeconds, getStart)
 	}
-	sess, env, err := t.buildSession(id, rc)
+	sess, env, err := t.buildSession(id, rc, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +173,7 @@ func (t *Tiered) adopt(id string) (*Session, error) {
 	// ownership: this node has never accounted for the session. A Delete or a
 	// concurrent publisher that got here first wins.
 	t.mu.Lock()
-	if t.pendingBlobDel[id] {
+	if t.tombstones[id] != nil {
 		t.mu.Unlock()
 		return nil, nil // an acknowledged delete owns this key
 	}
@@ -168,7 +183,8 @@ func (t *Tiered) adopt(id string) (*Session, error) {
 	}
 	t.index[id] = &spillEntry{
 		remote: true, bytes: size, kind: sess.Kind, createdAt: sess.CreatedAt,
-		charged: sess.footprint, updates: env.updates, lastUsed: time.Now().UnixNano(),
+		charged: sess.footprint, spillCharged: size,
+		updates: env.updates, logLen: env.logLen(), lastUsed: time.Now().UnixNano(),
 	}
 	t.mu.Unlock()
 	ten := TenantOf(id)
@@ -204,17 +220,21 @@ func (t *Tiered) blobEnvelope(id string) (spillEnvelope, error) {
 }
 
 // syncBlob reconciles the freshly re-indexed local cache against the shared
-// blob tier at boot, before the lifecycle manager starts (single-threaded; no
-// locks needed). Newest wins, decided by the envelope's monotonic per-session
-// update counter — the same dedupe rule the local reindex applies between
+// blob tier at boot, before the lifecycle manager starts (single-threaded;
+// index access needs no locks — the tombstone helpers take their own).
+// Newest wins, decided by the envelope's monotonic per-session update
+// counter — the same dedupe rule the local reindex applies between
 // duplicate files:
 //
+//   - objects of tombstoned sessions are DELETED, never adopted: the
+//     tombstone records an acknowledged delete whose blob removal had not
+//     stuck when this node went down;
 //   - blob-only sessions become remote-only index entries (adopted lazily on
 //     first touch);
-//   - a blob version newer than the local file means another replica advanced
-//     the session while this node was down: the local file is a stale cache
-//     and is dropped;
-//   - a local file newer than (or absent from) the blob means this node
+//   - a blob version newer than the local chain means another replica
+//     advanced the session while this node was down: the local chain is a
+//     stale cache and is dropped;
+//   - a local chain newer than (or absent from) the blob means this node
 //     crashed before pushing: it is healed upward immediately.
 //
 // An unreachable blob tier fails the boot — a replica serving from a stale
@@ -229,6 +249,19 @@ func (t *Tiered) syncBlob() error {
 	}
 	for _, info := range infos {
 		id := info.Key
+		if t.tombstones[id] != nil {
+			err := t.faultAt("blob.delete")
+			if err == nil {
+				err = t.blob.Delete(id)
+			}
+			if err == nil || err == ErrBlobNotFound {
+				t.blobDeletes.Add(1)
+				t.tombstoneResolve(id, tombBlob)
+			} else {
+				t.blobErrors.Add(1) // stays pending; the GC sweep retries
+			}
+			continue
+		}
 		env, err := t.blobEnvelope(id)
 		if err != nil {
 			continue // unreadable object: never certify it as anything
@@ -238,64 +271,57 @@ func (t *Tiered) syncBlob() error {
 		case e == nil:
 			t.index[id] = &spillEntry{
 				remote: true, bytes: info.Size, kind: env.kind, createdAt: env.createdAt,
-				charged: info.Size, updates: env.updates, lastUsed: info.ModTime.UnixNano(),
+				charged: info.Size, spillCharged: info.Size,
+				updates: env.updates, logLen: env.logLen(), lastUsed: info.ModTime.UnixNano(),
 			}
 		case env.updates > e.updates:
-			// Another replica advanced the session past our local file.
-			_ = os.Remove(e.path)
-			t.diskBytes -= e.bytes
-			e.path, e.local = "", false
+			// Another replica advanced the session past our local chain.
+			for _, pb := range e.localPaths() {
+				_ = os.Remove(pb.path)
+			}
+			t.diskBytes -= e.localBytes()
+			e.path, e.local, e.deltas = "", false, nil
 			e.remote = true
-			e.bytes, e.charged = info.Size, info.Size
-			e.kind, e.createdAt, e.updates = env.kind, env.createdAt, env.updates
+			e.bytes, e.charged, e.spillCharged = info.Size, info.Size, info.Size
+			e.kind, e.createdAt = env.kind, env.createdAt
+			e.updates, e.logLen = env.updates, env.logLen()
 		default:
-			// Local file is the same version or newer; it stays authoritative.
-			// Same version: the blob copy is current, keep the cache marked.
-			// Newer: the heal pass below pushes it up.
+			// Local chain is the same version or newer; it stays
+			// authoritative. Same version: the blob copy is current, keep the
+			// cache marked. Newer: the heal pass below pushes it up.
 			if env.updates == e.updates {
 				e.remote = true
 			}
 		}
 	}
-	// Heal pass: local files the blob tier has never seen (or holds an older
+	// Heal pass: local chains the blob tier has never seen (or holds an older
 	// version of) push up now, so a node that crashed between publishing a
 	// spill and pushing it never strands the only copy on its own disk.
 	for id, e := range t.index {
-		if !e.local || e.remote {
-			continue
+		if e.local && !e.remote {
+			_ = t.blobPush(id)
 		}
-		f, err := os.Open(e.path)
-		if err != nil {
-			continue
-		}
-		err = t.blob.Put(id, f)
-		f.Close()
-		if err != nil {
-			t.blobErrors.Add(1)
-			continue // left for the GC heal pass
-		}
-		t.blobPuts.Add(1)
-		e.remote = true
 	}
 	return nil
 }
 
-// blobMaintain is the GC sweep's blob pass: retry tombstoned deletes until
-// they stick, and re-push local spill files whose upload previously failed.
+// blobMaintain is the GC sweep's blob pass: retry the blob side of pending
+// tombstones until the deletes stick, and re-push local spill chains whose
+// upload previously failed.
 func (t *Tiered) blobMaintain() {
 	if t.blob == nil {
 		return
 	}
 	t.mu.Lock()
-	dels := make([]string, 0, len(t.pendingBlobDel))
-	for id := range t.pendingBlobDel {
-		if !t.blobPutting[id] {
+	var dels []string
+	for id, ts := range t.tombstones {
+		if !ts.blobClean && !t.blobPutting[id] {
 			dels = append(dels, id)
 		}
 	}
 	var heal []string
 	for id, e := range t.index {
-		if e.local && !e.remote && !t.pendingBlobDel[id] {
+		if e.local && !e.remote && t.tombstones[id] == nil {
 			heal = append(heal, id)
 		}
 	}
@@ -305,16 +331,12 @@ func (t *Tiered) blobMaintain() {
 		if err == nil {
 			err = t.blob.Delete(id)
 		}
-		if err != nil {
+		if err != nil && err != ErrBlobNotFound {
 			t.blobErrors.Add(1)
 			continue
 		}
 		t.blobDeletes.Add(1)
-		t.mu.Lock()
-		if !t.blobPutting[id] {
-			delete(t.pendingBlobDel, id)
-		}
-		t.mu.Unlock()
+		t.tombstoneResolve(id, tombBlob)
 	}
 	for _, id := range heal {
 		_ = t.blobPush(id)
@@ -323,7 +345,7 @@ func (t *Tiered) blobMaintain() {
 
 // ReleaseUnowned is the fleet handoff: for every session the provided
 // ownership predicate disclaims, make sure the blob tier holds its current
-// state, then forget it locally — resident copy, local cache file, index
+// state, then forget it locally — resident copy, local cache chain, index
 // entry and tenant accounting all released. The new owner adopts the session
 // lazily from the blob tier on its first touch (the read-through path).
 // Sessions whose state cannot be certified in the blob tier (push failures,
@@ -349,7 +371,7 @@ func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
 		}
 		for attempt := 0; attempt < 3; attempt++ {
 			sess.Mu.Lock()
-			if sess.gone {
+			if sess.gone.Load() {
 				sess.Mu.Unlock()
 				return true // an evictor or deleter won
 			}
@@ -366,11 +388,11 @@ func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
 					return true
 				}
 			}
-			if sess.dirty.Load() {
+			if sess.Dirty() {
 				sess.Mu.Unlock()
 				continue // mutated between spill and certification; re-spill
 			}
-			sess.gone = true
+			sess.gone.Store(true)
 			sess.Mu.Unlock()
 			sh := &t.mem.shards[ShardIndex(sess.ID)]
 			sh.mu.Lock()
@@ -389,18 +411,17 @@ func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
 		record(fmt.Errorf("store: handoff of %s: session kept mutating", sess.ID))
 		return true
 	})
-	// Pass 2: cold index entries (local cache files and remote markers for
+	// Pass 2: cold index entries (local cache chains and remote markers for
 	// sessions this node no longer owns).
 	t.mu.Lock()
 	var cold []string
-	for id, e := range t.index {
+	for id := range t.index {
 		if owns(id) || t.mem.has(id) {
 			continue
 		}
 		if _, restoring := t.flights[id]; restoring {
 			continue
 		}
-		_ = e
 		cold = append(cold, id)
 	}
 	t.mu.Unlock()
@@ -418,9 +439,11 @@ func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
 	return released, firstErr
 }
 
-// forgetLocal removes a session's index entry, local cache file and tenant
+// forgetLocal removes a session's index entry, local cache chain and tenant
 // accounting without touching its blob object — the handoff's "it lives in
-// the shared tier now" bookkeeping. Reports whether an entry was removed.
+// the shared tier now" bookkeeping. No tombstone is written: the session
+// still exists, it just lives elsewhere. Reports whether an entry was
+// removed.
 func (t *Tiered) forgetLocal(id string) bool {
 	t.mu.Lock()
 	e, ok := t.index[id]
@@ -434,14 +457,14 @@ func (t *Tiered) forgetLocal(id string) bool {
 	}
 	delete(t.index, id)
 	if e.local {
-		t.diskBytes -= e.bytes
+		t.diskBytes -= e.localBytes()
 	}
 	t.mu.Unlock()
-	if e.local {
-		t.removeSpillFile(e.path, e.bytes, "release.unlink")
+	for _, pb := range e.localPaths() {
+		t.removeSpillFile(pb.path, pb.bytes, "release.unlink")
 	}
 	ten := TenantOf(id)
-	t.mem.adjustSpill(ten, -e.bytes)
+	t.mem.adjustSpill(ten, -e.spillCharged)
 	t.mem.adjustOwned(ten, -1, -e.charged)
 	return true
 }

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/binio"
+)
+
+// Persistent deletion tombstones.
+//
+// When a session is forgotten (explicit Delete, or invalidation after a
+// lossy eviction) the store must guarantee it can never resurrect — not
+// from a leftover chain file the unlink missed, and not from the shared
+// blob tier re-adopted by syncBlob after a reboot. The in-memory pending
+// set alone cannot promise that: a crash between the DELETE ack and the
+// blob delete sticking used to let the object come back on the next boot.
+//
+// So every forget appends a record to a durable sidecar log
+// ("tombstones.log" in the spill directory, fsynced) BEFORE any unlink or
+// blob delete runs, and appends a matching resolved record once both the
+// local chain and the blob object are verifiably gone. Boot replays the
+// log in order: ids whose last record is unresolved re-enter the pending
+// set — reindex deletes their stray files instead of indexing them, read
+// paths refuse the id, syncBlob deletes (never adopts) their objects, and
+// the GC sweep keeps retrying until both sides stick. The log tolerates a
+// torn tail (a crash mid-append truncates to the last whole record) and is
+// compacted by the GC once resolved records dominate.
+const (
+	tombstoneFile = "tombstones.log"
+	tombMagic     = "PRTS"
+	tombVersion   = 1
+
+	// Record flags.
+	tombFlagResolved = 1 << 0
+)
+
+// tombSide names which half of a tombstone a caller is resolving.
+type tombSide int
+
+const (
+	tombLocal tombSide = iota // every local chain file unlinked
+	tombBlob                  // blob object deleted (or no blob tier)
+)
+
+// tombstone is one pending deletion: the id stays poisoned until both
+// sides are clean. Guarded by Tiered.mu.
+type tombstone struct {
+	localClean bool
+	blobClean  bool
+}
+
+// tombstoneAdd records id as deleted, durably, before the caller starts
+// removing state. It returns only after the record is appended and fsynced
+// (or the append failed — the in-memory tombstone still poisons the id for
+// this process's lifetime; a crash after a failed append re-exposes only
+// the pre-existing unlink/blob-delete race this log exists to close, never
+// a new one). Idempotent: a second add for a pending id is a no-op that
+// still waits for the first append's fsync.
+func (t *Tiered) tombstoneAdd(id string) {
+	t.tombMu.Lock()
+	defer t.tombMu.Unlock()
+	t.mu.Lock()
+	if t.tombstones[id] != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.tombstones[id] = &tombstone{blobClean: t.blob == nil}
+	t.mu.Unlock()
+	_ = t.appendTombRecord(id, 0)
+}
+
+// tombstoneResolve marks one side of id's tombstone clean; when both sides
+// are, the tombstone retires with a durable resolved record. A crash before
+// the resolved record lands just replays the tombstone pending — every
+// retry path is idempotent.
+func (t *Tiered) tombstoneResolve(id string, side tombSide) {
+	t.mu.Lock()
+	ts := t.tombstones[id]
+	if ts == nil {
+		t.mu.Unlock()
+		return
+	}
+	switch side {
+	case tombLocal:
+		ts.localClean = true
+	case tombBlob:
+		ts.blobClean = true
+	}
+	done := ts.localClean && ts.blobClean
+	if done {
+		delete(t.tombstones, id)
+	}
+	t.mu.Unlock()
+	if done {
+		t.tombMu.Lock()
+		_ = t.appendTombRecord(id, tombFlagResolved)
+		t.maybeClearTombLog()
+		t.tombMu.Unlock()
+	}
+}
+
+// tombstoneForget retires id's tombstone because the id has been legitimately
+// re-registered (Put under a previously deleted id): the tombstone guarded
+// the OLD state, and replaying it pending at the next boot would destroy the
+// NEW session's files. The resolved record is therefore written durably.
+func (t *Tiered) tombstoneForget(id string) {
+	t.mu.Lock()
+	if t.tombstones[id] == nil {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.tombstones, id)
+	t.mu.Unlock()
+	t.tombMu.Lock()
+	_ = t.appendTombRecord(id, tombFlagResolved)
+	t.maybeClearTombLog()
+	t.tombMu.Unlock()
+}
+
+// maybeClearTombLog removes the sidecar log outright when no tombstone is
+// pending — the quiescent state leaves the spill directory holding exactly
+// the chain files, nothing else. Safe because the resolved record that got
+// us here was already fsynced (removal strictly follows it), and tombMu
+// (held by the caller) serializes against a concurrent tombstoneAdd, which
+// would recreate the file with a fresh header.
+func (t *Tiered) maybeClearTombLog() {
+	t.mu.Lock()
+	pending := len(t.tombstones)
+	t.mu.Unlock()
+	if pending > 0 {
+		return
+	}
+	if err := os.Remove(filepath.Join(t.dir, tombstoneFile)); err == nil || os.IsNotExist(err) {
+		t.tombRecords = 0
+	}
+}
+
+// appendTombRecord appends one record (id, flags) to the sidecar log and
+// fsyncs it. Caller holds tombMu.
+func (t *Tiered) appendTombRecord(id string, flags uint64) error {
+	path := filepath.Join(t.dir, tombstoneFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := binio.NewWriter(f)
+	if info, err := f.Stat(); err == nil && info.Size() == 0 {
+		bw.Bytes([]byte(tombMagic))
+		bw.U64(tombVersion)
+	}
+	bw.Str(id)
+	bw.U64(flags)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	t.tombRecords++
+	return nil
+}
+
+// loadTombstones replays the sidecar log at boot, seeding the pending set
+// with every id whose last record is unresolved. A torn tail (crash
+// mid-append) ends the replay at the last whole record — the half-written
+// add it loses was for a forget whose removals had not started. Runs before
+// reindex and syncBlob, single-threaded, from NewTiered.
+func (t *Tiered) loadTombstones() error {
+	path := filepath.Join(t.dir, tombstoneFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening tombstone log: %w", err)
+	}
+	defer f.Close()
+	br := binio.NewReader(f)
+	if err := br.Magic(tombMagic); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // empty or torn header: no records landed
+		}
+		return fmt.Errorf("store: tombstone log: %w", err)
+	}
+	if v := br.U64(); br.Err == nil && v != tombVersion {
+		return fmt.Errorf("store: unsupported tombstone-log version %d", v)
+	}
+	records := 0
+	for br.Err == nil {
+		id := br.Str(maxSpillName)
+		flags := br.U64()
+		if br.Err != nil {
+			break
+		}
+		records++
+		if flags&tombFlagResolved != 0 {
+			delete(t.tombstones, id)
+		} else {
+			// localClean is settled by reindex (which deletes any stray
+			// files it finds for the id); blobClean by syncBlob/GC.
+			t.tombstones[id] = &tombstone{blobClean: t.blob == nil}
+		}
+	}
+	t.tombRecords = records
+	return nil
+}
+
+// compactTombLog rewrites the sidecar log to just the currently pending
+// tombstones, called from the GC sweep once retired records dominate. Uses
+// the same temp + fsync + rename discipline as spill publishes.
+func (t *Tiered) compactTombLog() {
+	t.tombMu.Lock()
+	defer t.tombMu.Unlock()
+	t.mu.Lock()
+	pending := make([]string, 0, len(t.tombstones))
+	for id := range t.tombstones {
+		pending = append(pending, id)
+	}
+	t.mu.Unlock()
+	if t.tombRecords <= 4*len(pending)+16 {
+		return // mostly live records; not worth a rewrite
+	}
+	path := filepath.Join(t.dir, tombstoneFile)
+	if len(pending) == 0 {
+		if err := os.Remove(path); err == nil || os.IsNotExist(err) {
+			t.tombRecords = 0
+		}
+		return
+	}
+	tmp, err := os.CreateTemp(t.dir, spillTmp+"*")
+	if err != nil {
+		return
+	}
+	tmpName := tmp.Name()
+	bw := binio.NewWriter(tmp)
+	bw.Bytes([]byte(tombMagic))
+	bw.U64(tombVersion)
+	for _, id := range pending {
+		bw.Str(id)
+		bw.U64(0)
+	}
+	if bw.Flush() != nil || tmp.Sync() != nil || tmp.Close() != nil {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return
+	}
+	t.tombRecords = len(pending)
+}
