@@ -172,12 +172,19 @@ func (t *Tiered) spillWorker() {
 		delete(t.pending, sess.ID)
 		t.qmu.Unlock()
 		var cut *spillCut
+		var needPush bool
 		var err error
 		sess.Mu.Lock()
 		if !sess.gone.Load() {
-			cut, err = t.cutLocked(sess)
+			cut, needPush, err = t.cutLocked(sess)
 		}
 		sess.Mu.Unlock()
+		if needPush {
+			// Clean chain whose blob upload previously failed: heal it here,
+			// strictly after releasing Session.Mu — the upload never runs
+			// under the session lock.
+			_ = t.blobPush(sess.ID)
+		}
 		if err == nil && cut != nil {
 			wrote, perr := t.publishCut(cut)
 			if perr == nil && wrote {

@@ -136,7 +136,7 @@ func TestSyncSpillFallbackUsesCurrentGeneration(t *testing.T) {
 	wantVec := applyDeletion(t, a, []int{2})
 	wantGen := a.gen.Load()
 	a.Mu.Lock()
-	wrote, err := ti.spillLocked(a)
+	wrote, _, err := ti.spillLocked(a)
 	a.Mu.Unlock()
 	if err != nil || !wrote {
 		t.Fatalf("sync spill = (%v, %v), want a real write", wrote, err)
@@ -312,6 +312,291 @@ func TestChaosTombstoneSurvivesRebootBeforeBlobDeleteSticks(t *testing.T) {
 	again := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
 	if _, ok := again.Get("acme/sess-1"); ok {
 		t.Fatal("deletion resurrected on the second reboot")
+	}
+}
+
+// TestChaosTornTombstoneLogTailTruncatedAtBoot pins the torn-tail repair:
+// a crash mid-append leaves garbage at the end of tombstones.log, and boot
+// must TRUNCATE it away — appendTombRecord reopens with O_APPEND, so
+// records appended by the rebooted process would otherwise land after the
+// garbage, unreadable at the following boot, silently losing pending
+// tombstones for acknowledged DELETEs.
+func TestChaosTornTombstoneLogTailTruncatedAtBoot(t *testing.T) {
+	bs := sharedBlob(t)
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if err := ti.Put(trainSession(t, "acme/s1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ti.Put(trainSession(t, "acme/s2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if !ti.isRemote("acme/s1") || !ti.isRemote("acme/s2") {
+		t.Fatal("setup: sessions never reached the blob tier")
+	}
+	var armed atomic.Bool
+	ti.fault = faultOn("blob.delete", &armed)
+	armed.Store(true)
+	if !ti.Delete("acme/s1") {
+		t.Fatal("delete reported acme/s1 missing")
+	}
+	hardKill(ti) // s1's tombstone pending: its blob delete never stuck
+
+	// Crash mid-append at the filesystem level: garbage after the last
+	// whole record.
+	logPath := filepath.Join(dir, tombstoneFile)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reboot with the blob tier still refusing deletes, so s1 stays pending
+	// and the log keeps accumulating. The DELETE this process acknowledges
+	// must land where the NEXT boot can replay it — not after the garbage.
+	var armed2 atomic.Bool
+	armed2.Store(true)
+	ti2 := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs), func(ti *Tiered) {
+		ti.fault = faultOn("blob.delete", &armed2)
+	})
+	if st := ti2.Stats(); st.PendingTombstones != 1 {
+		t.Fatalf("%d tombstones pending after the torn-tail reboot, want s1's alone", st.PendingTombstones)
+	}
+	if !ti2.Delete("acme/s2") {
+		t.Fatal("delete reported acme/s2 missing")
+	}
+	hardKill(ti2)
+
+	// Third boot, blob deletes work again: BOTH pending tombstones must
+	// replay — s2's object is deleted, never adopted.
+	ti3 := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if _, ok := ti3.Get("acme/s2"); ok {
+		t.Fatal("acknowledged deletion resurrected: the torn tail swallowed s2's tombstone record")
+	}
+	if _, _, err := bs.Get("acme/s2"); err != ErrBlobNotFound {
+		t.Fatalf("boot left the tombstoned object acme/s2 in the blob tier: %v", err)
+	}
+	if _, ok := ti3.Get("acme/s1"); ok {
+		t.Fatal("acknowledged deletion of acme/s1 resurrected")
+	}
+}
+
+// TestDeltaPublishDiscardedAfterDeleteAndReput pins the session-incarnation
+// guard on the delta branch: a worker's delta cut taken just before a
+// Delete + re-Put of the same id extends a chain tip that the NEW session's
+// fresh base can reproduce exactly (logLen=0, updates=0), so the chain-tip
+// guard alone would append the OLD incarnation's deletion entries to the
+// new session's chain. The gone flag must discard the cut.
+func TestDeltaPublishDiscardedAfterDeleteAndReput(t *testing.T) {
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory())
+	a := trainSession(t, "sess-1", 1)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base A published: chain tip (logLen=0, updates=0)
+
+	// Park the worker inside the publish of a's first deletion — it holds a
+	// delta cut extending tip (0, 0).
+	var parked atomic.Bool
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ti.fault = func(p string) error {
+		if p == "spill.serialize" && parked.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+		return nil
+	}
+	applyDeletion(t, a, []int{1})
+	ti.flushQuiet(time.Now().Add(time.Hour)) // promote past the debounce
+	<-entered
+
+	// Delete the session and re-register the same id: the new session's
+	// base lands on the exact same chain tip the parked delta extends.
+	if !ti.Delete("sess-1") {
+		t.Fatal("delete reported the session missing")
+	}
+	b := trainSession(t, "sess-1", 2)
+	wantVec, _, _ := sessionState(t, b)
+	if err := ti.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	b.Mu.Lock()
+	wrote, _, err := ti.spillLocked(b)
+	b.Mu.Unlock()
+	if err != nil || !wrote {
+		t.Fatalf("new incarnation's base spill = (%v, %v), want a real write", wrote, err)
+	}
+
+	// Unpark the old incarnation's delta publish: same tip, wrong session —
+	// it must be discarded, not appended to b's chain.
+	close(release)
+	ti.Flush()
+	if ti.staleSpills.Load() == 0 {
+		t.Fatal("old incarnation's delta was installed on the new session's chain")
+	}
+
+	hardKill(ti)
+	ti2 := newTestTiered(t, dir, NewMemory())
+	got, ok := ti2.Get("sess-1")
+	if !ok {
+		t.Fatal("re-registered session lost")
+	}
+	vec, nDel, _ := sessionState(t, got)
+	if nDel != 0 {
+		t.Fatalf("restored %d deletions, want 0 — the old incarnation's delta leaked onto the new chain", nDel)
+	}
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d from the new incarnation", i)
+		}
+	}
+}
+
+// TestHealPushRunsOffSessionLock extends the off-lock contract to the heal
+// path: when a clean session's chain is local-only because its blob upload
+// previously failed, the write-behind worker re-pushes it — strictly after
+// releasing Session.Mu. The blob.put fault point probes the lock exactly
+// like TestSpillPublishRunsOffSessionLock does for serialization.
+func TestHealPushRunsOffSessionLock(t *testing.T) {
+	bs := sharedBlob(t)
+	ti := newTestTiered(t, t.TempDir(), NewMemory(), WithBlobStore(bs))
+	a := trainSession(t, "acme/s1", 1)
+	var failPut atomic.Bool
+	var lockHeld atomic.Int64
+	ti.fault = func(p string) error {
+		if p != "blob.put" {
+			return nil
+		}
+		if failPut.Load() {
+			return errFault
+		}
+		if a.Mu.TryLock() {
+			a.Mu.Unlock()
+		} else {
+			lockHeld.Add(1)
+		}
+		return nil
+	}
+	failPut.Store(true)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base lands locally; the push fails
+	if ti.isRemote("acme/s1") {
+		t.Fatal("setup: the first blob push should have failed")
+	}
+	failPut.Store(false)
+
+	// Re-run the clean session through the worker: cutLocked signals the
+	// heal, and the worker must push after dropping the lock.
+	ti.enqueueSpill(a)
+	ti.Flush()
+	if !ti.isRemote("acme/s1") {
+		t.Fatal("heal push never certified the blob copy")
+	}
+	if n := lockHeld.Load(); n != 0 {
+		t.Fatalf("%d heal pushes ran under Session.Mu, want 0", n)
+	}
+}
+
+// TestTieredEvictHealPushRunsInBackground covers the eviction flavor of the
+// heal: the evictor's hook runs under the victim's Session.Mu AND a shard
+// lock, so when its spill signals a needed blob push the upload must be
+// handed to a background goroutine (scheduleHealPush) rather than run
+// inline — and it must still land.
+func TestTieredEvictHealPushRunsInBackground(t *testing.T) {
+	bs := sharedBlob(t)
+	ti := newTestTiered(t, t.TempDir(), NewMemory(WithMaxSessions(1)), WithBlobStore(bs))
+	a := trainSession(t, "acme/s1", 1)
+	var failPut atomic.Bool
+	ti.fault = func(p string) error {
+		if p == "blob.put" && failPut.Load() {
+			return errFault
+		}
+		return nil
+	}
+	failPut.Store(true)
+	if err := ti.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush() // base lands locally; the blob push fails — clean but uncertified
+	if ti.isRemote("acme/s1") {
+		t.Fatal("setup: the first blob push should have failed")
+	}
+	failPut.Store(false)
+
+	// Registering a second session evicts a; the hook's spill finds a clean
+	// + on-disk + not-remote and schedules the heal off-lock.
+	if err := ti.Put(trainSession(t, "acme/s2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !ti.isRemote("acme/s1") {
+		if time.Now().After(deadline) {
+			t.Fatal("evict-path heal push never certified the blob copy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTieredReputUnderPendingTombstoneRetiresItDurably pins tombstoneForget:
+// a Put under an id whose tombstone is still pending (its blob delete never
+// stuck) must retire the tombstone durably — the tombstone guarded the OLD
+// state, and replaying it pending at the next boot would destroy the NEW
+// session's files.
+func TestTieredReputUnderPendingTombstoneRetiresItDurably(t *testing.T) {
+	bs := sharedBlob(t)
+	dir := t.TempDir()
+	ti := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	if err := ti.Put(trainSession(t, "acme/s1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ti.Flush()
+	if !ti.isRemote("acme/s1") {
+		t.Fatal("setup: session never reached the blob tier")
+	}
+	var armed atomic.Bool
+	ti.fault = faultOn("blob.delete", &armed)
+	armed.Store(true)
+	if !ti.Delete("acme/s1") {
+		t.Fatal("delete reported the session missing")
+	}
+	if st := ti.Stats(); st.PendingTombstones != 1 {
+		t.Fatalf("%d tombstones pending after the faulted blob delete, want 1", st.PendingTombstones)
+	}
+	armed.Store(false)
+
+	b := trainSession(t, "acme/s1", 2)
+	if err := ti.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if st := ti.Stats(); st.PendingTombstones != 0 {
+		t.Fatalf("%d tombstones pending after the re-registration, want 0", st.PendingTombstones)
+	}
+	// The last tombstone retired, so the sidecar log is gone entirely.
+	if _, err := os.Stat(filepath.Join(dir, tombstoneFile)); !os.IsNotExist(err) {
+		t.Fatalf("tombstone log still present after the last tombstone retired (stat err=%v)", err)
+	}
+	wantVec, _, _ := sessionState(t, b)
+	ti.Flush()
+	hardKill(ti)
+
+	ti2 := newTestTiered(t, dir, NewMemory(), WithBlobStore(bs))
+	got, ok := ti2.Get("acme/s1")
+	if !ok {
+		t.Fatal("re-registered session lost after reboot: the retired tombstone replayed pending")
+	}
+	vec, _, _ := sessionState(t, got)
+	for i := range vec {
+		if vec[i] != wantVec[i] {
+			t.Fatalf("restored model differs at %d — the old incarnation's state won", i)
+		}
 	}
 }
 

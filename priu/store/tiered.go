@@ -397,8 +397,14 @@ func NewTiered(dir string, mem *Memory, opts ...TieredOption) (*Tiered, error) {
 			// resident copy — no file IO under the victim's lock. The
 			// synchronous spill is the fallback (dirty victim, queue
 			// backlog, or write-behind disabled).
-			_, err := t.spillLocked(sess)
+			_, needPush, err := t.spillLocked(sess)
 			if err == nil {
+				if needPush {
+					// The chain's blob upload is owed, but the evictor holds
+					// the victim's Mu (and a shard lock above it): heal from
+					// a background goroutine, never under the locks.
+					t.scheduleHealPush(sess.ID)
+				}
 				return evictPreserved // the spill chain holds this state
 			}
 			if errors.Is(err, errSpillDiskPinned) {
@@ -714,7 +720,7 @@ func (t *Tiered) Close() error {
 			return false // simulated crash mid-drain
 		}
 		sess.Mu.Lock()
-		_, err := t.spillLocked(sess)
+		_, needPush, err := t.spillLocked(sess)
 		if err != nil {
 			// The session's current state could not be persisted (cap, full
 			// disk, IO error). Any older disk copy is now stale relative to
@@ -725,6 +731,13 @@ func (t *Tiered) Close() error {
 			t.invalidate(sess.ID)
 		}
 		sess.Mu.Unlock()
+		if needPush {
+			// Shutdown heal: the chain's blob upload is owed; push it now,
+			// off the lock (the lifecycle is stopped, so the background heal
+			// would be refused). Best-effort — boot's syncBlob heal pass is
+			// the backstop.
+			_ = t.blobPush(sess.ID)
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -787,17 +800,20 @@ type spillCut struct {
 // cutLocked captures a consistent cut of the session's state — the only
 // part of a spill that must happen under sess.Mu, and it is O(batch): copy
 // the counters and the deletion-log suffix (or, for a base, the log slice),
-// no snapshot serialization and no IO. It returns a nil cut (no error) when
-// there is nothing to write: the session is clean and its chain current (a
-// file whose blob upload previously failed is healed here, as before). When
-// the indexed chain covers a prefix of the current deletion log, the cut is
-// a delta segment — O(batch) bytes, not O(session) — otherwise a full v2
-// base.
-func (t *Tiered) cutLocked(sess *Session) (*spillCut, error) {
+// no snapshot serialization and no IO — the no-IO-under-the-lock contract
+// includes the blob tier, which is why the heal below is only signalled,
+// never performed here. It returns a nil cut (no error) when there is
+// nothing to write: the session is clean and its chain current. needPush
+// reports a chain whose blob upload previously failed; the CALLER heals it
+// (blobPush) after releasing sess.Mu — a network upload must never run
+// under the session lock. When the indexed chain covers a prefix of the
+// current deletion log, the cut is a delta segment — O(batch) bytes, not
+// O(session) — otherwise a full v2 base.
+func (t *Tiered) cutLocked(sess *Session) (cut *spillCut, needPush bool, err error) {
 	if !sess.Dirty() {
 		t.mu.Lock()
 		e, onDisk := t.index[sess.ID]
-		needPush := onDisk && t.blob != nil && e.local && !e.remote
+		needPush = onDisk && t.blob != nil && e.local && !e.remote
 		t.mu.Unlock()
 		if onDisk {
 			// Clean and already spilled: nothing to write. The disk-budget
@@ -805,17 +821,14 @@ func (t *Tiered) cutLocked(sess *Session) (*spillCut, error) {
 			// resident's chain without blob backing is pinned; a blob-backed
 			// chain may be demoted but its entry survives), so the copy this
 			// decision relies on cannot vanish underneath it.
-			if needPush {
-				_ = t.blobPush(sess.ID)
-			}
-			return nil, nil
+			return nil, needPush, nil
 		}
 	}
 	if !Spillable(sess.Kind, sess.Upd) {
 		t.unspillable.Add(1)
-		return nil, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
+		return nil, false, fmt.Errorf("store: session %s (family %q) cannot be snapshotted", sess.ID, sess.Kind)
 	}
-	cut := &spillCut{
+	cut = &spillCut{
 		sess: sess, id: sess.ID, kind: sess.Kind, createdAt: sess.CreatedAt,
 		gen: sess.gen.Load(), updates: sess.Updates, lastUpd: sess.LastUpdateSeconds,
 		footprint: sess.footprint, toLen: int64(len(sess.Deleted)),
@@ -836,7 +849,7 @@ func (t *Tiered) cutLocked(sess *Session) (*spillCut, error) {
 		// counters exactly — the chain holds this logical state (deletion is
 		// the only mutation, and it always moves the log or the counter).
 		sess.persistUpTo(cut.gen)
-		return nil, nil
+		return nil, false, nil
 	}
 	if cut.isDelta {
 		cut.entries = append([]int(nil), sess.Deleted[cut.fromLen:cut.toLen]...)
@@ -844,7 +857,7 @@ func (t *Tiered) cutLocked(sess *Session) (*spillCut, error) {
 		cut.ds, cut.upd = sess.DS, sess.Upd
 		cut.deleted = append([]int(nil), sess.Deleted...)
 	}
-	return cut, nil
+	return cut, false, nil
 }
 
 // serialize renders the cut's file bytes into the payload buffer. Called
@@ -913,6 +926,22 @@ func (t *Tiered) publishCut(cut *spillCut) (bool, error) {
 	ten := TenantOf(cut.id)
 	t.mu.Lock()
 	e := t.index[cut.id]
+	if cut.sess.gone.Load() {
+		// The copy the cut came from has left the store — a Delete or lost
+		// eviction landed between the cut and this publish. Installing the
+		// cut now would resurrect state the caller was told is gone; worse,
+		// if the id was re-registered meanwhile, any entry under it belongs
+		// to the NEW session incarnation, whose chain tip can coincide with
+		// the old one (both at logLen=0/updates=0 for fresh sessions), so
+		// neither the delta chain guard nor the base version guard can tell
+		// the incarnations apart — only this flag can. (Every removal path —
+		// Delete, eviction, duplicate Put — marks the outgoing copy gone
+		// before releasing t.mu, so the flag is authoritative here.)
+		t.mu.Unlock()
+		_ = os.Remove(tmpName)
+		t.staleSpills.Add(1)
+		return false, errStaleSpill
+	}
 	if cut.isDelta {
 		if e == nil || !e.local || e.logLen != cut.fromLen || e.updates != cut.fromUpdates {
 			t.mu.Unlock()
@@ -922,18 +951,6 @@ func (t *Tiered) publishCut(cut *spillCut) (bool, error) {
 		}
 	} else if e != nil && (e.updates > cut.updates ||
 		(e.updates == cut.updates && e.logLen > cut.toLen)) {
-		t.mu.Unlock()
-		_ = os.Remove(tmpName)
-		t.staleSpills.Add(1)
-		return false, errStaleSpill
-	} else if e == nil && cut.sess.gone.Load() {
-		// First base for this id, but the copy the cut came from has left
-		// the store — a Delete or lost eviction landed between the cut and
-		// this publish, dropped the index entry and retired any tombstone.
-		// Installing the stale cut now would resurrect state the caller was
-		// told is gone. (Every removal path — Delete, eviction, duplicate
-		// Put — marks the outgoing copy gone before releasing t.mu, so the
-		// flag is authoritative here.)
 		t.mu.Unlock()
 		_ = os.Remove(tmpName)
 		t.staleSpills.Add(1)
@@ -1058,20 +1075,29 @@ func (t *Tiered) publishCut(cut *spillCut) (bool, error) {
 // from the (still locked, hence unchanged) current state and retries, so
 // this never returns success for anything but the session's latest
 // generation — the synchronous eviction fallback always persists the
-// current state, never an enqueued stale buffer.
-func (t *Tiered) spillLocked(sess *Session) (bool, error) {
+// current state, never an enqueued stale buffer. needPush reports a clean
+// chain whose blob upload is owed (see cutLocked); the caller heals it
+// after releasing sess.Mu.
+func (t *Tiered) spillLocked(sess *Session) (wrote bool, needPush bool, err error) {
+	if sess.gone.Load() {
+		// The copy already left the store (a concurrent Delete won the race
+		// to sess.Mu before this caller): publishCut would discard every cut
+		// as stale, so don't burn serialization attempts — there is nothing
+		// of this copy left to persist.
+		return false, false, nil
+	}
 	for attempt := 0; attempt < 8; attempt++ {
-		cut, err := t.cutLocked(sess)
+		cut, needPush, err := t.cutLocked(sess)
 		if err != nil || cut == nil {
-			return false, err
+			return false, needPush, err
 		}
 		wrote, err := t.publishCut(cut)
 		if errors.Is(err, errStaleSpill) {
 			continue // an in-flight background publish moved the tip; re-cut
 		}
-		return wrote, err
+		return wrote, false, err
 	}
-	return false, fmt.Errorf("store: spill of %s kept losing the publish race", sess.ID)
+	return false, false, fmt.Errorf("store: spill of %s kept losing the publish race", sess.ID)
 }
 
 // writeTempPayload writes a serialized cut to a temp file in the spill

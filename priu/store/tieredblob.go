@@ -110,6 +110,29 @@ func (t *Tiered) blobPush(id string) error {
 	return fmt.Errorf("store: pushing %s to blob tier: %w", id, err)
 }
 
+// scheduleHealPush re-pushes id's published chain to the blob tier from a
+// background goroutine — the heal path for callers that still hold
+// Session.Mu (the evictor's hook runs under the victim's lock and a shard
+// lock) and so must not upload inline. blobPush's single-flight gate dedupes
+// concurrent heals; when the lifecycle is already shutting down the push is
+// skipped and the GC sweep / boot syncBlob heal pass remain the backstop.
+func (t *Tiered) scheduleHealPush(id string) {
+	if t.blob == nil {
+		return
+	}
+	t.qmu.Lock()
+	if t.qClosed {
+		t.qmu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.qmu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		_ = t.blobPush(id)
+	}()
+}
+
 // blobRemove deletes a session's blob object. The caller has normally
 // tombstoned the id already (dropEntryFiles), so a failed or skipped delete
 // stays pending durably: the read-through path refuses to adopt the key and
@@ -375,7 +398,10 @@ func (t *Tiered) ReleaseUnowned(owns func(id string) bool) (int, error) {
 				sess.Mu.Unlock()
 				return true // an evictor or deleter won
 			}
-			if _, err := t.spillLocked(sess); err != nil {
+			// needPush is ignored: the isRemote check below makes the same
+			// direct push — deliberately under the lock, because the handoff
+			// must certify the blob copy before releasing the session.
+			if _, _, err := t.spillLocked(sess); err != nil {
 				sess.Mu.Unlock()
 				record(fmt.Errorf("store: handoff of %s: %w", sess.ID, err))
 				return true

@@ -76,7 +76,16 @@ func (t *Tiered) tombstoneAdd(id string) {
 // are, the tombstone retires with a durable resolved record. A crash before
 // the resolved record lands just replays the tombstone pending — every
 // retry path is idempotent.
+//
+// The map transition and the resolved append happen under one tombMu hold
+// (same tombMu→mu order as tombstoneAdd): boot replay takes the LAST record
+// per id, so a concurrent add for a re-registered-and-deleted-again id must
+// never slot its pending record between this retirement's map delete and
+// its resolved append — that interleaving would durably drop the NEW
+// tombstone.
 func (t *Tiered) tombstoneResolve(id string, side tombSide) {
+	t.tombMu.Lock()
+	defer t.tombMu.Unlock()
 	t.mu.Lock()
 	ts := t.tombstones[id]
 	if ts == nil {
@@ -95,18 +104,20 @@ func (t *Tiered) tombstoneResolve(id string, side tombSide) {
 	}
 	t.mu.Unlock()
 	if done {
-		t.tombMu.Lock()
 		_ = t.appendTombRecord(id, tombFlagResolved)
 		t.maybeClearTombLog()
-		t.tombMu.Unlock()
 	}
 }
 
 // tombstoneForget retires id's tombstone because the id has been legitimately
 // re-registered (Put under a previously deleted id): the tombstone guarded
 // the OLD state, and replaying it pending at the next boot would destroy the
-// NEW session's files. The resolved record is therefore written durably.
+// NEW session's files. The resolved record is therefore written durably —
+// under one tombMu hold spanning the map delete, like tombstoneResolve, so
+// a racing re-add's pending record can never be masked by this retirement.
 func (t *Tiered) tombstoneForget(id string) {
+	t.tombMu.Lock()
+	defer t.tombMu.Unlock()
 	t.mu.Lock()
 	if t.tombstones[id] == nil {
 		t.mu.Unlock()
@@ -114,10 +125,8 @@ func (t *Tiered) tombstoneForget(id string) {
 	}
 	delete(t.tombstones, id)
 	t.mu.Unlock()
-	t.tombMu.Lock()
 	_ = t.appendTombRecord(id, tombFlagResolved)
 	t.maybeClearTombLog()
-	t.tombMu.Unlock()
 }
 
 // maybeClearTombLog removes the sidecar log outright when no tombstone is
@@ -167,11 +176,15 @@ func (t *Tiered) appendTombRecord(id string, flags uint64) error {
 // loadTombstones replays the sidecar log at boot, seeding the pending set
 // with every id whose last record is unresolved. A torn tail (crash
 // mid-append) ends the replay at the last whole record — the half-written
-// add it loses was for a forget whose removals had not started. Runs before
-// reindex and syncBlob, single-threaded, from NewTiered.
+// add it loses was for a forget whose removals had not started — and is
+// then TRUNCATED away: appendTombRecord reopens with O_APPEND, so garbage
+// left at the tail would swallow every record this process appends (the
+// next boot's replay stops at the garbage), silently dropping pending
+// tombstones for acknowledged DELETEs. Runs before reindex and syncBlob,
+// single-threaded, from NewTiered.
 func (t *Tiered) loadTombstones() error {
 	path := filepath.Join(t.dir, tombstoneFile)
-	f, err := os.Open(path)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -180,32 +193,48 @@ func (t *Tiered) loadTombstones() error {
 	}
 	defer f.Close()
 	br := binio.NewReader(f)
-	if err := br.Magic(tombMagic); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil // empty or torn header: no records landed
-		}
-		return fmt.Errorf("store: tombstone log: %w", err)
-	}
-	if v := br.U64(); br.Err == nil && v != tombVersion {
-		return fmt.Errorf("store: unsupported tombstone-log version %d", v)
-	}
+	// good tracks the byte offset just past the last whole record — the
+	// replay horizon, and the truncation point for anything after it.
+	var good int64
 	records := 0
-	for br.Err == nil {
-		id := br.Str(maxSpillName)
-		flags := br.U64()
-		if br.Err != nil {
-			break
+	if err := br.Magic(tombMagic); err != nil {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			return fmt.Errorf("store: tombstone log: %w", err)
 		}
-		records++
-		if flags&tombFlagResolved != 0 {
-			delete(t.tombstones, id)
-		} else {
-			// localClean is settled by reindex (which deletes any stray
-			// files it finds for the id); blobClean by syncBlob/GC.
-			t.tombstones[id] = &tombstone{blobClean: t.blob == nil}
+		// Empty or torn header: no records landed; truncate to empty below
+		// so the next append rewrites a whole header.
+	} else if v := br.U64(); br.Err != nil {
+		// Torn between magic and version: same as a torn header.
+	} else if v != tombVersion {
+		return fmt.Errorf("store: unsupported tombstone-log version %d", v)
+	} else {
+		good = int64(len(tombMagic)) + 8
+		for {
+			id := br.Str(maxSpillName)
+			flags := br.U64()
+			if br.Err != nil {
+				break
+			}
+			records++
+			good += 8 + int64(len(id)) + 8
+			if flags&tombFlagResolved != 0 {
+				delete(t.tombstones, id)
+			} else {
+				// localClean is settled by reindex (which deletes any stray
+				// files it finds for the id); blobClean by syncBlob/GC.
+				t.tombstones[id] = &tombstone{blobClean: t.blob == nil}
+			}
 		}
 	}
 	t.tombRecords = records
+	if info, err := f.Stat(); err == nil && info.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncating torn tombstone-log tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: truncating torn tombstone-log tail: %w", err)
+		}
+	}
 	return nil
 }
 
